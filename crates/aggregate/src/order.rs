@@ -1,0 +1,191 @@
+//! Total orders and MAX/MIN monoids for the range-max machinery (§6).
+
+use crate::numeric::Bounded;
+use crate::Monoid;
+use std::cmp::Ordering;
+use std::marker::PhantomData;
+
+/// A total order over cell values.
+///
+/// The range-max tree stores arg-max indices and compares the underlying
+/// cell values; it never needs identities or inverses — just this order.
+/// Implementations must be total (every pair comparable) so that floats are
+/// handled via `f64::total_cmp` semantics.
+pub trait TotalOrder {
+    /// The compared value type.
+    type Value: Clone;
+
+    /// Compares two values.
+    fn cmp_values(&self, a: &Self::Value, b: &Self::Value) -> Ordering;
+
+    /// Whether `a` is strictly greater than `b` under the order.
+    fn gt(&self, a: &Self::Value, b: &Self::Value) -> bool {
+        self.cmp_values(a, b) == Ordering::Greater
+    }
+
+    /// Whether `a` is greater than or equal to `b` under the order.
+    fn ge(&self, a: &Self::Value, b: &Self::Value) -> bool {
+        self.cmp_values(a, b) != Ordering::Less
+    }
+}
+
+/// Natural ascending order; `MAX` under this order is the usual maximum.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NaturalOrder<T>(PhantomData<T>);
+
+impl<T> NaturalOrder<T> {
+    /// Creates the order tag.
+    pub fn new() -> Self {
+        NaturalOrder(PhantomData)
+    }
+}
+
+macro_rules! impl_natural_ord {
+    ($($t:ty),*) => {$(
+        impl TotalOrder for NaturalOrder<$t> {
+            type Value = $t;
+            fn cmp_values(&self, a: &$t, b: &$t) -> Ordering {
+                a.cmp(b)
+            }
+        }
+    )*};
+}
+
+impl_natural_ord!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize);
+
+impl TotalOrder for NaturalOrder<f64> {
+    type Value = f64;
+    fn cmp_values(&self, a: &f64, b: &f64) -> Ordering {
+        a.total_cmp(b)
+    }
+}
+
+impl TotalOrder for NaturalOrder<f32> {
+    type Value = f32;
+    fn cmp_values(&self, a: &f32, b: &f32) -> Ordering {
+        a.total_cmp(b)
+    }
+}
+
+/// Reverses another order, turning a MAX structure into MIN — the paper
+/// notes MAX techniques "straightforwardly apply to MIN" (§1).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReverseOrder<O>(O);
+
+impl<O> ReverseOrder<O> {
+    /// Wraps an order, reversing it.
+    pub fn new(inner: O) -> Self {
+        ReverseOrder(inner)
+    }
+}
+
+impl<O: TotalOrder> TotalOrder for ReverseOrder<O> {
+    type Value = O::Value;
+    fn cmp_values(&self, a: &O::Value, b: &O::Value) -> Ordering {
+        self.0.cmp_values(b, a)
+    }
+}
+
+/// MAX as a monoid (identity = least value). Used by tree aggregations that
+/// want a uniform [`Monoid`] interface.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MaxOp<T>(PhantomData<T>);
+
+impl<T> MaxOp<T> {
+    /// Creates the operator tag.
+    pub fn new() -> Self {
+        MaxOp(PhantomData)
+    }
+}
+
+impl<T> Monoid for MaxOp<T>
+where
+    T: Clone + Bounded + PartialOrd,
+{
+    type Value = T;
+
+    fn identity(&self) -> T {
+        T::min_value()
+    }
+
+    fn combine(&self, a: &T, b: &T) -> T {
+        if a >= b {
+            a.clone()
+        } else {
+            b.clone()
+        }
+    }
+}
+
+/// MIN as a monoid (identity = greatest value).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MinOp<T>(PhantomData<T>);
+
+impl<T> MinOp<T> {
+    /// Creates the operator tag.
+    pub fn new() -> Self {
+        MinOp(PhantomData)
+    }
+}
+
+impl<T> Monoid for MinOp<T>
+where
+    T: Clone + Bounded + PartialOrd,
+{
+    type Value = T;
+
+    fn identity(&self) -> T {
+        T::max_value()
+    }
+
+    fn combine(&self, a: &T, b: &T) -> T {
+        if a <= b {
+            a.clone()
+        } else {
+            b.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn natural_order_ints() {
+        let o = NaturalOrder::<i32>::new();
+        assert!(o.gt(&5, &3));
+        assert!(o.ge(&5, &5));
+        assert!(!o.gt(&5, &5));
+    }
+
+    #[test]
+    fn natural_order_floats_total() {
+        let o = NaturalOrder::<f64>::new();
+        assert!(o.gt(&1.0, &-1.0));
+        // NaN is comparable under total_cmp (greater than +inf).
+        assert_eq!(o.cmp_values(&f64::NAN, &f64::INFINITY), Ordering::Greater);
+    }
+
+    #[test]
+    fn reverse_order_flips() {
+        let o = ReverseOrder::new(NaturalOrder::<i32>::new());
+        assert!(o.gt(&3, &5));
+        assert!(!o.gt(&5, &3));
+    }
+
+    #[test]
+    fn max_monoid() {
+        let m = MaxOp::<i64>::new();
+        assert_eq!(m.identity(), i64::MIN);
+        assert_eq!(m.combine(&3, &7), 7);
+        assert_eq!(m.combine_all([3, 9, 2].iter()), 9);
+    }
+
+    #[test]
+    fn min_monoid() {
+        let m = MinOp::<u32>::new();
+        assert_eq!(m.identity(), u32::MAX);
+        assert_eq!(m.combine_all([5, 2, 8].iter()), 2);
+    }
+}

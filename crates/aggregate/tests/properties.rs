@@ -1,0 +1,107 @@
+//! Property tests for the operator algebra: the paper's `a ⊕ b ⊖ b = a`
+//! law, associativity, commutativity, identities, and order totality,
+//! over arbitrary values.
+
+use olap_aggregate::{
+    AbelianGroup, AvgOp, AvgPair, Monoid, NaturalOrder, ProductOp, ReverseOrder, SumOp, TotalOrder,
+    XorOp,
+};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+fn group_laws<G>(g: &G, a: &G::Value, b: &G::Value, c: &G::Value) -> Result<(), TestCaseError>
+where
+    G: AbelianGroup,
+    G::Value: PartialEq + std::fmt::Debug,
+{
+    let id = g.identity();
+    prop_assert_eq!(&g.combine(&id, a), a);
+    prop_assert_eq!(&g.combine(a, &id), a);
+    prop_assert_eq!(g.combine(a, b), g.combine(b, a));
+    prop_assert_eq!(
+        g.combine(&g.combine(a, b), c),
+        g.combine(a, &g.combine(b, c))
+    );
+    // The paper's requirement: a ⊕ b ⊖ b = a.
+    prop_assert_eq!(&g.uncombine(&g.combine(a, b), b), a);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    #[test]
+    fn sum_i64_group_laws(
+        a in -1_000_000i64..1_000_000,
+        b in -1_000_000i64..1_000_000,
+        c in -1_000_000i64..1_000_000,
+    ) {
+        group_laws(&SumOp::<i64>::new(), &a, &b, &c)?;
+    }
+
+    #[test]
+    fn xor_group_laws(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        group_laws(&XorOp::<u64>::new(), &a, &b, &c)?;
+        // Self-inverse.
+        let g = XorOp::<u64>::new();
+        prop_assert_eq!(g.combine(&a, &a), 0);
+    }
+
+    #[test]
+    fn avg_pair_group_laws(
+        a in -1_000_000i64..1_000_000,
+        b in -1_000_000i64..1_000_000,
+        c in -1_000_000i64..1_000_000,
+    ) {
+        group_laws(
+            &AvgOp::<i64>::new(),
+            &AvgPair::of(a),
+            &AvgPair::of(b),
+            &AvgPair::of(c),
+        )?;
+    }
+
+    #[test]
+    fn product_inverse_law_approx(
+        a in prop::num::f64::NORMAL.prop_filter("nonzero", |x| x.abs() > 1e-6 && x.abs() < 1e6),
+        b in prop::num::f64::NORMAL.prop_filter("nonzero", |x| x.abs() > 1e-6 && x.abs() < 1e6),
+    ) {
+        // Floating multiplication is a group only approximately.
+        let g = ProductOp::new();
+        let back = g.uncombine(&g.combine(&a, &b), &b);
+        prop_assert!((back - a).abs() <= a.abs() * 1e-12);
+    }
+
+    #[test]
+    fn natural_order_is_total_and_consistent(a in any::<i64>(), b in any::<i64>()) {
+        let o = NaturalOrder::<i64>::new();
+        match o.cmp_values(&a, &b) {
+            Ordering::Less => prop_assert!(o.gt(&b, &a)),
+            Ordering::Greater => prop_assert!(o.gt(&a, &b)),
+            Ordering::Equal => {
+                prop_assert!(o.ge(&a, &b));
+                prop_assert!(o.ge(&b, &a));
+            }
+        }
+        // Reverse order flips every comparison.
+        let r = ReverseOrder::new(o);
+        prop_assert_eq!(r.cmp_values(&a, &b), o.cmp_values(&b, &a));
+    }
+
+    #[test]
+    fn float_order_is_total(bits_a in any::<u64>(), bits_b in any::<u64>()) {
+        // Every bit pattern (including NaNs) is comparable and antisymmetric.
+        let (a, b) = (f64::from_bits(bits_a), f64::from_bits(bits_b));
+        let o = NaturalOrder::<f64>::new();
+        let ab = o.cmp_values(&a, &b);
+        let ba = o.cmp_values(&b, &a);
+        prop_assert_eq!(ab, ba.reverse());
+    }
+
+    #[test]
+    fn combine_all_folds_left(values in prop::collection::vec(-1000i64..1000, 0..20)) {
+        let g = SumOp::<i64>::new();
+        let expected: i64 = values.iter().sum();
+        prop_assert_eq!(g.combine_all(values.iter()), expected);
+    }
+}

@@ -1,0 +1,328 @@
+use crate::{ArrayError, FlatRegionIter, Region, Shape};
+
+/// A dense d-dimensional array stored in row-major order — the cube `A` of
+/// §2 and the prefix-sum array `P` of §3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseArray<T> {
+    shape: Shape,
+    data: Box<[T]>,
+}
+
+impl<T: Clone> DenseArray<T> {
+    /// An array of the given shape with every cell set to `fill`.
+    pub fn filled(shape: Shape, fill: T) -> Self {
+        let data = vec![fill; shape.len()].into_boxed_slice();
+        DenseArray { shape, data }
+    }
+
+    /// Builds an array from a row-major buffer.
+    ///
+    /// # Errors
+    /// [`ArrayError::StorageMismatch`] when `data.len() ≠ shape.len()`.
+    pub fn from_vec(shape: Shape, data: Vec<T>) -> Result<Self, ArrayError> {
+        if data.len() != shape.len() {
+            return Err(ArrayError::StorageMismatch {
+                expected: shape.len(),
+                actual: data.len(),
+            });
+        }
+        Ok(DenseArray {
+            shape,
+            data: data.into_boxed_slice(),
+        })
+    }
+
+    /// Builds an array by evaluating `f` at every multi-index, in row-major
+    /// order.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(&[usize]) -> T) -> Self {
+        let mut data = Vec::with_capacity(shape.len());
+        let mut idx = vec![0usize; shape.ndim()];
+        for flat in 0..shape.len() {
+            shape.unflatten_into(flat, &mut idx);
+            data.push(f(&idx));
+        }
+        DenseArray {
+            shape,
+            data: data.into_boxed_slice(),
+        }
+    }
+}
+
+impl<T> DenseArray<T> {
+    /// The array's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always false (shapes have ≥ 1 cell).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Immutable view of the row-major backing storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major backing storage.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Cell at a multi-index.
+    pub fn get(&self, index: &[usize]) -> &T {
+        &self.data[self.shape.flatten(index)]
+    }
+
+    /// Mutable cell at a multi-index.
+    pub fn get_mut(&mut self, index: &[usize]) -> &mut T {
+        let flat = self.shape.flatten(index);
+        &mut self.data[flat]
+    }
+
+    /// Checked cell access.
+    pub fn try_get(&self, index: &[usize]) -> Result<&T, ArrayError> {
+        self.shape.check_index(index)?;
+        Ok(&self.data[self.shape.flatten(index)])
+    }
+
+    /// Cell at a flat (row-major) offset.
+    pub fn get_flat(&self, flat: usize) -> &T {
+        &self.data[flat]
+    }
+
+    /// Mutable cell at a flat (row-major) offset.
+    pub fn get_flat_mut(&mut self, flat: usize) -> &mut T {
+        &mut self.data[flat]
+    }
+
+    /// Replaces the cell at `index`, returning the previous value.
+    pub fn replace(&mut self, index: &[usize], value: T) -> T {
+        let flat = self.shape.flatten(index);
+        std::mem::replace(&mut self.data[flat], value)
+    }
+
+    /// Iterates flat offsets of a region (row-major).
+    pub fn region_offsets(&self, region: &Region) -> FlatRegionIter {
+        FlatRegionIter::new(&self.shape, region)
+    }
+
+    /// Folds `f` over all cells of `region` in row-major order.
+    pub fn fold_region<Acc>(
+        &self,
+        region: &Region,
+        init: Acc,
+        mut f: impl FnMut(Acc, &T) -> Acc,
+    ) -> Acc {
+        let mut acc = init;
+        for off in self.region_offsets(region) {
+            acc = f(acc, &self.data[off]);
+        }
+        acc
+    }
+
+    /// In-place inclusive scan along `axis`: every cell becomes
+    /// `combine(previous_cell_along_axis, cell)`.
+    ///
+    /// With `combine = ⊕` this is one phase of the d-phase prefix-sum
+    /// computation of §3.3. Cells are visited in storage order (the paper's
+    /// paging recommendation): for each slab along `axis`, the inner loop
+    /// walks contiguous memory.
+    pub fn scan_axis(&mut self, axis: usize, mut combine: impl FnMut(&T, &T) -> T) {
+        let n = self.shape.dim(axis);
+        let stride = self.shape.strides()[axis];
+        let slab = n * stride; // cells per hyper-slab containing a full axis run
+        let data = &mut self.data;
+        let mut base = 0;
+        while base < data.len() {
+            for k in 1..n {
+                let row = base + k * stride;
+                let prev_row = row - stride;
+                for inner in 0..stride {
+                    data[row + inner] = combine(&data[prev_row + inner], &data[row + inner]);
+                }
+            }
+            base += slab;
+        }
+    }
+
+    /// Contracts the array by block size `b` on every dimension, combining
+    /// each `b × … × b` block (clipped at the edges) into one output cell
+    /// with `fold` starting from `init`.
+    ///
+    /// This is the first phase of both the blocked prefix-sum computation
+    /// (§4.3) and the level-by-level range-max tree construction (§6.2).
+    pub fn contract_blocks<U: Clone>(
+        &self,
+        b: usize,
+        init: U,
+        mut fold: impl FnMut(&U, &T, usize) -> U,
+    ) -> Result<DenseArray<U>, ArrayError> {
+        let out_shape = self.shape.contract(b)?;
+        let mut out = DenseArray::filled(out_shape.clone(), init);
+        // Walk A once in storage order, routing each cell to its block.
+        let mut idx = vec![0usize; self.shape.ndim()];
+        let mut block_idx = vec![0usize; self.shape.ndim()];
+        for flat in 0..self.data.len() {
+            self.shape.unflatten_into(flat, &mut idx);
+            for (bi, &i) in block_idx.iter_mut().zip(idx.iter()) {
+                *bi = i / b;
+            }
+            let out_flat = out_shape.flatten(&block_idx);
+            let merged = fold(&out.data[out_flat], &self.data[flat], flat);
+            out.data[out_flat] = merged;
+        }
+        Ok(out)
+    }
+
+    /// Applies `f` to every cell, producing a new array of the same shape.
+    pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> DenseArray<U> {
+        DenseArray {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(f).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Range;
+
+    /// The 3×6 array `A` of Figure 1.
+    pub(crate) fn figure1_a() -> DenseArray<i64> {
+        DenseArray::from_vec(
+            Shape::new(&[3, 6]).unwrap(),
+            vec![
+                3, 5, 1, 2, 2, 3, //
+                7, 3, 2, 6, 8, 2, //
+                2, 4, 2, 3, 3, 5,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        let shape = Shape::new(&[2, 2]).unwrap();
+        assert_eq!(
+            DenseArray::from_vec(shape, vec![1, 2, 3]),
+            Err(ArrayError::StorageMismatch {
+                expected: 4,
+                actual: 3
+            })
+        );
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut a = figure1_a();
+        assert_eq!(*a.get(&[1, 4]), 8);
+        *a.get_mut(&[1, 4]) = 42;
+        assert_eq!(*a.get(&[1, 4]), 42);
+        assert_eq!(a.replace(&[1, 4], 8), 42);
+        assert_eq!(*a.get(&[1, 4]), 8);
+    }
+
+    #[test]
+    fn try_get_reports_errors() {
+        let a = figure1_a();
+        assert!(a.try_get(&[2, 5]).is_ok());
+        assert!(a.try_get(&[3, 0]).is_err());
+        assert!(a.try_get(&[0]).is_err());
+    }
+
+    #[test]
+    fn from_fn_row_major() {
+        let shape = Shape::new(&[2, 3]).unwrap();
+        let a = DenseArray::from_fn(shape, |idx| (idx[0] * 10 + idx[1]) as i64);
+        assert_eq!(a.as_slice(), &[0, 1, 2, 10, 11, 12]);
+    }
+
+    #[test]
+    fn fold_region_sums() {
+        let a = figure1_a();
+        let r = Region::from_bounds(&[(2, 2), (1, 2)]).unwrap();
+        let s = a.fold_region(&r, 0i64, |acc, &x| acc + x);
+        assert_eq!(s, 4 + 2);
+    }
+
+    #[test]
+    fn scan_axis_one_dim_prefix() {
+        let mut a =
+            DenseArray::from_vec(Shape::new(&[5]).unwrap(), vec![1i64, 2, 3, 4, 5]).unwrap();
+        a.scan_axis(0, |p, c| p + c);
+        assert_eq!(a.as_slice(), &[1, 3, 6, 10, 15]);
+    }
+
+    #[test]
+    fn scan_both_axes_matches_figure1_prefix() {
+        // Running the two phases of §3.3 on Figure 1's A must yield its P.
+        let mut p = figure1_a();
+        p.scan_axis(1, |a, b| a + b); // along dimension 2 first (order is irrelevant)
+        p.scan_axis(0, |a, b| a + b);
+        let expected = vec![
+            3, 8, 9, 11, 13, 16, //
+            10, 18, 21, 29, 39, 44, //
+            12, 24, 29, 40, 53, 63,
+        ];
+        assert_eq!(p.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn scan_axis_middle_dimension() {
+        let shape = Shape::new(&[2, 3, 2]).unwrap();
+        let mut a = DenseArray::from_fn(shape.clone(), |_| 1i64);
+        a.scan_axis(1, |p, c| p + c);
+        for idx in shape.full_region().iter_indices() {
+            assert_eq!(*a.get(&idx), (idx[1] + 1) as i64, "at {idx:?}");
+        }
+    }
+
+    #[test]
+    fn contract_blocks_sums_blocks() {
+        // 3×6 with b = 2 → 2×3 of block sums (last row is a partial block).
+        let a = figure1_a();
+        let c = a.contract_blocks(2, 0i64, |acc, &x, _| acc + x).unwrap();
+        assert_eq!(c.shape().dims(), &[2, 3]);
+        assert_eq!(
+            c.as_slice(),
+            &[
+                3 + 5 + 7 + 3,
+                1 + 2 + 2 + 6,
+                2 + 3 + 8 + 2,
+                2 + 4,
+                2 + 3,
+                3 + 5
+            ]
+        );
+    }
+
+    #[test]
+    fn contract_blocks_b1_is_identity() {
+        let a = figure1_a();
+        let c = a.contract_blocks(1, 0i64, |acc, &x, _| acc + x).unwrap();
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let a = figure1_a();
+        let b = a.map(|&x| x * 2);
+        assert_eq!(b.shape(), a.shape());
+        assert_eq!(*b.get(&[1, 3]), 12);
+    }
+
+    #[test]
+    fn region_offsets_respects_ranges() {
+        let a = figure1_a();
+        let r = Region::new(vec![Range::new(0, 1).unwrap(), Range::new(4, 5).unwrap()]).unwrap();
+        let vals: Vec<i64> = a.region_offsets(&r).map(|o| a.as_slice()[o]).collect();
+        assert_eq!(vals, vec![2, 3, 8, 2]);
+    }
+}

@@ -1,0 +1,80 @@
+use std::fmt;
+
+/// Errors produced when constructing or indexing arrays, ranges, and regions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrayError {
+    /// A shape was requested with no dimensions.
+    EmptyShape,
+    /// A dimension extent was zero (the paper assumes `n_j ≥ 2`, we only
+    /// require `n_j ≥ 1`).
+    ZeroDim {
+        /// Which dimension had extent zero.
+        axis: usize,
+    },
+    /// The total number of cells overflowed `usize`.
+    TooLarge,
+    /// A range was built with `lo > hi`.
+    InvertedRange {
+        /// Lower bound supplied.
+        lo: usize,
+        /// Upper bound supplied.
+        hi: usize,
+    },
+    /// An index or region had the wrong number of dimensions.
+    DimMismatch {
+        /// Dimensions expected (the shape's).
+        expected: usize,
+        /// Dimensions supplied.
+        actual: usize,
+    },
+    /// An index coordinate or range bound fell outside the shape.
+    OutOfBounds {
+        /// Which dimension was out of bounds.
+        axis: usize,
+        /// The offending coordinate.
+        index: usize,
+        /// The extent of that dimension.
+        extent: usize,
+    },
+    /// Backing storage length did not match the shape's cell count.
+    StorageMismatch {
+        /// Cells implied by the shape.
+        expected: usize,
+        /// Length of the supplied buffer.
+        actual: usize,
+    },
+    /// A block size of zero was supplied to a blocked operation.
+    ZeroBlock,
+}
+
+impl fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayError::EmptyShape => write!(f, "shape must have at least one dimension"),
+            ArrayError::ZeroDim { axis } => write!(f, "dimension {axis} has extent 0"),
+            ArrayError::TooLarge => write!(f, "total cell count overflows usize"),
+            ArrayError::InvertedRange { lo, hi } => {
+                write!(f, "range lower bound {lo} exceeds upper bound {hi}")
+            }
+            ArrayError::DimMismatch { expected, actual } => {
+                write!(f, "expected {expected} dimensions, got {actual}")
+            }
+            ArrayError::OutOfBounds {
+                axis,
+                index,
+                extent,
+            } => {
+                write!(
+                    f,
+                    "index {index} out of bounds for dimension {axis} of extent {extent}"
+                )
+            }
+            ArrayError::StorageMismatch { expected, actual } => {
+                write!(f, "shape needs {expected} cells but buffer holds {actual}")
+            }
+            ArrayError::ZeroBlock => write!(f, "block size must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ArrayError {}

@@ -1,0 +1,100 @@
+//! Wall-clock cost of the §9 planner itself and of the sparse-engine
+//! construction pipeline (§10.2): classifier + R*-tree + per-region
+//! prefix sums.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use olap_array::Shape;
+use olap_planner::{choose_dimensions_exact, choose_dimensions_heuristic, GreedyPlanner};
+use olap_sparse::{SparseCube, SparseRangeSum};
+use olap_workload::{clustered_sparse_cube, synthetic_log, CuboidMix};
+use std::hint::black_box;
+
+fn dimension_selection(c: &mut Criterion) {
+    let shape = Shape::new(&[100; 8]).unwrap();
+    let log = synthetic_log(
+        &shape,
+        &[
+            CuboidMix {
+                dims: vec![0, 1],
+                side: 100,
+                count: 200,
+            },
+            CuboidMix {
+                dims: vec![2, 3, 4],
+                side: 20,
+                count: 200,
+            },
+            CuboidMix {
+                dims: vec![5],
+                side: 400,
+                count: 100,
+            },
+        ],
+        1,
+    );
+    let mut group = c.benchmark_group("dimension_selection");
+    group.sample_size(20);
+    group.bench_function("heuristic_O_md", |b| {
+        b.iter(|| black_box(choose_dimensions_heuristic(&log)))
+    });
+    group.bench_function("exact_gray_code_O_m2d", |b| {
+        b.iter(|| black_box(choose_dimensions_exact(&log)))
+    });
+    group.finish();
+}
+
+fn greedy_planning(c: &mut Criterion) {
+    let shape = Shape::new(&[1000, 500, 100, 50]).unwrap();
+    let log = synthetic_log(
+        &shape,
+        &[
+            CuboidMix {
+                dims: vec![0, 1],
+                side: 100,
+                count: 50,
+            },
+            CuboidMix {
+                dims: vec![0],
+                side: 300,
+                count: 30,
+            },
+            CuboidMix {
+                dims: vec![1, 2],
+                side: 20,
+                count: 20,
+            },
+        ],
+        7,
+    );
+    let stats = log.cuboid_stats();
+    let mut group = c.benchmark_group("greedy_planner");
+    group.sample_size(10);
+    for budget in [1e5f64, 1e8] {
+        group.bench_with_input(
+            BenchmarkId::new("plan", budget as u64),
+            &budget,
+            |b, &budget| {
+                b.iter(|| {
+                    let p = GreedyPlanner::new(shape.clone(), stats.clone(), budget);
+                    black_box(p.plan())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn sparse_build(c: &mut Criterion) {
+    let shape = Shape::new(&[1000, 1000]).unwrap();
+    let pts = clustered_sparse_cube(&shape, 5, 30, 2000, 1000, 13);
+    let cube = SparseCube::new(shape, pts).unwrap();
+    let mut group = c.benchmark_group("sparse_build");
+    group.sample_size(10);
+    group.bench_function("classifier_rtree_prefix_pipeline", |b| {
+        b.iter(|| black_box(SparseRangeSum::build(&cube).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, dimension_selection, greedy_planning, sparse_build);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Wall-clock confirmation of the range-max results: Theorem 3's
+//! average-case claim and the branch-and-bound ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use olap_aggregate::NaturalOrder;
+use olap_array::Shape;
+use olap_engine::naive;
+use olap_range_max::{NaturalMaxTree, SearchOptions};
+use olap_workload::{uniform_cube, uniform_regions};
+use std::hint::black_box;
+
+fn tree_vs_naive(c: &mut Criterion) {
+    let a = uniform_cube(Shape::new(&[512, 512]).unwrap(), 1_000_000, 3);
+    let queries = uniform_regions(a.shape(), 32, 4);
+    let mut group = c.benchmark_group("range_max");
+    group.sample_size(20);
+    for b in [2usize, 4, 8] {
+        let t = NaturalMaxTree::for_values(&a, b).unwrap();
+        group.bench_with_input(BenchmarkId::new("tree", b), &queries, |bch, qs| {
+            bch.iter(|| {
+                for q in qs {
+                    black_box(t.range_max(&a, q).unwrap());
+                }
+            })
+        });
+    }
+    group.bench_function("naive", |bch| {
+        bch.iter(|| {
+            for q in &queries {
+                black_box(naive::range_max(&a, &NaturalOrder::<i64>::new(), q).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn branch_and_bound_ablation(c: &mut Criterion) {
+    let a = uniform_cube(Shape::new(&[512, 512]).unwrap(), 1_000_000, 5);
+    let t = NaturalMaxTree::for_values(&a, 4).unwrap();
+    let queries = uniform_regions(a.shape(), 32, 6);
+    let mut group = c.benchmark_group("range_max_bb_ablation");
+    group.sample_size(20);
+    for (name, opts) in [
+        ("bb_on", SearchOptions::default()),
+        (
+            "bb_off",
+            SearchOptions {
+                branch_and_bound: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "bb_on_sorted",
+            SearchOptions {
+                sort_boundary: true,
+                ..Default::default()
+            },
+        ),
+    ] {
+        group.bench_function(name, |bch| {
+            bch.iter(|| {
+                for q in &queries {
+                    black_box(t.range_max_with_options(&a, q, opts).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tree_vs_naive, branch_and_bound_ablation);
+criterion_main!(benches);

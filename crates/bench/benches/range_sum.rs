@@ -1,0 +1,87 @@
+//! Wall-clock confirmation of the range-sum results: the volume sweep of
+//! §11 (naive vs prefix vs blocked) and the §8 tree-vs-prefix comparison
+//! behind Figure 11.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use olap_aggregate::SumOp;
+use olap_array::Shape;
+use olap_engine::naive;
+use olap_prefix_sum::{BlockedPrefixCube, PrefixSumCube};
+use olap_tree_sum::SumTreeCube;
+use olap_workload::{sided_regions, uniform_cube};
+use std::hint::black_box;
+
+fn volume_sweep(c: &mut Criterion) {
+    let a = uniform_cube(Shape::new(&[512, 512]).unwrap(), 1000, 1);
+    let ps = PrefixSumCube::build(&a);
+    let bp = BlockedPrefixCube::build(&a, 16).unwrap();
+    let mut group = c.benchmark_group("range_sum_volume_sweep");
+    group.sample_size(20);
+    for side in [8usize, 64, 256] {
+        let queries = sided_regions(a.shape(), side, 16, side as u64);
+        group.bench_with_input(BenchmarkId::new("naive", side), &queries, |bch, qs| {
+            bch.iter(|| {
+                for q in qs {
+                    black_box(
+                        naive::range_aggregate(&a, &SumOp::<i64>::new(), q)
+                            .unwrap()
+                            .0,
+                    );
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("prefix_b1", side), &queries, |bch, qs| {
+            bch.iter(|| {
+                for q in qs {
+                    black_box(ps.range_sum(q).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("blocked_b16", side),
+            &queries,
+            |bch, qs| {
+                bch.iter(|| {
+                    for q in qs {
+                        black_box(bp.range_sum(&a, q).unwrap());
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fig11_tree_vs_prefix(c: &mut Criterion) {
+    let b = 16usize;
+    let a = uniform_cube(Shape::new(&[512, 512]).unwrap(), 1000, 2);
+    let bp = BlockedPrefixCube::build(&a, b).unwrap();
+    let st = SumTreeCube::build(&a, b).unwrap();
+    let mut group = c.benchmark_group("fig11_tree_vs_prefix");
+    group.sample_size(20);
+    for alpha in [2usize, 8, 16] {
+        let queries = sided_regions(a.shape(), alpha * b, 16, alpha as u64);
+        group.bench_with_input(
+            BenchmarkId::new("blocked_prefix", alpha),
+            &queries,
+            |bch, qs| {
+                bch.iter(|| {
+                    for q in qs {
+                        black_box(bp.range_sum(&a, q).unwrap());
+                    }
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("tree_sum", alpha), &queries, |bch, qs| {
+            bch.iter(|| {
+                for q in qs {
+                    black_box(st.range_sum(&a, q).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, volume_sweep, fig11_tree_vs_prefix);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Wall-clock cost of the §10 sparse engines on clustered data, against
+//! scanning the point list and against densifying the cube.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use olap_array::Shape;
+use olap_prefix_sum::PrefixSumCube;
+use olap_sparse::{SparseCube, SparseRangeMax, SparseRangeSum};
+use olap_workload::{clustered_sparse_cube, uniform_regions};
+use std::hint::black_box;
+
+fn sparse_engines(c: &mut Criterion) {
+    let shape = Shape::new(&[1000, 1000]).unwrap();
+    let pts = clustered_sparse_cube(&shape, 5, 30, 2000, 1000, 13);
+    let cube = SparseCube::new(shape.clone(), pts).unwrap();
+    let sum_engine = SparseRangeSum::build(&cube).unwrap();
+    let max_engine = SparseRangeMax::build(&cube);
+    // The "densify everything" alternative §10 avoids.
+    let dense = cube.to_dense(0);
+    let dense_ps = PrefixSumCube::build(&dense);
+    let queries = uniform_regions(&shape, 32, 17);
+
+    let mut group = c.benchmark_group("sparse_range_sum");
+    group.sample_size(20);
+    group.bench_function("sparse_regions_rtree", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(sum_engine.range_sum(q).unwrap());
+            }
+        })
+    });
+    group.bench_function("point_list_scan", |b| {
+        b.iter(|| {
+            for q in &queries {
+                let s: i64 = cube.points_in(q).map(|(_, v)| *v).sum();
+                black_box(s);
+            }
+        })
+    });
+    group.bench_function("densified_prefix_sum", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(dense_ps.range_sum(q).unwrap());
+            }
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("sparse_range_max");
+    group.sample_size(20);
+    group.bench_function("rtree_branch_and_bound", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(max_engine.range_max(q).unwrap());
+            }
+        })
+    });
+    group.bench_function("point_list_scan", |b| {
+        b.iter(|| {
+            for q in &queries {
+                let m = cube.points_in(q).map(|(_, v)| *v).max();
+                black_box(m);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sparse_engines);
+criterion_main!(benches);

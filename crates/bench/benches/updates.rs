@@ -1,0 +1,91 @@
+//! Wall-clock cost of maintenance: the §5 batched prefix-sum update vs
+//! one-at-a-time, and the §7 max-tree batch vs a full rebuild.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use olap_array::Shape;
+use olap_prefix_sum::batch::{self, CellUpdate};
+use olap_prefix_sum::PrefixSumCube;
+use olap_range_max::{NaturalMaxTree, PointUpdate};
+use olap_workload::uniform_cube;
+use std::hint::black_box;
+
+fn make_updates(k: usize) -> Vec<CellUpdate<i64>> {
+    (0..k)
+        .map(|i| CellUpdate::new(&[(i * 37 + 11) % 128, (i * 61 + 29) % 128], 1))
+        .collect()
+}
+
+fn prefix_batch_vs_naive(c: &mut Criterion) {
+    let a = uniform_cube(Shape::new(&[128, 128]).unwrap(), 1000, 7);
+    let ps0 = PrefixSumCube::build(&a);
+    let mut group = c.benchmark_group("prefix_update");
+    group.sample_size(20);
+    for k in [4usize, 16, 64] {
+        let updates = make_updates(k);
+        group.bench_with_input(BenchmarkId::new("batched", k), &updates, |bch, ups| {
+            bch.iter(|| {
+                let mut ps = ps0.clone();
+                black_box(batch::apply_batch(&mut ps, ups).unwrap());
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("one_at_a_time", k),
+            &updates,
+            |bch, ups| {
+                bch.iter(|| {
+                    let mut ps = ps0.clone();
+                    for u in ups {
+                        batch::apply_single_naive(&mut ps, u).unwrap();
+                    }
+                    black_box(&ps);
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("rebuild", k), &updates, |bch, ups| {
+            bch.iter(|| {
+                let mut a2 = a.clone();
+                for u in ups {
+                    *a2.get_mut(&u.index) += u.delta;
+                }
+                black_box(PrefixSumCube::build(&a2));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn max_tree_batch_vs_rebuild(c: &mut Criterion) {
+    let a0 = uniform_cube(Shape::new(&[256, 256]).unwrap(), 1_000_000, 9);
+    let t0 = NaturalMaxTree::for_values(&a0, 4).unwrap();
+    let mut group = c.benchmark_group("max_tree_update");
+    group.sample_size(20);
+    for k in [4usize, 32] {
+        let updates: Vec<PointUpdate<i64>> = (0..k)
+            .map(|i| PointUpdate::new(&[(i * 53) % 256, (i * 97) % 256], (i as i64) * 31 % 999))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("batched_tag_protocol", k),
+            &updates,
+            |bch, ups| {
+                bch.iter(|| {
+                    let mut a = a0.clone();
+                    let mut t = t0.clone();
+                    black_box(t.batch_update(&mut a, ups).unwrap());
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("rebuild", k), &updates, |bch, ups| {
+            bch.iter(|| {
+                let mut a = a0.clone();
+                for u in ups {
+                    *a.get_mut(&u.index) = u.value;
+                }
+                black_box(NaturalMaxTree::for_values(&a, 4).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, prefix_batch_vs_naive, max_tree_batch_vs_rebuild);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! `olap-cli`: build, persist, query, and update OLAP range-query
+//! structures from the command line. See `olap-cli help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match olap_cli::run(&args) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Tests that drive the actual `olap-cli` binary (process spawn), covering
+//! the argv/stdout/exit-code wiring the library tests can't.
+
+use std::process::Command;
+
+fn olap(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_olap-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("olap-cli-bin-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn end_to_end_workflow() {
+    let cube = tmp("e2e.olap");
+    let psum = tmp("e2e.psum");
+    let (out, _, ok) = olap(&["gen", "--dims", "16,16", "--seed", "4", "--out", &cube]);
+    assert!(ok, "{out}");
+    let (out, _, ok) = olap(&["build", "--cube", &cube, "--prefix", "--out", &psum]);
+    assert!(ok, "{out}");
+    let (out, _, ok) = olap(&["sum", "--index", &psum, "--query", "2:13,all"]);
+    assert!(ok, "{out}");
+    assert!(out.starts_with("sum = "), "{out}");
+    let (out, _, ok) = olap(&["info", &psum]);
+    assert!(ok);
+    assert!(out.contains("basic prefix-sum array"), "{out}");
+}
+
+#[test]
+fn errors_exit_nonzero_with_stderr() {
+    let (_, err, ok) = olap(&["sum", "--query", "1:2"]);
+    assert!(!ok);
+    assert!(err.contains("missing required --index"), "{err}");
+    let (_, err, ok) = olap(&["nonsense"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"), "{err}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let (out, _, ok) = olap(&["help"]);
+    assert!(ok);
+    assert!(out.contains("commands:"), "{out}");
+}

@@ -1,0 +1,568 @@
+//! The [`CubeIndex`] facade: one cube, several precomputed structures,
+//! one query interface.
+
+use olap_aggregate::ReverseOrder;
+use olap_aggregate::{NaturalOrder, NumericValue, SumOp, TotalOrder};
+use olap_array::{ArrayError, DenseArray, Region, Shape};
+use olap_prefix_sum::batch::CellUpdate;
+use olap_prefix_sum::{batch, BlockedPrefixCube, PrefixSumCube};
+use olap_query::AccessStats;
+use olap_range_max::{MaxTree, MaxTreeError, NaturalMaxTree, PointUpdate};
+use olap_tree_sum::SumTreeCube;
+use std::fmt;
+
+/// Which prefix-sum structure to maintain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrefixChoice {
+    /// No prefix sums (queries fall back to the tree-sum baseline or the
+    /// naive scan).
+    None,
+    /// The basic §3 array — fastest queries, same storage as the cube.
+    #[default]
+    Basic,
+    /// The §4 blocked array with the given block size — `1/b^d` storage.
+    Blocked(usize),
+}
+
+/// Index configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexConfig {
+    /// Prefix-sum structure for range-sum queries.
+    pub prefix: PrefixChoice,
+    /// Per-dimension fanout of the §6 range-max tree, if wanted.
+    pub max_tree_fanout: Option<usize>,
+    /// Per-dimension fanout of a range-min tree (the §6 structure under
+    /// the reversed order), if wanted.
+    pub min_tree_fanout: Option<usize>,
+    /// Per-dimension fanout of the §8 tree-sum baseline, if wanted.
+    pub sum_tree_fanout: Option<usize>,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            prefix: PrefixChoice::Basic,
+            max_tree_fanout: Some(4),
+            min_tree_fanout: None,
+            sum_tree_fanout: None,
+        }
+    }
+}
+
+/// Errors from building or querying a [`CubeIndex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Shape/region validation failures.
+    Array(ArrayError),
+    /// Range-max tree failures.
+    MaxTree(MaxTreeError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Array(e) => write!(f, "{e}"),
+            EngineError::MaxTree(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ArrayError> for EngineError {
+    fn from(e: ArrayError) -> Self {
+        EngineError::Array(e)
+    }
+}
+
+impl From<MaxTreeError> for EngineError {
+    fn from(e: MaxTreeError) -> Self {
+        EngineError::MaxTree(e)
+    }
+}
+
+/// A dense cube plus its precomputed structures, with query routing and
+/// consistent batched updates.
+///
+/// # Examples
+///
+/// ```
+/// use olap_array::{DenseArray, Region, Shape};
+/// use olap_engine::{CubeIndex, IndexConfig};
+///
+/// let cube = DenseArray::from_fn(Shape::new(&[8, 8]).unwrap(), |i| {
+///     (i[0] * 8 + i[1]) as i64
+/// });
+/// let mut index = CubeIndex::build(cube, IndexConfig::default()).unwrap();
+/// let q = Region::from_bounds(&[(2, 5), (1, 6)]).unwrap();
+/// let (sum, stats) = index.range_sum(&q).unwrap();
+/// assert!(stats.p_cells <= 4); // Theorem 1: at most 2^d lookups
+/// let (_, max, _) = index.range_max(&q).unwrap();
+/// assert_eq!(max, 46);
+/// index.apply_updates(&[(vec![0, 0], 100)]).unwrap();
+/// assert_eq!(index.range_max(&q).unwrap().1, 46); // [0,0] outside q
+/// # let _ = sum;
+/// ```
+#[derive(Clone)]
+pub struct CubeIndex<T>
+where
+    T: NumericValue + PartialOrd,
+    NaturalOrder<T>: TotalOrder<Value = T>,
+{
+    a: DenseArray<T>,
+    config: IndexConfig,
+    prefix: Option<PrefixSumCube<T>>,
+    blocked: Option<BlockedPrefixCube<T>>,
+    max_tree: Option<NaturalMaxTree<T>>,
+    min_tree: Option<MaxTree<ReverseOrder<NaturalOrder<T>>>>,
+    sum_tree: Option<SumTreeCube<T>>,
+}
+
+impl<T> CubeIndex<T>
+where
+    T: NumericValue + PartialOrd,
+    NaturalOrder<T>: TotalOrder<Value = T>,
+{
+    /// Builds the configured structures over a cube.
+    ///
+    /// # Errors
+    /// Invalid block sizes / fanouts.
+    pub fn build(a: DenseArray<T>, config: IndexConfig) -> Result<Self, EngineError> {
+        let prefix = match config.prefix {
+            PrefixChoice::Basic => Some(PrefixSumCube::build(&a)),
+            _ => None,
+        };
+        let blocked = match config.prefix {
+            PrefixChoice::Blocked(b) => Some(BlockedPrefixCube::build(&a, b)?),
+            _ => None,
+        };
+        let max_tree = match config.max_tree_fanout {
+            Some(b) => Some(NaturalMaxTree::for_values(&a, b)?),
+            None => None,
+        };
+        let min_tree = match config.min_tree_fanout {
+            Some(b) => Some(MaxTree::build(
+                &a,
+                b,
+                ReverseOrder::new(NaturalOrder::<T>::new()),
+            )?),
+            None => None,
+        };
+        let sum_tree = match config.sum_tree_fanout {
+            Some(b) => Some(SumTreeCube::build(&a, b)?),
+            None => None,
+        };
+        Ok(CubeIndex {
+            a,
+            config,
+            prefix,
+            blocked,
+            max_tree,
+            min_tree,
+            sum_tree,
+        })
+    }
+
+    /// The underlying cube.
+    pub fn cube(&self) -> &DenseArray<T> {
+        &self.a
+    }
+
+    /// The cube shape.
+    pub fn shape(&self) -> &Shape {
+        self.a.shape()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Answers a range-sum query with the best available structure:
+    /// basic prefix sums (constant time), then blocked, then the tree-sum
+    /// baseline, then the naive scan.
+    ///
+    /// # Errors
+    /// Validates the region.
+    pub fn range_sum(&self, region: &Region) -> Result<(T, AccessStats), EngineError> {
+        if let Some(ps) = &self.prefix {
+            return Ok(ps.range_sum_with_stats(region)?);
+        }
+        if let Some(bp) = &self.blocked {
+            return Ok(bp.range_sum_with_stats(&self.a, region)?);
+        }
+        if let Some(st) = &self.sum_tree {
+            return Ok(st.range_sum_with_stats(&self.a, region, true)?);
+        }
+        Ok(crate::naive::range_aggregate(
+            &self.a,
+            &SumOp::<T>::new(),
+            region,
+        )?)
+    }
+
+    /// COUNT over a region of a dense cube: its volume (§1 notes COUNT is
+    /// a special case of SUM; for a dense cube every cell counts).
+    ///
+    /// # Errors
+    /// Validates the region.
+    pub fn range_count(&self, region: &Region) -> Result<u64, EngineError> {
+        self.a.shape().check_region(region)?;
+        Ok(region.volume() as u64)
+    }
+
+    /// Answers a range-max query with the §6 tree when present, else the
+    /// naive scan. Returns `(index, value, stats)`.
+    ///
+    /// # Errors
+    /// Validates the region.
+    pub fn range_max(&self, region: &Region) -> Result<(Vec<usize>, T, AccessStats), EngineError> {
+        if let Some(t) = &self.max_tree {
+            return Ok(t.range_max_with_stats(&self.a, region)?);
+        }
+        Ok(crate::naive::range_max(
+            &self.a,
+            &NaturalOrder::<T>::new(),
+            region,
+        )?)
+    }
+
+    /// Answers a range-**min** query: the §6 structure under the reversed
+    /// order when configured (`min_tree_fanout`), else the naive scan.
+    ///
+    /// # Errors
+    /// Validates the region.
+    pub fn range_min(&self, region: &Region) -> Result<(Vec<usize>, T, AccessStats), EngineError> {
+        if let Some(t) = &self.min_tree {
+            return Ok(t.range_max_with_stats(&self.a, region)?);
+        }
+        Ok(crate::naive::range_max(
+            &self.a,
+            &ReverseOrder::new(NaturalOrder::<T>::new()),
+            region,
+        )?)
+    }
+
+    /// Explains how a range-sum query would be (and was) answered: the
+    /// structure chosen, the model's predicted cost, and the measured
+    /// accesses — the paper's cost story made visible.
+    ///
+    /// # Errors
+    /// Validates the region.
+    pub fn explain_sum(&self, region: &Region) -> Result<String, EngineError> {
+        use olap_query::QueryStats;
+        let (engine, model): (&str, f64) = if self.prefix.is_some() {
+            ("basic prefix sums (§3)", (1u64 << region.ndim()) as f64)
+        } else if let Some(bp) = &self.blocked {
+            let stats = QueryStats::of_region(region);
+            (
+                "blocked prefix sums (§4)",
+                olap_planner::cost::prefix_sum_cost(region.ndim(), stats.surface, bp.block_size()),
+            )
+        } else if self.sum_tree.is_some() {
+            ("tree-sum baseline (§8)", f64::NAN)
+        } else {
+            ("naive scan", region.volume() as f64)
+        };
+        let (_, stats) = self.range_sum(region)?;
+        Ok(format!(
+            "query {region} (volume {}): engine = {engine}; modelled cost ≈ {model:.0}; measured accesses = {}",
+            region.volume(),
+            stats.total_accesses()
+        ))
+    }
+
+    /// Applies a batch of absolute-value updates `(index, new value)` to
+    /// the cube and every maintained structure:
+    ///
+    /// - prefix sums via the Theorem-2 batched region update (§5),
+    /// - the max tree via the tag protocol (§7),
+    /// - the tree-sum baseline by rebuilding (the paper gives it no
+    ///   incremental algorithm).
+    ///
+    /// Later updates to the same cell win. Returns combined access
+    /// statistics.
+    ///
+    /// # Errors
+    /// Validates every index.
+    pub fn apply_updates(
+        &mut self,
+        updates: &[(Vec<usize>, T)],
+    ) -> Result<AccessStats, EngineError> {
+        for (idx, _) in updates {
+            self.a.shape().check_index(idx)?;
+        }
+        let mut stats = AccessStats::new();
+        // Deltas for the prefix structures (value-to-add = new ⊖ old,
+        // against the evolving cube so duplicate updates compose).
+        if self.prefix.is_some() || self.blocked.is_some() {
+            let mut running: std::collections::BTreeMap<Vec<usize>, T> =
+                std::collections::BTreeMap::new();
+            let mut deltas: Vec<CellUpdate<T>> = Vec::with_capacity(updates.len());
+            for (idx, new_v) in updates {
+                let old = running
+                    .get(idx)
+                    .cloned()
+                    .unwrap_or_else(|| self.a.get(idx).clone());
+                deltas.push(CellUpdate::new(idx, new_v.clone() - old));
+                running.insert(idx.clone(), new_v.clone());
+            }
+            if let Some(ps) = &mut self.prefix {
+                batch::apply_batch(ps, &deltas)?;
+            }
+            if let Some(bp) = &mut self.blocked {
+                batch::apply_batch_blocked(bp, &deltas)?;
+            }
+        }
+        let pts: Vec<PointUpdate<T>> = updates
+            .iter()
+            .map(|(idx, v)| PointUpdate::new(idx, v.clone()))
+            .collect();
+        // The min tree sees the pre-update cube (batch_update applies the
+        // writes itself, so only the first tree may mutate `a`).
+        if let Some(t) = &mut self.min_tree {
+            let mut shadow = self.a.clone();
+            stats += t.batch_update(&mut shadow, &pts)?;
+        }
+        // The max tree updates A itself; otherwise apply manually.
+        if let Some(t) = &mut self.max_tree {
+            stats += t.batch_update(&mut self.a, &pts)?;
+        } else {
+            for (idx, v) in updates {
+                *self.a.get_mut(idx) = v.clone();
+            }
+        }
+        if let Some(st) = &mut self.sum_tree {
+            *st = SumTreeCube::build(&self.a, st.fanout())?;
+        }
+        Ok(stats)
+    }
+}
+
+impl CubeIndex<i64> {
+    /// AVERAGE over a region: SUM / COUNT (§1: derived from the
+    /// `(sum, count)` pair; for a dense cube the count is the volume).
+    ///
+    /// # Errors
+    /// Validates the region.
+    pub fn range_average(&self, region: &Region) -> Result<f64, EngineError> {
+        let (sum, _) = self.range_sum(region)?;
+        Ok(sum as f64 / region.volume() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube() -> DenseArray<i64> {
+        DenseArray::from_fn(Shape::new(&[12, 10]).unwrap(), |i| {
+            (i[0] * 13 + i[1] * 7) as i64 % 31 - 15
+        })
+    }
+
+    fn naive_sum(a: &DenseArray<i64>, q: &Region) -> i64 {
+        a.fold_region(q, 0i64, |s, &x| s + x)
+    }
+
+    fn naive_max(a: &DenseArray<i64>, q: &Region) -> i64 {
+        a.fold_region(q, i64::MIN, |m, &x| m.max(x))
+    }
+
+    #[test]
+    fn default_config_routes_to_prefix_and_tree() {
+        let a = cube();
+        let idx = CubeIndex::build(a.clone(), IndexConfig::default()).unwrap();
+        let q = Region::from_bounds(&[(2, 9), (3, 8)]).unwrap();
+        let (s, stats) = idx.range_sum(&q).unwrap();
+        assert_eq!(s, naive_sum(&a, &q));
+        assert!(stats.p_cells <= 4);
+        assert_eq!(stats.a_cells, 0);
+        let (_, m, _) = idx.range_max(&q).unwrap();
+        assert_eq!(m, naive_max(&a, &q));
+    }
+
+    #[test]
+    fn every_config_answers_identically() {
+        let a = cube();
+        let q = Region::from_bounds(&[(1, 10), (2, 7)]).unwrap();
+        let expected = naive_sum(&a, &q);
+        let configs = [
+            IndexConfig {
+                prefix: PrefixChoice::None,
+                max_tree_fanout: None,
+                min_tree_fanout: None,
+                sum_tree_fanout: None,
+            },
+            IndexConfig {
+                prefix: PrefixChoice::Basic,
+                max_tree_fanout: None,
+                min_tree_fanout: None,
+                sum_tree_fanout: None,
+            },
+            IndexConfig {
+                prefix: PrefixChoice::Blocked(4),
+                max_tree_fanout: Some(2),
+                min_tree_fanout: Some(2),
+                sum_tree_fanout: None,
+            },
+            IndexConfig {
+                prefix: PrefixChoice::None,
+                max_tree_fanout: Some(3),
+                min_tree_fanout: None,
+                sum_tree_fanout: Some(3),
+            },
+        ];
+        for cfg in configs {
+            let idx = CubeIndex::build(a.clone(), cfg).unwrap();
+            let (s, _) = idx.range_sum(&q).unwrap();
+            assert_eq!(s, expected, "{cfg:?}");
+            let (_, m, _) = idx.range_max(&q).unwrap();
+            assert_eq!(m, naive_max(&a, &q), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn updates_keep_all_structures_consistent() {
+        let a = cube();
+        let cfg = IndexConfig {
+            prefix: PrefixChoice::Basic,
+            max_tree_fanout: Some(2),
+            min_tree_fanout: None,
+            sum_tree_fanout: Some(2),
+        };
+        let mut idx = CubeIndex::build(a, cfg).unwrap();
+        idx.apply_updates(&[
+            (vec![0, 0], 100),
+            (vec![11, 9], -50),
+            (vec![5, 5], 7),
+            (vec![5, 5], 9), // duplicate: last wins
+        ])
+        .unwrap();
+        assert_eq!(*idx.cube().get(&[5, 5]), 9);
+        let q = idx.shape().full_region();
+        let (s, _) = idx.range_sum(&q).unwrap();
+        assert_eq!(s, naive_sum(idx.cube(), &q));
+        let (_, m, _) = idx.range_max(&q).unwrap();
+        assert_eq!(m, 100);
+        // And a rebuilt index agrees everywhere.
+        let fresh = CubeIndex::build(idx.cube().clone(), *idx.config()).unwrap();
+        for l0 in (0..12).step_by(3) {
+            for l1 in (0..10).step_by(3) {
+                let q = Region::from_bounds(&[(l0, 11), (l1, 9)]).unwrap();
+                assert_eq!(idx.range_sum(&q).unwrap().0, fresh.range_sum(&q).unwrap().0);
+                assert_eq!(idx.range_max(&q).unwrap().1, fresh.range_max(&q).unwrap().1);
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_updates_stay_consistent() {
+        let a = cube();
+        let cfg = IndexConfig {
+            prefix: PrefixChoice::Blocked(4),
+            max_tree_fanout: None,
+            min_tree_fanout: None,
+            sum_tree_fanout: None,
+        };
+        let mut idx = CubeIndex::build(a, cfg).unwrap();
+        idx.apply_updates(&[(vec![3, 3], 77), (vec![8, 1], -4)])
+            .unwrap();
+        let q = Region::from_bounds(&[(0, 11), (0, 9)]).unwrap();
+        let (s, _) = idx.range_sum(&q).unwrap();
+        assert_eq!(s, naive_sum(idx.cube(), &q));
+    }
+
+    #[test]
+    fn rejects_invalid_updates() {
+        let mut idx = CubeIndex::build(cube(), IndexConfig::default()).unwrap();
+        assert!(idx.apply_updates(&[(vec![12, 0], 1)]).is_err());
+    }
+
+    #[test]
+    fn count_and_average() {
+        let a = cube();
+        let idx = CubeIndex::build(a.clone(), IndexConfig::default()).unwrap();
+        let q = Region::from_bounds(&[(0, 3), (0, 4)]).unwrap();
+        assert_eq!(idx.range_count(&q).unwrap(), 20);
+        let expected = a.fold_region(&q, 0i64, |s, &x| s + x) as f64 / 20.0;
+        assert!((idx.range_average(&q).unwrap() - expected).abs() < 1e-12);
+        assert!(idx
+            .range_count(&Region::from_bounds(&[(0, 12), (0, 4)]).unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn range_min_via_reversed_tree() {
+        let a = cube();
+        let cfg = IndexConfig {
+            prefix: PrefixChoice::Basic,
+            max_tree_fanout: Some(2),
+            min_tree_fanout: Some(2),
+            sum_tree_fanout: None,
+        };
+        let mut idx = CubeIndex::build(a.clone(), cfg).unwrap();
+        let q = Region::from_bounds(&[(2, 9), (1, 8)]).unwrap();
+        let naive_min = a.fold_region(&q, i64::MAX, |m, &x| m.min(x));
+        let (at, v, _) = idx.range_min(&q).unwrap();
+        assert_eq!(v, naive_min);
+        assert!(q.contains(&at));
+        // Updates keep the min tree consistent.
+        idx.apply_updates(&[(vec![5, 5], -999)]).unwrap();
+        assert_eq!(idx.range_min(&q).unwrap().1, -999);
+        assert_eq!(idx.range_max(&q).unwrap().1, {
+            let mut shadow = a.clone();
+            *shadow.get_mut(&[5, 5]) = -999;
+            shadow.fold_region(&q, i64::MIN, |m, &x| m.max(x))
+        });
+    }
+
+    #[test]
+    fn range_min_naive_fallback() {
+        let a = cube();
+        let cfg = IndexConfig {
+            prefix: PrefixChoice::None,
+            max_tree_fanout: None,
+            min_tree_fanout: None,
+            sum_tree_fanout: None,
+        };
+        let idx = CubeIndex::build(a.clone(), cfg).unwrap();
+        let q = Region::from_bounds(&[(0, 11), (0, 9)]).unwrap();
+        let naive_min = a.fold_region(&q, i64::MAX, |m, &x| m.min(x));
+        assert_eq!(idx.range_min(&q).unwrap().1, naive_min);
+    }
+
+    #[test]
+    fn explain_names_the_engine() {
+        let a = cube();
+        let idx = CubeIndex::build(a.clone(), IndexConfig::default()).unwrap();
+        let q = Region::from_bounds(&[(1, 6), (2, 7)]).unwrap();
+        let text = idx.explain_sum(&q).unwrap();
+        assert!(text.contains("basic prefix sums"), "{text}");
+        assert!(text.contains("measured accesses"), "{text}");
+        let naive_idx = CubeIndex::build(
+            a,
+            IndexConfig {
+                prefix: PrefixChoice::None,
+                max_tree_fanout: None,
+                min_tree_fanout: None,
+                sum_tree_fanout: None,
+            },
+        )
+        .unwrap();
+        let text = naive_idx.explain_sum(&q).unwrap();
+        assert!(text.contains("naive scan"), "{text}");
+    }
+
+    #[test]
+    fn float_cubes_work() {
+        let a = DenseArray::from_fn(Shape::new(&[8, 8]).unwrap(), |i| {
+            (i[0] as f64) * 0.5 - (i[1] as f64) * 0.25
+        });
+        let idx = CubeIndex::build(a.clone(), IndexConfig::default()).unwrap();
+        let q = Region::from_bounds(&[(1, 6), (2, 5)]).unwrap();
+        let (s, _) = idx.range_sum(&q).unwrap();
+        let expected = a.fold_region(&q, 0.0f64, |acc, &x| acc + x);
+        assert!((s - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,27 @@
+//! Unified query engines over a data cube.
+//!
+//! This crate is the "product" layer a downstream user talks to:
+//!
+//! - [`CubeIndex`]: holds a dense cube plus whichever precomputed
+//!   structures an [`IndexConfig`] requests (basic prefix sum §3, blocked
+//!   prefix sum §4, range-max tree §6, tree-sum baseline §8), routes every
+//!   query to the best available structure, and keeps all structures
+//!   consistent under batched updates (§5, §7),
+//! - [`naive`]: the no-precomputation baselines every experiment compares
+//!   against,
+//! - [`rolling`]: ROLLING SUM / ROLLING AVERAGE, which §1 notes are
+//!   special cases of range-sum and range-average.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cuboid;
+mod extended;
+mod index;
+pub mod naive;
+mod planned;
+pub mod rolling;
+
+pub use extended::ExtendedCube;
+pub use index::{CubeIndex, EngineError, IndexConfig, PrefixChoice};
+pub use planned::PlannedIndex;

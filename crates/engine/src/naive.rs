@@ -1,0 +1,84 @@
+//! No-precomputation baselines: scan every cell of the query sub-cube.
+//!
+//! These are the algorithms the paper's techniques are measured against —
+//! cost equal to the query volume `V`.
+
+use olap_aggregate::{Monoid, TotalOrder};
+use olap_array::{ArrayError, DenseArray, Region};
+use olap_query::AccessStats;
+
+/// Range aggregation by scanning the region (cost `V`).
+///
+/// # Errors
+/// Validates the region.
+pub fn range_aggregate<M: Monoid>(
+    a: &DenseArray<M::Value>,
+    op: &M,
+    region: &Region,
+) -> Result<(M::Value, AccessStats), ArrayError> {
+    a.shape().check_region(region)?;
+    let mut stats = AccessStats::new();
+    let mut acc = op.identity();
+    for off in a.region_offsets(region) {
+        stats.read_a(1);
+        stats.step(1);
+        acc = op.combine(&acc, a.get_flat(off));
+    }
+    Ok((acc, stats))
+}
+
+/// Range-max by scanning the region (cost `V`), returning one argmax.
+///
+/// # Errors
+/// Validates the region.
+pub fn range_max<O: TotalOrder>(
+    a: &DenseArray<O::Value>,
+    order: &O,
+    region: &Region,
+) -> Result<(Vec<usize>, O::Value, AccessStats), ArrayError> {
+    a.shape().check_region(region)?;
+    let mut stats = AccessStats::new();
+    let mut best: Option<usize> = None;
+    for off in a.region_offsets(region) {
+        stats.read_a(1);
+        stats.step(1);
+        match best {
+            None => best = Some(off),
+            Some(b) => {
+                if order.gt(a.get_flat(off), a.get_flat(b)) {
+                    best = Some(off);
+                }
+            }
+        }
+    }
+    let flat = best.expect("regions are non-empty");
+    Ok((a.shape().unflatten(flat), a.get_flat(flat).clone(), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olap_aggregate::{NaturalOrder, SumOp};
+    use olap_array::Shape;
+
+    #[test]
+    fn naive_sum_cost_equals_volume() {
+        let a = DenseArray::from_fn(Shape::new(&[6, 6]).unwrap(), |i| (i[0] + i[1]) as i64);
+        let q = Region::from_bounds(&[(1, 4), (2, 3)]).unwrap();
+        let (v, stats) = range_aggregate(&a, &SumOp::new(), &q).unwrap();
+        assert_eq!(stats.a_cells, q.volume() as u64);
+        let expected: i64 = q.iter_indices().map(|i| (i[0] + i[1]) as i64).sum();
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn naive_max_finds_argmax() {
+        let a =
+            DenseArray::from_vec(Shape::new(&[2, 3]).unwrap(), vec![1i64, 9, 2, 5, 9, 0]).unwrap();
+        let q = Region::from_bounds(&[(0, 1), (0, 2)]).unwrap();
+        let (idx, v, stats) = range_max(&a, &NaturalOrder::<i64>::new(), &q).unwrap();
+        assert_eq!(v, 9);
+        assert!(idx == vec![0, 1] || idx == vec![1, 1]);
+        assert_eq!(stats.a_cells, 6);
+    }
+}

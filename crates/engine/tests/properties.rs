@@ -1,0 +1,112 @@
+//! Property tests for the facade: every configuration answers like the
+//! naive baselines before and after arbitrary update batches, and the
+//! planned index answers every query shape correctly.
+
+use olap_array::{DenseArray, Region, Shape};
+use olap_engine::{CubeIndex, IndexConfig, PlannedIndex, PrefixChoice};
+use olap_planner::PrefixSumChoice;
+use olap_query::{CuboidId, DimSelection, RangeQuery};
+use proptest::prelude::*;
+
+fn arb_cube() -> impl Strategy<Value = DenseArray<i64>> {
+    prop::collection::vec(2usize..7, 2..=3).prop_flat_map(|dims| {
+        let len: usize = dims.iter().product();
+        prop::collection::vec(-100i64..100, len)
+            .prop_map(move |data| DenseArray::from_vec(Shape::new(&dims).unwrap(), data).unwrap())
+    })
+}
+
+fn arb_region(shape: &Shape) -> impl Strategy<Value = Region> {
+    let dims = shape.dims().to_vec();
+    let per_dim: Vec<_> = dims
+        .iter()
+        .map(|&n| (0..n, 0..n).prop_map(|(a, b)| (a.min(b), a.max(b))))
+        .collect();
+    per_dim.prop_map(|bounds| Region::from_bounds(&bounds).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    #[test]
+    fn index_stays_correct_through_updates(
+        (a, q, updates) in arb_cube().prop_flat_map(|a| {
+            let q = arb_region(a.shape());
+            let dims = a.shape().dims().to_vec();
+            let upd = prop::collection::vec(
+                (
+                    dims.iter().map(|&n| 0..n).collect::<Vec<_>>(),
+                    -100i64..100,
+                ),
+                0..6,
+            );
+            (Just(a), q, upd)
+        }),
+        blocked in 1usize..5,
+    ) {
+        let configs = [
+            IndexConfig { prefix: PrefixChoice::Basic, max_tree_fanout: Some(2), min_tree_fanout: None, sum_tree_fanout: None },
+            IndexConfig {
+                prefix: PrefixChoice::Blocked(blocked),
+                max_tree_fanout: Some(3),
+                min_tree_fanout: Some(2),
+                sum_tree_fanout: Some(2),
+            },
+        ];
+        for cfg in configs {
+            let mut idx = CubeIndex::build(a.clone(), cfg).unwrap();
+            let mut shadow = a.clone();
+            let batch: Vec<(Vec<usize>, i64)> =
+                updates.iter().map(|(i, v)| (i.clone(), *v)).collect();
+            idx.apply_updates(&batch).unwrap();
+            for (i, v) in &batch {
+                *shadow.get_mut(i) = *v;
+            }
+            let (s, _) = idx.range_sum(&q).unwrap();
+            prop_assert_eq!(s, shadow.fold_region(&q, 0i64, |acc, &x| acc + x));
+            let (_, m, _) = idx.range_max(&q).unwrap();
+            prop_assert_eq!(m, shadow.fold_region(&q, i64::MIN, |acc, &x| acc.max(x)));
+        }
+    }
+
+    #[test]
+    fn planned_index_answers_every_cuboid_shape(
+        (a, sel_mask, bounds) in arb_cube().prop_flat_map(|a| {
+            let d = a.shape().ndim();
+            let dims = a.shape().dims().to_vec();
+            let bounds: Vec<_> = dims
+                .iter()
+                .map(|&n| (0..n, 0..n).prop_map(|(x, y)| (x.min(y), x.max(y))))
+                .collect();
+            (Just(a), 0u32..(1 << d), bounds)
+        }),
+    ) {
+        let d = a.shape().ndim();
+        // Structures: the full cube blocked, and a couple of sub-cuboids.
+        let choices = [
+            PrefixSumChoice { cuboid: CuboidId::full(d), block: 2 },
+            PrefixSumChoice { cuboid: CuboidId::from_dims(&[0]), block: 1 },
+            PrefixSumChoice { cuboid: CuboidId::from_dims(&[1]), block: 1 },
+        ];
+        let idx = PlannedIndex::build(a.clone(), &choices).unwrap();
+        // Build a query with ranges on the masked dims, all elsewhere.
+        let sels: Vec<DimSelection> = (0..d)
+            .map(|j| {
+                if (sel_mask >> j) & 1 == 1 {
+                    let (lo, hi) = bounds[j];
+                    DimSelection::span(lo, hi).unwrap()
+                } else {
+                    DimSelection::All
+                }
+            })
+            .collect();
+        let q = RangeQuery::new(sels).unwrap();
+        let region = q.to_region(a.shape()).unwrap();
+        let expected = a.fold_region(&region, 0i64, |s, &x| s + x);
+        let (v, _) = idx.range_sum(&q).unwrap();
+        prop_assert_eq!(v, expected);
+        // Some structure always applies (the full cube is an ancestor of
+        // every cuboid).
+        prop_assert!(idx.route(&q).is_some());
+    }
+}

@@ -1,0 +1,218 @@
+//! The analytic cost models of §8 and §9.3.
+//!
+//! All costs are in the paper's unit: *number of elements accessed* to
+//! answer a query, using the query statistics of Table 1 (volume `V`,
+//! surface area `S`).
+
+/// `F(b)`: the expected number of boundary cells accessed per unit of
+/// query surface (§8): `b/4` for even `b`, `b/4 − 1/(4b)` for odd `b`
+/// (and 0 for `b = 1`, which is the basic algorithm).
+pub fn f_of_b(b: usize) -> f64 {
+    let bf = b as f64;
+    if b.is_multiple_of(2) {
+        bf / 4.0
+    } else {
+        bf / 4.0 - 1.0 / (4.0 * bf)
+    }
+}
+
+/// Average cost of the (blocked) prefix-sum algorithm, Equation 3:
+/// `2^d + S·F(b)`.
+pub fn prefix_sum_cost(d: usize, surface: f64, b: usize) -> f64 {
+    (1u64 << d) as f64 + surface * f_of_b(b)
+}
+
+/// Depth `t` of a tree of fanout `b` per dimension over a domain of
+/// maximum extent `n`: `⌈log_b n⌉`.
+pub fn tree_depth(n: usize, b: usize) -> usize {
+    assert!(b >= 2, "tree fanout must be ≥ 2");
+    let mut t = 0;
+    let mut cover = 1usize;
+    while cover < n {
+        cover = cover.saturating_mul(b);
+        t += 1;
+    }
+    t.max(1)
+}
+
+/// Average cost of the hierarchical-tree range-sum (§8):
+/// `F(b) · Σ_{k=0}^{t−1} S / b^{k(d−1)}`.
+pub fn tree_cost(d: usize, surface: f64, b: usize, depth: usize) -> f64 {
+    let f = f_of_b(b);
+    let mut total = 0.0;
+    for k in 0..depth {
+        total += surface / (b as f64).powi((k * (d - 1)) as i32);
+    }
+    f * total
+}
+
+/// The Figure-11 closed form: for queries of side `α·b` in every
+/// dimension, `Cost(tree) − Cost(prefix sum) ≈ d·α^{d−1}·b/2 − 2^d`.
+pub fn fig11_difference(d: usize, b: usize, alpha: f64) -> f64 {
+    d as f64 * alpha.powi(d as i32 - 1) * b as f64 / 2.0 - (1u64 << d) as f64
+}
+
+/// Benefit/space ratio of materializing a blocked prefix sum (§9.3):
+/// `(N_Q/N) · [(V − 2^d)·b^d − (S/4)·b^{d+1}]`.
+///
+/// `nq_over_n` is the query count divided by the cuboid size.
+pub fn benefit_space_ratio(nq_over_n: f64, v: f64, s: f64, d: usize, b: usize) -> f64 {
+    let bf = b as f64;
+    nq_over_n * ((v - (1u64 << d) as f64) * bf.powi(d as i32) - (s / 4.0) * bf.powi(d as i32 + 1))
+}
+
+/// The block size maximising benefit/space (§9.3):
+/// `b* = (V − 2^d)/(S/4) · d/(d+1)`, rounded to whichever neighbouring
+/// integer gives the better ratio.
+///
+/// Returns `None` when blocking cannot pay off: `V − 2^d ≤ S/4` (the paper:
+/// "there is no benefit to computing the prefix sum with blocking"), in
+/// which case the caller should consider `b = 1`.
+pub fn optimal_block_size(v: f64, s: f64, d: usize) -> Option<usize> {
+    let v_eff = v - (1u64 << d) as f64;
+    if v_eff <= s / 4.0 || s <= 0.0 {
+        return None;
+    }
+    let b_star = v_eff / (s / 4.0) * d as f64 / (d as f64 + 1.0);
+    let lo = (b_star.floor() as usize).max(1);
+    let hi = (b_star.ceil() as usize).max(1);
+    let ratio = |b: usize| benefit_space_ratio(1.0, v, s, d, b);
+    let best = if ratio(lo) >= ratio(hi) { lo } else { hi };
+    // A maximiser below 2 means blocking never beats the basic algorithm.
+    if best < 2 {
+        None
+    } else {
+        Some(best)
+    }
+}
+
+/// §9.3, "Incorporating the effect of prefix sums on ancestor cuboids":
+/// when an ancestor already has a prefix sum with block size `b0`, the
+/// benefit is `N_Q·(S/4)(b0 − b)` for `b < b0` and 0 otherwise, whose
+/// benefit/space maximiser is `b = b0·d/(d+1)`.
+pub fn optimal_block_size_under_ancestor(b0: usize, d: usize) -> usize {
+    ((b0 as f64 * d as f64 / (d as f64 + 1.0)).round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f_of_b_basic_cases() {
+        assert_eq!(f_of_b(1), 0.0); // basic algorithm: no boundary cells
+        assert_eq!(f_of_b(4), 1.0);
+        assert_eq!(f_of_b(100), 25.0);
+        // Odd b: b/4 − 1/(4b).
+        assert!((f_of_b(5) - (1.25 - 0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_cost_reduces_to_basic() {
+        // F(1) = 0 ⇒ cost = 2^d exactly (the paper notes the formula is
+        // right for the basic algorithm).
+        assert_eq!(prefix_sum_cost(3, 600.0, 1), 8.0);
+        assert_eq!(prefix_sum_cost(2, 40.0, 4), 4.0 + 40.0);
+    }
+
+    #[test]
+    fn tree_depth_examples() {
+        assert_eq!(tree_depth(14, 3), 3); // Figure 9
+        assert_eq!(tree_depth(1000, 10), 3);
+        assert_eq!(tree_depth(1001, 10), 4);
+        assert_eq!(tree_depth(1, 2), 1);
+    }
+
+    #[test]
+    fn tree_cost_first_term_matches_blocked_prefix() {
+        // §8: "at the lowest level of the tree, the number of elements that
+        // have to be accessed is the same as for a blocked prefix sum with
+        // a block size of b (ignoring the 2^d cost)".
+        let s = 500.0;
+        let t1 = tree_cost(3, s, 10, 1);
+        assert!((t1 - s * f_of_b(10)).abs() < 1e-9);
+        // Deeper trees only add cost.
+        assert!(tree_cost(3, s, 10, 4) > t1);
+    }
+
+    #[test]
+    fn tree_always_loses_to_prefix_for_big_queries() {
+        // §8's conclusion: for α·b ≫ b the prefix sum is clearly faster.
+        for d in [2usize, 3, 4] {
+            for b in [10usize, 20] {
+                for alpha in [4.0f64, 8.0, 16.0] {
+                    let side = alpha * b as f64;
+                    let v: f64 = side.powi(d as i32);
+                    let s = 2.0 * d as f64 * v / side;
+                    let depth = tree_depth(4096, b);
+                    assert!(
+                        tree_cost(d, s, b, depth) > prefix_sum_cost(d, s, b),
+                        "d={d} b={b} α={alpha}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig11_difference_is_positive_and_monotone() {
+        for d in [2usize, 3, 4] {
+            for b in [10usize, 20] {
+                let mut prev = fig11_difference(d, b, 1.0);
+                for a in 2..=20 {
+                    let cur = fig11_difference(d, b, a as f64);
+                    assert!(cur >= prev, "d={d} b={b} α={a}");
+                    prev = cur;
+                }
+                // For α ≥ 2 the tree is always worse.
+                assert!(fig11_difference(d, b, 2.0) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fig14_maximum_matches_closed_form() {
+        // The figure's curve 100b² − 10b³ is benefit/space for d = 2 with
+        // (N_Q/N)(V − 2^d) = 100 and (N_Q/N)(S/4) = 10; its maximum is at
+        // b* = 10 · 2/3 = 6.67 → integer 7.
+        let v = 10000.0 + 4.0;
+        let s = 4000.0;
+        let b = optimal_block_size(v, s, 2).unwrap();
+        assert_eq!(b, 7);
+        // Ratio at 7 beats 6 and 8.
+        let r = |b| benefit_space_ratio(0.01, v, s, 2, b);
+        assert!(r(7) >= r(6) && r(7) >= r(8));
+    }
+
+    #[test]
+    fn paper_example_d3() {
+        // §9.3 example: d = 3, V − 2^d = 1000, S = 400 ⇒ b* = 10·3/4 = 7.5.
+        let v = 1000.0 + 8.0;
+        let s = 400.0;
+        let b = optimal_block_size(v, s, 3).unwrap();
+        assert!(b == 7 || b == 8);
+    }
+
+    #[test]
+    fn no_blocking_benefit_for_tiny_queries() {
+        // V − 2^d ≤ S/4 ⇒ None.
+        assert_eq!(optimal_block_size(8.0, 40.0, 2), None);
+        assert_eq!(optimal_block_size(5.0, 4.0, 3), None);
+    }
+
+    #[test]
+    fn ancestor_constrained_block_size() {
+        assert_eq!(optimal_block_size_under_ancestor(12, 3), 9);
+        assert_eq!(optimal_block_size_under_ancestor(2, 1), 1);
+    }
+
+    #[test]
+    fn benefit_zero_crossing() {
+        // Benefit hits 0 at b = 4(V − 2^d)/S (the paper's remark).
+        let v = 1008.0;
+        let s = 400.0;
+        let b0 = 4.0 * (v - 8.0) / s; // = 10
+        let at_cross = benefit_space_ratio(1.0, v, s, 3, b0 as usize);
+        assert!(at_cross.abs() < 1e-6);
+    }
+}

@@ -1,0 +1,110 @@
+use std::ops::{Add, AddAssign};
+
+/// Counts of the cells and nodes an algorithm touched while answering a
+/// query — the paper's cost proxy ("we use the number of elements required
+/// to answer the query as a proxy for response time", §8).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Cells of the original cube `A` read.
+    pub a_cells: u64,
+    /// Cells of precomputed structures (`P`, blocked `P`) read.
+    pub p_cells: u64,
+    /// Tree nodes visited (range-max and tree-sum structures).
+    pub tree_nodes: u64,
+    /// Binary combine/compare steps performed.
+    pub combine_steps: u64,
+}
+
+impl AccessStats {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        AccessStats::default()
+    }
+
+    /// Total elements accessed — the §8 cost metric (`A` cells +
+    /// precomputed cells + tree nodes).
+    pub fn total_accesses(&self) -> u64 {
+        self.a_cells + self.p_cells + self.tree_nodes
+    }
+
+    /// Records reads of `n` cells of `A`.
+    pub fn read_a(&mut self, n: u64) {
+        self.a_cells += n;
+    }
+
+    /// Records reads of `n` precomputed cells.
+    pub fn read_p(&mut self, n: u64) {
+        self.p_cells += n;
+    }
+
+    /// Records visits to `n` tree nodes.
+    pub fn visit_nodes(&mut self, n: u64) {
+        self.tree_nodes += n;
+    }
+
+    /// Records `n` combine/compare steps.
+    pub fn step(&mut self, n: u64) {
+        self.combine_steps += n;
+    }
+}
+
+impl Add for AccessStats {
+    type Output = AccessStats;
+
+    fn add(self, rhs: AccessStats) -> AccessStats {
+        AccessStats {
+            a_cells: self.a_cells + rhs.a_cells,
+            p_cells: self.p_cells + rhs.p_cells,
+            tree_nodes: self.tree_nodes + rhs.tree_nodes,
+            combine_steps: self.combine_steps + rhs.combine_steps,
+        }
+    }
+}
+
+impl AddAssign for AccessStats {
+    fn add_assign(&mut self, rhs: AccessStats) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_components() {
+        let mut s = AccessStats::new();
+        s.read_a(3);
+        s.read_p(4);
+        s.visit_nodes(5);
+        s.step(100);
+        assert_eq!(s.total_accesses(), 12);
+        assert_eq!(s.combine_steps, 100);
+    }
+
+    #[test]
+    fn add_combines_counters() {
+        let a = AccessStats {
+            a_cells: 1,
+            p_cells: 2,
+            tree_nodes: 3,
+            combine_steps: 4,
+        };
+        let mut b = AccessStats {
+            a_cells: 10,
+            p_cells: 20,
+            tree_nodes: 30,
+            combine_steps: 40,
+        };
+        b += a;
+        assert_eq!(
+            b,
+            AccessStats {
+                a_cells: 11,
+                p_cells: 22,
+                tree_nodes: 33,
+                combine_steps: 44
+            }
+        );
+    }
+}

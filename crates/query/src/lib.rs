@@ -1,0 +1,35 @@
+//! Range-query model, query statistics, and query logs.
+//!
+//! §2 of the paper defines a range query by an inclusive range `ℓ_j:h_j`
+//! per dimension; §9 additionally distinguishes, per attribute, between
+//! *active* selections (a genuine range), singletons, and `all`, because
+//! the physical-design algorithms assign each query to the **cuboid** of
+//! its non-`all` dimensions and consume per-cuboid aggregate statistics
+//! (Table 1: volume `V`, side lengths `x_i`, surface area
+//! `S = Σ_i 2V/x_i`).
+//!
+//! This crate provides:
+//!
+//! - [`DimSelection`] / [`RangeQuery`]: the user-facing query model,
+//! - [`CuboidId`]: a bitmask identifying a cuboid (a subset of dimensions),
+//! - [`QueryStats`] and [`CuboidStats`]: Table-1 statistics for a single
+//!   query and averaged over a log,
+//! - [`QueryLog`]: a collection of queries with per-cuboid grouping, the
+//!   input to the §9 planner.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+mod cuboid;
+mod log;
+mod query;
+mod schema;
+mod stats;
+
+pub use access::AccessStats;
+pub use cuboid::CuboidId;
+pub use log::{CuboidStats, QueryLog};
+pub use query::{DimSelection, RangeQuery};
+pub use schema::{AttrDomain, Attribute, CubeSchema, QueryBuilder, SchemaError};
+pub use stats::QueryStats;

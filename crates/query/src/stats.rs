@@ -1,0 +1,66 @@
+use olap_array::Region;
+
+/// The per-query statistics of Table 1: volume `V`, side lengths `x_i`,
+/// and total surface area `S = Σ_i 2V/x_i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryStats {
+    /// Volume of the query region, `V = ∏ x_i`.
+    pub volume: f64,
+    /// Length of the query in each dimension, `x_i`.
+    pub side_lengths: Vec<f64>,
+    /// Total surface area, `S = Σ_i 2V/x_i`.
+    pub surface: f64,
+}
+
+impl QueryStats {
+    /// Statistics of a concrete region.
+    pub fn of_region(region: &Region) -> Self {
+        let sides: Vec<f64> = region.side_lengths().iter().map(|&x| x as f64).collect();
+        QueryStats::from_sides(&sides)
+    }
+
+    /// Statistics from raw (possibly average, hence fractional) side
+    /// lengths.
+    pub fn from_sides(sides: &[f64]) -> Self {
+        let volume: f64 = sides.iter().product();
+        let surface: f64 = sides.iter().map(|&x| 2.0 * volume / x).sum();
+        QueryStats {
+            volume,
+            side_lengths: sides.to_vec(),
+            surface,
+        }
+    }
+
+    /// Number of dimensions of the query.
+    pub fn ndim(&self) -> usize {
+        self.side_lengths.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_query_stats() {
+        // A 10×10×10 query: V = 1000, S = 3 · 2 · 100 = 600.
+        let s = QueryStats::from_sides(&[10.0, 10.0, 10.0]);
+        assert_eq!(s.volume, 1000.0);
+        assert_eq!(s.surface, 600.0);
+        assert_eq!(s.ndim(), 3);
+    }
+
+    #[test]
+    fn from_region_matches_integer_stats() {
+        let r = Region::from_bounds(&[(0, 3), (0, 9)]).unwrap();
+        let s = QueryStats::of_region(&r);
+        assert_eq!(s.volume, 40.0);
+        assert_eq!(s.surface, (2 * 10 + 2 * 4) as f64);
+    }
+
+    #[test]
+    fn one_dimensional_surface_is_two() {
+        let s = QueryStats::from_sides(&[17.0]);
+        assert_eq!(s.surface, 2.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the query model: cuboid lattice laws, query→region
+//! resolution, cuboid assignment, and schema rank mappings.
+
+use olap_array::Shape;
+use olap_query::{CubeSchema, CuboidId, DimSelection, QueryLog, RangeQuery};
+use proptest::prelude::*;
+
+fn arb_cuboid(d: usize) -> impl Strategy<Value = CuboidId> {
+    (0u64..(1 << d)).prop_map(CuboidId::from_mask)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn lattice_is_a_partial_order(
+        (a, b, c) in (arb_cuboid(8), arb_cuboid(8), arb_cuboid(8))
+    ) {
+        // Reflexive.
+        prop_assert!(a.is_descendant_of(&a));
+        // Antisymmetric.
+        if a.is_descendant_of(&b) && b.is_descendant_of(&a) {
+            prop_assert_eq!(a, b);
+        }
+        // Transitive.
+        if a.is_descendant_of(&b) && b.is_descendant_of(&c) {
+            prop_assert!(a.is_descendant_of(&c));
+        }
+        // Ancestor is the converse relation.
+        prop_assert_eq!(a.is_ancestor_of(&b), b.is_descendant_of(&a));
+    }
+
+    #[test]
+    fn dims_roundtrip(mask in 0u64..(1 << 16)) {
+        let c = CuboidId::from_mask(mask);
+        prop_assert_eq!(CuboidId::from_dims(&c.dims()), c);
+        prop_assert_eq!(c.dims().len(), c.ndim());
+    }
+
+    #[test]
+    fn query_resolution_and_cuboid_assignment(
+        (dims, raw) in prop::collection::vec(2usize..20, 1..=4).prop_flat_map(|dims| {
+            let sels: Vec<_> = dims
+                .iter()
+                .map(|&n| {
+                    prop_oneof![
+                        Just((0usize, 0usize, 0u8)),            // all
+                        (0..n).prop_map(|x| (x, x, 1u8)),       // single
+                        (0..n, 0..n).prop_map(|(a, b)| (a.min(b), a.max(b), 2u8)), // span
+                    ]
+                })
+                .collect();
+            (Just(dims), sels)
+        })
+    ) {
+        let shape = Shape::new(&dims).unwrap();
+        let sels: Vec<DimSelection> = raw
+            .iter()
+            .map(|&(lo, hi, kind)| match kind {
+                0 => DimSelection::All,
+                1 => DimSelection::Single(lo),
+                _ => DimSelection::span(lo, hi).unwrap(),
+            })
+            .collect();
+        let q = RangeQuery::new(sels).unwrap();
+        let region = q.to_region(&shape).unwrap();
+        // Resolution respects the shape and the selections.
+        prop_assert!(shape.check_region(&region).is_ok());
+        let cuboid = q.cuboid(&shape);
+        for (j, sel) in q.selections().iter().enumerate() {
+            match sel {
+                DimSelection::All => {
+                    prop_assert_eq!(region.range(j).len(), shape.dim(j));
+                    prop_assert!(!cuboid.contains_dim(j));
+                }
+                DimSelection::Single(x) => {
+                    prop_assert_eq!(region.range(j).lo(), *x);
+                    prop_assert_eq!(region.range(j).len(), 1);
+                    prop_assert!(cuboid.contains_dim(j));
+                }
+                DimSelection::Span(r) => {
+                    prop_assert_eq!(region.range(j), *r);
+                    // Full-domain spans are assigned like `all`.
+                    prop_assert_eq!(
+                        cuboid.contains_dim(j),
+                        r.len() < shape.dim(j)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cuboid_stats_counts_are_conserved(
+        queries in prop::collection::vec(
+            (0usize..10, 0usize..10, prop::bool::ANY, prop::bool::ANY),
+            1..30,
+        )
+    ) {
+        let shape = Shape::new(&[10, 10]).unwrap();
+        let mut log = QueryLog::new(shape);
+        for (a, b, use_range0, use_range1) in queries {
+            let s0 = if use_range0 {
+                DimSelection::span(a.min(b), a.max(b)).unwrap()
+            } else {
+                DimSelection::All
+            };
+            let s1 = if use_range1 {
+                DimSelection::Single(a)
+            } else {
+                DimSelection::All
+            };
+            log.push(RangeQuery::new(vec![s0, s1]).unwrap());
+        }
+        let stats = log.cuboid_stats();
+        let total: usize = stats.values().map(|s| s.num_queries).sum();
+        prop_assert_eq!(total, log.len());
+        for s in stats.values() {
+            prop_assert_eq!(s.avg.side_lengths.len(), s.cuboid.ndim());
+            prop_assert!(s.avg.volume >= 1.0);
+        }
+    }
+
+    #[test]
+    fn schema_integer_ranks_roundtrip(min in -1000i64..1000, span in 1i64..500, probe in 0i64..500) {
+        let max = min + span;
+        let schema = CubeSchema::new(vec![CubeSchema::integer("x", min, max)]);
+        let value = min + (probe % (span + 1));
+        let rank = schema.rank_int("x", value).unwrap();
+        prop_assert!(rank < schema.shape().unwrap().dim(0));
+        prop_assert_eq!(rank as i64, value - min);
+        // Out-of-domain values are rejected.
+        prop_assert!(schema.rank_int("x", max + 1).is_err());
+        prop_assert!(schema.rank_int("x", min - 1).is_err());
+    }
+}

@@ -1,0 +1,460 @@
+//! The branch-and-bound range-max search (§6.1.2–§6.1.3, generalized to d
+//! dimensions in §6.2).
+
+use crate::tree::{MaxTree, MaxTreeError};
+use olap_aggregate::TotalOrder;
+use olap_array::{DenseArray, Region};
+use olap_query::AccessStats;
+
+/// Knobs for the search — the defaults are the paper's algorithm; the
+/// alternatives exist for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOptions {
+    /// Start at the lowest-level node covering the query (§6.1.2). When
+    /// `false` the search starts from the root, degrading the bound from
+    /// `O(b log_b r)` to `O(b log_b n)` as the paper remarks.
+    pub lowest_covering_start: bool,
+    /// Prune `Bout` subtrees whose precomputed max cannot beat the current
+    /// best (the branch-and-bound rule of lines (4)–(6)).
+    pub branch_and_bound: bool,
+    /// Visit `Bout` children in decreasing order of their precomputed max
+    /// (an extra heuristic on top of the paper's arbitrary order).
+    pub sort_boundary: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            lowest_covering_start: true,
+            branch_and_bound: true,
+            sort_boundary: false,
+        }
+    }
+}
+
+/// How a child relates to the query region (§6.1.3): internal
+/// (`C(y) ⊆ R`), boundary (partial overlap), or external (disjoint).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChildClasses {
+    /// Children wholly inside the region.
+    pub internal: Vec<Vec<usize>>,
+    /// Children partially overlapping the region.
+    pub boundary: Vec<Vec<usize>>,
+    /// Children disjoint from the region.
+    pub external: Vec<Vec<usize>>,
+}
+
+impl<O: TotalOrder> MaxTree<O> {
+    /// Finds the maximum value and one of its indices in `region`
+    /// (`Max_index` of §2, ties broken arbitrarily).
+    ///
+    /// # Errors
+    /// Validates the region against the cube shape.
+    pub fn range_max(
+        &self,
+        a: &DenseArray<O::Value>,
+        region: &Region,
+    ) -> Result<(Vec<usize>, O::Value), MaxTreeError> {
+        self.range_max_with_options(a, region, SearchOptions::default())
+            .map(|(idx, v, _)| (idx, v))
+    }
+
+    /// Like [`MaxTree::range_max`], also reporting access statistics.
+    pub fn range_max_with_stats(
+        &self,
+        a: &DenseArray<O::Value>,
+        region: &Region,
+    ) -> Result<(Vec<usize>, O::Value, AccessStats), MaxTreeError> {
+        self.range_max_with_options(a, region, SearchOptions::default())
+    }
+
+    /// Full-control entry point (used by the ablation benches).
+    ///
+    /// # Errors
+    /// Validates the region against the cube shape.
+    pub fn range_max_with_options(
+        &self,
+        a: &DenseArray<O::Value>,
+        region: &Region,
+        opts: SearchOptions,
+    ) -> Result<(Vec<usize>, O::Value, AccessStats), MaxTreeError> {
+        self.shape.check_region(region)?;
+        let mut stats = AccessStats::new();
+        // A singleton region is the cell itself.
+        if region.volume() == 1 {
+            let idx = region.lower_corner();
+            stats.read_a(1);
+            return Ok((idx.clone(), a.get(&idx).clone(), stats));
+        }
+        // Line (3) of Max_index: the lowest-level node x with R ⊆ C(x).
+        let level = if opts.lowest_covering_start {
+            self.lowest_covering_level(region)
+        } else {
+            self.height()
+        };
+        let side = self.side_at(level);
+        let coords: Vec<usize> = region.lower_corner().iter().map(|&l| l / side).collect();
+        stats.visit_nodes(1);
+        let stored = self.node_max_index(level, &coords);
+        let stored_idx = self.shape.unflatten(stored);
+        // Lines (4)–(5): the covering node's max might already be inside R.
+        if region.contains(&stored_idx) {
+            stats.read_a(1);
+            return Ok((stored_idx, a.get_flat(stored).clone(), stats));
+        }
+        // Line (2): current_max_index starts at ℓ (any index inside R).
+        let mut cur = self.shape.flatten(&region.lower_corner());
+        stats.read_a(1);
+        self.get_max_index(a, level, &coords, region, &mut cur, opts, &mut stats);
+        let idx = self.shape.unflatten(cur);
+        let val = a.get_flat(cur).clone();
+        Ok((idx, val, stats))
+    }
+
+    /// The smallest level `i ≥ 1` whose node containing `ℓ` also contains
+    /// `h` on every dimension (the addressing scheme of §6.1.2: the common
+    /// prefix of the base-`b` representations).
+    pub(crate) fn lowest_covering_level(&self, region: &Region) -> usize {
+        let mut level = 1;
+        loop {
+            let side = self.side_at(level);
+            let covered = region
+                .ranges()
+                .iter()
+                .all(|r| r.lo() / side == r.hi() / side);
+            if covered || level >= self.height() {
+                return level;
+            }
+            level += 1;
+        }
+    }
+
+    /// Classifies the children of a node with respect to a region — used
+    /// by the search and exposed for the Figure-10 tests.
+    pub fn classify_children(
+        &self,
+        level: usize,
+        coords: &[usize],
+        region: &Region,
+    ) -> ChildClasses {
+        let mut out = ChildClasses {
+            internal: Vec::new(),
+            boundary: Vec::new(),
+            external: Vec::new(),
+        };
+        self.for_each_child(level, coords, |child| {
+            let c = self.child_region(level - 1, &child);
+            match c.intersect(region) {
+                None => out.external.push(child),
+                Some(i) if i == c => out.internal.push(child),
+                Some(_) => out.boundary.push(child),
+            }
+        });
+        out
+    }
+
+    /// The region covered by a node at `level` (level 0 = a single cell).
+    fn child_region(&self, level: usize, coords: &[usize]) -> Region {
+        if level == 0 {
+            Region::point(coords).expect("d ≥ 1")
+        } else {
+            self.node_region(level, coords)
+        }
+    }
+
+    /// Iterates the child coordinates of a node (children live at
+    /// `level − 1`; level 0 children are cube cells).
+    fn for_each_child(&self, level: usize, coords: &[usize], mut f: impl FnMut(Vec<usize>)) {
+        let child_dims: Vec<usize> = if level == 1 {
+            self.shape.dims().to_vec()
+        } else {
+            self.levels[level - 2].shape.dims().to_vec()
+        };
+        let lo: Vec<usize> = coords.iter().map(|&c| c * self.b).collect();
+        let hi: Vec<usize> = coords
+            .iter()
+            .zip(&child_dims)
+            .map(|(&c, &n)| ((c + 1) * self.b - 1).min(n - 1))
+            .collect();
+        let mut cur = lo.clone();
+        loop {
+            f(cur.clone());
+            let mut axis = cur.len();
+            loop {
+                if axis == 0 {
+                    return;
+                }
+                axis -= 1;
+                if cur[axis] < hi[axis] {
+                    cur[axis] += 1;
+                    break;
+                }
+                cur[axis] = lo[axis];
+            }
+        }
+    }
+
+    /// `get_max_index` of §6.1.3: scans internal and `B_in` children
+    /// directly, recurses into `B_out` children unless pruned.
+    #[allow(clippy::too_many_arguments)]
+    fn get_max_index(
+        &self,
+        a: &DenseArray<O::Value>,
+        level: usize,
+        coords: &[usize],
+        region: &Region,
+        cur: &mut usize,
+        opts: SearchOptions,
+        stats: &mut AccessStats,
+    ) {
+        debug_assert!(level >= 1);
+        // (candidate region ∩ child, child coords, stored max index)
+        let mut bout: Vec<(Region, Vec<usize>, usize)> = Vec::new();
+        self.for_each_child(level, coords, |child| {
+            let c = self.child_region(level - 1, &child);
+            let inter = match c.intersect(region) {
+                None => return, // external: never accessed
+                Some(i) => i,
+            };
+            if level == 1 {
+                // Children are cells of A.
+                if inter == c {
+                    let flat = self.shape.flatten(&child);
+                    stats.read_a(1);
+                    stats.step(1);
+                    if self.order.gt(a.get_flat(flat), a.get_flat(*cur)) {
+                        *cur = flat;
+                    }
+                }
+                return;
+            }
+            let child_level = level - 1;
+            let l = &self.levels[child_level - 1];
+            let stored = l.max_index[l.shape.flatten(&child)];
+            stats.visit_nodes(1);
+            let stored_in_r = region.contains(&self.shape.unflatten(stored));
+            if inter == c || stored_in_r {
+                // Internal or B_in: the stored argmax is usable directly.
+                stats.step(1);
+                if self.order.gt(a.get_flat(stored), a.get_flat(*cur)) {
+                    *cur = stored;
+                }
+            } else {
+                bout.push((inter, child, stored));
+            }
+        });
+        if opts.sort_boundary {
+            bout.sort_by(|x, y| self.order.cmp_values(a.get_flat(y.2), a.get_flat(x.2)));
+        }
+        for (inter, child, stored) in bout {
+            stats.step(1);
+            // Branch-and-bound (lines (4)–(6)): if the subtree's
+            // precomputed max cannot beat the running max, skip it.
+            if opts.branch_and_bound && !self.order.gt(a.get_flat(stored), a.get_flat(*cur)) {
+                continue;
+            }
+            self.get_max_index(a, level - 1, &child, &inter, cur, opts, stats);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NaturalMaxTree;
+    use olap_array::Shape;
+
+    fn arr14() -> DenseArray<i64> {
+        DenseArray::from_vec(
+            Shape::new(&[14]).unwrap(),
+            vec![4, 1, 7, 2, 9, 3, 8, 5, 0, 6, 11, 2, 13, 10],
+        )
+        .unwrap()
+    }
+
+    fn naive_max(a: &DenseArray<i64>, q: &Region) -> i64 {
+        a.fold_region(q, i64::MIN, |m, &x| m.max(x))
+    }
+
+    #[test]
+    fn fig10_node_classes() {
+        // Figure 10: R = (2:5); children of x2 (level 2 node 0, which
+        // covers 0:8) are level-1 nodes x4, x5, x6 with x5 internal
+        // (covers 3:5), x4 boundary (covers 0:2), x6 external (6:8).
+        let a = arr14();
+        let t = NaturalMaxTree::for_values(&a, 3).unwrap();
+        let r = Region::from_bounds(&[(2, 5)]).unwrap();
+        let classes = t.classify_children(2, &[0], &r);
+        assert_eq!(classes.internal, vec![vec![1]]);
+        assert_eq!(classes.boundary, vec![vec![0]]);
+        assert_eq!(classes.external, vec![vec![2]]);
+    }
+
+    #[test]
+    fn lowest_covering_level_examples() {
+        let a = arr14();
+        let t = NaturalMaxTree::for_values(&a, 3).unwrap();
+        // 3:5 lives inside one level-1 node; 2:5 needs level 2; 2:10 level 3.
+        assert_eq!(
+            t.lowest_covering_level(&Region::from_bounds(&[(3, 5)]).unwrap()),
+            1
+        );
+        assert_eq!(
+            t.lowest_covering_level(&Region::from_bounds(&[(2, 5)]).unwrap()),
+            2
+        );
+        assert_eq!(
+            t.lowest_covering_level(&Region::from_bounds(&[(2, 10)]).unwrap()),
+            3
+        );
+    }
+
+    #[test]
+    fn exhaustive_one_dim() {
+        let a = arr14();
+        let t = NaturalMaxTree::for_values(&a, 3).unwrap();
+        for l in 0..14 {
+            for h in l..14 {
+                let q = Region::from_bounds(&[(l, h)]).unwrap();
+                let (idx, v) = t.range_max(&a, &q).unwrap();
+                assert_eq!(v, naive_max(&a, &q), "{q}");
+                assert!(q.contains(&idx));
+                assert_eq!(*a.get(&idx), v);
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_two_dim() {
+        let a = DenseArray::from_fn(Shape::new(&[9, 7]).unwrap(), |i| {
+            ((i[0] * 29 + i[1] * 13) % 31) as i64 - 15
+        });
+        for b in [2usize, 3] {
+            let t = NaturalMaxTree::for_values(&a, b).unwrap();
+            for l0 in 0..9 {
+                for h0 in l0..9 {
+                    for l1 in 0..7 {
+                        for h1 in l1..7 {
+                            let q = Region::from_bounds(&[(l0, h0), (l1, h1)]).unwrap();
+                            let (idx, v) = t.range_max(&a, &q).unwrap();
+                            assert_eq!(v, naive_max(&a, &q), "b={b} {q}");
+                            assert!(q.contains(&idx));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_option_combinations_agree() {
+        let a = DenseArray::from_fn(Shape::new(&[16, 16]).unwrap(), |i| {
+            ((i[0] * 7 + i[1] * 11) % 37) as i64
+        });
+        let t = NaturalMaxTree::for_values(&a, 2).unwrap();
+        let queries = [
+            [(1, 14), (2, 13)],
+            [(0, 15), (0, 15)],
+            [(5, 6), (7, 10)],
+            [(3, 3), (0, 15)],
+        ];
+        for qb in queries {
+            let q = Region::from_bounds(&qb).unwrap();
+            let expected = naive_max(&a, &q);
+            for lcs in [true, false] {
+                for bb in [true, false] {
+                    for sort in [true, false] {
+                        let opts = SearchOptions {
+                            lowest_covering_start: lcs,
+                            branch_and_bound: bb,
+                            sort_boundary: sort,
+                        };
+                        let (_, v, _) = t.range_max_with_options(&a, &q, opts).unwrap();
+                        assert_eq!(v, expected, "{q} {opts:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn branch_and_bound_reduces_accesses() {
+        // A random-ish cube where pruning must pay off on average.
+        let a = DenseArray::from_fn(Shape::new(&[81]).unwrap(), |i| {
+            ((i[0] * 2654435761usize) % 1000) as i64
+        });
+        let t = NaturalMaxTree::for_values(&a, 3).unwrap();
+        let mut with_bb = 0u64;
+        let mut without = 0u64;
+        for l in (0..70).step_by(7) {
+            let q = Region::from_bounds(&[(l, l + 10)]).unwrap();
+            let (_, _, s1) = t
+                .range_max_with_options(&a, &q, SearchOptions::default())
+                .unwrap();
+            let (_, _, s2) = t
+                .range_max_with_options(
+                    &a,
+                    &q,
+                    SearchOptions {
+                        branch_and_bound: false,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            with_bb += s1.total_accesses();
+            without += s2.total_accesses();
+        }
+        assert!(with_bb <= without, "bb {with_bb} vs plain {without}");
+    }
+
+    #[test]
+    fn worst_case_scenario_from_paper() {
+        // §6.1.3: the region covers all leaves of a complete subtree except
+        // the first and last, which hold the two largest values.
+        let mut data = vec![0i64; 27];
+        data[0] = 100;
+        data[26] = 99;
+        for (i, v) in data.iter_mut().enumerate().skip(1).take(25) {
+            *v = (i % 10) as i64;
+        }
+        let a = DenseArray::from_vec(Shape::new(&[27]).unwrap(), data).unwrap();
+        let t = NaturalMaxTree::for_values(&a, 3).unwrap();
+        let q = Region::from_bounds(&[(1, 25)]).unwrap();
+        let (_, v, stats) = t.range_max_with_stats(&a, &q).unwrap();
+        assert_eq!(v, 9);
+        // Worst case is O(b log_b r) ≈ 3·3 node groups, far below volume 25.
+        assert!(stats.total_accesses() < 25);
+    }
+
+    #[test]
+    fn covering_node_shortcut() {
+        // When the covering node's stored max lies inside R, the query is
+        // answered with a single node access (lines (4)–(5)).
+        let a = arr14();
+        let t = NaturalMaxTree::for_values(&a, 3).unwrap();
+        // Query 3:5 — node x5 covers exactly 3:5 and its max (index 4) ∈ R.
+        let q = Region::from_bounds(&[(3, 5)]).unwrap();
+        let (idx, v, stats) = t.range_max_with_stats(&a, &q).unwrap();
+        assert_eq!((idx.as_slice(), v), (&[4usize][..], 9));
+        assert_eq!(stats.tree_nodes, 1);
+    }
+
+    #[test]
+    fn singleton_region_reads_one_cell() {
+        let a = arr14();
+        let t = NaturalMaxTree::for_values(&a, 3).unwrap();
+        let q = Region::from_bounds(&[(7, 7)]).unwrap();
+        let (idx, v, stats) = t.range_max_with_stats(&a, &q).unwrap();
+        assert_eq!((idx.as_slice(), v), (&[7usize][..], 5));
+        assert_eq!(stats.total_accesses(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_region() {
+        let a = arr14();
+        let t = NaturalMaxTree::for_values(&a, 3).unwrap();
+        assert!(t
+            .range_max(&a, &Region::from_bounds(&[(0, 14)]).unwrap())
+            .is_err());
+    }
+}

@@ -1,0 +1,492 @@
+//! The block max-tree structure and its bottom-up construction (§6.1.1,
+//! §6.2).
+
+use olap_aggregate::{NaturalOrder, ReverseOrder, TotalOrder};
+use olap_array::{ArrayError, DenseArray, Range, Region, Shape};
+use std::fmt;
+
+/// Errors from building or querying a [`MaxTree`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaxTreeError {
+    /// The fanout `b` must be at least 2 for the tree to shrink per level.
+    FanoutTooSmall {
+        /// The rejected fanout.
+        b: usize,
+    },
+    /// An underlying shape/region error.
+    Array(ArrayError),
+}
+
+impl fmt::Display for MaxTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaxTreeError::FanoutTooSmall { b } => {
+                write!(f, "max-tree fanout must be ≥ 2, got {b}")
+            }
+            MaxTreeError::Array(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MaxTreeError {}
+
+impl From<ArrayError> for MaxTreeError {
+    fn from(e: ArrayError) -> Self {
+        MaxTreeError::Array(e)
+    }
+}
+
+/// One level of the tree. Level `i` (1-based) is a contracted array of
+/// shape `⌈n_1/b^i⌉ × … × ⌈n_d/b^i⌉`; each node stores the flat index (into
+/// the cube `A`) of the maximum over the region it covers.
+#[derive(Debug, Clone)]
+pub(crate) struct Level {
+    pub(crate) shape: Shape,
+    pub(crate) max_index: Box<[usize]>,
+}
+
+/// The precomputed max tree over a data cube (§6).
+///
+/// Generic over any [`TotalOrder`], so MIN is the same structure under
+/// [`olap_aggregate::ReverseOrder`]. The cube itself is **not** stored;
+/// queries take `&A` (level 0 *is* the cube).
+#[derive(Debug, Clone)]
+pub struct MaxTree<O: TotalOrder> {
+    pub(crate) order: O,
+    pub(crate) shape: Shape,
+    pub(crate) b: usize,
+    pub(crate) levels: Vec<Level>,
+}
+
+/// The common case: a max tree under the natural ascending order of `T`.
+pub type NaturalMaxTree<T> = MaxTree<NaturalOrder<T>>;
+
+impl<T> NaturalMaxTree<T>
+where
+    NaturalOrder<T>: TotalOrder<Value = T>,
+{
+    /// Builds a max tree under the natural order of the value type.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use olap_array::{DenseArray, Region, Shape};
+    /// use olap_range_max::NaturalMaxTree;
+    ///
+    /// let cube = DenseArray::from_vec(
+    ///     Shape::new(&[9]).unwrap(),
+    ///     vec![4i64, 1, 7, 2, 9, 3, 8, 5, 0],
+    /// )
+    /// .unwrap();
+    /// let tree = NaturalMaxTree::for_values(&cube, 3).unwrap();
+    /// let q = Region::from_bounds(&[(2, 6)]).unwrap();
+    /// let (at, max) = tree.range_max(&cube, &q).unwrap();
+    /// assert_eq!((at, max), (vec![4], 9));
+    /// ```
+    ///
+    /// # Errors
+    /// [`MaxTreeError::FanoutTooSmall`] when `b < 2`.
+    pub fn for_values(a: &DenseArray<T>, b: usize) -> Result<Self, MaxTreeError> {
+        MaxTree::build(a, b, NaturalOrder::new())
+    }
+}
+
+/// A range-**min** tree: the §6 structure under the reversed natural
+/// order (the paper: "techniques for MAX straightforwardly apply to MIN").
+pub type NaturalMinTree<T> = MaxTree<ReverseOrder<NaturalOrder<T>>>;
+
+impl<T> NaturalMinTree<T>
+where
+    NaturalOrder<T>: TotalOrder<Value = T>,
+{
+    /// Builds a min tree under the natural order of the value type.
+    ///
+    /// # Errors
+    /// [`MaxTreeError::FanoutTooSmall`] when `b < 2`.
+    pub fn for_min_values(a: &DenseArray<T>, b: usize) -> Result<Self, MaxTreeError> {
+        MaxTree::build(a, b, ReverseOrder::new(NaturalOrder::new()))
+    }
+}
+
+impl<O: TotalOrder> MaxTree<O> {
+    /// Builds the tree bottom-up with per-dimension fanout `b` (§6.1.1 and
+    /// its d-dimensional generalization in §6.2).
+    ///
+    /// # Errors
+    /// [`MaxTreeError::FanoutTooSmall`] when `b < 2`.
+    pub fn build(a: &DenseArray<O::Value>, b: usize, order: O) -> Result<Self, MaxTreeError> {
+        if b < 2 {
+            return Err(MaxTreeError::FanoutTooSmall { b });
+        }
+        let shape = a.shape().clone();
+        let mut levels: Vec<Level> = Vec::new();
+        // Level 1 is contracted from A (children are cells); level i + 1
+        // from level i (children are nodes carrying argmax indices).
+        loop {
+            let child_shape = levels.last().map(|l| &l.shape).unwrap_or(&shape);
+            if child_shape.dims().iter().all(|&n| n == 1) {
+                break;
+            }
+            let parent_shape = child_shape.contract(b)?;
+            let mut max_index = vec![usize::MAX; parent_shape.len()].into_boxed_slice();
+            let mut child_idx = vec![0usize; child_shape.ndim()];
+            let mut parent_idx = vec![0usize; parent_shape.ndim()];
+            for flat in 0..child_shape.len() {
+                child_shape.unflatten_into(flat, &mut child_idx);
+                for (p, &c) in parent_idx.iter_mut().zip(child_idx.iter()) {
+                    *p = c / b;
+                }
+                let pflat = parent_shape.flatten(&parent_idx);
+                // The candidate A-index this child contributes.
+                let cand = match levels.last() {
+                    None => flat, // children are cells of A
+                    Some(l) => l.max_index[flat],
+                };
+                let cur = max_index[pflat];
+                if cur == usize::MAX || order.gt(a.get_flat(cand), a.get_flat(cur)) {
+                    max_index[pflat] = cand;
+                }
+            }
+            levels.push(Level {
+                shape: parent_shape,
+                max_index,
+            });
+        }
+        Ok(MaxTree {
+            order,
+            shape,
+            b,
+            levels,
+        })
+    }
+
+    /// The cube shape the tree was built over.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The per-dimension fanout `b` (total fanout `b^d`).
+    pub fn fanout(&self) -> usize {
+        self.b
+    }
+
+    /// Height `H` of the tree: the number of levels above the leaves
+    /// (`⌈log_b max_j n_j⌉`); 0 for a single-cell cube.
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of precomputed nodes across all levels — the structure's
+    /// space overhead (about `N/(b^d − 1)` cells).
+    pub fn node_count(&self) -> usize {
+        self.levels.iter().map(|l| l.max_index.len()).sum()
+    }
+
+    /// The order used by the tree.
+    pub fn order(&self) -> &O {
+        &self.order
+    }
+
+    /// `b^level`, the side of the region a node at `level` covers.
+    pub(crate) fn side_at(&self, level: usize) -> usize {
+        self.b.pow(level as u32)
+    }
+
+    /// The region of `A` covered by the node with coordinates `coords` at
+    /// `level` (clipped at the cube boundary).
+    pub fn node_region(&self, level: usize, coords: &[usize]) -> Region {
+        let side = self.side_at(level);
+        let ranges: Vec<Range> = coords
+            .iter()
+            .zip(self.shape.dims())
+            .map(|(&c, &n)| {
+                Range::new(c * side, ((c + 1) * side - 1).min(n - 1))
+                    .expect("node region within bounds")
+            })
+            .collect();
+        Region::new(ranges).expect("d ≥ 1")
+    }
+
+    /// The stored arg-max (flat index into `A`) of a node.
+    pub fn node_max_index(&self, level: usize, coords: &[usize]) -> usize {
+        let l = &self.levels[level - 1];
+        l.max_index[l.shape.flatten(coords)]
+    }
+
+    /// Exports the per-level node tables (shape dims + stored arg-max
+    /// indices) for persistence.
+    pub fn export_levels(&self) -> Vec<(Vec<usize>, Vec<usize>)> {
+        self.levels
+            .iter()
+            .map(|l| (l.shape.dims().to_vec(), l.max_index.to_vec()))
+            .collect()
+    }
+
+    /// Reassembles a tree from exported levels (persistence support).
+    /// Structural consistency is validated; value-correctness against a
+    /// cube can be audited afterwards with [`MaxTree::check_invariants`].
+    ///
+    /// # Errors
+    /// [`MaxTreeError::FanoutTooSmall`] for `b < 2`, or an
+    /// [`ArrayError`](olap_array::ArrayError) when the level shapes do not
+    /// form the contraction chain of `shape` under `b`.
+    pub fn from_levels(
+        shape: Shape,
+        b: usize,
+        order: O,
+        levels: Vec<(Vec<usize>, Vec<usize>)>,
+    ) -> Result<Self, MaxTreeError> {
+        if b < 2 {
+            return Err(MaxTreeError::FanoutTooSmall { b });
+        }
+        let mut rebuilt = Vec::with_capacity(levels.len());
+        let mut expected = shape.clone();
+        for (dims, max_index) in levels {
+            expected = expected.contract(b)?;
+            let level_shape = Shape::new(&dims)?;
+            if level_shape != expected {
+                return Err(MaxTreeError::Array(ArrayError::DimMismatch {
+                    expected: expected.ndim(),
+                    actual: level_shape.ndim(),
+                }));
+            }
+            if max_index.len() != level_shape.len() {
+                return Err(MaxTreeError::Array(ArrayError::StorageMismatch {
+                    expected: level_shape.len(),
+                    actual: max_index.len(),
+                }));
+            }
+            if let Some(&bad) = max_index.iter().find(|&&i| i >= shape.len()) {
+                return Err(MaxTreeError::Array(ArrayError::OutOfBounds {
+                    axis: 0,
+                    index: bad,
+                    extent: shape.len(),
+                }));
+            }
+            rebuilt.push(Level {
+                shape: level_shape,
+                max_index: max_index.into(),
+            });
+        }
+        if !expected.dims().iter().all(|&n| n == 1) {
+            return Err(MaxTreeError::Array(ArrayError::StorageMismatch {
+                expected: 1,
+                actual: expected.len(),
+            }));
+        }
+        Ok(MaxTree {
+            order,
+            shape,
+            b,
+            levels: rebuilt,
+        })
+    }
+
+    /// The §6.1.1 addressing scheme, generalized per dimension: a node at
+    /// `level` is encoded, on each dimension, as a `λ_j`-digit base-`b`
+    /// string (`λ_j = ⌈log_b n_j⌉`) whose trailing `level` digits are `*`
+    /// — the common prefix of all leaves it covers. Figure 9's labels
+    /// (`01*`, `1**`, `***`, …) come out verbatim for `d = 1`.
+    pub fn node_address(&self, level: usize, coords: &[usize]) -> Vec<String> {
+        self.shape
+            .dims()
+            .iter()
+            .zip(coords)
+            .map(|(&n, &c)| {
+                // λ digits for this dimension.
+                let mut lambda = 0usize;
+                let mut cover = 1usize;
+                while cover < n {
+                    cover *= self.b;
+                    lambda += 1;
+                }
+                let stars = level.min(lambda);
+                let mut digits = vec![b'*'; lambda];
+                let mut rest = c;
+                for slot in (0..lambda - stars).rev() {
+                    digits[slot] = b'0' + (rest % self.b) as u8;
+                    rest /= self.b;
+                }
+                String::from_utf8(digits).expect("ASCII digits")
+            })
+            .collect()
+    }
+
+    /// Validates every node invariant against the cube: the stored index
+    /// lies in the node's region and carries its true maximum value.
+    /// Intended for tests and for auditing after batch updates.
+    pub fn check_invariants(&self, a: &DenseArray<O::Value>) -> Result<(), String> {
+        if a.shape() != &self.shape {
+            return Err("cube shape mismatch".into());
+        }
+        for (li, level) in self.levels.iter().enumerate() {
+            let lvl = li + 1;
+            for coords in level.shape.full_region().iter_indices() {
+                let stored = level.max_index[level.shape.flatten(&coords)];
+                let region = self.node_region(lvl, &coords);
+                let stored_idx = self.shape.unflatten(stored);
+                if !region.contains(&stored_idx) {
+                    return Err(format!(
+                        "level {lvl} node {coords:?}: stored index {stored_idx:?} outside {region}"
+                    ));
+                }
+                let stored_val = a.get_flat(stored);
+                for off in a.region_offsets(&region) {
+                    if self.order.gt(a.get_flat(off), stored_val) {
+                        return Err(format!(
+                            "level {lvl} node {coords:?}: cell {off} beats stored max"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr14() -> DenseArray<i64> {
+        // n = 14, b = 3 — the running example of Figures 9–10.
+        DenseArray::from_vec(
+            Shape::new(&[14]).unwrap(),
+            vec![4, 1, 7, 2, 9, 3, 8, 5, 0, 6, 11, 2, 13, 10],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig9_tree_shape() {
+        // Figure 9: n = 14, b = 3 ⇒ levels of 5, 2, 1 nodes; height 3.
+        let t = NaturalMaxTree::for_values(&arr14(), 3).unwrap();
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.levels[0].shape.dims(), &[5]);
+        assert_eq!(t.levels[1].shape.dims(), &[2]);
+        assert_eq!(t.levels[2].shape.dims(), &[1]);
+        assert_eq!(t.node_count(), 8);
+    }
+
+    #[test]
+    fn node_regions_clip_at_boundary() {
+        let t = NaturalMaxTree::for_values(&arr14(), 3).unwrap();
+        assert_eq!(
+            t.node_region(1, &[4]),
+            Region::from_bounds(&[(12, 13)]).unwrap()
+        );
+        assert_eq!(
+            t.node_region(2, &[1]),
+            Region::from_bounds(&[(9, 13)]).unwrap()
+        );
+        assert_eq!(
+            t.node_region(3, &[0]),
+            Region::from_bounds(&[(0, 13)]).unwrap()
+        );
+    }
+
+    #[test]
+    fn fig9_addressing_scheme() {
+        // Figure 9's labels: leaves 000…, level-1 nodes 00*, 01*, …, 10*,
+        // level-2 nodes 0**, 1**, root ***.
+        let t = NaturalMaxTree::for_values(&arr14(), 3).unwrap();
+        assert_eq!(t.node_address(1, &[0]), vec!["00*".to_string()]);
+        assert_eq!(t.node_address(1, &[1]), vec!["01*".to_string()]);
+        assert_eq!(t.node_address(1, &[3]), vec!["10*".to_string()]);
+        assert_eq!(t.node_address(2, &[0]), vec!["0**".to_string()]);
+        assert_eq!(t.node_address(2, &[1]), vec!["1**".to_string()]);
+        assert_eq!(t.node_address(3, &[0]), vec!["***".to_string()]);
+    }
+
+    #[test]
+    fn addressing_multi_dimensional() {
+        let a = DenseArray::from_fn(Shape::new(&[8, 4]).unwrap(), |i| (i[0] + i[1]) as i64);
+        let t = NaturalMaxTree::for_values(&a, 2).unwrap();
+        // λ = (3, 2); a level-1 node at (2, 1) covers rows 4:5, cols 2:3.
+        assert_eq!(
+            t.node_address(1, &[2, 1]),
+            vec!["10*".to_string(), "1*".to_string()]
+        );
+        // At level 3 the second dimension has collapsed (λ_2 = 2 < 3).
+        assert_eq!(
+            t.node_address(3, &[0, 0]),
+            vec!["***".to_string(), "**".to_string()]
+        );
+    }
+
+    #[test]
+    fn stored_maxima_are_correct() {
+        let a = arr14();
+        let t = NaturalMaxTree::for_values(&a, 3).unwrap();
+        t.check_invariants(&a).unwrap();
+        // Root holds the global argmax (value 13 at index 12).
+        assert_eq!(t.node_max_index(3, &[0]), 12);
+        // Level-1 node 1 covers 3:5 → max 9 at index 4.
+        assert_eq!(t.node_max_index(1, &[1]), 4);
+    }
+
+    #[test]
+    fn two_dimensional_build() {
+        let a = DenseArray::from_fn(Shape::new(&[7, 5]).unwrap(), |i| {
+            ((i[0] * 31 + i[1] * 17) % 23) as i64
+        });
+        let t = NaturalMaxTree::for_values(&a, 2).unwrap();
+        t.check_invariants(&a).unwrap();
+        // Heights: ceil(log2 7) = 3.
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.levels[0].shape.dims(), &[4, 3]);
+        assert_eq!(t.levels[1].shape.dims(), &[2, 2]);
+        assert_eq!(t.levels[2].shape.dims(), &[1, 1]);
+    }
+
+    #[test]
+    fn degenerate_dimensions_collapse_first() {
+        // §6.2: "the tree may degenerate into a lower dimension when it
+        // grows higher" — a 16×2 cube with b = 2.
+        let a = DenseArray::from_fn(Shape::new(&[16, 2]).unwrap(), |i| (i[0] + i[1]) as i64);
+        let t = NaturalMaxTree::for_values(&a, 2).unwrap();
+        assert_eq!(t.height(), 4);
+        assert_eq!(t.levels[0].shape.dims(), &[8, 1]);
+        assert_eq!(t.levels[3].shape.dims(), &[1, 1]);
+        t.check_invariants(&a).unwrap();
+    }
+
+    #[test]
+    fn rejects_small_fanout() {
+        let a = arr14();
+        assert_eq!(
+            NaturalMaxTree::for_values(&a, 1).unwrap_err(),
+            MaxTreeError::FanoutTooSmall { b: 1 }
+        );
+    }
+
+    #[test]
+    fn single_cell_cube_has_no_levels() {
+        let a = DenseArray::filled(Shape::new(&[1, 1]).unwrap(), 5i64);
+        let t = NaturalMaxTree::for_values(&a, 2).unwrap();
+        assert_eq!(t.height(), 0);
+        t.check_invariants(&a).unwrap();
+    }
+
+    #[test]
+    fn min_tree_via_reverse_order() {
+        let a = arr14();
+        let t = NaturalMinTree::for_min_values(&a, 3).unwrap();
+        // Under the reversed order the "max" is the minimum (value 0 at 8).
+        assert_eq!(t.node_max_index(3, &[0]), 8);
+        t.check_invariants(&a).unwrap();
+    }
+
+    #[test]
+    fn float_values_total_order() {
+        let a = DenseArray::from_vec(
+            Shape::new(&[6]).unwrap(),
+            vec![0.5f64, -2.0, 9.25, 9.25, 3.0, -0.0],
+        )
+        .unwrap();
+        let t = NaturalMaxTree::for_values(&a, 2).unwrap();
+        t.check_invariants(&a).unwrap();
+        let root = t.node_max_index(t.height(), &[0]);
+        assert_eq!(*a.get_flat(root), 9.25);
+    }
+}

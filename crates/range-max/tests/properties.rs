@@ -1,0 +1,171 @@
+//! Property-based tests: the branch-and-bound search equals a naive scan
+//! under every option combination, and batch updates preserve every node
+//! invariant.
+
+use olap_array::{DenseArray, Region, Shape};
+use olap_range_max::{NaturalMaxTree, PointUpdate, SearchOptions};
+use proptest::prelude::*;
+
+fn arb_cube() -> impl Strategy<Value = DenseArray<i64>> {
+    prop::collection::vec(2usize..8, 1..=3).prop_flat_map(|dims| {
+        let len: usize = dims.iter().product();
+        prop::collection::vec(-1000i64..1000, len)
+            .prop_map(move |data| DenseArray::from_vec(Shape::new(&dims).unwrap(), data).unwrap())
+    })
+}
+
+fn arb_region(shape: &Shape) -> impl Strategy<Value = Region> {
+    let dims = shape.dims().to_vec();
+    let per_dim: Vec<_> = dims
+        .iter()
+        .map(|&n| (0..n, 0..n).prop_map(|(a, b)| (a.min(b), a.max(b))))
+        .collect();
+    per_dim.prop_map(|bounds| Region::from_bounds(&bounds).unwrap())
+}
+
+fn naive_max(a: &DenseArray<i64>, q: &Region) -> i64 {
+    a.fold_region(q, i64::MIN, |m, &x| m.max(x))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn search_matches_naive(
+        (a, q, b) in arb_cube().prop_flat_map(|a| {
+            let q = arb_region(a.shape());
+            (Just(a), q, 2usize..5)
+        })
+    ) {
+        let t = NaturalMaxTree::for_values(&a, b).unwrap();
+        let expected = naive_max(&a, &q);
+        for bb in [true, false] {
+            for lcs in [true, false] {
+                for sort in [true, false] {
+                    let opts = SearchOptions {
+                        lowest_covering_start: lcs,
+                        branch_and_bound: bb,
+                        sort_boundary: sort,
+                    };
+                    let (idx, v, _) = t.range_max_with_options(&a, &q, opts).unwrap();
+                    prop_assert_eq!(v, expected);
+                    prop_assert!(q.contains(&idx));
+                    prop_assert_eq!(*a.get(&idx), expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_never_beats_volume(
+        (a, q, b) in arb_cube().prop_flat_map(|a| {
+            let q = arb_region(a.shape());
+            (Just(a), q, 2usize..5)
+        })
+    ) {
+        // Sanity on the cost model: the search touches at most a constant
+        // factor of the query volume plus the path down the tree.
+        let t = NaturalMaxTree::for_values(&a, b).unwrap();
+        let (_, _, stats) = t.range_max_with_stats(&a, &q).unwrap();
+        let budget = (q.volume() as u64 + 2) * 4 + 8 * (t.height() as u64 + 1);
+        prop_assert!(
+            stats.total_accesses() <= budget,
+            "{} accesses for volume {}", stats.total_accesses(), q.volume()
+        );
+    }
+
+    #[test]
+    fn one_dim_worst_case_is_logarithmic_in_r(
+        seed in 0u64..50,
+    ) {
+        // §6.1.3: the 1-d search accesses O(b·log_b r) nodes. Check the
+        // concrete bound 3·b·(log_b r + 2) over random data and ranges.
+        let b = 3usize;
+        let n = 2187; // 3^7
+        let a = DenseArray::from_fn(Shape::new(&[n]).unwrap(), |i| {
+            ((i[0] as u64).wrapping_mul(2654435761).wrapping_add(seed) % 100_000) as i64
+        });
+        let t = NaturalMaxTree::for_values(&a, b).unwrap();
+        for k in 0..20u64 {
+            let r = 2usize + ((seed * 31 + k * 97) as usize % (n / 2));
+            let lo = ((seed * 13 + k * 41) as usize) % (n - r);
+            let q = Region::from_bounds(&[(lo, lo + r - 1)]).unwrap();
+            let (_, _, stats) = t.range_max_with_stats(&a, &q).unwrap();
+            let budget = 3.0 * b as f64 * ((r as f64).log(b as f64) + 2.0);
+            prop_assert!(
+                (stats.total_accesses() as f64) <= budget,
+                "r={} accesses={} budget={:.0}",
+                r,
+                stats.total_accesses(),
+                budget
+            );
+        }
+    }
+
+    #[test]
+    fn batch_update_preserves_invariants(
+        (a, b, updates) in arb_cube().prop_flat_map(|a| {
+            let dims = a.shape().dims().to_vec();
+            let upd = prop::collection::vec(
+                (
+                    dims.iter().map(|&n| 0..n).collect::<Vec<_>>(),
+                    -2000i64..2000,
+                ),
+                0..10,
+            );
+            (Just(a), 2usize..4, upd)
+        })
+    ) {
+        let mut a = a;
+        let mut t = NaturalMaxTree::for_values(&a, b).unwrap();
+        let updates: Vec<PointUpdate<i64>> = updates
+            .iter()
+            .map(|(idx, v)| PointUpdate::new(idx, *v))
+            .collect();
+        t.batch_update(&mut a, &updates).unwrap();
+        prop_assert!(t.check_invariants(&a).is_ok(), "{:?}", t.check_invariants(&a));
+        // And a full-cube query returns the global maximum.
+        let q = a.shape().full_region();
+        let (_, v) = t.range_max(&a, &q).unwrap();
+        prop_assert_eq!(v, naive_max(&a, &q));
+    }
+
+    #[test]
+    fn incremental_equals_rebuild_semantics(
+        (a, b, updates) in arb_cube().prop_flat_map(|a| {
+            let dims = a.shape().dims().to_vec();
+            let upd = prop::collection::vec(
+                (
+                    dims.iter().map(|&n| 0..n).collect::<Vec<_>>(),
+                    -2000i64..2000,
+                ),
+                1..6,
+            );
+            (Just(a), 2usize..4, upd)
+        })
+    ) {
+        // The incrementally-updated tree answers every query like a tree
+        // rebuilt from scratch (indices may differ on ties; values match).
+        let mut a = a;
+        let mut t = NaturalMaxTree::for_values(&a, b).unwrap();
+        let updates: Vec<PointUpdate<i64>> = updates
+            .iter()
+            .map(|(idx, v)| PointUpdate::new(idx, *v))
+            .collect();
+        t.batch_update(&mut a, &updates).unwrap();
+        let fresh = NaturalMaxTree::for_values(&a, b).unwrap();
+        for level in 1..=t.height() {
+            let dims: Vec<usize> = a
+                .shape()
+                .dims()
+                .iter()
+                .map(|&n| n.div_ceil(b.pow(level as u32)))
+                .collect();
+            for coords in Shape::new(&dims).unwrap().full_region().iter_indices() {
+                let vi = *a.get_flat(t.node_max_index(level, &coords));
+                let vf = *a.get_flat(fresh.node_max_index(level, &coords));
+                prop_assert_eq!(vi, vf, "level {} node {:?}", level, coords);
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the §10 substrates and engines: the B+-tree against
+//! `BTreeMap` as a model, the R*-tree's structural invariants and query
+//! completeness, the region finder's partition property, and the sparse
+//! engines against point-scan ground truth.
+
+use olap_array::{Range, Region, Shape};
+use olap_sparse::{
+    BPlusTree, DenseRegionFinder, RStarTree, Sparse1dBlocked, Sparse1dPrefixSum, SparseCube,
+    SparseRangeMax, SparseRangeSum,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    #[test]
+    fn bplus_tree_models_btreemap(
+        ops in prop::collection::vec((0usize..500, -100i64..100), 0..200),
+        probes in prop::collection::vec(0usize..600, 0..50),
+    ) {
+        let mut tree = BPlusTree::new(4);
+        let mut model = BTreeMap::new();
+        for (k, v) in &ops {
+            prop_assert_eq!(tree.insert(*k, *v), model.insert(*k, *v));
+        }
+        prop_assert_eq!(tree.len(), model.len());
+        for p in probes {
+            prop_assert_eq!(tree.get(p), model.get(&p));
+            prop_assert_eq!(
+                tree.floor(p).map(|(k, v)| (k, *v)),
+                model.range(..=p).next_back().map(|(k, v)| (*k, *v))
+            );
+            prop_assert_eq!(
+                tree.ceiling(p).map(|(k, v)| (k, *v)),
+                model.range(p..).next().map(|(k, v)| (*k, *v))
+            );
+        }
+        let from_tree: Vec<(usize, i64)> = tree.iter().map(|(k, v)| (k, *v)).collect();
+        let from_model: Vec<(usize, i64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(from_tree, from_model);
+    }
+
+    #[test]
+    fn rstar_tree_invariants_and_completeness(
+        pts in prop::collection::btree_set((0usize..60, 0usize..60), 1..120),
+        query in (0usize..60, 0usize..60, 0usize..60, 0usize..60),
+    ) {
+        let mut tree = RStarTree::new(5);
+        for &(x, y) in &pts {
+            tree.insert(Region::point(&[x, y]).unwrap(), (x, y));
+        }
+        prop_assert!(tree.check_invariants().is_ok(), "{:?}", tree.check_invariants());
+        prop_assert_eq!(tree.len(), pts.len());
+        let (a, b, c, d) = query;
+        let q = Region::from_bounds(&[(a.min(b), a.max(b)), (c.min(d), c.max(d))]).unwrap();
+        let mut found: Vec<(usize, usize)> = tree.search(&q).iter().map(|(_, v)| **v).collect();
+        found.sort_unstable();
+        let expected: Vec<(usize, usize)> = pts
+            .iter()
+            .filter(|&&(x, y)| q.contains(&[x, y]))
+            .copied()
+            .collect();
+        prop_assert_eq!(found, expected);
+    }
+
+    #[test]
+    fn region_finder_partitions_points(
+        pts in prop::collection::btree_set((0usize..40, 0usize..40), 0..150),
+    ) {
+        let shape = Shape::new(&[40, 40]).unwrap();
+        let points: Vec<Vec<usize>> = pts.iter().map(|&(x, y)| vec![x, y]).collect();
+        let (regions, outliers) = DenseRegionFinder::default().find(&shape, &points);
+        // Regions are disjoint.
+        for i in 0..regions.len() {
+            for j in (i + 1)..regions.len() {
+                prop_assert!(!regions[i].bounds.overlaps(&regions[j].bounds));
+            }
+        }
+        // Every point is in exactly one region or is an outlier.
+        let mut covered = 0usize;
+        for p in &points {
+            let in_regions = regions.iter().filter(|r| r.bounds.contains(p)).count();
+            prop_assert!(in_regions <= 1);
+            covered += in_regions;
+        }
+        prop_assert_eq!(covered + outliers.len(), points.len());
+        // Region point counts are consistent.
+        for r in &regions {
+            let actual = points.iter().filter(|p| r.bounds.contains(p)).count();
+            prop_assert_eq!(actual, r.points);
+        }
+    }
+
+    #[test]
+    fn sparse_engines_match_point_scan(
+        entries in prop::collection::btree_map((0usize..50, 0usize..50), 1i64..100, 1..200),
+        query in (0usize..50, 0usize..50, 0usize..50, 0usize..50),
+    ) {
+        let shape = Shape::new(&[50, 50]).unwrap();
+        let points: Vec<(Vec<usize>, i64)> = entries
+            .iter()
+            .map(|(&(x, y), &v)| (vec![x, y], v))
+            .collect();
+        let cube = SparseCube::new(shape, points).unwrap();
+        let sum_engine = SparseRangeSum::build(&cube).unwrap();
+        let max_engine = SparseRangeMax::build(&cube);
+        let (a, b, c, d) = query;
+        let q = Region::from_bounds(&[(a.min(b), a.max(b)), (c.min(d), c.max(d))]).unwrap();
+        let expected_sum: i64 = cube.points_in(&q).map(|(_, v)| *v).sum();
+        prop_assert_eq!(sum_engine.range_sum(&q).unwrap(), expected_sum);
+        let expected_max = cube.points_in(&q).map(|(_, v)| *v).max();
+        prop_assert_eq!(max_engine.range_max(&q).unwrap().map(|(_, v)| v), expected_max);
+    }
+
+    #[test]
+    fn sparse_1d_variants_agree(
+        entries in prop::collection::btree_map(0usize..300, -50i64..50, 0..80),
+        b in 1usize..20,
+        bounds in (0usize..300, 0usize..300),
+    ) {
+        let points: Vec<(usize, i64)> = entries.into_iter().collect();
+        let base = Sparse1dPrefixSum::build(300, &points).unwrap();
+        let blocked = Sparse1dBlocked::build(300, &points, b).unwrap();
+        let (x, y) = bounds;
+        let r = Range::new(x.min(y), x.max(y)).unwrap();
+        prop_assert_eq!(base.range_sum(r).unwrap(), blocked.range_sum(r).unwrap());
+        // Ground truth.
+        let expected: i64 = points
+            .iter()
+            .filter(|(i, _)| r.contains(*i))
+            .map(|(_, v)| *v)
+            .sum();
+        prop_assert_eq!(base.range_sum(r).unwrap(), expected);
+    }
+}

@@ -1,0 +1,281 @@
+//! Low-level primitives: header handling, integer/float codecs, and the
+//! error type.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// The file magic.
+pub(crate) const MAGIC: &[u8; 8] = b"OLAPCUBE";
+/// Current format version.
+pub(crate) const VERSION: u16 = 1;
+
+/// Artifact kind tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum Kind {
+    DenseI64 = 1,
+    DenseF64 = 2,
+    SparseI64 = 3,
+    PrefixSumI64 = 4,
+    BlockedPrefixI64 = 5,
+    MaxTreeI64 = 6,
+    MinTreeI64 = 7,
+}
+
+impl Kind {
+    pub(crate) fn from_u8(v: u8) -> Option<Kind> {
+        match v {
+            1 => Some(Kind::DenseI64),
+            2 => Some(Kind::DenseF64),
+            3 => Some(Kind::SparseI64),
+            4 => Some(Kind::PrefixSumI64),
+            5 => Some(Kind::BlockedPrefixI64),
+            6 => Some(Kind::MaxTreeI64),
+            7 => Some(Kind::MinTreeI64),
+            _ => None,
+        }
+    }
+}
+
+/// Errors from reading or writing storage files.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the expected magic.
+    BadMagic,
+    /// The format version is not supported.
+    UnsupportedVersion(u16),
+    /// The artifact kind does not match what the caller asked for.
+    WrongKind {
+        /// Kind tag found in the file.
+        found: u8,
+        /// Kind tag expected by the reader.
+        expected: u8,
+    },
+    /// Structurally invalid payload (bad shapes, counts, or indices).
+    Corrupt(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::BadMagic => write!(f, "not an OLAPCUBE file"),
+            StorageError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            StorageError::WrongKind { found, expected } => {
+                write!(f, "artifact kind {found} found, {expected} expected")
+            }
+            StorageError::Corrupt(msg) => write!(f, "corrupt payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+pub(crate) fn corrupt(msg: impl Into<String>) -> StorageError {
+    StorageError::Corrupt(msg.into())
+}
+
+pub(crate) fn write_header(w: &mut impl Write, kind: Kind) -> Result<(), StorageError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&[kind as u8])?;
+    Ok(())
+}
+
+pub(crate) fn read_header(r: &mut impl Read, expected: Kind) -> Result<(), StorageError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(StorageError::BadMagic);
+    }
+    let mut v = [0u8; 2];
+    r.read_exact(&mut v)?;
+    let version = u16::from_le_bytes(v);
+    if version != VERSION {
+        return Err(StorageError::UnsupportedVersion(version));
+    }
+    let mut k = [0u8; 1];
+    r.read_exact(&mut k)?;
+    match Kind::from_u8(k[0]) {
+        Some(kind) if kind == expected => Ok(()),
+        _ => Err(StorageError::WrongKind {
+            found: k[0],
+            expected: expected as u8,
+        }),
+    }
+}
+
+pub(crate) fn write_u64(w: &mut impl Write, v: u64) -> Result<(), StorageError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+pub(crate) fn read_u64(r: &mut impl Read) -> Result<u64, StorageError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+pub(crate) fn write_usize(w: &mut impl Write, v: usize) -> Result<(), StorageError> {
+    write_u64(w, v as u64)
+}
+
+/// Reads a usize with a sanity cap so corrupt lengths don't trigger huge
+/// allocations.
+pub(crate) fn read_usize_capped(r: &mut impl Read, cap: u64) -> Result<usize, StorageError> {
+    let v = read_u64(r)?;
+    if v > cap {
+        return Err(corrupt(format!("length {v} exceeds cap {cap}")));
+    }
+    Ok(v as usize)
+}
+
+pub(crate) fn write_i64_slice(w: &mut impl Write, vs: &[i64]) -> Result<(), StorageError> {
+    write_usize(w, vs.len())?;
+    for v in vs {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+pub(crate) fn read_i64_vec(r: &mut impl Read, cap: u64) -> Result<Vec<i64>, StorageError> {
+    let len = read_usize_capped(r, cap)?;
+    // Never trust a length field for preallocation: a corrupt header must
+    // fail on read, not on a giant allocation.
+    let mut out = Vec::with_capacity(len.min(1 << 16));
+    let mut b = [0u8; 8];
+    for _ in 0..len {
+        r.read_exact(&mut b)?;
+        out.push(i64::from_le_bytes(b));
+    }
+    Ok(out)
+}
+
+pub(crate) fn write_f64_slice(w: &mut impl Write, vs: &[f64]) -> Result<(), StorageError> {
+    write_usize(w, vs.len())?;
+    for v in vs {
+        w.write_all(&v.to_bits().to_le_bytes())?;
+    }
+    Ok(())
+}
+
+pub(crate) fn read_f64_vec(r: &mut impl Read, cap: u64) -> Result<Vec<f64>, StorageError> {
+    let len = read_usize_capped(r, cap)?;
+    let mut out = Vec::with_capacity(len.min(1 << 16));
+    let mut b = [0u8; 8];
+    for _ in 0..len {
+        r.read_exact(&mut b)?;
+        out.push(f64::from_bits(u64::from_le_bytes(b)));
+    }
+    Ok(out)
+}
+
+pub(crate) fn write_usize_slice(w: &mut impl Write, vs: &[usize]) -> Result<(), StorageError> {
+    write_usize(w, vs.len())?;
+    for &v in vs {
+        write_usize(w, v)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn read_usize_vec(r: &mut impl Read, cap: u64) -> Result<Vec<usize>, StorageError> {
+    let len = read_usize_capped(r, cap)?;
+    let mut out = Vec::with_capacity(len.min(1 << 16));
+    for _ in 0..len {
+        out.push(read_usize_capped(r, u64::MAX)?);
+    }
+    Ok(out)
+}
+
+/// Maximum cells/points accepted from a file — a generous sanity bound to
+/// keep corrupt headers from allocating the machine away.
+pub(crate) const MAX_ELEMENTS: u64 = 1 << 34;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let mut buf = Vec::new();
+        write_header(&mut buf, Kind::DenseI64).unwrap();
+        read_header(&mut buf.as_slice(), Kind::DenseI64).unwrap();
+    }
+
+    #[test]
+    fn header_rejects_bad_magic() {
+        let buf = b"NOTACUBE\x01\x00\x01".to_vec();
+        assert!(matches!(
+            read_header(&mut buf.as_slice(), Kind::DenseI64),
+            Err(StorageError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn header_rejects_wrong_kind() {
+        let mut buf = Vec::new();
+        write_header(&mut buf, Kind::DenseF64).unwrap();
+        assert!(matches!(
+            read_header(&mut buf.as_slice(), Kind::DenseI64),
+            Err(StorageError::WrongKind {
+                found: 2,
+                expected: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn header_rejects_future_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u16.to_le_bytes());
+        buf.push(1);
+        assert!(matches!(
+            read_header(&mut buf.as_slice(), Kind::DenseI64),
+            Err(StorageError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn slice_roundtrips() {
+        let mut buf = Vec::new();
+        write_i64_slice(&mut buf, &[1, -5, i64::MAX]).unwrap();
+        write_f64_slice(&mut buf, &[0.5, -1.25, f64::NAN]).unwrap();
+        write_usize_slice(&mut buf, &[0, 7, 42]).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_i64_vec(&mut r, 100).unwrap(), vec![1, -5, i64::MAX]);
+        let fs = read_f64_vec(&mut r, 100).unwrap();
+        assert_eq!(fs[0], 0.5);
+        assert!(fs[2].is_nan());
+        assert_eq!(read_usize_vec(&mut r, 100).unwrap(), vec![0, 7, 42]);
+    }
+
+    #[test]
+    fn capped_lengths_reject_huge_values() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX).unwrap();
+        assert!(matches!(
+            read_usize_capped(&mut buf.as_slice(), 1000),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_input_is_io_error() {
+        let mut buf = Vec::new();
+        write_i64_slice(&mut buf, &[1, 2, 3]).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(matches!(
+            read_i64_vec(&mut buf.as_slice(), 100),
+            Err(StorageError::Io(_))
+        ));
+    }
+}

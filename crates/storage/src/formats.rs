@@ -1,0 +1,396 @@
+//! Per-artifact readers and writers.
+
+use crate::codec::{
+    corrupt, read_f64_vec, read_header, read_i64_vec, read_usize_capped, read_usize_vec,
+    write_f64_slice, write_header, write_i64_slice, write_usize, write_usize_slice, Kind,
+    StorageError, MAX_ELEMENTS,
+};
+use olap_aggregate::{NaturalOrder, ReverseOrder, SumOp};
+use olap_array::{DenseArray, Shape};
+use olap_prefix_sum::{BlockedPrefixCube, PrefixSumCube};
+use olap_range_max::{NaturalMaxTree, NaturalMinTree};
+use olap_sparse::SparseCube;
+use std::io::{Read, Write};
+
+fn write_shape(w: &mut impl Write, shape: &Shape) -> Result<(), StorageError> {
+    write_usize_slice(w, shape.dims())
+}
+
+fn read_shape(r: &mut impl Read) -> Result<Shape, StorageError> {
+    let dims = read_usize_vec(r, 64)?;
+    Shape::new(&dims).map_err(|e| corrupt(e.to_string()))
+}
+
+fn write_dense_i64_body(w: &mut impl Write, a: &DenseArray<i64>) -> Result<(), StorageError> {
+    write_shape(w, a.shape())?;
+    write_i64_slice(w, a.as_slice())
+}
+
+fn read_dense_i64_body(r: &mut impl Read) -> Result<DenseArray<i64>, StorageError> {
+    let shape = read_shape(r)?;
+    let data = read_i64_vec(r, MAX_ELEMENTS)?;
+    DenseArray::from_vec(shape, data).map_err(|e| corrupt(e.to_string()))
+}
+
+/// Writes a dense `i64` cube.
+///
+/// # Errors
+/// I/O failures.
+pub fn write_dense_i64(w: &mut impl Write, a: &DenseArray<i64>) -> Result<(), StorageError> {
+    write_header(w, Kind::DenseI64)?;
+    write_dense_i64_body(w, a)
+}
+
+/// Reads a dense `i64` cube.
+///
+/// # Errors
+/// I/O failures, bad magic/version/kind, corrupt payloads.
+pub fn read_dense_i64(r: &mut impl Read) -> Result<DenseArray<i64>, StorageError> {
+    read_header(r, Kind::DenseI64)?;
+    read_dense_i64_body(r)
+}
+
+/// Writes a dense `f64` cube.
+///
+/// # Errors
+/// I/O failures.
+pub fn write_dense_f64(w: &mut impl Write, a: &DenseArray<f64>) -> Result<(), StorageError> {
+    write_header(w, Kind::DenseF64)?;
+    write_shape(w, a.shape())?;
+    write_f64_slice(w, a.as_slice())
+}
+
+/// Reads a dense `f64` cube.
+///
+/// # Errors
+/// I/O failures, bad magic/version/kind, corrupt payloads.
+pub fn read_dense_f64(r: &mut impl Read) -> Result<DenseArray<f64>, StorageError> {
+    read_header(r, Kind::DenseF64)?;
+    let shape = read_shape(r)?;
+    let data = read_f64_vec(r, MAX_ELEMENTS)?;
+    DenseArray::from_vec(shape, data).map_err(|e| corrupt(e.to_string()))
+}
+
+/// Writes a sparse `i64` cube (shape + points).
+///
+/// # Errors
+/// I/O failures.
+pub fn write_sparse_cube(w: &mut impl Write, cube: &SparseCube<i64>) -> Result<(), StorageError> {
+    write_header(w, Kind::SparseI64)?;
+    write_shape(w, cube.shape())?;
+    write_usize(w, cube.len())?;
+    for (idx, v) in cube.points() {
+        write_usize_slice(w, idx)?;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a sparse `i64` cube.
+///
+/// # Errors
+/// I/O failures, bad magic/version/kind, corrupt payloads (out-of-shape
+/// or duplicate points).
+pub fn read_sparse_cube(r: &mut impl Read) -> Result<SparseCube<i64>, StorageError> {
+    read_header(r, Kind::SparseI64)?;
+    let shape = read_shape(r)?;
+    let count = read_usize_capped(r, MAX_ELEMENTS)?;
+    let mut points = Vec::with_capacity(count.min(1 << 16));
+    let mut b = [0u8; 8];
+    for _ in 0..count {
+        let idx = read_usize_vec(r, 64)?;
+        r.read_exact(&mut b)?;
+        points.push((idx, i64::from_le_bytes(b)));
+    }
+    SparseCube::new(shape, points).map_err(|e| corrupt(e.to_string()))
+}
+
+/// Writes a basic prefix-sum array (§3).
+///
+/// # Errors
+/// I/O failures.
+pub fn write_prefix_sum(w: &mut impl Write, ps: &PrefixSumCube<i64>) -> Result<(), StorageError> {
+    write_header(w, Kind::PrefixSumI64)?;
+    write_dense_i64_body(w, ps.prefix_array())
+}
+
+/// Reads a basic prefix-sum array.
+///
+/// # Errors
+/// I/O failures, bad magic/version/kind, corrupt payloads.
+pub fn read_prefix_sum(r: &mut impl Read) -> Result<PrefixSumCube<i64>, StorageError> {
+    read_header(r, Kind::PrefixSumI64)?;
+    let p = read_dense_i64_body(r)?;
+    Ok(PrefixSumCube::from_prefix_array(p, SumOp::new()))
+}
+
+/// Writes a blocked prefix-sum array (§4): cube shape, block size, packed
+/// array.
+///
+/// # Errors
+/// I/O failures.
+pub fn write_blocked_prefix(
+    w: &mut impl Write,
+    bp: &BlockedPrefixCube<i64>,
+) -> Result<(), StorageError> {
+    write_header(w, Kind::BlockedPrefixI64)?;
+    write_shape(w, bp.shape())?;
+    write_usize(w, bp.block_size())?;
+    write_dense_i64_body(w, bp.packed_array())
+}
+
+/// Reads a blocked prefix-sum array.
+///
+/// # Errors
+/// I/O failures, bad magic/version/kind, corrupt payloads (packed shape
+/// inconsistent with the cube shape and block size).
+pub fn read_blocked_prefix(r: &mut impl Read) -> Result<BlockedPrefixCube<i64>, StorageError> {
+    read_header(r, Kind::BlockedPrefixI64)?;
+    let shape = read_shape(r)?;
+    let b = read_usize_capped(r, MAX_ELEMENTS)?;
+    let packed = read_dense_i64_body(r)?;
+    BlockedPrefixCube::from_parts(shape, b, packed, SumOp::new())
+        .map_err(|e| corrupt(e.to_string()))
+}
+
+/// Writes a range-max tree (§6): cube shape, fanout, per-level tables.
+///
+/// # Errors
+/// I/O failures.
+pub fn write_max_tree(w: &mut impl Write, t: &NaturalMaxTree<i64>) -> Result<(), StorageError> {
+    write_header(w, Kind::MaxTreeI64)?;
+    write_shape(w, t.shape())?;
+    write_usize(w, t.fanout())?;
+    let levels = t.export_levels();
+    write_usize(w, levels.len())?;
+    for (dims, max_index) in levels {
+        write_usize_slice(w, &dims)?;
+        write_usize_slice(w, &max_index)?;
+    }
+    Ok(())
+}
+
+/// Reads a range-max tree. Structural consistency (level shapes, index
+/// bounds) is validated; audit against the cube with
+/// [`NaturalMaxTree::check_invariants`] if the cube file's provenance is
+/// uncertain.
+///
+/// # Errors
+/// I/O failures, bad magic/version/kind, corrupt payloads.
+pub fn read_max_tree(r: &mut impl Read) -> Result<NaturalMaxTree<i64>, StorageError> {
+    read_header(r, Kind::MaxTreeI64)?;
+    let shape = read_shape(r)?;
+    let b = read_usize_capped(r, MAX_ELEMENTS)?;
+    let n_levels = read_usize_capped(r, 64)?;
+    let mut levels = Vec::with_capacity(n_levels.min(64));
+    for _ in 0..n_levels {
+        let dims = read_usize_vec(r, 64)?;
+        let max_index = read_usize_vec(r, MAX_ELEMENTS)?;
+        levels.push((dims, max_index));
+    }
+    NaturalMaxTree::from_levels(shape, b, NaturalOrder::new(), levels)
+        .map_err(|e| corrupt(e.to_string()))
+}
+
+/// Writes a range-min tree (the §6 structure under the reversed order).
+///
+/// # Errors
+/// I/O failures.
+pub fn write_min_tree(w: &mut impl Write, t: &NaturalMinTree<i64>) -> Result<(), StorageError> {
+    write_header(w, Kind::MinTreeI64)?;
+    write_shape(w, t.shape())?;
+    write_usize(w, t.fanout())?;
+    let levels = t.export_levels();
+    write_usize(w, levels.len())?;
+    for (dims, max_index) in levels {
+        write_usize_slice(w, &dims)?;
+        write_usize_slice(w, &max_index)?;
+    }
+    Ok(())
+}
+
+/// Reads a range-min tree.
+///
+/// # Errors
+/// I/O failures, bad magic/version/kind, corrupt payloads.
+pub fn read_min_tree(r: &mut impl Read) -> Result<NaturalMinTree<i64>, StorageError> {
+    read_header(r, Kind::MinTreeI64)?;
+    let shape = read_shape(r)?;
+    let b = read_usize_capped(r, MAX_ELEMENTS)?;
+    let n_levels = read_usize_capped(r, 64)?;
+    let mut levels = Vec::with_capacity(n_levels.min(64));
+    for _ in 0..n_levels {
+        let dims = read_usize_vec(r, 64)?;
+        let max_index = read_usize_vec(r, MAX_ELEMENTS)?;
+        levels.push((dims, max_index));
+    }
+    NaturalMinTree::from_levels(shape, b, ReverseOrder::new(NaturalOrder::new()), levels)
+        .map_err(|e| corrupt(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olap_array::Region;
+
+    fn cube() -> DenseArray<i64> {
+        DenseArray::from_fn(Shape::new(&[9, 7, 4]).unwrap(), |i| {
+            (i[0] * 31 + i[1] * 17 + i[2] * 5) as i64 % 41 - 20
+        })
+    }
+
+    #[test]
+    fn dense_i64_roundtrip() {
+        let a = cube();
+        let mut buf = Vec::new();
+        write_dense_i64(&mut buf, &a).unwrap();
+        let back = read_dense_i64(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.shape(), a.shape());
+        assert_eq!(back.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn dense_f64_roundtrip_bitexact() {
+        let a = DenseArray::from_fn(Shape::new(&[5, 5]).unwrap(), |i| {
+            (i[0] as f64).sqrt() - (i[1] as f64) * 0.1
+        });
+        let mut buf = Vec::new();
+        write_dense_f64(&mut buf, &a).unwrap();
+        let back = read_dense_f64(&mut buf.as_slice()).unwrap();
+        for (x, y) in a.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        let shape = Shape::new(&[40, 40]).unwrap();
+        let pts: Vec<(Vec<usize>, i64)> = (0..60)
+            .map(|i| (vec![(i * 7) % 40, (i * 13) % 40], i as i64))
+            .collect();
+        // Dedup (modular collisions are possible).
+        let mut seen = std::collections::BTreeSet::new();
+        let pts: Vec<_> = pts
+            .into_iter()
+            .filter(|(p, _)| seen.insert(p.clone()))
+            .collect();
+        let cube = SparseCube::new(shape, pts).unwrap();
+        let mut buf = Vec::new();
+        write_sparse_cube(&mut buf, &cube).unwrap();
+        let back = read_sparse_cube(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.points(), cube.points());
+        assert_eq!(back.shape(), cube.shape());
+    }
+
+    #[test]
+    fn prefix_sum_roundtrip_answers_queries() {
+        let a = cube();
+        let ps = PrefixSumCube::build(&a);
+        let mut buf = Vec::new();
+        write_prefix_sum(&mut buf, &ps).unwrap();
+        let back = read_prefix_sum(&mut buf.as_slice()).unwrap();
+        let q = Region::from_bounds(&[(1, 7), (2, 5), (0, 3)]).unwrap();
+        assert_eq!(back.range_sum(&q).unwrap(), ps.range_sum(&q).unwrap());
+    }
+
+    #[test]
+    fn blocked_prefix_roundtrip_answers_queries() {
+        let a = cube();
+        let bp = BlockedPrefixCube::build(&a, 3).unwrap();
+        let mut buf = Vec::new();
+        write_blocked_prefix(&mut buf, &bp).unwrap();
+        let back = read_blocked_prefix(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.block_size(), 3);
+        let q = Region::from_bounds(&[(2, 8), (1, 6), (1, 3)]).unwrap();
+        assert_eq!(
+            back.range_sum(&a, &q).unwrap(),
+            bp.range_sum(&a, &q).unwrap()
+        );
+    }
+
+    #[test]
+    fn max_tree_roundtrip_preserves_invariants() {
+        let a = cube();
+        let t = NaturalMaxTree::for_values(&a, 2).unwrap();
+        let mut buf = Vec::new();
+        write_max_tree(&mut buf, &t).unwrap();
+        let back = read_max_tree(&mut buf.as_slice()).unwrap();
+        back.check_invariants(&a).unwrap();
+        let q = Region::from_bounds(&[(0, 8), (3, 6), (1, 2)]).unwrap();
+        assert_eq!(
+            back.range_max(&a, &q).unwrap().1,
+            t.range_max(&a, &q).unwrap().1
+        );
+    }
+
+    #[test]
+    fn min_tree_roundtrip() {
+        let a = cube();
+        let t = NaturalMinTree::for_min_values(&a, 2).unwrap();
+        let mut buf = Vec::new();
+        write_min_tree(&mut buf, &t).unwrap();
+        let back = read_min_tree(&mut buf.as_slice()).unwrap();
+        back.check_invariants(&a).unwrap();
+        let q = Region::from_bounds(&[(1, 7), (0, 6), (0, 3)]).unwrap();
+        // "max" under the reversed order is the minimum.
+        assert_eq!(
+            back.range_max(&a, &q).unwrap().1,
+            t.range_max(&a, &q).unwrap().1
+        );
+        // A min tree is not readable as a max tree.
+        assert!(matches!(
+            read_max_tree(&mut buf.as_slice()),
+            Err(StorageError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn kind_mismatch_detected() {
+        let a = cube();
+        let mut buf = Vec::new();
+        write_dense_i64(&mut buf, &a).unwrap();
+        assert!(matches!(
+            read_prefix_sum(&mut buf.as_slice()),
+            Err(StorageError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_blocked_shape_rejected() {
+        let a = cube();
+        let bp = BlockedPrefixCube::build(&a, 3).unwrap();
+        let mut buf = Vec::new();
+        write_blocked_prefix(&mut buf, &bp).unwrap();
+        // Tamper with the block size field (directly after the shape).
+        // Header (11) + shape (8 + 3·8 = 32) → block size at offset 43.
+        buf[43] = 9;
+        let res = read_blocked_prefix(&mut buf.as_slice());
+        assert!(matches!(res, Err(StorageError::Corrupt(_))), "{res:?}");
+    }
+
+    #[test]
+    fn corrupt_max_tree_index_rejected() {
+        let a = cube();
+        let t = NaturalMaxTree::for_values(&a, 2).unwrap();
+        let mut levels = t.export_levels();
+        levels[0].1[0] = 1_000_000; // out of the cube
+        assert!(NaturalMaxTree::from_levels(
+            a.shape().clone(),
+            2,
+            NaturalOrder::<i64>::new(),
+            levels
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn truncated_file_is_an_error_not_a_panic() {
+        let a = cube();
+        let mut buf = Vec::new();
+        write_dense_i64(&mut buf, &a).unwrap();
+        for cut in [0usize, 5, 11, 20, buf.len() - 1] {
+            let slice = &buf[..cut];
+            assert!(read_dense_i64(&mut &slice[..]).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! Tree hierarchies for range-**sum** queries — the baseline of §8.
+//!
+//! §8 asks whether the block tree used for range-max is a good structure
+//! for range-sum too: each node stores the sum over the region it covers,
+//! and a query adds (and, "for a fair comparison", subtracts) node values
+//! that collectively tile the query region. Crucially the branch-and-bound
+//! optimisation of §6 **cannot** apply to SUM, and the paper's cost
+//! analysis shows the structure is strictly worse than prefix sums:
+//!
+//! - prefix-sum cost ≈ `2^d + S·F(b)`,
+//! - tree cost ≈ `F(b) · Σ_{k=0}^{t−1} S / b^{k(d−1)}`,
+//!
+//! with `F(b) ≈ b/4`. This crate implements the tree so the comparison
+//! (Figure 11) can be *measured*, not just modelled. The complement
+//! optimisation ("subtraction may be used") is a toggle so the fair and
+//! unfair variants can both be benchmarked.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use olap_aggregate::{AbelianGroup, NumericValue, SumOp};
+use olap_array::{ArrayError, DenseArray, Range, Region, Shape};
+use olap_query::AccessStats;
+
+/// One level of the sum tree: a contracted array whose cells hold the sum
+/// over the covered block.
+#[derive(Debug, Clone)]
+struct Level<V> {
+    shape: Shape,
+    sums: Box<[V]>,
+}
+
+/// A block tree whose nodes store region sums (§8).
+///
+/// # Examples
+///
+/// ```
+/// use olap_array::{DenseArray, Region, Shape};
+/// use olap_tree_sum::SumTreeCube;
+///
+/// let cube = DenseArray::from_fn(Shape::new(&[16]).unwrap(), |i| i[0] as i64);
+/// let tree = SumTreeCube::build(&cube, 2).unwrap();
+/// let q = Region::from_bounds(&[(3, 12)]).unwrap();
+/// assert_eq!(tree.range_sum(&cube, &q).unwrap(), (3..=12).sum::<i64>());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SumTree<G: AbelianGroup> {
+    op: G,
+    shape: Shape,
+    b: usize,
+    levels: Vec<Level<G::Value>>,
+}
+
+/// The SUM-specialised tree.
+pub type SumTreeCube<T> = SumTree<SumOp<T>>;
+
+impl<T: NumericValue> SumTreeCube<T> {
+    /// Builds the SUM tree with per-dimension fanout `b`.
+    ///
+    /// # Errors
+    /// Rejects `b < 2` (the tree must shrink per level).
+    pub fn build(a: &DenseArray<T>, b: usize) -> Result<Self, ArrayError> {
+        SumTree::with_op(a, SumOp::new(), b)
+    }
+}
+
+impl<G: AbelianGroup> SumTree<G> {
+    /// Builds the tree bottom-up: level 1 contracts `A` by `b` (block
+    /// sums), level `i+1` contracts level `i`.
+    ///
+    /// # Errors
+    /// Rejects `b < 2` via [`ArrayError::ZeroBlock`]-style validation.
+    pub fn with_op(a: &DenseArray<G::Value>, op: G, b: usize) -> Result<Self, ArrayError> {
+        if b < 2 {
+            return Err(ArrayError::ZeroBlock);
+        }
+        let shape = a.shape().clone();
+        let mut levels: Vec<Level<G::Value>> = Vec::new();
+        loop {
+            let done = match levels.last() {
+                None => shape.dims().iter().all(|&n| n == 1),
+                Some(l) => l.shape.dims().iter().all(|&n| n == 1),
+            };
+            if done {
+                break;
+            }
+            let next = match levels.last() {
+                None => a.contract_blocks(b, op.identity(), |acc, x, _| op.combine(acc, x))?,
+                Some(l) => {
+                    let arr = DenseArray::from_vec(l.shape.clone(), l.sums.to_vec())
+                        .expect("level storage consistent");
+                    arr.contract_blocks(b, op.identity(), |acc, x, _| op.combine(acc, x))?
+                }
+            };
+            let (s, v) = (next.shape().clone(), next.as_slice().to_vec());
+            levels.push(Level {
+                shape: s,
+                sums: v.into(),
+            });
+        }
+        Ok(SumTree {
+            op,
+            shape,
+            b,
+            levels,
+        })
+    }
+
+    /// The cube shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Per-dimension fanout.
+    pub fn fanout(&self) -> usize {
+        self.b
+    }
+
+    /// Tree height (levels above the leaves).
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total precomputed nodes — the structure's space overhead, which §8
+    /// compares against a blocked prefix sum of the same `b`.
+    pub fn node_count(&self) -> usize {
+        self.levels.iter().map(|l| l.sums.len()).sum()
+    }
+
+    /// The region of `A` covered by a node (level 0 = a cell).
+    fn node_region(&self, level: usize, coords: &[usize]) -> Region {
+        let side = self.b.pow(level as u32);
+        Region::new(
+            coords
+                .iter()
+                .zip(self.shape.dims())
+                .map(|(&c, &n)| {
+                    Range::new(c * side, ((c + 1) * side - 1).min(n - 1)).expect("in bounds")
+                })
+                .collect(),
+        )
+        .expect("d ≥ 1")
+    }
+
+    /// Answers a range-sum query by tree traversal.
+    ///
+    /// # Errors
+    /// Validates the region and cube shape.
+    pub fn range_sum(
+        &self,
+        a: &DenseArray<G::Value>,
+        region: &Region,
+    ) -> Result<G::Value, ArrayError> {
+        self.range_sum_with_stats(a, region, true).map(|(v, _)| v)
+    }
+
+    /// Full entry point: `use_complement` enables the subtraction trick
+    /// the paper grants the tree for a fair comparison.
+    ///
+    /// # Errors
+    /// Validates the region and cube shape.
+    pub fn range_sum_with_stats(
+        &self,
+        a: &DenseArray<G::Value>,
+        region: &Region,
+        use_complement: bool,
+    ) -> Result<(G::Value, AccessStats), ArrayError> {
+        if a.shape() != &self.shape {
+            return Err(ArrayError::DimMismatch {
+                expected: self.shape.ndim(),
+                actual: a.shape().ndim(),
+            });
+        }
+        self.shape.check_region(region)?;
+        let mut stats = AccessStats::new();
+        // Start at the lowest node covering the query (same addressing as
+        // the max tree).
+        let mut level = 1;
+        while level < self.height() {
+            let side = self.b.pow(level as u32);
+            if region
+                .ranges()
+                .iter()
+                .all(|r| r.lo() / side == r.hi() / side)
+            {
+                break;
+            }
+            level += 1;
+        }
+        if self.height() == 0 {
+            // Single-cell cube.
+            stats.read_a(1);
+            return Ok((a.get_flat(0).clone(), stats));
+        }
+        let side = self.b.pow(level as u32);
+        let coords: Vec<usize> = region.lower_corner().iter().map(|&l| l / side).collect();
+        let v = self.sum_in(a, level, &coords, region, use_complement, &mut stats);
+        Ok((v, stats))
+    }
+
+    /// Sum over `region`, which must be a non-empty box inside `C(node)`.
+    fn sum_in(
+        &self,
+        a: &DenseArray<G::Value>,
+        level: usize,
+        coords: &[usize],
+        region: &Region,
+        use_complement: bool,
+        stats: &mut AccessStats,
+    ) -> G::Value {
+        let covered = self.node_region(level, coords);
+        debug_assert!(covered.contains_region(region));
+        if &covered == region {
+            if level == 0 {
+                stats.read_a(1);
+                return a.get(coords).clone();
+            }
+            stats.visit_nodes(1);
+            let l = &self.levels[level - 1];
+            return l.sums[l.shape.flatten(coords)].clone();
+        }
+        debug_assert!(level >= 1, "level-0 node region is a single cell");
+        let vol = region.volume();
+        let comp_vol = covered.volume() - vol;
+        if use_complement && comp_vol < vol {
+            // Node total minus the holes.
+            stats.visit_nodes(1);
+            let l = &self.levels[level - 1];
+            let mut acc = l.sums[l.shape.flatten(coords)].clone();
+            for hole in covered.subtract(region) {
+                let h = self.sum_children(a, level, coords, &hole, use_complement, stats);
+                acc = self.op.uncombine(&acc, &h);
+            }
+            acc
+        } else {
+            self.sum_children(a, level, coords, region, use_complement, stats)
+        }
+    }
+
+    /// Sums `box_region` (⊆ `C(node)`) by recursing into the node's
+    /// children that intersect it.
+    fn sum_children(
+        &self,
+        a: &DenseArray<G::Value>,
+        level: usize,
+        coords: &[usize],
+        box_region: &Region,
+        use_complement: bool,
+        stats: &mut AccessStats,
+    ) -> G::Value {
+        let child_dims: Vec<usize> = if level == 1 {
+            self.shape.dims().to_vec()
+        } else {
+            self.levels[level - 2].shape.dims().to_vec()
+        };
+        let lo: Vec<usize> = coords.iter().map(|&c| c * self.b).collect();
+        let hi: Vec<usize> = coords
+            .iter()
+            .zip(&child_dims)
+            .map(|(&c, &n)| ((c + 1) * self.b - 1).min(n - 1))
+            .collect();
+        let mut acc = self.op.identity();
+        let mut cur = lo.clone();
+        loop {
+            let child_covered = if level == 1 {
+                Region::point(&cur).expect("d ≥ 1")
+            } else {
+                self.node_region(level - 1, &cur)
+            };
+            if let Some(inter) = child_covered.intersect(box_region) {
+                let v = self.sum_in(a, level - 1, &cur, &inter, use_complement, stats);
+                acc = self.op.combine(&acc, &v);
+                stats.step(1);
+            }
+            let mut axis = cur.len();
+            loop {
+                if axis == 0 {
+                    return acc;
+                }
+                axis -= 1;
+                if cur[axis] < hi[axis] {
+                    cur[axis] += 1;
+                    break;
+                }
+                cur[axis] = lo[axis];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube2d() -> DenseArray<i64> {
+        DenseArray::from_fn(Shape::new(&[9, 9]).unwrap(), |i| {
+            (i[0] * 17 + i[1] * 5) as i64 % 13 - 6
+        })
+    }
+
+    #[test]
+    fn exhaustive_one_dim() {
+        let a = DenseArray::from_fn(Shape::new(&[14]).unwrap(), |i| (i[0] * 7 % 11) as i64 - 5);
+        let t = SumTreeCube::build(&a, 3).unwrap();
+        for l in 0..14 {
+            for h in l..14 {
+                let q = Region::from_bounds(&[(l, h)]).unwrap();
+                let naive = a.fold_region(&q, 0i64, |s, &x| s + x);
+                for comp in [true, false] {
+                    let (v, _) = t.range_sum_with_stats(&a, &q, comp).unwrap();
+                    assert_eq!(v, naive, "{q} complement={comp}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_two_dim() {
+        let a = cube2d();
+        for b in [2usize, 3] {
+            let t = SumTreeCube::build(&a, b).unwrap();
+            for l0 in 0..9 {
+                for h0 in l0..9 {
+                    for l1 in (0..9).step_by(2) {
+                        for h1 in (l1..9).step_by(2) {
+                            let q = Region::from_bounds(&[(l0, h0), (l1, h1)]).unwrap();
+                            let naive = a.fold_region(&q, 0i64, |s, &x| s + x);
+                            assert_eq!(t.range_sum(&a, &q).unwrap(), naive, "b={b} {q}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_count_is_geometric() {
+        let a = DenseArray::filled(Shape::new(&[16, 16]).unwrap(), 1i64);
+        let t = SumTreeCube::build(&a, 2).unwrap();
+        // Levels: 8², 4², 2², 1² = 64 + 16 + 4 + 1.
+        assert_eq!(t.height(), 4);
+        assert_eq!(t.node_count(), 64 + 16 + 4 + 1);
+    }
+
+    #[test]
+    fn aligned_node_query_is_one_access() {
+        let a = DenseArray::filled(Shape::new(&[16]).unwrap(), 2i64);
+        let t = SumTreeCube::build(&a, 2).unwrap();
+        let q = Region::from_bounds(&[(8, 15)]).unwrap();
+        let (v, stats) = t.range_sum_with_stats(&a, &q, true).unwrap();
+        assert_eq!(v, 16);
+        assert_eq!(stats.total_accesses(), 1);
+    }
+
+    #[test]
+    fn complement_helps_near_full_queries() {
+        let a = DenseArray::from_fn(Shape::new(&[81]).unwrap(), |i| i[0] as i64);
+        let t = SumTreeCube::build(&a, 3).unwrap();
+        let q = Region::from_bounds(&[(1, 79)]).unwrap();
+        let naive = a.fold_region(&q, 0i64, |s, &x| s + x);
+        let (v1, with) = t.range_sum_with_stats(&a, &q, true).unwrap();
+        let (v2, without) = t.range_sum_with_stats(&a, &q, false).unwrap();
+        assert_eq!(v1, naive);
+        assert_eq!(v2, naive);
+        assert!(with.total_accesses() <= without.total_accesses());
+    }
+
+    #[test]
+    fn three_dim_correctness() {
+        let a = DenseArray::from_fn(Shape::new(&[5, 6, 7]).unwrap(), |i| {
+            (i[0] * 3 + i[1] * 5 + i[2] * 7) as i64 % 11 - 5
+        });
+        let t = SumTreeCube::build(&a, 2).unwrap();
+        let queries = [
+            [(0, 4), (0, 5), (0, 6)],
+            [(1, 3), (2, 4), (3, 5)],
+            [(4, 4), (5, 5), (6, 6)],
+            [(0, 0), (0, 5), (2, 3)],
+        ];
+        for qb in queries {
+            let q = Region::from_bounds(&qb).unwrap();
+            let naive = a.fold_region(&q, 0i64, |s, &x| s + x);
+            for comp in [true, false] {
+                let (v, _) = t.range_sum_with_stats(&a, &q, comp).unwrap();
+                assert_eq!(v, naive, "{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let a = cube2d();
+        let t = SumTreeCube::build(&a, 3).unwrap();
+        assert!(t
+            .range_sum(&a, &Region::from_bounds(&[(0, 9), (0, 8)]).unwrap())
+            .is_err());
+        assert!(SumTreeCube::build(&a, 1).is_err());
+        let other = DenseArray::filled(Shape::new(&[3]).unwrap(), 0i64);
+        assert!(t
+            .range_sum(&other, &Region::from_bounds(&[(0, 2)]).unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn single_cell_cube() {
+        let a = DenseArray::filled(Shape::new(&[1]).unwrap(), 7i64);
+        let t = SumTreeCube::build(&a, 2).unwrap();
+        let q = Region::from_bounds(&[(0, 0)]).unwrap();
+        assert_eq!(t.range_sum(&a, &q).unwrap(), 7);
+    }
+}

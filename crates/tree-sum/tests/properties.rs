@@ -1,0 +1,71 @@
+//! Property tests: the tree-sum baseline agrees with a naive scan for
+//! arbitrary cubes, fanouts, and queries, with and without the complement
+//! optimisation, and its cost never exceeds the naive cost by more than
+//! the tree-walk overhead.
+
+use olap_array::{DenseArray, Region, Shape};
+use olap_tree_sum::SumTreeCube;
+use proptest::prelude::*;
+
+fn arb_cube() -> impl Strategy<Value = DenseArray<i64>> {
+    prop::collection::vec(2usize..9, 1..=3).prop_flat_map(|dims| {
+        let len: usize = dims.iter().product();
+        prop::collection::vec(-100i64..100, len)
+            .prop_map(move |data| DenseArray::from_vec(Shape::new(&dims).unwrap(), data).unwrap())
+    })
+}
+
+fn arb_region(shape: &Shape) -> impl Strategy<Value = Region> {
+    let dims = shape.dims().to_vec();
+    let per_dim: Vec<_> = dims
+        .iter()
+        .map(|&n| (0..n, 0..n).prop_map(|(a, b)| (a.min(b), a.max(b))))
+        .collect();
+    per_dim.prop_map(|bounds| Region::from_bounds(&bounds).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn matches_naive_under_both_modes(
+        (a, q, b) in arb_cube().prop_flat_map(|a| {
+            let q = arb_region(a.shape());
+            (Just(a), q, 2usize..5)
+        })
+    ) {
+        let t = SumTreeCube::build(&a, b).unwrap();
+        let expected = a.fold_region(&q, 0i64, |s, &x| s + x);
+        for complement in [true, false] {
+            let (v, _) = t.range_sum_with_stats(&a, &q, complement).unwrap();
+            prop_assert_eq!(v, expected, "b={} complement={}", b, complement);
+        }
+    }
+
+    #[test]
+    fn access_cost_is_bounded(
+        (a, q, b) in arb_cube().prop_flat_map(|a| {
+            let q = arb_region(a.shape());
+            (Just(a), q, 2usize..5)
+        })
+    ) {
+        // The direct tree walk never reads more leaves than the query
+        // volume, and node overhead is bounded by the tree size.
+        let t = SumTreeCube::build(&a, b).unwrap();
+        let (_, stats) = t.range_sum_with_stats(&a, &q, false).unwrap();
+        prop_assert!(stats.a_cells <= q.volume() as u64);
+        prop_assert!(stats.tree_nodes <= (t.node_count() + 1) as u64);
+    }
+
+    #[test]
+    fn complement_mode_never_reads_more_leaves_than_node_region(
+        (a, q, b) in arb_cube().prop_flat_map(|a| {
+            let q = arb_region(a.shape());
+            (Just(a), q, 2usize..4)
+        })
+    ) {
+        let t = SumTreeCube::build(&a, b).unwrap();
+        let (_, stats) = t.range_sum_with_stats(&a, &q, true).unwrap();
+        prop_assert!(stats.a_cells <= a.len() as u64);
+    }
+}

@@ -1,0 +1,227 @@
+//! Cube generators.
+
+use olap_array::{DenseArray, Shape};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A dense cube with i.i.d. uniform values in `[0, max_value)`.
+pub fn uniform_cube(shape: Shape, max_value: i64, seed: u64) -> DenseArray<i64> {
+    assert!(max_value > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    DenseArray::from_fn(shape, |_| rng.random_range(0..max_value))
+}
+
+/// A dense cube with a heavy-tailed ("80/20") value distribution: most
+/// cells are small, a few are large — closer to real measure attributes
+/// than uniform data, and the interesting case for branch-and-bound.
+pub fn skewed_cube(shape: Shape, max_value: i64, seed: u64) -> DenseArray<i64> {
+    assert!(max_value > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    DenseArray::from_fn(shape, |_| {
+        // Inverse-power sampling: u^4 concentrates mass near zero.
+        let u: f64 = rng.random_range(0.0..1.0);
+        (u.powi(4) * max_value as f64) as i64
+    })
+}
+
+/// A dense cube with trend + weekly seasonality along the first
+/// dimension (a "time" axis) — the natural input for ROLLING aggregates.
+/// Other dimensions modulate amplitude so stores/categories differ.
+pub fn seasonal_cube(shape: Shape, base: i64, seed: u64) -> DenseArray<i64> {
+    assert!(base > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    DenseArray::from_fn(shape, |idx| {
+        let t = idx[0] as f64;
+        let weekly = (t * std::f64::consts::TAU / 7.0).sin() * 0.3;
+        let trend = t * 0.002;
+        let modulation: f64 = idx[1..]
+            .iter()
+            .enumerate()
+            .map(|(j, &x)| ((x + j + 2) as f64).ln() * 0.1)
+            .sum();
+        let noise: f64 = rng.random_range(-0.1..0.1);
+        ((base as f64) * (1.0 + weekly + trend + modulation + noise)).max(0.0) as i64
+    })
+}
+
+/// A sparse cube shaped like the paper's description of OLAP data: dense
+/// rectangular clusters over a lightly-populated background.
+///
+/// Returns `(shape, points)` ready for
+/// [`olap_sparse::SparseCube::new`](https://docs.rs) construction by the
+/// caller (this crate avoids depending on `olap-sparse`).
+pub fn clustered_sparse_cube(
+    shape: &Shape,
+    clusters: usize,
+    cluster_side: usize,
+    background_points: usize,
+    max_value: i64,
+    seed: u64,
+) -> Vec<(Vec<usize>, i64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = shape.ndim();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut points = Vec::new();
+    for _ in 0..clusters {
+        // Pick a corner so the cluster fits.
+        let corner: Vec<usize> = (0..d)
+            .map(|j| {
+                let n = shape.dim(j);
+                let side = cluster_side.min(n);
+                rng.random_range(0..=(n - side))
+            })
+            .collect();
+        let side_per_dim: Vec<usize> = (0..d).map(|j| cluster_side.min(shape.dim(j))).collect();
+        let vol: usize = side_per_dim.iter().product();
+        for k in 0..vol {
+            let mut rest = k;
+            let mut idx = corner.clone();
+            for j in (0..d).rev() {
+                idx[j] += rest % side_per_dim[j];
+                rest /= side_per_dim[j];
+            }
+            if seen.insert(idx.clone()) {
+                points.push((idx, rng.random_range(1..=max_value)));
+            }
+        }
+    }
+    let mut placed = 0;
+    while placed < background_points {
+        let idx: Vec<usize> = (0..d).map(|j| rng.random_range(0..shape.dim(j))).collect();
+        if seen.insert(idx.clone()) {
+            points.push((idx, rng.random_range(1..=max_value)));
+            placed += 1;
+        }
+    }
+    points
+}
+
+/// The insurance data cube of §1: age (1–100) × year (1987–1996) ×
+/// state (50) × type {home, auto, health}, cells holding total revenue.
+#[derive(Debug, Clone)]
+pub struct InsuranceCube {
+    /// The revenue cube, indexed by rank: `[age−1, year−1987, state, type]`.
+    pub revenue: DenseArray<i64>,
+}
+
+/// State abbreviations used by [`InsuranceCube`].
+pub const STATES: [&str; 50] = [
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA", "KS",
+    "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY",
+    "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV",
+    "WI", "WY",
+];
+
+/// Insurance types of the §1 example.
+pub const INSURANCE_TYPES: [&str; 3] = ["home", "auto", "health"];
+
+impl InsuranceCube {
+    /// Dimensions: age × year × state × type.
+    pub const DIMS: [usize; 4] = [100, 10, 50, 3];
+
+    /// Generates a seeded instance with a mild age/year structure so that
+    /// range queries return visibly different numbers.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shape = Shape::new(&Self::DIMS).expect("static dims");
+        let revenue = DenseArray::from_fn(shape, |idx| {
+            let age = idx[0] + 1;
+            // Premiums peak in middle age and grow slowly per year.
+            let age_factor = 100 - (age as i64 - 45).abs();
+            let year_factor = 100 + idx[1] as i64 * 3;
+            let noise = rng.random_range(0..50);
+            age_factor * year_factor / 40 + noise
+        });
+        InsuranceCube { revenue }
+    }
+
+    /// Maps an age in years (1–100) to its rank index.
+    pub fn age_rank(age: usize) -> usize {
+        assert!((1..=100).contains(&age));
+        age - 1
+    }
+
+    /// Maps a calendar year (1987–1996) to its rank index.
+    pub fn year_rank(year: usize) -> usize {
+        assert!((1987..=1996).contains(&year));
+        year - 1987
+    }
+
+    /// Index of a state abbreviation.
+    pub fn state_rank(state: &str) -> Option<usize> {
+        STATES.iter().position(|s| *s == state)
+    }
+
+    /// Index of an insurance type.
+    pub fn type_rank(kind: &str) -> Option<usize> {
+        INSURANCE_TYPES.iter().position(|s| *s == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let shape = Shape::new(&[4, 4]).unwrap();
+        let a = uniform_cube(shape.clone(), 100, 7);
+        let b = uniform_cube(shape.clone(), 100, 7);
+        let c = uniform_cube(shape, 100, 8);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_ne!(a.as_slice(), c.as_slice());
+        assert!(a.as_slice().iter().all(|&v| (0..100).contains(&v)));
+    }
+
+    #[test]
+    fn skewed_is_mostly_small() {
+        let shape = Shape::new(&[1000]).unwrap();
+        let a = skewed_cube(shape, 1000, 3);
+        let small = a.as_slice().iter().filter(|&&v| v < 100).count();
+        assert!(small > 500, "{small} small values");
+    }
+
+    #[test]
+    fn seasonal_cube_has_weekly_structure() {
+        let shape = Shape::new(&[70, 3]).unwrap();
+        let a = seasonal_cube(shape, 1000, 5);
+        // Peaks and troughs differ systematically: compare the mean of the
+        // high-phase days (t mod 7 ∈ {1,2}) against the low phase (4,5).
+        let mut high = 0i64;
+        let mut low = 0i64;
+        for t in 0..70usize {
+            match t % 7 {
+                1 | 2 => high += *a.get(&[t, 0]),
+                4 | 5 => low += *a.get(&[t, 0]),
+                _ => {}
+            }
+        }
+        assert!(high > low, "high {high} vs low {low}");
+        assert!(a.as_slice().iter().all(|&v| v >= 0));
+    }
+
+    #[test]
+    fn clustered_cube_has_clusters_and_noise() {
+        let shape = Shape::new(&[100, 100]).unwrap();
+        let pts = clustered_sparse_cube(&shape, 2, 10, 30, 50, 11);
+        assert!(pts.len() >= 2 * 100 + 30 - 10); // allow a little overlap
+                                                 // All points in range and unique.
+        let mut set = std::collections::BTreeSet::new();
+        for (idx, v) in &pts {
+            assert!(shape.contains(idx));
+            assert!((1..=50).contains(v));
+            assert!(set.insert(idx.clone()), "duplicate {idx:?}");
+        }
+    }
+
+    #[test]
+    fn insurance_cube_shape_and_ranks() {
+        let c = InsuranceCube::generate(1);
+        assert_eq!(c.revenue.shape().dims(), &InsuranceCube::DIMS);
+        assert_eq!(InsuranceCube::age_rank(37), 36);
+        assert_eq!(InsuranceCube::year_rank(1988), 1);
+        assert_eq!(InsuranceCube::state_rank("CA"), Some(4));
+        assert_eq!(InsuranceCube::type_rank("auto"), Some(1));
+        assert_eq!(InsuranceCube::type_rank("boat"), None);
+    }
+}

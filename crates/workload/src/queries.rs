@@ -1,0 +1,153 @@
+//! Query-workload generators.
+
+use olap_array::{Range, Region, Shape};
+use olap_query::{DimSelection, QueryLog, RangeQuery};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Uniformly random regions: both endpoints drawn uniformly per dimension.
+pub fn uniform_regions(shape: &Shape, count: usize, seed: u64) -> Vec<Region> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            Region::new(
+                shape
+                    .dims()
+                    .iter()
+                    .map(|&n| {
+                        let a = rng.random_range(0..n);
+                        let b = rng.random_range(0..n);
+                        Range::new(a.min(b), a.max(b)).expect("ordered")
+                    })
+                    .collect(),
+            )
+            .expect("d ≥ 1")
+        })
+        .collect()
+}
+
+/// Regions with a fixed side length per dimension (clipped to the cube) at
+/// uniformly random positions — the `α·b`-sided queries of Figure 11.
+pub fn sided_regions(shape: &Shape, side: usize, count: usize, seed: u64) -> Vec<Region> {
+    assert!(side >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            Region::new(
+                shape
+                    .dims()
+                    .iter()
+                    .map(|&n| {
+                        let s = side.min(n);
+                        let lo = rng.random_range(0..=(n - s));
+                        Range::new(lo, lo + s - 1).expect("ordered")
+                    })
+                    .collect(),
+            )
+            .expect("d ≥ 1")
+        })
+        .collect()
+}
+
+/// Specification of one query class in a synthetic log: which dimensions
+/// carry ranges (the rest are `all`), how long those ranges are, and the
+/// class's share of the log.
+#[derive(Debug, Clone)]
+pub struct CuboidMix {
+    /// Dimensions that carry an active range.
+    pub dims: Vec<usize>,
+    /// Average range length per active dimension.
+    pub side: usize,
+    /// Number of queries of this class.
+    pub count: usize,
+}
+
+/// Builds a multi-cuboid query log (the §9 planner's input).
+pub fn synthetic_log(shape: &Shape, mixes: &[CuboidMix], seed: u64) -> QueryLog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut log = QueryLog::new(shape.clone());
+    for mix in mixes {
+        for _ in 0..mix.count {
+            let sels: Vec<DimSelection> = (0..shape.ndim())
+                .map(|j| {
+                    if mix.dims.contains(&j) {
+                        let n = shape.dim(j);
+                        let s = mix.side.clamp(2, n.saturating_sub(1).max(2));
+                        let lo = rng.random_range(0..=(n - s));
+                        DimSelection::span(lo, lo + s - 1).expect("ordered")
+                    } else {
+                        DimSelection::All
+                    }
+                })
+                .collect();
+            log.push(RangeQuery::new(sels).expect("d ≥ 1"));
+        }
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_regions_fit_shape() {
+        let shape = Shape::new(&[30, 40]).unwrap();
+        for r in uniform_regions(&shape, 50, 5) {
+            assert!(shape.check_region(&r).is_ok());
+        }
+    }
+
+    #[test]
+    fn sided_regions_have_exact_side() {
+        let shape = Shape::new(&[100, 100]).unwrap();
+        for r in sided_regions(&shape, 17, 20, 5) {
+            assert_eq!(r.side_lengths(), vec![17, 17]);
+            assert!(shape.check_region(&r).is_ok());
+        }
+    }
+
+    #[test]
+    fn sided_regions_clip_to_small_dims() {
+        let shape = Shape::new(&[5, 100]).unwrap();
+        for r in sided_regions(&shape, 17, 10, 5) {
+            assert_eq!(r.side_lengths(), vec![5, 17]);
+        }
+    }
+
+    #[test]
+    fn synthetic_log_assigns_cuboids() {
+        let shape = Shape::new(&[100, 100, 100]).unwrap();
+        let log = synthetic_log(
+            &shape,
+            &[
+                CuboidMix {
+                    dims: vec![0, 1],
+                    side: 20,
+                    count: 30,
+                },
+                CuboidMix {
+                    dims: vec![2],
+                    side: 50,
+                    count: 10,
+                },
+            ],
+            9,
+        );
+        assert_eq!(log.len(), 40);
+        let stats = log.cuboid_stats();
+        assert_eq!(stats.len(), 2);
+        let c01 = stats
+            .get(&olap_query::CuboidId::from_dims(&[0, 1]))
+            .expect("⟨d1,d2⟩ present");
+        assert_eq!(c01.num_queries, 30);
+        assert!((c01.avg.side_lengths[0] - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let shape = Shape::new(&[50, 50]).unwrap();
+        assert_eq!(uniform_regions(&shape, 5, 1), uniform_regions(&shape, 5, 1));
+        assert_ne!(uniform_regions(&shape, 5, 1), uniform_regions(&shape, 5, 2));
+    }
+}

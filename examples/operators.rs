@@ -1,0 +1,75 @@
+//! The operator algebra of §1: the prefix-sum technique works for any
+//! invertible ⊕ — SUM, COUNT, AVERAGE (via (sum, count) pairs), XOR,
+//! PRODUCT on a zero-free domain — while MAX/MIN need only a total order.
+//! Also shows ROLLING aggregates and the §11 progressive bounds.
+//!
+//! ```text
+//! cargo run --example operators
+//! ```
+
+use olap_cube::aggregate::{AvgOp, AvgPair, NaturalOrder, ProductOp, ReverseOrder, XorOp};
+use olap_cube::array::{DenseArray, Region, Shape};
+use olap_cube::engine::rolling::rolling_aggregate;
+use olap_cube::prefix_sum::{BlockedPrefixCube, PrefixSumArray, PrefixSumCube};
+use olap_cube::range_max::MaxTree;
+
+fn main() {
+    let shape = Shape::new(&[8, 8]).expect("valid shape");
+    let q = Region::from_bounds(&[(2, 5), (1, 6)]).expect("in bounds");
+
+    // AVERAGE via (sum, count) pairs — one structure, exact averages.
+    let sales = DenseArray::from_fn(shape.clone(), |i| {
+        AvgPair::of((i[0] * 8 + i[1]) as f64 * 1.5)
+    });
+    let avg_ps = PrefixSumArray::with_op(&sales, AvgOp::<f64>::new());
+    let pair = avg_ps.range_sum(&q).expect("valid query");
+    println!(
+        "AVERAGE over {q}: mean = {:.3} from sum {:.1} / count {}",
+        pair.mean().expect("non-empty"),
+        pair.sum,
+        pair.count
+    );
+
+    // XOR — a self-inverse group (checksums over regions).
+    let words = DenseArray::from_fn(shape.clone(), |i| {
+        ((i[0] * 2654435761 + i[1]) % 4096) as u32
+    });
+    let xor_ps = PrefixSumArray::with_op(&words, XorOp::<u32>::new());
+    let checksum = xor_ps.range_sum(&q).expect("valid query");
+    println!("XOR checksum over {q}: {checksum:#06x}");
+
+    // PRODUCT with division as ⊖ (zero-free domain): compound growth.
+    let growth = DenseArray::from_fn(shape.clone(), |i| 1.0 + ((i[0] + i[1]) as f64) / 1000.0);
+    let prod_ps = PrefixSumArray::with_op(&growth, ProductOp::new());
+    println!(
+        "PRODUCT (compound factor) over {q}: {:.6}",
+        prod_ps.range_sum(&q).expect("valid query")
+    );
+
+    // MIN is MAX under the reversed order (§1).
+    let temps = DenseArray::from_fn(shape.clone(), |i| (i[0] as i64 - 3) * (i[1] as i64 - 4));
+    let min_tree = MaxTree::build(&temps, 2, ReverseOrder::new(NaturalOrder::<i64>::new()))
+        .expect("fanout ≥ 2");
+    let (at, v) = min_tree.range_max(&temps, &q).expect("valid query");
+    println!("MIN over {q}: {v} at {at:?}");
+
+    // ROLLING SUM (§1): slide a width-3 window along one dimension.
+    let series = DenseArray::from_fn(Shape::new(&[12]).expect("valid"), |i| (i[0] * i[0]) as i64);
+    let ps = PrefixSumCube::build(&series);
+    let base = Region::from_bounds(&[(0, 11)]).expect("in bounds");
+    let (windows, _) = rolling_aggregate(&ps, &base, 0, 3).expect("window fits");
+    println!("ROLLING SUM (w=3) of squares: {windows:?}");
+
+    // §11 progressive answers: bounds now, exact later.
+    let revenue = DenseArray::from_fn(shape, |i| ((i[0] * 13 + i[1] * 7) % 90) as i64);
+    let bp = BlockedPrefixCube::build(&revenue, 3).expect("valid block");
+    let (bounds, stats) = bp.range_sum_bounds(&q).expect("valid query");
+    let exact = bp.range_sum(&revenue, &q).expect("valid query");
+    println!(
+        "PROGRESSIVE over {q}: [{}, {}] from P alone ({} lookups), exact = {exact}",
+        bounds.lower, bounds.upper, stats.p_cells
+    );
+    assert!(bounds.lower <= exact && exact <= bounds.upper);
+
+    println!("operators example OK");
+}

@@ -1,0 +1,82 @@
+//! Persistence: build the precomputed structures once, write them to
+//! disk, reload, and serve queries — the deployment cycle of an OLAP
+//! system (precompute at night, serve all day).
+//!
+//! ```text
+//! cargo run --example persistence
+//! ```
+
+use olap_cube::array::{Region, Shape};
+use olap_cube::prefix_sum::{BlockedPrefixCube, PrefixSumCube};
+use olap_cube::range_max::NaturalMaxTree;
+use olap_cube::storage;
+use olap_cube::workload::uniform_cube;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn main() {
+    let dir = std::env::temp_dir().join("olap-cube-persistence-example");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = |name: &str| dir.join(name);
+
+    // Night: build everything and persist it.
+    let a = uniform_cube(Shape::new(&[128, 128]).expect("valid"), 1000, 2024);
+    let ps = PrefixSumCube::build(&a);
+    let bp = BlockedPrefixCube::build(&a, 16).expect("valid block");
+    let tree = NaturalMaxTree::for_values(&a, 4).expect("valid fanout");
+
+    storage::write_dense_i64(
+        &mut BufWriter::new(File::create(path("cube.olap")).expect("create")),
+        &a,
+    )
+    .expect("write cube");
+    storage::write_prefix_sum(
+        &mut BufWriter::new(File::create(path("cube.psum")).expect("create")),
+        &ps,
+    )
+    .expect("write prefix");
+    storage::write_blocked_prefix(
+        &mut BufWriter::new(File::create(path("cube.bps")).expect("create")),
+        &bp,
+    )
+    .expect("write blocked");
+    storage::write_max_tree(
+        &mut BufWriter::new(File::create(path("cube.maxt")).expect("create")),
+        &tree,
+    )
+    .expect("write tree");
+    for name in ["cube.olap", "cube.psum", "cube.bps", "cube.maxt"] {
+        let bytes = std::fs::metadata(path(name)).expect("stat").len();
+        println!("wrote {name}: {bytes} bytes");
+    }
+
+    // Day: a fresh process reloads and serves.
+    let a2 = storage::read_dense_i64(&mut BufReader::new(
+        File::open(path("cube.olap")).expect("open"),
+    ))
+    .expect("read cube");
+    let ps2 = storage::read_prefix_sum(&mut BufReader::new(
+        File::open(path("cube.psum")).expect("open"),
+    ))
+    .expect("read prefix");
+    let bp2 = storage::read_blocked_prefix(&mut BufReader::new(
+        File::open(path("cube.bps")).expect("open"),
+    ))
+    .expect("read blocked");
+    let tree2 = storage::read_max_tree(&mut BufReader::new(
+        File::open(path("cube.maxt")).expect("open"),
+    ))
+    .expect("read tree");
+    tree2
+        .check_invariants(&a2)
+        .expect("reloaded tree is consistent");
+
+    let q = Region::from_bounds(&[(10, 100), (37, 90)]).expect("in bounds");
+    let naive = a2.fold_region(&q, 0i64, |s, &x| s + x);
+    assert_eq!(ps2.range_sum(&q).expect("valid"), naive);
+    assert_eq!(bp2.range_sum(&a2, &q).expect("valid"), naive);
+    let (at, max) = tree2.range_max(&a2, &q).expect("valid");
+    println!("reloaded structures agree: sum = {naive}, max = {max} at {at:?}");
+
+    println!("persistence example OK");
+}

@@ -1,0 +1,93 @@
+//! Read-path concurrency: the OLAP setting is read-mostly, so all query
+//! structures must be shareable across threads (`Send + Sync`) and give
+//! identical answers under concurrent access. No locking is involved —
+//! queries take `&self`.
+
+use olap_cube::array::{DenseArray, Region, Shape};
+use olap_cube::prefix_sum::{BlockedPrefixCube, PrefixSumCube};
+use olap_cube::range_max::NaturalMaxTree;
+use olap_cube::sparse::{SparseCube, SparseRangeSum};
+use olap_cube::workload::{uniform_cube, uniform_regions};
+use std::sync::Arc;
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn structures_are_send_and_sync() {
+    assert_send_sync::<DenseArray<i64>>();
+    assert_send_sync::<PrefixSumCube<i64>>();
+    assert_send_sync::<BlockedPrefixCube<i64>>();
+    assert_send_sync::<NaturalMaxTree<i64>>();
+    assert_send_sync::<SparseRangeSum<olap_cube::aggregate::SumOp<i64>>>();
+}
+
+#[test]
+fn concurrent_queries_agree_with_serial() {
+    let shape = Shape::new(&[128, 96]).unwrap();
+    let a = Arc::new(uniform_cube(shape.clone(), 1000, 77));
+    let ps = Arc::new(PrefixSumCube::build(&a));
+    let bp = Arc::new(BlockedPrefixCube::build(&a, 8).unwrap());
+    let tree = Arc::new(NaturalMaxTree::for_values(&a, 4).unwrap());
+    let queries = Arc::new(uniform_regions(&shape, 200, 78));
+
+    // Serial ground truth.
+    let expected: Vec<(i64, i64)> = queries
+        .iter()
+        .map(|q| {
+            (
+                a.fold_region(q, 0i64, |s, &x| s + x),
+                a.fold_region(q, i64::MIN, |m, &x| m.max(x)),
+            )
+        })
+        .collect();
+    let expected = Arc::new(expected);
+
+    let mut handles = Vec::new();
+    for t in 0..4usize {
+        let (a, ps, bp, tree, queries, expected) = (
+            Arc::clone(&a),
+            Arc::clone(&ps),
+            Arc::clone(&bp),
+            Arc::clone(&tree),
+            Arc::clone(&queries),
+            Arc::clone(&expected),
+        );
+        handles.push(std::thread::spawn(move || {
+            // Each thread walks the queries from a different offset.
+            for i in 0..queries.len() {
+                let k = (i + t * 53) % queries.len();
+                let q: &Region = &queries[k];
+                let (want_sum, want_max) = expected[k];
+                assert_eq!(ps.range_sum(q).unwrap(), want_sum);
+                assert_eq!(bp.range_sum(&a, q).unwrap(), want_sum);
+                assert_eq!(tree.range_max(&a, q).unwrap().1, want_max);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("no thread panicked");
+    }
+}
+
+#[test]
+fn concurrent_sparse_queries() {
+    let shape = Shape::new(&[200, 200]).unwrap();
+    let pts = olap_cube::workload::clustered_sparse_cube(&shape, 3, 15, 300, 50, 5);
+    let cube = Arc::new(SparseCube::new(shape.clone(), pts).unwrap());
+    let engine = Arc::new(SparseRangeSum::build(&cube).unwrap());
+    let queries = Arc::new(uniform_regions(&shape, 60, 6));
+    let mut handles = Vec::new();
+    for _ in 0..3 {
+        let (cube, engine, queries) =
+            (Arc::clone(&cube), Arc::clone(&engine), Arc::clone(&queries));
+        handles.push(std::thread::spawn(move || {
+            for q in queries.iter() {
+                let expected: i64 = cube.points_in(q).map(|(_, v)| *v).sum();
+                assert_eq!(engine.range_sum(q).unwrap(), expected);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("no thread panicked");
+    }
+}

@@ -1,0 +1,150 @@
+//! Cross-crate integration: every range-sum engine and every range-max
+//! engine in the workspace must agree on the same cubes and queries.
+
+use olap_array::Shape;
+use olap_cube::aggregate::{NaturalOrder, SumOp};
+use olap_cube::engine::{naive, CubeIndex, IndexConfig, PrefixChoice};
+use olap_cube::prefix_sum::{BlockedPrefixCube, BoundaryPolicy, PrefixSumCube};
+use olap_cube::range_max::{NaturalMaxTree, SearchOptions};
+use olap_cube::sparse::{SparseCube, SparseRangeMax, SparseRangeSum};
+use olap_cube::tree_sum::SumTreeCube;
+use olap_cube::workload::{skewed_cube, uniform_cube, uniform_regions};
+
+#[test]
+fn all_sum_engines_agree_2d() {
+    let shape = Shape::new(&[40, 33]).unwrap();
+    let a = uniform_cube(shape.clone(), 100, 1);
+    let ps = PrefixSumCube::build(&a);
+    let blocked: Vec<_> = [2usize, 5, 8, 16]
+        .iter()
+        .map(|&b| BlockedPrefixCube::build(&a, b).unwrap())
+        .collect();
+    let st = SumTreeCube::build(&a, 3).unwrap();
+    let sparse = SparseRangeSum::build(&SparseCube::from_dense(&a, |&v| v == 0)).unwrap();
+    for q in uniform_regions(&shape, 60, 2) {
+        let (expected, _) = naive::range_aggregate(&a, &SumOp::<i64>::new(), &q).unwrap();
+        assert_eq!(ps.range_sum(&q).unwrap(), expected, "prefix {q}");
+        for bp in &blocked {
+            for policy in [
+                BoundaryPolicy::Auto,
+                BoundaryPolicy::AlwaysDirect,
+                BoundaryPolicy::AlwaysComplement,
+            ] {
+                let (v, _) = bp.range_sum_with_policy(&a, &q, policy).unwrap();
+                assert_eq!(v, expected, "blocked b={} {q} {policy:?}", bp.block_size());
+            }
+        }
+        for complement in [true, false] {
+            let (v, _) = st.range_sum_with_stats(&a, &q, complement).unwrap();
+            assert_eq!(v, expected, "tree-sum {q}");
+        }
+        assert_eq!(sparse.range_sum(&q).unwrap(), expected, "sparse {q}");
+    }
+}
+
+#[test]
+fn all_sum_engines_agree_4d() {
+    let shape = Shape::new(&[7, 6, 5, 4]).unwrap();
+    let a = uniform_cube(shape.clone(), 50, 3);
+    let ps = PrefixSumCube::build(&a);
+    let bp = BlockedPrefixCube::build(&a, 3).unwrap();
+    let st = SumTreeCube::build(&a, 2).unwrap();
+    for q in uniform_regions(&shape, 80, 4) {
+        let (expected, _) = naive::range_aggregate(&a, &SumOp::<i64>::new(), &q).unwrap();
+        assert_eq!(ps.range_sum(&q).unwrap(), expected);
+        assert_eq!(bp.range_sum(&a, &q).unwrap(), expected);
+        assert_eq!(st.range_sum(&a, &q).unwrap(), expected);
+    }
+}
+
+#[test]
+fn all_max_engines_agree() {
+    let shape = Shape::new(&[50, 30]).unwrap();
+    let a = skewed_cube(shape.clone(), 10_000, 5);
+    let trees: Vec<_> = [2usize, 3, 4]
+        .iter()
+        .map(|&b| NaturalMaxTree::for_values(&a, b).unwrap())
+        .collect();
+    let sparse = SparseRangeMax::build(&SparseCube::from_dense(&a, |_| false));
+    for q in uniform_regions(&shape, 60, 6) {
+        let (_, expected, _) = naive::range_max(&a, &NaturalOrder::<i64>::new(), &q).unwrap();
+        for t in &trees {
+            for bb in [true, false] {
+                let opts = SearchOptions {
+                    branch_and_bound: bb,
+                    ..Default::default()
+                };
+                let (_, v, _) = t.range_max_with_options(&a, &q, opts).unwrap();
+                assert_eq!(v, expected, "tree b={} {q}", t.fanout());
+            }
+        }
+        let got = sparse
+            .range_max(&q)
+            .unwrap()
+            .expect("dense-derived cube has points");
+        assert_eq!(got.1, expected, "sparse {q}");
+    }
+}
+
+#[test]
+fn cube_index_routes_like_direct_engines() {
+    let shape = Shape::new(&[20, 20, 8]).unwrap();
+    let a = uniform_cube(shape.clone(), 200, 9);
+    let configs = [
+        IndexConfig {
+            prefix: PrefixChoice::Basic,
+            max_tree_fanout: Some(2),
+            min_tree_fanout: None,
+            sum_tree_fanout: None,
+        },
+        IndexConfig {
+            prefix: PrefixChoice::Blocked(4),
+            max_tree_fanout: Some(4),
+            min_tree_fanout: Some(3),
+            sum_tree_fanout: Some(2),
+        },
+        IndexConfig {
+            prefix: PrefixChoice::None,
+            max_tree_fanout: None,
+            min_tree_fanout: None,
+            sum_tree_fanout: Some(3),
+        },
+        IndexConfig {
+            prefix: PrefixChoice::None,
+            max_tree_fanout: None,
+            min_tree_fanout: None,
+            sum_tree_fanout: None,
+        },
+    ];
+    let indexes: Vec<_> = configs
+        .iter()
+        .map(|&cfg| CubeIndex::build(a.clone(), cfg).unwrap())
+        .collect();
+    for q in uniform_regions(&shape, 40, 10) {
+        let (expected, _) = naive::range_aggregate(&a, &SumOp::<i64>::new(), &q).unwrap();
+        let (_, emax, _) = naive::range_max(&a, &NaturalOrder::<i64>::new(), &q).unwrap();
+        for (idx, cfg) in indexes.iter().zip(&configs) {
+            let (s, _) = idx.range_sum(&q).unwrap();
+            assert_eq!(s, expected, "{cfg:?} {q}");
+            let (_, m, _) = idx.range_max(&q).unwrap();
+            assert_eq!(m, emax, "{cfg:?} {q}");
+        }
+    }
+}
+
+#[test]
+fn prefix_sum_cost_is_constant_while_naive_grows() {
+    // The §11 claim: precomputation wins more as query volume grows.
+    let shape = Shape::new(&[256, 256]).unwrap();
+    let a = uniform_cube(shape, 100, 11);
+    let ps = PrefixSumCube::build(&a);
+    let mut last_naive = 0u64;
+    for side in [4usize, 16, 64, 192] {
+        let q = olap_array::Region::from_bounds(&[(10, 9 + side), (20, 19 + side)]).unwrap();
+        let (_, ns) = naive::range_aggregate(&a, &SumOp::<i64>::new(), &q).unwrap();
+        let (_, ps_stats) = ps.range_sum_with_stats(&q).unwrap();
+        assert!(ns.total_accesses() > last_naive);
+        last_naive = ns.total_accesses();
+        assert!(ps_stats.total_accesses() <= 4, "prefix stays ≤ 2^d");
+    }
+}

@@ -1,0 +1,91 @@
+//! The §1 operator family exercised across every range-sum structure:
+//! the same invertible-operator machinery must work identically for SUM,
+//! XOR, AVERAGE pairs, and PRODUCT through the basic, blocked, and
+//! partial prefix arrays.
+
+use olap_cube::aggregate::{AvgOp, AvgPair, Monoid, ProductOp, XorOp};
+use olap_cube::array::{DenseArray, Shape};
+use olap_cube::prefix_sum::{BlockedPrefixSum, PartialPrefixSum, PrefixSumArray};
+use olap_cube::workload::uniform_regions;
+
+fn shape() -> Shape {
+    Shape::new(&[17, 13]).unwrap()
+}
+
+#[test]
+fn xor_across_structures() {
+    let a = DenseArray::from_fn(shape(), |i| {
+        ((i[0] * 2654435761 + i[1] * 97) % 65536) as u32
+    });
+    let op = XorOp::<u32>::new();
+    let basic = PrefixSumArray::with_op(&a, op);
+    let blocked = BlockedPrefixSum::with_op(&a, op, 4).unwrap();
+    let partial = PartialPrefixSum::with_op(&a, op, &[0]).unwrap();
+    for q in uniform_regions(a.shape(), 60, 1) {
+        let naive = a.fold_region(&q, 0u32, |s, &x| s ^ x);
+        assert_eq!(basic.range_sum(&q).unwrap(), naive, "basic {q}");
+        assert_eq!(blocked.range_sum(&a, &q).unwrap(), naive, "blocked {q}");
+        assert_eq!(partial.range_sum(&q).unwrap(), naive, "partial {q}");
+    }
+}
+
+#[test]
+fn average_pairs_across_structures() {
+    let a = DenseArray::from_fn(shape(), |i| AvgPair::of((i[0] * 13 + i[1] * 7) as f64));
+    let op = AvgOp::<f64>::new();
+    let basic = PrefixSumArray::with_op(&a, op);
+    let blocked = BlockedPrefixSum::with_op(&a, op, 5).unwrap();
+    for q in uniform_regions(a.shape(), 40, 2) {
+        let naive = a.fold_region(&q, op.identity(), |acc, x| op.combine(&acc, x));
+        let b1 = basic.range_sum(&q).unwrap();
+        let b2 = blocked.range_sum(&a, &q).unwrap();
+        assert_eq!(b1.count, naive.count, "{q}");
+        assert_eq!(b2.count, naive.count, "{q}");
+        assert!((b1.mean().unwrap() - naive.mean().unwrap()).abs() < 1e-9);
+        assert!((b2.mean().unwrap() - naive.mean().unwrap()).abs() < 1e-9);
+        assert_eq!(b1.count as usize, q.volume());
+    }
+}
+
+#[test]
+fn product_on_zero_free_domain() {
+    // Small factors near 1.0 keep the products stable.
+    let a = DenseArray::from_fn(shape(), |i| 1.0 + ((i[0] + 2 * i[1]) % 7) as f64 / 100.0);
+    let op = ProductOp::new();
+    let basic = PrefixSumArray::with_op(&a, op);
+    for q in uniform_regions(a.shape(), 40, 3) {
+        let naive = a.fold_region(&q, 1.0f64, |acc, &x| acc * x);
+        let got = basic.range_sum(&q).unwrap();
+        assert!(
+            (got / naive - 1.0).abs() < 1e-9,
+            "{q}: got {got}, naive {naive}"
+        );
+    }
+}
+
+#[test]
+fn batch_updates_preserve_xor_group() {
+    use olap_cube::prefix_sum::batch::{self, CellUpdate};
+    let mut a = DenseArray::from_fn(shape(), |i| ((i[0] * 31 + i[1]) % 256) as u32);
+    let op = XorOp::<u32>::new();
+    let mut ps = PrefixSumArray::with_op(&a, op);
+    // XOR deltas: value-to-add = old ^ new (self-inverse).
+    let updates = [
+        (vec![3usize, 4usize], 0xdeadu32),
+        (vec![0, 0], 0xbeef),
+        (vec![16, 12], 0x1234),
+    ];
+    let deltas: Vec<CellUpdate<u32>> = updates
+        .iter()
+        .map(|(idx, new)| CellUpdate::new(idx, a.get(idx) ^ new))
+        .collect();
+    batch::apply_batch(&mut ps, &deltas).unwrap();
+    for (idx, new) in &updates {
+        *a.get_mut(idx) = *new;
+    }
+    let rebuilt = PrefixSumArray::with_op(&a, op);
+    assert_eq!(
+        ps.prefix_array().as_slice(),
+        rebuilt.prefix_array().as_slice()
+    );
+}

@@ -1,0 +1,129 @@
+//! The full deployment cycle across crates: build structures, update them
+//! incrementally, persist everything, reload in "another process", and
+//! verify each reloaded structure answers exactly like a shadow cube.
+
+use olap_cube::array::{DenseArray, Region, Shape};
+use olap_cube::prefix_sum::batch::{self, CellUpdate};
+use olap_cube::prefix_sum::{BlockedPrefixCube, PrefixSumCube};
+use olap_cube::range_max::{NaturalMaxTree, NaturalMinTree, PointUpdate};
+use olap_cube::storage;
+use olap_cube::workload::{uniform_cube, uniform_regions};
+
+fn roundtrip<T>(
+    write: impl FnOnce(&mut Vec<u8>) -> Result<(), storage::StorageError>,
+    read: impl FnOnce(&mut &[u8]) -> Result<T, storage::StorageError>,
+) -> T {
+    let mut buf = Vec::new();
+    write(&mut buf).expect("write");
+    read(&mut buf.as_slice()).expect("read")
+}
+
+#[test]
+fn update_persist_reload_query() {
+    let shape = Shape::new(&[48, 36]).unwrap();
+    let mut a = uniform_cube(shape.clone(), 500, 11);
+    let mut ps = PrefixSumCube::build(&a);
+    let mut bp = BlockedPrefixCube::build(&a, 6).unwrap();
+    let mut maxt = NaturalMaxTree::for_values(&a, 3).unwrap();
+    let mut mint = NaturalMinTree::for_min_values(&a, 3).unwrap();
+
+    // Several update rounds before persisting.
+    for round in 0..5i64 {
+        let updates: Vec<(Vec<usize>, i64)> = (0..6)
+            .map(|k| {
+                (
+                    vec![
+                        ((round * 17 + k * 7) % 48) as usize,
+                        ((round * 5 + k) % 36) as usize,
+                    ],
+                    round * 100 - k * 13,
+                )
+            })
+            .collect();
+        let deltas: Vec<CellUpdate<i64>> = updates
+            .iter()
+            .map(|(idx, v)| CellUpdate::new(idx, v - a.get(idx)))
+            .collect();
+        batch::apply_batch(&mut ps, &deltas).unwrap();
+        batch::apply_batch_blocked(&mut bp, &deltas).unwrap();
+        let pts: Vec<PointUpdate<i64>> = updates
+            .iter()
+            .map(|(i, v)| PointUpdate::new(i, *v))
+            .collect();
+        let mut shadow_for_min = a.clone();
+        mint.batch_update(&mut shadow_for_min, &pts).unwrap();
+        maxt.batch_update(&mut a, &pts).unwrap(); // applies writes to `a`
+    }
+
+    // Persist and reload everything.
+    let a2: DenseArray<i64> = roundtrip(
+        |w| storage::write_dense_i64(w, &a),
+        |r| storage::read_dense_i64(r),
+    );
+    let ps2 = roundtrip(
+        |w| storage::write_prefix_sum(w, &ps),
+        |r| storage::read_prefix_sum(r),
+    );
+    let bp2 = roundtrip(
+        |w| storage::write_blocked_prefix(w, &bp),
+        |r| storage::read_blocked_prefix(r),
+    );
+    let maxt2 = roundtrip(
+        |w| storage::write_max_tree(w, &maxt),
+        |r| storage::read_max_tree(r),
+    );
+    let mint2 = roundtrip(
+        |w| storage::write_min_tree(w, &mint),
+        |r| storage::read_min_tree(r),
+    );
+
+    maxt2.check_invariants(&a2).unwrap();
+    mint2.check_invariants(&a2).unwrap();
+    assert_eq!(a2.as_slice(), a.as_slice());
+
+    for q in uniform_regions(&shape, 80, 12) {
+        let sum = a2.fold_region(&q, 0i64, |s, &x| s + x);
+        let max = a2.fold_region(&q, i64::MIN, |m, &x| m.max(x));
+        let min = a2.fold_region(&q, i64::MAX, |m, &x| m.min(x));
+        assert_eq!(ps2.range_sum(&q).unwrap(), sum, "{q}");
+        assert_eq!(bp2.range_sum(&a2, &q).unwrap(), sum, "{q}");
+        assert_eq!(maxt2.range_max(&a2, &q).unwrap().1, max, "{q}");
+        assert_eq!(mint2.range_max(&a2, &q).unwrap().1, min, "{q}");
+    }
+}
+
+#[test]
+fn cross_kind_reads_fail_cleanly() {
+    let a = uniform_cube(Shape::new(&[8, 8]).unwrap(), 100, 1);
+    let maxt = NaturalMaxTree::for_values(&a, 2).unwrap();
+    let mint = NaturalMinTree::for_min_values(&a, 2).unwrap();
+    let mut max_buf = Vec::new();
+    storage::write_max_tree(&mut max_buf, &maxt).unwrap();
+    let mut min_buf = Vec::new();
+    storage::write_min_tree(&mut min_buf, &mint).unwrap();
+    // A min tree must never deserialize as a max tree (the order would be
+    // silently wrong) and vice versa.
+    assert!(storage::read_max_tree(&mut min_buf.as_slice()).is_err());
+    assert!(storage::read_min_tree(&mut max_buf.as_slice()).is_err());
+    // And neither reads as a cube.
+    assert!(storage::read_dense_i64(&mut max_buf.as_slice()).is_err());
+}
+
+#[test]
+fn reloaded_structures_keep_accepting_updates() {
+    let shape = Shape::new(&[20, 20]).unwrap();
+    let mut a = uniform_cube(shape.clone(), 100, 9);
+    let ps = PrefixSumCube::build(&a);
+    let mut ps2 = roundtrip(
+        |w| storage::write_prefix_sum(w, &ps),
+        |r| storage::read_prefix_sum(r),
+    );
+    let u = CellUpdate::new(&[5, 5], 42);
+    batch::apply_batch(&mut ps2, std::slice::from_ref(&u)).unwrap();
+    *a.get_mut(&[5, 5]) += 42;
+    let q = Region::from_bounds(&[(0, 19), (0, 19)]).unwrap();
+    assert_eq!(
+        ps2.range_sum(&q).unwrap(),
+        a.fold_region(&q, 0i64, |s, &x| s + x)
+    );
+}

@@ -1,0 +1,100 @@
+//! Long-running interleavings of queries and batched updates across every
+//! maintained structure — the §5/§7 OLAP day/night cycle, hammered.
+
+use olap_cube::array::Shape;
+use olap_cube::engine::{CubeIndex, IndexConfig, PrefixChoice};
+use olap_cube::workload::{uniform_cube, uniform_regions};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn naive_sum(a: &olap_cube::array::DenseArray<i64>, q: &olap_cube::array::Region) -> i64 {
+    a.fold_region(q, 0i64, |s, &x| s + x)
+}
+
+fn naive_max(a: &olap_cube::array::DenseArray<i64>, q: &olap_cube::array::Region) -> i64 {
+    a.fold_region(q, i64::MIN, |m, &x| m.max(x))
+}
+
+#[test]
+fn twenty_rounds_of_mixed_queries_and_updates() {
+    let shape = Shape::new(&[32, 24, 6]).unwrap();
+    let a = uniform_cube(shape.clone(), 500, 100);
+    let mut shadow = a.clone(); // ground truth maintained naively
+    let cfg = IndexConfig {
+        prefix: PrefixChoice::Basic,
+        max_tree_fanout: Some(3),
+        min_tree_fanout: None,
+        sum_tree_fanout: Some(2),
+    };
+    let mut index = CubeIndex::build(a, cfg).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+
+    for round in 0..20u64 {
+        // Queries.
+        for q in uniform_regions(&shape, 10, 1000 + round) {
+            let (s, _) = index.range_sum(&q).unwrap();
+            assert_eq!(s, naive_sum(&shadow, &q), "round {round} {q}");
+            let (at, m, _) = index.range_max(&q).unwrap();
+            assert_eq!(m, naive_max(&shadow, &q), "round {round} {q}");
+            assert!(q.contains(&at));
+            assert_eq!(*shadow.get(&at), m);
+        }
+        // A batch of updates (with occasional duplicates).
+        let k = rng.random_range(1..10usize);
+        let mut batch = Vec::with_capacity(k);
+        for _ in 0..k {
+            let idx = vec![
+                rng.random_range(0..32usize),
+                rng.random_range(0..24usize),
+                rng.random_range(0..6usize),
+            ];
+            let v = rng.random_range(-500i64..500);
+            batch.push((idx, v));
+        }
+        if k > 2 {
+            // Force a duplicate: last entry overwrites the first.
+            let first = batch[0].0.clone();
+            batch.push((first, rng.random_range(-500i64..500)));
+        }
+        index.apply_updates(&batch).unwrap();
+        for (idx, v) in &batch {
+            *shadow.get_mut(idx) = *v;
+        }
+    }
+
+    // Final deep check: the index's cube equals the shadow exactly.
+    assert_eq!(index.cube().as_slice(), shadow.as_slice());
+}
+
+#[test]
+fn blocked_index_update_cycle() {
+    let shape = Shape::new(&[45, 45]).unwrap();
+    let a = uniform_cube(shape.clone(), 100, 5);
+    let mut shadow = a.clone();
+    let cfg = IndexConfig {
+        prefix: PrefixChoice::Blocked(7),
+        max_tree_fanout: None,
+        min_tree_fanout: None,
+        sum_tree_fanout: None,
+    };
+    let mut index = CubeIndex::build(a, cfg).unwrap();
+    let mut rng = StdRng::seed_from_u64(8);
+    for round in 0..15u64 {
+        let batch: Vec<(Vec<usize>, i64)> = (0..5)
+            .map(|_| {
+                (
+                    vec![rng.random_range(0..45usize), rng.random_range(0..45usize)],
+                    rng.random_range(0..100i64),
+                )
+            })
+            .collect();
+        index.apply_updates(&batch).unwrap();
+        for (idx, v) in &batch {
+            *shadow.get_mut(idx) = *v;
+        }
+        for q in uniform_regions(&shape, 8, 2000 + round) {
+            let (s, _) = index.range_sum(&q).unwrap();
+            assert_eq!(s, naive_sum(&shadow, &q), "round {round} {q}");
+        }
+    }
+}
