@@ -1,4 +1,5 @@
-use crate::{ArrayError, FlatRegionIter, Region, Shape};
+use crate::exec::{self, Parallelism};
+use crate::{ArrayError, FlatRegionIter, Range, Region, Shape};
 
 /// A dense d-dimensional array stored in row-major order — the cube `A` of
 /// §2 and the prefix-sum array `P` of §3.
@@ -136,19 +137,80 @@ impl<T> DenseArray<T> {
     pub fn scan_axis(&mut self, axis: usize, mut combine: impl FnMut(&T, &T) -> T) {
         let n = self.shape.dim(axis);
         let stride = self.shape.strides()[axis];
-        let slab = n * stride; // cells per hyper-slab containing a full axis run
-        let data = &mut self.data;
-        let mut base = 0;
-        while base < data.len() {
-            for k in 1..n {
-                let row = base + k * stride;
-                let prev_row = row - stride;
-                for inner in 0..stride {
-                    data[row + inner] = combine(&data[prev_row + inner], &data[row + inner]);
-                }
-            }
-            base += slab;
+        for slab in self.split_axis_lines(axis) {
+            scan_slab(slab, n, stride, &mut combine);
         }
+    }
+
+    /// [`DenseArray::scan_axis`] under an execution strategy: the same
+    /// per-slab kernel, optionally fanned out across threads.
+    ///
+    /// For axes with more than one slab, whole slabs run concurrently. For
+    /// the outermost axis (one slab spanning the array) each of the `n − 1`
+    /// scan steps is an element-wise slab addition, split into matching
+    /// sub-chunks. Either way every cell sees exactly the combine sequence
+    /// of the sequential scan, so results are bit-identical under every
+    /// [`Parallelism`].
+    pub fn scan_axis_with(
+        &mut self,
+        par: Parallelism,
+        axis: usize,
+        combine: impl Fn(&T, &T) -> T + Sync,
+    ) where
+        T: Send + Sync,
+    {
+        let n = self.shape.dim(axis);
+        let stride = self.shape.strides()[axis];
+        if n == 1 {
+            return;
+        }
+        let slab = self.shape.axis_slab_len(axis);
+        if self.data.len() > slab {
+            let slabs: Vec<&mut [T]> = self.split_axis_lines(axis).collect();
+            exec::run_indexed(par, slabs, |_, s| {
+                scan_slab(s, n, stride, &mut |a: &T, b: &T| combine(a, b));
+            });
+        } else {
+            // Single slab: wavefront over the axis, each step an
+            // element-wise combine of row k − 1 into row k.
+            for k in 1..n {
+                let (head, tail) = self.data.split_at_mut(k * stride);
+                let prev = &head[(k - 1) * stride..];
+                let cur = &mut tail[..stride];
+                let piece = stride.div_ceil(par.workers_for(stride));
+                let pairs: Vec<(&mut [T], &[T])> =
+                    cur.chunks_mut(piece).zip(prev.chunks(piece)).collect();
+                exec::run_indexed(par, pairs, |_, (dst, src)| {
+                    for (d, s) in dst.iter_mut().zip(src) {
+                        *d = combine(s, d);
+                    }
+                });
+            }
+        }
+    }
+
+    /// Disjoint contiguous slabs, each containing complete lines along
+    /// `axis`, in storage order. An in-place scan (or any line-local
+    /// kernel) along `axis` touches each slab independently, so the slabs
+    /// may be processed in any order or concurrently. For `axis = 0` a
+    /// single slab covers the whole array.
+    pub fn split_axis_lines(&mut self, axis: usize) -> impl Iterator<Item = &mut [T]> {
+        let slab = self.shape.axis_slab_len(axis);
+        self.data.chunks_mut(slab)
+    }
+
+    /// Disjoint tiles of up to `tile` consecutive outermost-axis indices,
+    /// each paired with its starting axis-0 index. The tiles partition the
+    /// storage into contiguous non-overlapping stretches — the
+    /// owner-computes decomposition for applying disjoint region writes
+    /// concurrently. `tile` is clamped to at least 1.
+    pub fn disjoint_block_tiles(&mut self, tile: usize) -> impl Iterator<Item = (usize, &mut [T])> {
+        let row = self.shape.strides()[0];
+        let t = tile.max(1);
+        self.data
+            .chunks_mut(t * row)
+            .enumerate()
+            .map(move |(k, s)| (k * t, s))
     }
 
     /// Contracts the array by block size `b` on every dimension, combining
@@ -180,11 +242,86 @@ impl<T> DenseArray<T> {
         Ok(out)
     }
 
+    /// [`DenseArray::contract_blocks`] under an execution strategy.
+    ///
+    /// Phrased in gather form: every output cell folds its own (clipped)
+    /// `b × … × b` block of `A` in row-major order — the same per-cell
+    /// visit sequence as the sequential scatter walk, so the two produce
+    /// identical arrays. Output cells are independent, so they are chunked
+    /// and optionally fanned out across threads.
+    ///
+    /// # Errors
+    /// [`ArrayError::ZeroBlock`] when `b = 0`.
+    pub fn contract_blocks_with<U>(
+        &self,
+        par: Parallelism,
+        b: usize,
+        init: U,
+        fold: impl Fn(&U, &T, usize) -> U + Sync,
+    ) -> Result<DenseArray<U>, ArrayError>
+    where
+        T: Sync,
+        U: Clone + Send + Sync,
+    {
+        let out_shape = self.shape.contract(b)?;
+        let n_out = out_shape.len();
+        let piece = n_out.div_ceil(par.workers_for(n_out));
+        let chunks: Vec<std::ops::Range<usize>> = (0..n_out)
+            .step_by(piece)
+            .map(|lo| lo..(lo + piece).min(n_out))
+            .collect();
+        let parts: Vec<Vec<U>> = exec::run_indexed(par, chunks, |_, range| {
+            let mut out_idx = vec![0usize; out_shape.ndim()];
+            range
+                .map(|out_flat| {
+                    out_shape.unflatten_into(out_flat, &mut out_idx);
+                    let block = self.block_region(b, &out_idx);
+                    let mut acc = init.clone();
+                    for off in FlatRegionIter::new(&self.shape, &block) {
+                        acc = fold(&acc, &self.data[off], off);
+                    }
+                    acc
+                })
+                .collect()
+        });
+        let data: Vec<U> = parts.into_iter().flatten().collect();
+        DenseArray::from_vec(out_shape, data)
+    }
+
+    /// The region of this array covered by block `block_idx` under block
+    /// size `b`, clipped at the array boundary.
+    fn block_region(&self, b: usize, block_idx: &[usize]) -> Region {
+        let ranges: Vec<Range> = block_idx
+            .iter()
+            .zip(self.shape.dims())
+            .map(|(&bi, &n)| {
+                Range::new(bi * b, ((bi + 1) * b - 1).min(n - 1)).expect("block inside array")
+            })
+            .collect();
+        Region::new(ranges).expect("d ≥ 1")
+    }
+
     /// Applies `f` to every cell, producing a new array of the same shape.
     pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> DenseArray<U> {
         DenseArray {
             shape: self.shape.clone(),
             data: self.data.iter().map(f).collect(),
+        }
+    }
+}
+
+/// The per-slab scan kernel shared by [`DenseArray::scan_axis`] and
+/// [`DenseArray::scan_axis_with`]: an in-place inclusive scan of one
+/// contiguous slab holding complete lines along an axis of extent `n` and
+/// inner stride `stride`. Every execution strategy runs exactly this
+/// combine sequence per cell, which is what makes the parallel path
+/// bit-identical to the sequential one.
+fn scan_slab<T>(slab: &mut [T], n: usize, stride: usize, combine: &mut impl FnMut(&T, &T) -> T) {
+    for k in 1..n {
+        let (head, tail) = slab.split_at_mut(k * stride);
+        let prev = &head[(k - 1) * stride..];
+        for (dst, src) in tail[..stride].iter_mut().zip(prev) {
+            *dst = combine(src, dst);
         }
     }
 }
@@ -316,6 +453,74 @@ mod tests {
         let b = a.map(|&x| x * 2);
         assert_eq!(b.shape(), a.shape());
         assert_eq!(*b.get(&[1, 3]), 12);
+    }
+
+    #[test]
+    fn scan_axis_with_matches_scan_axis_every_axis() {
+        let shape = Shape::new(&[4, 3, 5]).unwrap();
+        let base = DenseArray::from_fn(shape, |idx| {
+            (idx[0] * 17 + idx[1] * 5 + idx[2] * 3) as f64 * 0.37 - 4.0
+        });
+        for axis in 0..3 {
+            let mut seq = base.clone();
+            seq.scan_axis(axis, |a, b| a + b);
+            for par in [
+                Parallelism::Sequential,
+                Parallelism::Threads(2),
+                Parallelism::Threads(7),
+            ] {
+                let mut p = base.clone();
+                p.scan_axis_with(par, axis, |a, b| a + b);
+                // Bit-identical, not just approximately equal.
+                assert_eq!(p.as_slice(), seq.as_slice(), "axis {axis} {par:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_axis_lines_are_disjoint_and_complete() {
+        let shape = Shape::new(&[3, 4, 2]).unwrap();
+        let mut a = DenseArray::filled(shape, 0i64);
+        for (slab_no, slab) in a.split_axis_lines(1).enumerate() {
+            for cell in slab.iter_mut() {
+                *cell += 1 + slab_no as i64;
+            }
+        }
+        // Every cell written exactly once, slab numbering follows axis 0.
+        for idx in a.shape().full_region().iter_indices() {
+            assert_eq!(*a.get(&idx), 1 + idx[0] as i64, "at {idx:?}");
+        }
+    }
+
+    #[test]
+    fn disjoint_block_tiles_cover_rows_once() {
+        let shape = Shape::new(&[7, 3]).unwrap();
+        let mut a = DenseArray::filled(shape, 0i64);
+        let tiles: Vec<(usize, &mut [i64])> = a.disjoint_block_tiles(2).collect();
+        assert_eq!(tiles.len(), 4);
+        for (start, tile) in tiles {
+            for (j, cell) in tile.iter_mut().enumerate() {
+                *cell = (start * 3 + j) as i64;
+            }
+        }
+        let expected: Vec<i64> = (0..21).collect();
+        assert_eq!(a.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn contract_blocks_with_matches_scatter() {
+        let a = figure1_a();
+        let seq = a.contract_blocks(2, 0i64, |acc, &x, _| acc + x).unwrap();
+        for par in [Parallelism::Sequential, Parallelism::Threads(3)] {
+            let got = a
+                .contract_blocks_with(par, 2, 0i64, |acc, &x, _| acc + x)
+                .unwrap();
+            assert_eq!(got.as_slice(), seq.as_slice(), "{par:?}");
+            assert_eq!(got.shape(), seq.shape());
+        }
+        assert!(a
+            .contract_blocks_with(Parallelism::Sequential, 0, 0i64, |acc, &x, _| acc + x)
+            .is_err());
     }
 
     #[test]

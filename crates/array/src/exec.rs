@@ -1,0 +1,191 @@
+//! Deterministic execution of chunked kernels.
+//!
+//! Every hot path in the workspace is phrased as a *kernel* applied to a
+//! list of disjoint chunks (axis slabs, block tiles, query sub-regions,
+//! tree nodes). [`run_indexed`] is the single executor those paths share:
+//! it runs the kernel over the chunks either on the calling thread
+//! ([`Parallelism::Sequential`], the default) or fanned out across scoped
+//! worker threads ([`Parallelism::Threads`], behind the `parallel`
+//! feature), and returns the results **in input order** either way.
+//!
+//! Determinism contract: for a pure per-chunk kernel, the output of
+//! `run_indexed` is a pure function of `(items, f)` — the strategy only
+//! changes *where* chunks run, never *what* each chunk computes nor the
+//! order results are reassembled in. Callers that reduce the returned
+//! vector in index order therefore get bit-identical results under every
+//! strategy, floating point included. Without the `parallel` feature,
+//! `Threads(n)` degrades to the sequential path.
+
+/// How a list of independent chunks is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Parallelism {
+    /// Run every chunk on the calling thread, in input order.
+    #[default]
+    Sequential,
+    /// Fan chunks out across up to this many scoped worker threads.
+    ///
+    /// Requires the `parallel` feature; without it this behaves exactly
+    /// like [`Parallelism::Sequential`]. `Threads(0)` and `Threads(1)`
+    /// also run sequentially.
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The number of workers this strategy uses for `chunks` independent
+    /// work items (1 means the calling thread runs everything).
+    pub fn workers_for(self, chunks: usize) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threads(t) => {
+                if cfg!(feature = "parallel") {
+                    t.max(1).min(chunks.max(1))
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    /// Whether this strategy can actually run chunks concurrently.
+    pub fn is_parallel(self) -> bool {
+        matches!(self, Parallelism::Threads(t) if t > 1 && cfg!(feature = "parallel"))
+    }
+}
+
+/// Applies `f` to every item, returning results in input order.
+///
+/// `f` receives each item's input index alongside the item, so kernels can
+/// label or place their output without relying on execution order. Under
+/// [`Parallelism::Threads`] the items are split into contiguous runs, one
+/// scoped thread per worker; results are stitched back together in index
+/// order before returning.
+///
+/// # Panics
+/// Propagates panics from `f` (worker panics abort the join).
+pub fn run_indexed<T, R, F>(par: Parallelism, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    if par.workers_for(items.len()) <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    run_threads(par.workers_for(items.len()), items, &f)
+}
+
+#[cfg(feature = "parallel")]
+fn run_threads<T, R, F>(workers: usize, mut items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let total = items.len();
+    let per = total.div_ceil(workers);
+    let mut parts: Vec<(usize, Vec<T>)> = Vec::with_capacity(workers);
+    let mut base = 0;
+    while !items.is_empty() {
+        let take = per.min(items.len());
+        let rest = items.split_off(take);
+        parts.push((base, std::mem::replace(&mut items, rest)));
+        base += take;
+    }
+    let mut out: Vec<R> = Vec::with_capacity(total);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|(first, part)| {
+                scope.spawn(move || {
+                    part.into_iter()
+                        .enumerate()
+                        .map(|(i, t)| f(first + i, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("chunk worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(not(feature = "parallel"))]
+fn run_threads<T, R, F>(_workers: usize, items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    items
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| f(i, t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_maps_in_order() {
+        let out = run_indexed(Parallelism::Sequential, vec![10, 20, 30], |i, x| {
+            i * 100 + x
+        });
+        assert_eq!(out, vec![10, 120, 230]);
+    }
+
+    #[test]
+    fn threads_preserve_input_order() {
+        let items: Vec<usize> = (0..101).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for t in [1, 2, 3, 8, 64, 200] {
+            let got = run_indexed(Parallelism::Threads(t), items.clone(), |i, x| {
+                assert_eq!(i, x);
+                x * 3 + 1
+            });
+            assert_eq!(got, expected, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn threads_mutate_disjoint_slices() {
+        let mut data = vec![0u64; 64];
+        let chunks: Vec<&mut [u64]> = data.chunks_mut(7).collect();
+        run_indexed(Parallelism::Threads(4), chunks, |i, chunk| {
+            for (j, c) in chunk.iter_mut().enumerate() {
+                *c = (i * 7 + j) as u64;
+            }
+        });
+        let expected: Vec<u64> = (0..64).collect();
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn workers_respect_feature_and_bounds() {
+        assert_eq!(Parallelism::Sequential.workers_for(100), 1);
+        assert_eq!(Parallelism::Threads(0).workers_for(100), 1);
+        let w = Parallelism::Threads(8).workers_for(3);
+        if cfg!(feature = "parallel") {
+            assert_eq!(w, 3); // never more workers than chunks
+            assert!(Parallelism::Threads(4).is_parallel());
+        } else {
+            assert_eq!(w, 1);
+            assert!(!Parallelism::Threads(4).is_parallel());
+        }
+        assert!(!Parallelism::Threads(1).is_parallel());
+        assert!(!Parallelism::Sequential.is_parallel());
+    }
+
+    #[test]
+    fn empty_items_is_fine() {
+        let out: Vec<i32> = run_indexed(Parallelism::Threads(4), Vec::<i32>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+}

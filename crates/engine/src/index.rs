@@ -3,9 +3,9 @@
 
 use olap_aggregate::ReverseOrder;
 use olap_aggregate::{NaturalOrder, NumericValue, SumOp, TotalOrder};
-use olap_array::{ArrayError, DenseArray, Region, Shape};
+use olap_array::{ArrayError, DenseArray, Parallelism, Region, Shape};
 use olap_prefix_sum::batch::CellUpdate;
-use olap_prefix_sum::{batch, BlockedPrefixCube, PrefixSumCube};
+use olap_prefix_sum::{batch, BlockedPrefixCube, BoundaryPolicy, PrefixSumCube};
 use olap_query::AccessStats;
 use olap_range_max::{MaxTree, MaxTreeError, NaturalMaxTree, PointUpdate};
 use olap_tree_sum::SumTreeCube;
@@ -36,6 +36,13 @@ pub struct IndexConfig {
     pub min_tree_fanout: Option<usize>,
     /// Per-dimension fanout of the §8 tree-sum baseline, if wanted.
     pub sum_tree_fanout: Option<usize>,
+    /// Execution strategy for construction, blocked query fan-out, and
+    /// batch-update region application. The default
+    /// [`Parallelism::Sequential`] runs every kernel on the calling
+    /// thread; [`Parallelism::Threads`] fans the same kernels across
+    /// threads (when the `parallel` feature is enabled) with bit-identical
+    /// results and statistics.
+    pub parallelism: Parallelism,
 }
 
 impl Default for IndexConfig {
@@ -45,6 +52,7 @@ impl Default for IndexConfig {
             max_tree_fanout: Some(4),
             min_tree_fanout: None,
             sum_tree_fanout: None,
+            parallelism: Parallelism::Sequential,
         }
     }
 }
@@ -120,31 +128,36 @@ where
 
 impl<T> CubeIndex<T>
 where
-    T: NumericValue + PartialOrd,
+    T: NumericValue + PartialOrd + Send + Sync,
     NaturalOrder<T>: TotalOrder<Value = T>,
 {
-    /// Builds the configured structures over a cube.
+    /// Builds the configured structures over a cube, each under the
+    /// configured [`IndexConfig::parallelism`]. Construction fans out the
+    /// prefix-scan slabs and max-tree nodes but runs the same kernels, so
+    /// the structures are bit-identical to a `Sequential` build.
     ///
     /// # Errors
     /// Invalid block sizes / fanouts.
     pub fn build(a: DenseArray<T>, config: IndexConfig) -> Result<Self, EngineError> {
+        let par = config.parallelism;
         let prefix = match config.prefix {
-            PrefixChoice::Basic => Some(PrefixSumCube::build(&a)),
+            PrefixChoice::Basic => Some(PrefixSumCube::build_with(&a, par)),
             _ => None,
         };
         let blocked = match config.prefix {
-            PrefixChoice::Blocked(b) => Some(BlockedPrefixCube::build(&a, b)?),
+            PrefixChoice::Blocked(b) => Some(BlockedPrefixCube::build_with(&a, b, par)?),
             _ => None,
         };
         let max_tree = match config.max_tree_fanout {
-            Some(b) => Some(NaturalMaxTree::for_values(&a, b)?),
+            Some(b) => Some(NaturalMaxTree::for_values_with(&a, b, par)?),
             None => None,
         };
         let min_tree = match config.min_tree_fanout {
-            Some(b) => Some(MaxTree::build(
+            Some(b) => Some(MaxTree::build_with(
                 &a,
                 b,
                 ReverseOrder::new(NaturalOrder::<T>::new()),
+                par,
             )?),
             None => None,
         };
@@ -189,7 +202,14 @@ where
             return Ok(ps.range_sum_with_stats(region)?);
         }
         if let Some(bp) = &self.blocked {
-            return Ok(bp.range_sum_with_stats(&self.a, region)?);
+            // The ≤ 3^d decomposition parts fan out under the configured
+            // strategy; values and stats reduce in part order either way.
+            return Ok(bp.range_sum_with_policy_par(
+                &self.a,
+                region,
+                BoundaryPolicy::Auto,
+                self.config.parallelism,
+            )?);
         }
         if let Some(st) = &self.sum_tree {
             return Ok(st.range_sum_with_stats(&self.a, region, true)?);
@@ -307,11 +327,12 @@ where
                 deltas.push(CellUpdate::new(idx, new_v.clone() - old));
                 running.insert(idx.clone(), new_v.clone());
             }
+            let par = self.config.parallelism;
             if let Some(ps) = &mut self.prefix {
-                batch::apply_batch(ps, &deltas)?;
+                batch::apply_batch_par(ps, &deltas, par)?;
             }
             if let Some(bp) = &mut self.blocked {
-                batch::apply_batch_blocked(bp, &deltas)?;
+                batch::apply_batch_blocked_par(bp, &deltas, par)?;
             }
         }
         let pts: Vec<PointUpdate<T>> = updates
@@ -393,24 +414,28 @@ mod tests {
                 max_tree_fanout: None,
                 min_tree_fanout: None,
                 sum_tree_fanout: None,
+                ..IndexConfig::default()
             },
             IndexConfig {
                 prefix: PrefixChoice::Basic,
                 max_tree_fanout: None,
                 min_tree_fanout: None,
                 sum_tree_fanout: None,
+                ..IndexConfig::default()
             },
             IndexConfig {
                 prefix: PrefixChoice::Blocked(4),
                 max_tree_fanout: Some(2),
                 min_tree_fanout: Some(2),
                 sum_tree_fanout: None,
+                ..IndexConfig::default()
             },
             IndexConfig {
                 prefix: PrefixChoice::None,
                 max_tree_fanout: Some(3),
                 min_tree_fanout: None,
                 sum_tree_fanout: Some(3),
+                ..IndexConfig::default()
             },
         ];
         for cfg in configs {
@@ -430,6 +455,7 @@ mod tests {
             max_tree_fanout: Some(2),
             min_tree_fanout: None,
             sum_tree_fanout: Some(2),
+            ..IndexConfig::default()
         };
         let mut idx = CubeIndex::build(a, cfg).unwrap();
         idx.apply_updates(&[
@@ -464,6 +490,7 @@ mod tests {
             max_tree_fanout: None,
             min_tree_fanout: None,
             sum_tree_fanout: None,
+            ..IndexConfig::default()
         };
         let mut idx = CubeIndex::build(a, cfg).unwrap();
         idx.apply_updates(&[(vec![3, 3], 77), (vec![8, 1], -4)])
@@ -500,6 +527,7 @@ mod tests {
             max_tree_fanout: Some(2),
             min_tree_fanout: Some(2),
             sum_tree_fanout: None,
+            ..IndexConfig::default()
         };
         let mut idx = CubeIndex::build(a.clone(), cfg).unwrap();
         let q = Region::from_bounds(&[(2, 9), (1, 8)]).unwrap();
@@ -525,6 +553,7 @@ mod tests {
             max_tree_fanout: None,
             min_tree_fanout: None,
             sum_tree_fanout: None,
+            ..IndexConfig::default()
         };
         let idx = CubeIndex::build(a.clone(), cfg).unwrap();
         let q = Region::from_bounds(&[(0, 11), (0, 9)]).unwrap();
@@ -547,6 +576,7 @@ mod tests {
                 max_tree_fanout: None,
                 min_tree_fanout: None,
                 sum_tree_fanout: None,
+                ..IndexConfig::default()
             },
         )
         .unwrap();

@@ -24,4 +24,5 @@ pub mod rolling;
 
 pub use extended::ExtendedCube;
 pub use index::{CubeIndex, EngineError, IndexConfig, PrefixChoice};
+pub use olap_array::Parallelism;
 pub use planned::PlannedIndex;

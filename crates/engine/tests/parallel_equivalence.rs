@@ -1,0 +1,189 @@
+//! Property tests for the determinism guarantee of the execution model:
+//! under `Parallelism::Threads(n)` every structure must produce
+//! bit-identical results — arrays, answers, argmax indices, partitions,
+//! and access statistics — to the `Sequential` path, for any thread count.
+//!
+//! Without the `parallel` feature these properties hold trivially
+//! (`Threads(n)` degrades to sequential execution); the CI feature matrix
+//! runs this suite in both configurations so the threaded path is
+//! exercised for real.
+
+use olap_array::{DenseArray, Parallelism, Region, Shape};
+use olap_engine::{CubeIndex, IndexConfig, PrefixChoice};
+use olap_prefix_sum::batch::{
+    apply_batch, apply_batch_blocked, apply_batch_blocked_par, apply_batch_par, CellUpdate,
+};
+use olap_prefix_sum::{BlockedPrefixCube, BoundaryPolicy, PrefixSumCube};
+use olap_range_max::NaturalMaxTree;
+use olap_sparse::{DenseRegionFinder, RegionFinderParams};
+use proptest::prelude::*;
+
+/// An f64 cube: float addition is not associative, so bit-equality of
+/// sums is a real determinism check, not a triviality.
+fn arb_cube() -> impl Strategy<Value = DenseArray<f64>> {
+    prop::collection::vec(2usize..8, 2..=3).prop_flat_map(|dims| {
+        let len: usize = dims.iter().product();
+        prop::collection::vec(-4000i64..4000, len).prop_map(move |data| {
+            let vals: Vec<f64> = data.iter().map(|&v| v as f64 * 0.125).collect();
+            DenseArray::from_vec(Shape::new(&dims).unwrap(), vals).unwrap()
+        })
+    })
+}
+
+fn arb_region(shape: &Shape) -> impl Strategy<Value = Region> {
+    let dims = shape.dims().to_vec();
+    let per_dim: Vec<_> = dims
+        .iter()
+        .map(|&n| (0..n, 0..n).prop_map(|(a, b)| (a.min(b), a.max(b))))
+        .collect();
+    per_dim.prop_map(|bounds| Region::from_bounds(&bounds).unwrap())
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn prefix_sum_build_is_bit_identical(a in arb_cube(), threads in 2usize..6) {
+        let seq = PrefixSumCube::build(&a);
+        let par = PrefixSumCube::build_with(&a, Parallelism::Threads(threads));
+        prop_assert_eq!(
+            bits(seq.prefix_array().as_slice()),
+            bits(par.prefix_array().as_slice())
+        );
+    }
+
+    #[test]
+    fn blocked_build_and_query_are_bit_identical(
+        (a, q) in arb_cube().prop_flat_map(|a| {
+            let q = arb_region(a.shape());
+            (Just(a), q)
+        }),
+        b in 1usize..5,
+        threads in 2usize..6,
+    ) {
+        let par = Parallelism::Threads(threads);
+        let seq_bp = BlockedPrefixCube::build(&a, b).unwrap();
+        let par_bp = BlockedPrefixCube::build_with(&a, b, par).unwrap();
+        prop_assert_eq!(
+            bits(seq_bp.packed_array().as_slice()),
+            bits(par_bp.packed_array().as_slice())
+        );
+        // Query fan-out: same answer bits AND same access statistics.
+        for policy in [
+            BoundaryPolicy::Auto,
+            BoundaryPolicy::AlwaysDirect,
+            BoundaryPolicy::AlwaysComplement,
+        ] {
+            let (sv, ss) = seq_bp.range_sum_with_policy(&a, &q, policy).unwrap();
+            let (pv, ps) = par_bp.range_sum_with_policy_par(&a, &q, policy, par).unwrap();
+            prop_assert_eq!(sv.to_bits(), pv.to_bits(), "{:?}", policy);
+            prop_assert_eq!(ss, ps, "{:?}", policy);
+        }
+    }
+
+    #[test]
+    fn max_tree_build_is_identical(a in arb_cube(), b in 2usize..5, threads in 2usize..6) {
+        let seq = NaturalMaxTree::for_values(&a, b).unwrap();
+        let par = NaturalMaxTree::for_values_with(&a, b, Parallelism::Threads(threads)).unwrap();
+        // Argmax indices decide tie-breaks; they must match exactly.
+        prop_assert_eq!(seq.export_levels(), par.export_levels());
+    }
+
+    #[test]
+    fn batch_updates_are_bit_identical(
+        (a, updates) in arb_cube().prop_flat_map(|a| {
+            let dims = a.shape().dims().to_vec();
+            let upd = prop::collection::vec(
+                (dims.iter().map(|&n| 0..n).collect::<Vec<_>>(), -100i64..100),
+                0..6,
+            );
+            (Just(a), upd)
+        }),
+        b in 1usize..4,
+        threads in 2usize..6,
+    ) {
+        let par = Parallelism::Threads(threads);
+        let deltas: Vec<CellUpdate<f64>> = updates
+            .iter()
+            .map(|(idx, v)| CellUpdate::new(idx, *v as f64 * 0.5))
+            .collect();
+        let mut seq_ps = PrefixSumCube::build(&a);
+        let mut par_ps = seq_ps.clone();
+        apply_batch(&mut seq_ps, &deltas).unwrap();
+        apply_batch_par(&mut par_ps, &deltas, par).unwrap();
+        prop_assert_eq!(
+            bits(seq_ps.prefix_array().as_slice()),
+            bits(par_ps.prefix_array().as_slice())
+        );
+        let mut seq_bp = BlockedPrefixCube::build(&a, b).unwrap();
+        let mut par_bp = seq_bp.clone();
+        apply_batch_blocked(&mut seq_bp, &deltas).unwrap();
+        apply_batch_blocked_par(&mut par_bp, &deltas, par).unwrap();
+        prop_assert_eq!(
+            bits(seq_bp.packed_array().as_slice()),
+            bits(par_bp.packed_array().as_slice())
+        );
+    }
+
+    #[test]
+    fn sparse_finder_partition_is_identical(
+        points in prop::collection::vec((0usize..40, 0usize..40), 0..120),
+        threads in 2usize..6,
+    ) {
+        let pts: Vec<Vec<usize>> = points.iter().map(|&(x, y)| vec![x, y]).collect();
+        let shape = Shape::new(&[40, 40]).unwrap();
+        let params = RegionFinderParams::default();
+        let (seq_r, seq_o) = DenseRegionFinder::new(params).find(&shape, &pts);
+        let finder = DenseRegionFinder::new(params).with_parallelism(Parallelism::Threads(threads));
+        let (par_r, par_o) = finder.find(&shape, &pts);
+        prop_assert_eq!(seq_r, par_r);
+        prop_assert_eq!(seq_o, par_o);
+    }
+
+    #[test]
+    fn cube_index_is_identical_under_threads(
+        (a, q, updates) in arb_cube().prop_flat_map(|a| {
+            let q = arb_region(a.shape());
+            let dims = a.shape().dims().to_vec();
+            let upd = prop::collection::vec(
+                (dims.iter().map(|&n| 0..n).collect::<Vec<_>>(), -100i64..100),
+                0..5,
+            );
+            (Just(a), q, upd)
+        }),
+        b in 1usize..4,
+        threads in 2usize..6,
+    ) {
+        let base = IndexConfig {
+            prefix: PrefixChoice::Blocked(b),
+            max_tree_fanout: Some(2),
+            min_tree_fanout: None,
+            sum_tree_fanout: None,
+            ..IndexConfig::default()
+        };
+        let threaded = IndexConfig {
+            parallelism: Parallelism::Threads(threads),
+            ..base
+        };
+        let mut seq_idx = CubeIndex::build(a.clone(), base).unwrap();
+        let mut par_idx = CubeIndex::build(a, threaded).unwrap();
+        let batch: Vec<(Vec<usize>, f64)> = updates
+            .iter()
+            .map(|(i, v)| (i.clone(), *v as f64 * 0.5))
+            .collect();
+        seq_idx.apply_updates(&batch).unwrap();
+        par_idx.apply_updates(&batch).unwrap();
+        let (sv, ss) = seq_idx.range_sum(&q).unwrap();
+        let (pv, ps) = par_idx.range_sum(&q).unwrap();
+        prop_assert_eq!(sv.to_bits(), pv.to_bits());
+        prop_assert_eq!(ss, ps);
+        let (si, sm, _) = seq_idx.range_max(&q).unwrap();
+        let (pi, pm, _) = par_idx.range_max(&q).unwrap();
+        prop_assert_eq!(si, pi);
+        prop_assert_eq!(sm.to_bits(), pm.to_bits());
+    }
+}

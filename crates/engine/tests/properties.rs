@@ -45,12 +45,13 @@ proptest! {
         blocked in 1usize..5,
     ) {
         let configs = [
-            IndexConfig { prefix: PrefixChoice::Basic, max_tree_fanout: Some(2), min_tree_fanout: None, sum_tree_fanout: None },
+            IndexConfig { prefix: PrefixChoice::Basic, max_tree_fanout: Some(2), min_tree_fanout: None, sum_tree_fanout: None, ..IndexConfig::default() },
             IndexConfig {
                 prefix: PrefixChoice::Blocked(blocked),
                 max_tree_fanout: Some(3),
                 min_tree_fanout: Some(2),
                 sum_tree_fanout: Some(2),
+                ..IndexConfig::default()
             },
         ];
         for cfg in configs {

@@ -2,7 +2,7 @@
 //! anchors, trading query time for a `1/b^d` space footprint.
 
 use olap_aggregate::{AbelianGroup, NumericValue, SumOp};
-use olap_array::{ArrayError, DenseArray, Range, Region, Shape};
+use olap_array::{exec, ArrayError, DenseArray, Parallelism, Range, Region, Shape};
 use olap_query::AccessStats;
 
 /// How a single boundary region was (or must be) evaluated (§4.2).
@@ -116,6 +116,17 @@ impl<T: NumericValue> BlockedPrefixCube<T> {
     pub fn build(cube: &DenseArray<T>, b: usize) -> Result<Self, ArrayError> {
         BlockedPrefixSum::with_op(cube, SumOp::new(), b)
     }
+
+    /// [`BlockedPrefixCube::build`] under an execution strategy.
+    ///
+    /// # Errors
+    /// [`ArrayError::ZeroBlock`] when `b = 0`.
+    pub fn build_with(cube: &DenseArray<T>, b: usize, par: Parallelism) -> Result<Self, ArrayError>
+    where
+        T: Send + Sync,
+    {
+        BlockedPrefixSum::with_op_par(cube, SumOp::new(), b, par)
+    }
 }
 
 impl<G: AbelianGroup> BlockedPrefixSum<G> {
@@ -130,6 +141,41 @@ impl<G: AbelianGroup> BlockedPrefixSum<G> {
         let mut p = cube.contract_blocks(b, op.identity(), |acc, x, _| op.combine(acc, x))?;
         for axis in 0..p.shape().ndim() {
             p.scan_axis(axis, |x, y| op.combine(x, y));
+        }
+        Ok(BlockedPrefixSum {
+            op,
+            b,
+            shape: cube.shape().clone(),
+            p,
+        })
+    }
+
+    /// [`BlockedPrefixSum::with_op`] under an execution strategy: the
+    /// block contraction runs as independent per-output-cell kernels and
+    /// the `d` scan phases as per-slab line kernels, each optionally
+    /// fanned out across threads. Per-cell fold and combine sequences
+    /// match the sequential build exactly, so the packed array is
+    /// bit-identical under every [`Parallelism`].
+    ///
+    /// # Errors
+    /// [`ArrayError::ZeroBlock`] when `b = 0`.
+    pub fn with_op_par(
+        cube: &DenseArray<G::Value>,
+        op: G,
+        b: usize,
+        par: Parallelism,
+    ) -> Result<Self, ArrayError>
+    where
+        G: Sync,
+        G::Value: Send + Sync,
+    {
+        if b == 0 {
+            return Err(ArrayError::ZeroBlock);
+        }
+        let mut p =
+            cube.contract_blocks_with(par, b, op.identity(), |acc, x, _| op.combine(acc, x))?;
+        for axis in 0..p.shape().ndim() {
+            p.scan_axis_with(par, axis, |x, y| op.combine(x, y));
         }
         Ok(BlockedPrefixSum {
             op,
@@ -374,6 +420,51 @@ impl<G: AbelianGroup> BlockedPrefixSum<G> {
         Ok((SumBounds { lower, upper }, stats))
     }
 
+    /// The shared per-part kernel of the §4.2 query: evaluates one piece
+    /// of the `3^d` decomposition under `policy`, recording its accesses.
+    /// Both the sequential loop and the parallel fan-out run exactly this
+    /// kernel per part.
+    fn eval_part(
+        &self,
+        a: &DenseArray<G::Value>,
+        part: &RegionPart,
+        policy: BoundaryPolicy,
+        d: usize,
+        stats: &mut AccessStats,
+    ) -> G::Value {
+        let v = if part.internal {
+            self.aligned_sum(&part.region, stats)
+        } else {
+            let method = match policy {
+                BoundaryPolicy::Auto => part.preferred_method(d),
+                BoundaryPolicy::AlwaysDirect => BoundaryMethod::Direct,
+                BoundaryPolicy::AlwaysComplement => BoundaryMethod::Complement,
+            };
+            match method {
+                BoundaryMethod::Direct => {
+                    stats.read_a(part.region.volume() as u64);
+                    stats.step(part.region.volume() as u64);
+                    a.fold_region(&part.region, self.op.identity(), |s, x| {
+                        self.op.combine(&s, x)
+                    })
+                }
+                BoundaryMethod::Complement => {
+                    let mut v = self.aligned_sum(&part.superblock, stats);
+                    for hole in part.complement() {
+                        stats.read_a(hole.volume() as u64);
+                        stats.step(hole.volume() as u64);
+                        let h =
+                            a.fold_region(&hole, self.op.identity(), |s, x| self.op.combine(&s, x));
+                        v = self.op.uncombine(&v, &h);
+                    }
+                    v
+                }
+            }
+        };
+        stats.step(1);
+        v
+    }
+
     /// Full-control entry point: evaluates the query under a given
     /// boundary policy, reporting access counts.
     pub fn range_sum_with_policy(
@@ -393,38 +484,52 @@ impl<G: AbelianGroup> BlockedPrefixSum<G> {
         let mut stats = AccessStats::new();
         let mut acc = self.op.identity();
         for part in self.decompose(region) {
-            let v = if part.internal {
-                self.aligned_sum(&part.region, &mut stats)
-            } else {
-                let method = match policy {
-                    BoundaryPolicy::Auto => part.preferred_method(d),
-                    BoundaryPolicy::AlwaysDirect => BoundaryMethod::Direct,
-                    BoundaryPolicy::AlwaysComplement => BoundaryMethod::Complement,
-                };
-                match method {
-                    BoundaryMethod::Direct => {
-                        stats.read_a(part.region.volume() as u64);
-                        stats.step(part.region.volume() as u64);
-                        a.fold_region(&part.region, self.op.identity(), |s, x| {
-                            self.op.combine(&s, x)
-                        })
-                    }
-                    BoundaryMethod::Complement => {
-                        let mut v = self.aligned_sum(&part.superblock, &mut stats);
-                        for hole in part.complement() {
-                            stats.read_a(hole.volume() as u64);
-                            stats.step(hole.volume() as u64);
-                            let h = a.fold_region(&hole, self.op.identity(), |s, x| {
-                                self.op.combine(&s, x)
-                            });
-                            v = self.op.uncombine(&v, &h);
-                        }
-                        v
-                    }
-                }
-            };
+            let v = self.eval_part(a, &part, policy, d, &mut stats);
             acc = self.op.combine(&acc, &v);
-            stats.step(1);
+        }
+        Ok((acc, stats))
+    }
+
+    /// [`BlockedPrefixSum::range_sum_with_policy`] under an execution
+    /// strategy: the `≤ 3^d` decomposition parts are evaluated by the
+    /// same per-part kernel, optionally fanned out across threads, then
+    /// reduced **in part order** — values combined and per-part
+    /// [`AccessStats`] merged in the fixed order `decompose` emits. The
+    /// answer and the stats are therefore identical to the sequential
+    /// evaluation under every [`Parallelism`].
+    ///
+    /// # Errors
+    /// Validates the region and the cube shape.
+    pub fn range_sum_with_policy_par(
+        &self,
+        a: &DenseArray<G::Value>,
+        region: &Region,
+        policy: BoundaryPolicy,
+        par: Parallelism,
+    ) -> Result<(G::Value, AccessStats), ArrayError>
+    where
+        G: Sync,
+        G::Value: Send + Sync,
+    {
+        if a.shape() != &self.shape {
+            return Err(ArrayError::DimMismatch {
+                expected: self.shape.ndim(),
+                actual: a.shape().ndim(),
+            });
+        }
+        self.shape.check_region(region)?;
+        let d = region.ndim();
+        let parts = self.decompose(region);
+        let results: Vec<(G::Value, AccessStats)> = exec::run_indexed(par, parts, |_, part| {
+            let mut part_stats = AccessStats::new();
+            let v = self.eval_part(a, &part, policy, d, &mut part_stats);
+            (v, part_stats)
+        });
+        let mut acc = self.op.identity();
+        let mut stats = AccessStats::new();
+        for (v, s) in &results {
+            acc = self.op.combine(&acc, v);
+            stats.merge(s);
         }
         Ok((acc, stats))
     }

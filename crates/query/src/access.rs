@@ -3,6 +3,12 @@ use std::ops::{Add, AddAssign};
 /// Counts of the cells and nodes an algorithm touched while answering a
 /// query — the paper's cost proxy ("we use the number of elements required
 /// to answer the query as a proxy for response time", §8).
+///
+/// Counters saturate at `u64::MAX` instead of wrapping, so long-running
+/// accumulations degrade to a pinned ceiling rather than a nonsense value.
+/// Per-chunk counters produced by parallel execution reduce with
+/// [`AccessStats::merge`]; merging is commutative and associative, so the
+/// totals are independent of how work was chunked.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct AccessStats {
     /// Cells of the original cube `A` read.
@@ -24,27 +30,43 @@ impl AccessStats {
     /// Total elements accessed — the §8 cost metric (`A` cells +
     /// precomputed cells + tree nodes).
     pub fn total_accesses(&self) -> u64 {
-        self.a_cells + self.p_cells + self.tree_nodes
+        self.a_cells
+            .saturating_add(self.p_cells)
+            .saturating_add(self.tree_nodes)
     }
 
     /// Records reads of `n` cells of `A`.
     pub fn read_a(&mut self, n: u64) {
-        self.a_cells += n;
+        self.a_cells = self.a_cells.saturating_add(n);
     }
 
     /// Records reads of `n` precomputed cells.
     pub fn read_p(&mut self, n: u64) {
-        self.p_cells += n;
+        self.p_cells = self.p_cells.saturating_add(n);
     }
 
     /// Records visits to `n` tree nodes.
     pub fn visit_nodes(&mut self, n: u64) {
-        self.tree_nodes += n;
+        self.tree_nodes = self.tree_nodes.saturating_add(n);
     }
 
     /// Records `n` combine/compare steps.
     pub fn step(&mut self, n: u64) {
-        self.combine_steps += n;
+        self.combine_steps = self.combine_steps.saturating_add(n);
+    }
+
+    /// Folds another counter into this one (saturating per field).
+    ///
+    /// This is the reduction used to combine per-chunk counters after a
+    /// parallel fan-out: start from `AccessStats::default()` and merge each
+    /// chunk's stats in chunk order. Because merge is commutative and
+    /// associative, the result equals the single-counter sequential run no
+    /// matter how the work was chunked.
+    pub fn merge(&mut self, other: &AccessStats) {
+        self.a_cells = self.a_cells.saturating_add(other.a_cells);
+        self.p_cells = self.p_cells.saturating_add(other.p_cells);
+        self.tree_nodes = self.tree_nodes.saturating_add(other.tree_nodes);
+        self.combine_steps = self.combine_steps.saturating_add(other.combine_steps);
     }
 }
 
@@ -52,12 +74,9 @@ impl Add for AccessStats {
     type Output = AccessStats;
 
     fn add(self, rhs: AccessStats) -> AccessStats {
-        AccessStats {
-            a_cells: self.a_cells + rhs.a_cells,
-            p_cells: self.p_cells + rhs.p_cells,
-            tree_nodes: self.tree_nodes + rhs.tree_nodes,
-            combine_steps: self.combine_steps + rhs.combine_steps,
-        }
+        let mut out = self;
+        out.merge(&rhs);
+        out
     }
 }
 
@@ -80,6 +99,89 @@ mod tests {
         s.step(100);
         assert_eq!(s.total_accesses(), 12);
         assert_eq!(s.combine_steps, 100);
+    }
+
+    #[test]
+    fn merge_sums_all_fields() {
+        let mut a = AccessStats {
+            a_cells: 1,
+            p_cells: 2,
+            tree_nodes: 3,
+            combine_steps: 4,
+        };
+        let b = AccessStats {
+            a_cells: 100,
+            p_cells: 200,
+            tree_nodes: 300,
+            combine_steps: 400,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            AccessStats {
+                a_cells: 101,
+                p_cells: 202,
+                tree_nodes: 303,
+                combine_steps: 404
+            }
+        );
+        // Merging a default is a no-op: default is the merge identity.
+        let before = a;
+        a.merge(&AccessStats::default());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn merge_order_does_not_matter() {
+        let parts = [
+            AccessStats {
+                a_cells: 5,
+                p_cells: 1,
+                tree_nodes: 0,
+                combine_steps: 9,
+            },
+            AccessStats {
+                a_cells: 0,
+                p_cells: 7,
+                tree_nodes: 2,
+                combine_steps: 1,
+            },
+            AccessStats {
+                a_cells: 3,
+                p_cells: 0,
+                tree_nodes: 8,
+                combine_steps: 0,
+            },
+        ];
+        let mut forward = AccessStats::default();
+        for p in &parts {
+            forward.merge(p);
+        }
+        let mut backward = AccessStats::default();
+        for p in parts.iter().rev() {
+            backward.merge(p);
+        }
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let mut s = AccessStats::new();
+        s.read_a(u64::MAX - 1);
+        s.read_a(5);
+        assert_eq!(s.a_cells, u64::MAX);
+        s.read_p(u64::MAX);
+        s.step(u64::MAX);
+        s.visit_nodes(1);
+        s.visit_nodes(u64::MAX);
+        assert_eq!(s.p_cells, u64::MAX);
+        assert_eq!(s.tree_nodes, u64::MAX);
+        assert_eq!(s.combine_steps, u64::MAX);
+        // total_accesses and merge saturate too.
+        assert_eq!(s.total_accesses(), u64::MAX);
+        let mut t = s;
+        t.merge(&s);
+        assert_eq!(t.a_cells, u64::MAX);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! minimizes Gini impurity, emitting the pure-enough boxes as dense
 //! regions.
 
-use olap_array::{Range, Region, Shape};
+use olap_array::{exec, Parallelism, Range, Region, Shape};
 
 /// Tuning knobs for the region finder.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,6 +46,7 @@ pub struct DenseRegion {
 #[derive(Debug, Clone)]
 pub struct DenseRegionFinder {
     params: RegionFinderParams,
+    par: Parallelism,
 }
 
 impl Default for DenseRegionFinder {
@@ -57,7 +58,20 @@ impl Default for DenseRegionFinder {
 impl DenseRegionFinder {
     /// Creates a finder with explicit parameters.
     pub fn new(params: RegionFinderParams) -> Self {
-        DenseRegionFinder { params }
+        DenseRegionFinder {
+            params,
+            par: Parallelism::Sequential,
+        }
+    }
+
+    /// Sets the execution strategy for the per-axis cut search. Each axis
+    /// is scored by an independent kernel; the winners reduce in axis order
+    /// under the same strict-less rule as the sequential scan, so the cut
+    /// chosen at every node — and therefore the final partition — is
+    /// identical under every [`Parallelism`].
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
     }
 
     /// Partitions the points of a cube into dense regions and outliers.
@@ -110,9 +124,6 @@ impl DenseRegionFinder {
         1.0 - p0 * p0 - p1 * p1
     }
 
-    // The `axis` loop below indexes each point's coordinate vector, not a
-    // slice being iterated — the clippy suggestion doesn't apply.
-    #[allow(clippy::needless_range_loop)]
     fn recurse(
         &self,
         points: &[Vec<usize>],
@@ -144,34 +155,18 @@ impl DenseRegionFinder {
         }
         // Greedy axis cut minimizing weighted Gini impurity; candidate
         // cuts at midpoints between consecutive distinct coordinates.
+        // Each axis is scored by an independent kernel (optionally fanned
+        // across threads); reducing the winners in axis order under the
+        // same strict-less rule keeps the chosen cut identical to the
+        // sequential scan, ties included (lowest axis, then lowest cut).
         let d = bbox.ndim();
         let parent_gini = Self::gini(n1, vol);
+        let per_axis = exec::run_indexed(self.par, (0..d).collect(), |_, axis| {
+            best_cut_on_axis(points, &members, &bbox, axis)
+        });
         let mut best: Option<(usize, usize, f64)> = None; // (axis, cut, score)
-        for axis in 0..d {
-            let r = bbox.range(axis);
-            if r.len() < 2 {
-                continue;
-            }
-            let mut coords: Vec<usize> = members.iter().map(|&i| points[i][axis]).collect();
-            coords.sort_unstable();
-            coords.dedup();
-            let side_volume = vol / r.len();
-            // Candidate cut after coordinate c: left = [lo, c], right = [c+1, hi].
-            let mut left_count = 0usize;
-            let mut ci = 0usize;
-            let mut sorted_members: Vec<usize> = members.clone();
-            sorted_members.sort_by_key(|&i| points[i][axis]);
-            for &c in coords.iter().take_while(|&&c| c < r.hi()) {
-                while ci < sorted_members.len() && points[sorted_members[ci]][axis] <= c {
-                    left_count += 1;
-                    ci += 1;
-                }
-                let left_vol = side_volume * (c - r.lo() + 1);
-                let right_vol = vol - left_vol;
-                let right_count = n1 - left_count;
-                let w = (left_vol as f64 * Self::gini(left_count, left_vol)
-                    + right_vol as f64 * Self::gini(right_count, right_vol))
-                    / vol as f64;
+        for (axis, found) in per_axis.into_iter().enumerate() {
+            if let Some((c, w)) = found {
                 if best.is_none_or(|(_, _, s)| w < s) {
                     best = Some((axis, c, w));
                 }
@@ -199,6 +194,51 @@ impl DenseRegionFinder {
             _ => outliers.extend(members),
         }
     }
+}
+
+/// The per-axis cut kernel: scores every candidate cut on `axis` (after
+/// each distinct member coordinate below the box's upper bound) by weighted
+/// Gini impurity and returns the best `(cut, score)`, or `None` when the
+/// axis is too thin to cut. Strict-less replacement keeps the lowest
+/// winning cut, matching the original single-threaded scan order.
+fn best_cut_on_axis(
+    points: &[Vec<usize>],
+    members: &[usize],
+    bbox: &Region,
+    axis: usize,
+) -> Option<(usize, f64)> {
+    let r = bbox.range(axis);
+    if r.len() < 2 {
+        return None;
+    }
+    let vol = bbox.volume();
+    let n1 = members.len();
+    let mut coords: Vec<usize> = members.iter().map(|&i| points[i][axis]).collect();
+    coords.sort_unstable();
+    coords.dedup();
+    let side_volume = vol / r.len();
+    // Candidate cut after coordinate c: left = [lo, c], right = [c+1, hi].
+    let mut best: Option<(usize, f64)> = None;
+    let mut left_count = 0usize;
+    let mut ci = 0usize;
+    let mut sorted_members: Vec<usize> = members.to_vec();
+    sorted_members.sort_by_key(|&i| points[i][axis]);
+    for &c in coords.iter().take_while(|&&c| c < r.hi()) {
+        while ci < sorted_members.len() && points[sorted_members[ci]][axis] <= c {
+            left_count += 1;
+            ci += 1;
+        }
+        let left_vol = side_volume * (c - r.lo() + 1);
+        let right_vol = vol - left_vol;
+        let right_count = n1 - left_count;
+        let w = (left_vol as f64 * DenseRegionFinder::gini(left_count, left_vol)
+            + right_vol as f64 * DenseRegionFinder::gini(right_count, right_vol))
+            / vol as f64;
+        if best.is_none_or(|(_, s)| w < s) {
+            best = Some((c, w));
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -303,6 +343,28 @@ mod tests {
             assert!(!regions.iter().any(|r| r.bounds.contains(&pts[o])));
         }
         assert_eq!(in_regions + outliers.len(), n);
+    }
+
+    #[test]
+    fn parallel_cut_search_matches_sequential() {
+        // Checkerboard blocks create many near-tied cuts; the partition
+        // must be identical whatever the execution strategy.
+        let mut pts = Vec::new();
+        for x in 0..30 {
+            for y in 0..30 {
+                if (x / 10 + y / 10) % 2 == 0 {
+                    pts.push(vec![x, y]);
+                }
+            }
+        }
+        let shape = Shape::new(&[40, 40]).unwrap();
+        let (seq_r, seq_o) = DenseRegionFinder::default().find(&shape, &pts);
+        for par in [Parallelism::Threads(2), Parallelism::Threads(4)] {
+            let finder = DenseRegionFinder::default().with_parallelism(par);
+            let (r, o) = finder.find(&shape, &pts);
+            assert_eq!(r, seq_r, "{par:?}");
+            assert_eq!(o, seq_o, "{par:?}");
+        }
     }
 
     #[test]

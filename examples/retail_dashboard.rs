@@ -56,6 +56,7 @@ fn main() {
             max_tree_fanout: Some(4),
             min_tree_fanout: Some(4),
             sum_tree_fanout: None,
+            ..IndexConfig::default()
         },
     )
     .expect("valid config");

@@ -96,24 +96,28 @@ fn cube_index_routes_like_direct_engines() {
             max_tree_fanout: Some(2),
             min_tree_fanout: None,
             sum_tree_fanout: None,
+            ..IndexConfig::default()
         },
         IndexConfig {
             prefix: PrefixChoice::Blocked(4),
             max_tree_fanout: Some(4),
             min_tree_fanout: Some(3),
             sum_tree_fanout: Some(2),
+            ..IndexConfig::default()
         },
         IndexConfig {
             prefix: PrefixChoice::None,
             max_tree_fanout: None,
             min_tree_fanout: None,
             sum_tree_fanout: Some(3),
+            ..IndexConfig::default()
         },
         IndexConfig {
             prefix: PrefixChoice::None,
             max_tree_fanout: None,
             min_tree_fanout: None,
             sum_tree_fanout: None,
+            ..IndexConfig::default()
         },
     ];
     let indexes: Vec<_> = configs

@@ -151,6 +151,7 @@ fn many_duplicate_updates_last_wins() {
             max_tree_fanout: Some(2),
             min_tree_fanout: None,
             sum_tree_fanout: None,
+            ..IndexConfig::default()
         },
     )
     .unwrap();

@@ -25,6 +25,7 @@ fn twenty_rounds_of_mixed_queries_and_updates() {
         max_tree_fanout: Some(3),
         min_tree_fanout: None,
         sum_tree_fanout: Some(2),
+        ..IndexConfig::default()
     };
     let mut index = CubeIndex::build(a, cfg).unwrap();
     let mut rng = StdRng::seed_from_u64(7);
@@ -76,6 +77,7 @@ fn blocked_index_update_cycle() {
         max_tree_fanout: None,
         min_tree_fanout: None,
         sum_tree_fanout: None,
+        ..IndexConfig::default()
     };
     let mut index = CubeIndex::build(a, cfg).unwrap();
     let mut rng = StdRng::seed_from_u64(8);

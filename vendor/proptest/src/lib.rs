@@ -1,0 +1,199 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the subset of proptest it actually uses: the [`proptest!`] macro,
+//! strategies for primitive ranges / tuples / collections, the
+//! `prop_map` / `prop_flat_map` / `prop_filter` combinators, `prop_oneof!`,
+//! and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberate for offline determinism:
+//!
+//! - **No shrinking.** A failing case reports the case number and the
+//!   deterministic seed; re-running reproduces it exactly.
+//! - **Fixed seeding.** Each test's stream is seeded from the test's
+//!   module path and case index, so runs are reproducible everywhere and
+//!   `.proptest-regressions` files are ignored.
+//! - Filters retry locally (up to a cap) instead of counting global
+//!   rejections.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod num;
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies for `bool` (`prop::bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy type for uniform booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// A uniform boolean.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The commonly imported surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    /// The `prop::` alias the real prelude exposes (`prop::collection::vec`,
+    /// `prop::num::f64::NORMAL`, `prop::bool::ANY`, …).
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The test-definition macro. Mirrors real proptest's grammar:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(200))]
+///     #[test]
+///     fn my_property(x in 0usize..10, (a, b) in my_strategy()) { ... }
+/// }
+/// ```
+///
+/// Each test runs `cases` deterministic iterations; the body may use the
+/// `prop_assert*` macros and `?` on `Result<_, TestCaseError>`.
+#[macro_export]
+macro_rules! proptest {
+    // With a config header.
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::__proptest_run!(config, $name, ($($pat in $strat),+), $body);
+            }
+        )*
+    };
+    // Without a config header.
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $crate::test_runner::ProptestConfig::default();
+                $crate::__proptest_run!(config, $name, ($($pat in $strat),+), $body);
+            }
+        )*
+    };
+}
+
+/// Internal: the per-test case loop shared by both `proptest!` arms.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_run {
+    ($config:expr, $name:ident, ($($pat:pat in $strat:expr),+), $body:block) => {{
+        let cases = $config.cases;
+        let test_id = concat!(module_path!(), "::", stringify!($name));
+        for case in 0..cases {
+            let mut __proptest_rng =
+                $crate::test_runner::TestRng::deterministic(test_id, case as u64);
+            $(
+                let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __proptest_rng);
+            )+
+            let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+            if let ::std::result::Result::Err(e) = outcome {
+                panic!(
+                    "proptest {test_id}: case {case}/{cases} failed: {e}\n\
+                     (deterministic: rerun this test to reproduce)"
+                );
+            }
+        }
+    }};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (not the whole process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} at {}:{}", format!($($fmt)+), file!(), line!()),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,27 @@
+//! Numeric strategies (`prop::num::f64::NORMAL`).
+
+/// Strategies for `f64`.
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy type for normal (finite, non-NaN, non-subnormal) floats.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal;
+
+    /// Normal floats of either sign, spread across magnitudes
+    /// (roughly `1e-9` to `1e9`).
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            // sign * mantissa in [1, 2) * 2^exp, exp in [-30, 30].
+            let bits = rng.next_u64();
+            let sign = if bits & 1 == 1 { -1.0 } else { 1.0 };
+            let exp = ((bits >> 1) % 61) as i32 - 30;
+            let mantissa = 1.0 + ((bits >> 11) & ((1u64 << 52) - 1)) as f64 / (1u64 << 52) as f64;
+            sign * mantissa * (exp as f64).exp2()
+        }
+    }
+}

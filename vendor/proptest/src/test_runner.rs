@@ -1,0 +1,96 @@
+//! Deterministic RNG, config, and failure type for the test macro.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::fmt;
+
+/// Per-run configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` iterations per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed (or rejected) test case. Bodies return
+/// `Result<(), TestCaseError>`; `?` on any `std::error::Error` converts.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure carrying a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// Alias kept for API compatibility with real proptest.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::fail(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl<E: std::error::Error> From<E> for TestCaseError {
+    fn from(e: E) -> Self {
+        TestCaseError::fail(e.to_string())
+    }
+}
+
+/// The deterministic stream strategies draw from.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeds a stream from a test identifier and case index. The same
+    /// `(test_id, case)` pair always produces the same stream.
+    pub fn deterministic(test_id: &str, case: u64) -> Self {
+        // FNV-1a over the test id, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_id.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform `usize` in `[0, bound)`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0)");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Access to the underlying seeded generator for range sampling.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
