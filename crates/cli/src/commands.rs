@@ -18,10 +18,11 @@ commands:
   gen      --dims N,N[,N…] [--max V] [--seed S] --out FILE      generate a cube
   from-csv --dims N,N[,N…] --out FILE CSVFILE                   load a cube from CSV
   build    --cube FILE (--prefix | --blocked B | --max-tree B | --min-tree B) --out FILE
-  sum      --index FILE [--cube FILE] --query Q [--stats] [--bounds]
+  sum      --index FILE [--cube FILE] --query Q [--stats] [--bounds] [--explain]
   max      --cube FILE --index FILE --query Q [--stats]
   min      --cube FILE --index FILE --query Q [--stats]
   update   --cube FILE [--index FILE…] --set i,j,…=v [--set …]
+  explain  --cube FILE --query Q [--blocked B] [--tree B]       routed query + cost table
   repl     --cube FILE [--index FILE…]                          interactive session
   plan     --dims N,N[,N…] --log FILE --budget CELLS            §9 physical design
   info     FILE
@@ -45,6 +46,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "max" => cmd_max(rest),
         "min" => cmd_min(rest),
         "update" => cmd_update(rest),
+        "explain" => cmd_explain(rest),
         "info" => cmd_info(rest),
         "plan" => cmd_plan(rest),
         "repl" => {
@@ -172,6 +174,9 @@ fn cmd_sum(args: &[String]) -> Result<String, CliError> {
     let p = split_args(args)?;
     let index_path = p.require("--index")?;
     let query = p.require("--query")?;
+    if p.has("--explain") {
+        return explain_sum_via_index(&p, index_path, query);
+    }
     // Peek at the kind by trying each reader.
     if let Ok(ps) = storage::read_prefix_sum(&mut open_reader(index_path)?) {
         let region = parse_query(query, ps.shape().dims())?;
@@ -217,6 +222,93 @@ fn cmd_sum(args: &[String]) -> Result<String, CliError> {
         ));
     }
     Ok(out)
+}
+
+/// Builds a sequential `CubeIndex` engine over `a` with the given prefix
+/// structure and nothing else.
+fn prefix_engine(
+    a: &olap_array::DenseArray<i64>,
+    prefix: olap_engine::PrefixChoice,
+) -> Result<olap_engine::CubeIndex<i64>, CliError> {
+    let config = olap_engine::IndexConfig {
+        prefix,
+        max_tree_fanout: None,
+        min_tree_fanout: None,
+        sum_tree_fanout: None,
+        parallelism: olap_engine::Parallelism::Sequential,
+    };
+    olap_engine::CubeIndex::build(a.clone(), config).map_err(|e| CliError::Query(e.to_string()))
+}
+
+/// `sum --explain`: route between the naive scan and the structure stored
+/// in `--index`, reporting predicted vs observed cost.
+fn explain_sum_via_index(
+    p: &crate::args::ParsedArgs,
+    index_path: &str,
+    query: &str,
+) -> Result<String, CliError> {
+    use olap_engine::{AdaptiveRouter, NaiveEngine, RangeEngine};
+    let cube_path = p
+        .require("--cube")
+        .map_err(|_| usage("sum --explain needs --cube to build candidate engines"))?;
+    let a = storage::read_dense_i64(&mut open_reader(cube_path)?)?;
+    let q = crate::args::parse_range_query(query, a.shape().dims())?;
+    let indexed: Box<dyn RangeEngine<i64>> =
+        if storage::read_prefix_sum(&mut open_reader(index_path)?).is_ok() {
+            Box::new(prefix_engine(&a, olap_engine::PrefixChoice::Basic)?)
+        } else {
+            let bp = storage::read_blocked_prefix(&mut open_reader(index_path)?)?;
+            Box::new(prefix_engine(
+                &a,
+                olap_engine::PrefixChoice::Blocked(bp.block_size()),
+            )?)
+        };
+    let mut router = AdaptiveRouter::new()
+        .with_engine(Box::new(NaiveEngine::new(a)))
+        .with_engine(indexed);
+    let e = router
+        .explain(&q)
+        .map_err(|e| CliError::Query(e.to_string()))?;
+    Ok(e.to_string())
+}
+
+/// `explain`: build a candidate set over the raw cube (naive scan, basic
+/// prefix sum, blocked prefix sum, tree-sum baseline), route the query,
+/// and print the full decision table.
+fn cmd_explain(args: &[String]) -> Result<String, CliError> {
+    use olap_engine::{AdaptiveRouter, NaiveEngine, SumTreeEngine};
+    let p = split_args(args)?;
+    let cube_path = p.require("--cube")?;
+    let query = p.require("--query")?;
+    let blocked: usize = p
+        .get("--blocked")
+        .unwrap_or("16")
+        .parse()
+        .map_err(|_| usage("--blocked needs a block size"))?;
+    let tree: usize = p
+        .get("--tree")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| usage("--tree needs a fanout"))?;
+    let a = storage::read_dense_i64(&mut open_reader(cube_path)?)?;
+    let q = crate::args::parse_range_query(query, a.shape().dims())?;
+    let mut router = AdaptiveRouter::new()
+        .with_engine(Box::new(NaiveEngine::new(a.clone())))
+        .with_engine(Box::new(prefix_engine(
+            &a,
+            olap_engine::PrefixChoice::Basic,
+        )?))
+        .with_engine(Box::new(prefix_engine(
+            &a,
+            olap_engine::PrefixChoice::Blocked(blocked),
+        )?))
+        .with_engine(Box::new(
+            SumTreeEngine::build(a, tree).map_err(|e| CliError::Query(e.to_string()))?,
+        ));
+    let e = router
+        .explain(&q)
+        .map_err(|e| CliError::Query(e.to_string()))?;
+    Ok(e.to_string())
 }
 
 fn cmd_max(args: &[String]) -> Result<String, CliError> {
@@ -586,6 +678,47 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("max = 999"), "{out}");
+    }
+
+    #[test]
+    fn explain_command_prints_cost_table() {
+        let cube = tmp("t8.olap");
+        run_s(&["gen", "--dims", "32,32", "--seed", "4", "--out", &cube]).unwrap();
+        let out = run_s(&["explain", "--cube", &cube, "--query", "2:29,0:31"]).unwrap();
+        assert!(out.contains("candidate"), "{out}");
+        assert!(out.contains("naive-scan"), "{out}");
+        assert!(out.contains("cube-index(basic-prefix)"), "{out}");
+        assert!(out.contains("cube-index(blocked b=16)"), "{out}");
+        assert!(out.contains("tree-sum(b=4)"), "{out}");
+        assert!(out.contains("observed:"), "{out}");
+        // A large query must route to the basic prefix sum (2^d accesses).
+        assert!(out.contains("basic prefix sum"), "{out}");
+    }
+
+    #[test]
+    fn sum_explain_reports_predicted_vs_observed() {
+        let cube = tmp("t9.olap");
+        let psum = tmp("t9.psum");
+        run_s(&["gen", "--dims", "16,16", "--seed", "5", "--out", &cube]).unwrap();
+        run_s(&["build", "--cube", &cube, "--prefix", "--out", &psum]).unwrap();
+        let out = run_s(&[
+            "sum",
+            "--index",
+            &psum,
+            "--cube",
+            &cube,
+            "--query",
+            "1:14,2:13",
+            "--explain",
+        ])
+        .unwrap();
+        assert!(out.contains("naive-scan"), "{out}");
+        assert!(out.contains("cube-index(basic-prefix)"), "{out}");
+        assert!(out.contains("observed:"), "{out}");
+        assert!(out.contains("answer:"), "{out}");
+        // Without --cube the flag is a usage error.
+        let err = run_s(&["sum", "--index", &psum, "--query", "1:2,1:2", "--explain"]).unwrap_err();
+        assert!(err.to_string().contains("--cube"), "{err}");
     }
 
     #[test]

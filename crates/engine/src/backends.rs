@@ -1,0 +1,437 @@
+//! [`RangeEngine`] adapters for the backends that live in other crates:
+//! the naive scans, the §8 tree-sum baseline, and the §10 sparse engines.
+//!
+//! Each wrapper owns whatever the underlying structure needs at query time
+//! (the tree-sum and naive engines keep the base cube; the sparse engines
+//! are self-contained) so the whole backend travels as one
+//! `Box<dyn RangeEngine<V>>`.
+
+use crate::range_engine::{Capabilities, RangeEngine};
+use crate::EngineError;
+use olap_aggregate::{NaturalOrder, NumericValue, ReverseOrder, SumOp, TotalOrder};
+use olap_array::{DenseArray, Region, Shape};
+use olap_planner::cost;
+use olap_query::{AccessStats, EngineKind, QueryOutcome, QueryStats, RangeQuery};
+use olap_sparse::{SparseCube, SparseRangeMax, SparseRangeSum};
+use olap_tree_sum::SumTreeCube;
+
+/// The no-precomputation baseline as an engine: scans the query sub-cube
+/// for every operation. Cost = query volume `V` — the yardstick every
+/// structure is measured against.
+#[derive(Clone)]
+pub struct NaiveEngine<T> {
+    a: DenseArray<T>,
+}
+
+impl<T> NaiveEngine<T> {
+    /// Wraps a cube.
+    pub fn new(a: DenseArray<T>) -> Self {
+        NaiveEngine { a }
+    }
+
+    /// The underlying cube.
+    pub fn cube(&self) -> &DenseArray<T> {
+        &self.a
+    }
+}
+
+impl<T> RangeEngine<T> for NaiveEngine<T>
+where
+    T: NumericValue + PartialOrd,
+    NaturalOrder<T>: TotalOrder<Value = T>,
+{
+    fn label(&self) -> String {
+        "naive-scan".to_string()
+    }
+
+    fn shape(&self) -> &Shape {
+        self.a.shape()
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::full()
+    }
+
+    fn estimate(&self, query: &RangeQuery) -> f64 {
+        match query.to_region(self.a.shape()) {
+            Ok(region) => region.volume() as f64,
+            Err(_) => f64::INFINITY,
+        }
+    }
+
+    fn range_sum(&self, query: &RangeQuery) -> Result<QueryOutcome<T>, EngineError> {
+        let region = query.to_region(self.a.shape())?;
+        let (v, stats) = crate::naive::range_aggregate(&self.a, &SumOp::<T>::new(), &region)?;
+        Ok(QueryOutcome::aggregate(v, stats, EngineKind::NaiveScan))
+    }
+
+    fn range_max(&self, query: &RangeQuery) -> Result<QueryOutcome<T>, EngineError> {
+        let region = query.to_region(self.a.shape())?;
+        let (at, v, stats) = crate::naive::range_max(&self.a, &NaturalOrder::<T>::new(), &region)?;
+        Ok(QueryOutcome::extremum(at, v, stats, EngineKind::NaiveScan))
+    }
+
+    fn range_min(&self, query: &RangeQuery) -> Result<QueryOutcome<T>, EngineError> {
+        let region = query.to_region(self.a.shape())?;
+        let order = ReverseOrder::new(NaturalOrder::<T>::new());
+        let (at, v, stats) = crate::naive::range_max(&self.a, &order, &region)?;
+        Ok(QueryOutcome::extremum(at, v, stats, EngineKind::NaiveScan))
+    }
+
+    fn apply_updates(&mut self, updates: &[(Vec<usize>, T)]) -> Result<AccessStats, EngineError> {
+        for (idx, _) in updates {
+            self.a.shape().check_index(idx)?;
+        }
+        let mut stats = AccessStats::new();
+        for (idx, v) in updates {
+            *self.a.get_mut(idx) = v.clone();
+            stats.read_a(1);
+        }
+        Ok(stats)
+    }
+}
+
+/// The §8 tree-sum baseline as a standalone engine: the hierarchical tree
+/// plus the base cube its queries read boundary cells from. Updates
+/// rebuild the tree (the paper gives it no incremental algorithm).
+#[derive(Clone)]
+pub struct SumTreeEngine<T: NumericValue + PartialOrd> {
+    a: DenseArray<T>,
+    tree: SumTreeCube<T>,
+}
+
+impl<T: NumericValue + PartialOrd> SumTreeEngine<T> {
+    /// Builds the tree with per-dimension fanout `b` over the cube.
+    ///
+    /// # Errors
+    /// Rejects fanouts < 2.
+    pub fn build(a: DenseArray<T>, b: usize) -> Result<Self, EngineError> {
+        let tree = SumTreeCube::build(&a, b)?;
+        Ok(SumTreeEngine { a, tree })
+    }
+
+    /// The tree's per-dimension fanout.
+    pub fn fanout(&self) -> usize {
+        self.tree.fanout()
+    }
+}
+
+impl<T> RangeEngine<T> for SumTreeEngine<T>
+where
+    T: NumericValue + PartialOrd,
+{
+    fn label(&self) -> String {
+        format!("tree-sum(b={})", self.tree.fanout())
+    }
+
+    fn shape(&self) -> &Shape {
+        self.a.shape()
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            range_sum: true,
+            updates: true,
+            ..Capabilities::default()
+        }
+    }
+
+    fn estimate(&self, query: &RangeQuery) -> f64 {
+        let Ok(region) = query.to_region(self.a.shape()) else {
+            return f64::INFINITY;
+        };
+        let qs = QueryStats::of_region(&region);
+        cost::tree_cost(
+            region.ndim(),
+            qs.surface,
+            self.tree.fanout(),
+            self.tree.height(),
+        )
+    }
+
+    fn range_sum(&self, query: &RangeQuery) -> Result<QueryOutcome<T>, EngineError> {
+        let region = query.to_region(self.a.shape())?;
+        let (v, stats) = self.tree.range_sum_with_stats(&self.a, &region, true)?;
+        Ok(QueryOutcome::aggregate(v, stats, EngineKind::TreeSum))
+    }
+
+    fn apply_updates(&mut self, updates: &[(Vec<usize>, T)]) -> Result<AccessStats, EngineError> {
+        for (idx, _) in updates {
+            self.a.shape().check_index(idx)?;
+        }
+        let mut stats = AccessStats::new();
+        for (idx, v) in updates {
+            *self.a.get_mut(idx) = v.clone();
+            stats.read_a(1);
+        }
+        self.tree = SumTreeCube::build(&self.a, self.tree.fanout())?;
+        stats.visit_nodes(self.tree.node_count() as u64);
+        Ok(stats)
+    }
+}
+
+/// The §10.2 sparse range-sum engine behind the trait.
+#[derive(Clone)]
+pub struct SparseSumEngine<T: NumericValue> {
+    inner: SparseRangeSum<SumOp<T>>,
+}
+
+impl<T: NumericValue> SparseSumEngine<T> {
+    /// Builds the engine over a sparse cube.
+    ///
+    /// # Errors
+    /// Propagates shape errors.
+    pub fn build(cube: &SparseCube<T>) -> Result<Self, EngineError> {
+        Ok(SparseSumEngine {
+            inner: SparseRangeSum::build(cube)?,
+        })
+    }
+
+    /// Builds from a dense cube, treating zero cells as empty.
+    ///
+    /// # Errors
+    /// Propagates shape errors.
+    pub fn from_dense(a: &DenseArray<T>) -> Result<Self, EngineError>
+    where
+        T: PartialEq,
+    {
+        SparseSumEngine::build(&SparseCube::from_dense(a, |v| *v == T::zero()))
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &SparseRangeSum<SumOp<T>> {
+        &self.inner
+    }
+}
+
+impl<T: NumericValue> RangeEngine<T> for SparseSumEngine<T> {
+    fn label(&self) -> String {
+        "sparse-sum".to_string()
+    }
+
+    fn shape(&self) -> &Shape {
+        self.inner.shape()
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            range_sum: true,
+            updates: true,
+            ..Capabilities::default()
+        }
+    }
+
+    fn estimate(&self, query: &RangeQuery) -> f64 {
+        // §10.2 proxy: each intersecting dense region answers with a
+        // 2^d-corner prefix lookup; outliers contribute individually in
+        // proportion to the queried share of the cube. Deliberately crude
+        // — the router's EWMA calibration absorbs the constant factors.
+        let shape = self.inner.shape();
+        let Ok(region) = query.to_region(shape) else {
+            return f64::INFINITY;
+        };
+        let d = shape.ndim();
+        let frac = region.volume() as f64 / shape.len().max(1) as f64;
+        self.inner.region_count() as f64 * cost::pow2(d) + self.inner.outlier_count() as f64 * frac
+    }
+
+    fn range_sum(&self, query: &RangeQuery) -> Result<QueryOutcome<T>, EngineError> {
+        let region = query.to_region(self.inner.shape())?;
+        let (v, stats) = self.inner.range_sum_with_stats(&region)?;
+        Ok(QueryOutcome::aggregate(v, stats, EngineKind::SparseSum))
+    }
+
+    fn apply_updates(&mut self, updates: &[(Vec<usize>, T)]) -> Result<AccessStats, EngineError> {
+        // The inner engine speaks deltas (value-to-add); the trait speaks
+        // absolute values. Convert one update at a time against the
+        // current state so duplicate updates to a cell compose correctly.
+        let mut stats = AccessStats::new();
+        for (idx, new_v) in updates {
+            let point = Region::point(idx)?;
+            let (old, s) = self.inner.range_sum_with_stats(&point)?;
+            stats += s;
+            self.inner
+                .apply_updates(&[(idx.clone(), new_v.clone() - old)])?;
+            stats.read_a(1);
+        }
+        Ok(stats)
+    }
+}
+
+/// The §10.3 sparse range-max engine behind the trait.
+#[derive(Clone)]
+pub struct SparseMaxEngine<T>
+where
+    NaturalOrder<T>: TotalOrder<Value = T>,
+    T: Clone,
+{
+    inner: SparseRangeMax<NaturalOrder<T>>,
+    points: usize,
+}
+
+impl<T> SparseMaxEngine<T>
+where
+    NaturalOrder<T>: TotalOrder<Value = T>,
+    T: Clone,
+{
+    /// Builds the engine over a sparse cube.
+    pub fn build(cube: &SparseCube<T>) -> Self {
+        SparseMaxEngine {
+            inner: SparseRangeMax::build(cube),
+            points: cube.len(),
+        }
+    }
+
+    /// Builds from a dense cube (every cell is a point).
+    pub fn from_dense(a: &DenseArray<T>) -> Self {
+        SparseMaxEngine::build(&SparseCube::from_dense(a, |_| false))
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &SparseRangeMax<NaturalOrder<T>> {
+        &self.inner
+    }
+}
+
+impl<T> RangeEngine<T> for SparseMaxEngine<T>
+where
+    NaturalOrder<T>: TotalOrder<Value = T>,
+    T: Clone,
+{
+    fn label(&self) -> String {
+        "sparse-max".to_string()
+    }
+
+    fn shape(&self) -> &Shape {
+        self.inner.shape()
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            range_max: true,
+            ..Capabilities::default()
+        }
+    }
+
+    fn estimate(&self, query: &RangeQuery) -> f64 {
+        // R-tree proxy: a root-to-leaf descent of the fanout-8 tree plus
+        // the expected points inside the query. Crude by design — the
+        // router's calibration absorbs the constants.
+        let shape = self.inner.shape();
+        let Ok(region) = query.to_region(shape) else {
+            return f64::INFINITY;
+        };
+        let mut depth = 1usize;
+        let mut cover = 8usize;
+        while cover < self.points.max(1) {
+            cover = cover.saturating_mul(8);
+            depth += 1;
+        }
+        let density = self.points as f64 / shape.len().max(1) as f64;
+        8.0 * depth as f64 + region.volume() as f64 * density
+    }
+
+    fn range_sum(&self, query: &RangeQuery) -> Result<QueryOutcome<T>, EngineError> {
+        let _ = query;
+        Err(EngineError::unsupported(self.label(), "range_sum"))
+    }
+
+    fn range_max(&self, query: &RangeQuery) -> Result<QueryOutcome<T>, EngineError> {
+        let region = query.to_region(self.inner.shape())?;
+        let (result, stats) = self.inner.range_max_with_stats(&region)?;
+        Ok(match result {
+            Some((at, v)) => QueryOutcome::extremum(at, v, stats, EngineKind::SparseMax),
+            None => QueryOutcome::empty(stats, EngineKind::SparseMax),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olap_array::Shape;
+    use olap_query::Answer;
+
+    fn cube() -> DenseArray<i64> {
+        DenseArray::from_fn(Shape::new(&[9, 7]).unwrap(), |i| {
+            (i[0] * 11 + i[1] * 3) as i64 % 17 - 5
+        })
+    }
+
+    fn q(bounds: &[(usize, usize)]) -> RangeQuery {
+        RangeQuery::from_region(&Region::from_bounds(bounds).unwrap())
+    }
+
+    #[test]
+    fn naive_engine_answers_all_ops() {
+        let a = cube();
+        let mut e = NaiveEngine::new(a.clone());
+        let query = q(&[(1, 6), (2, 5)]);
+        let region = query.to_region(a.shape()).unwrap();
+        let expected = a.fold_region(&region, 0i64, |s, &x| s + x);
+        assert_eq!(e.range_sum(&query).unwrap().value(), Some(&expected));
+        let emax = a.fold_region(&region, i64::MIN, |m, &x| m.max(x));
+        assert_eq!(e.range_max(&query).unwrap().value(), Some(&emax));
+        let emin = a.fold_region(&region, i64::MAX, |m, &x| m.min(x));
+        assert_eq!(e.range_min(&query).unwrap().value(), Some(&emin));
+        assert_eq!(e.estimate(&query), region.volume() as f64);
+        e.apply_updates(&[(vec![3, 3], 999)]).unwrap();
+        assert_eq!(e.range_max(&query).unwrap().value(), Some(&999));
+    }
+
+    #[test]
+    fn sum_tree_engine_matches_naive_and_rebuilds_on_update() {
+        let a = cube();
+        let mut e = SumTreeEngine::build(a.clone(), 3).unwrap();
+        let naive = NaiveEngine::new(a.clone());
+        let query = q(&[(0, 8), (1, 5)]);
+        assert_eq!(
+            e.range_sum(&query).unwrap().value(),
+            naive.range_sum(&query).unwrap().value()
+        );
+        assert!(e.estimate(&query) > 0.0);
+        assert!(matches!(
+            e.range_max(&query),
+            Err(EngineError::Unsupported { .. })
+        ));
+        e.apply_updates(&[(vec![0, 1], 40), (vec![0, 1], 50)])
+            .unwrap();
+        let mut shadow = a.clone();
+        *shadow.get_mut(&[0, 1]) = 50;
+        let region = query.to_region(shadow.shape()).unwrap();
+        let expected = shadow.fold_region(&region, 0i64, |s, &x| s + x);
+        assert_eq!(e.range_sum(&query).unwrap().value(), Some(&expected));
+    }
+
+    #[test]
+    fn sparse_sum_engine_applies_absolute_updates() {
+        let a = cube();
+        let mut e = SparseSumEngine::from_dense(&a).unwrap();
+        let query = q(&[(0, 8), (0, 6)]);
+        let total: i64 = a.as_slice().iter().sum();
+        assert_eq!(e.range_sum(&query).unwrap().value(), Some(&total));
+        // Absolute semantics: set a cell twice; the last value wins and
+        // the delta conversion must not double-count.
+        e.apply_updates(&[(vec![2, 2], 100), (vec![2, 2], 7)])
+            .unwrap();
+        let old = *a.get(&[2, 2]);
+        let expected = total - old + 7;
+        assert_eq!(e.range_sum(&query).unwrap().value(), Some(&expected));
+    }
+
+    #[test]
+    fn sparse_max_engine_reports_empty_regions() {
+        let shape = Shape::new(&[30, 30]).unwrap();
+        let cube = SparseCube::new(shape, vec![(vec![5, 5], 3i64), (vec![20, 20], 9)]).unwrap();
+        let e = SparseMaxEngine::build(&cube);
+        let hit = e.range_max(&q(&[(0, 29), (0, 29)])).unwrap();
+        assert_eq!(hit.value(), Some(&9));
+        let miss = e.range_max(&q(&[(10, 12), (10, 12)])).unwrap();
+        assert_eq!(miss.answer, Answer::Empty);
+        assert!(matches!(
+            e.range_sum(&q(&[(0, 1), (0, 1)])),
+            Err(EngineError::Unsupported { .. })
+        ));
+        assert!(e.estimate(&q(&[(0, 29), (0, 29)])).is_finite());
+    }
+}

@@ -1,0 +1,113 @@
+//! The one error vocabulary of the engine layer.
+//!
+//! Every backend behind the [`crate::RangeEngine`] trait reports failures
+//! through [`EngineError`]; the per-crate error enums (`ArrayError`,
+//! `MaxTreeError`, `CostError`) convert in via `From`, so `?` works across
+//! all layers.
+
+use olap_array::ArrayError;
+use olap_planner::CostError;
+use olap_range_max::MaxTreeError;
+use std::fmt;
+
+/// Errors from building, querying, or updating any range engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Shape/region validation failures.
+    Array(ArrayError),
+    /// Range-max tree failures.
+    MaxTree(MaxTreeError),
+    /// Cost-model failures (degenerate fanouts, …).
+    Cost(CostError),
+    /// The engine does not support the requested operation (see
+    /// [`crate::Capabilities`]).
+    Unsupported {
+        /// The engine's label.
+        engine: String,
+        /// The operation asked for.
+        op: &'static str,
+    },
+    /// A rolling window that is zero or longer than the axis range.
+    WindowTooLarge {
+        /// The requested window width.
+        window: usize,
+        /// The length of the axis range it must fit in.
+        len: usize,
+    },
+    /// The router holds no engine able to answer the requested operation.
+    NoCandidate {
+        /// The operation asked for.
+        op: &'static str,
+    },
+}
+
+impl EngineError {
+    /// A [`EngineError::Unsupported`] for the given engine and operation.
+    pub fn unsupported(engine: impl Into<String>, op: &'static str) -> Self {
+        EngineError::Unsupported {
+            engine: engine.into(),
+            op,
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Array(e) => write!(f, "{e}"),
+            EngineError::MaxTree(e) => write!(f, "{e}"),
+            EngineError::Cost(e) => write!(f, "{e}"),
+            EngineError::Unsupported { engine, op } => {
+                write!(f, "engine {engine:?} does not support {op}")
+            }
+            EngineError::WindowTooLarge { window, len } => {
+                write!(
+                    f,
+                    "rolling window must be ≥ 1 and ≤ the axis range length {len}, got {window}"
+                )
+            }
+            EngineError::NoCandidate { op } => {
+                write!(f, "no routed engine supports {op}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ArrayError> for EngineError {
+    fn from(e: ArrayError) -> Self {
+        EngineError::Array(e)
+    }
+}
+
+impl From<MaxTreeError> for EngineError {
+    fn from(e: MaxTreeError) -> Self {
+        EngineError::MaxTree(e)
+    }
+}
+
+impl From<CostError> for EngineError {
+    fn from(e: CostError) -> Self {
+        EngineError::Cost(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_messages() {
+        let e: EngineError = ArrayError::EmptyShape.into();
+        assert!(matches!(e, EngineError::Array(_)));
+        let e: EngineError = CostError::FanoutTooSmall { b: 1 }.into();
+        assert!(e.to_string().contains("fanout"));
+        let e = EngineError::unsupported("naive scan", "range_max");
+        assert!(e.to_string().contains("range_max"), "{e}");
+        let e = EngineError::WindowTooLarge { window: 9, len: 4 };
+        assert!(e.to_string().contains("got 9"), "{e}");
+        let e = EngineError::NoCandidate { op: "range_min" };
+        assert!(e.to_string().contains("range_min"), "{e}");
+    }
+}

@@ -1,15 +1,16 @@
 //! The [`CubeIndex`] facade: one cube, several precomputed structures,
 //! one query interface.
 
+use crate::error::EngineError;
+use crate::range_engine::{Capabilities, RangeEngine};
 use olap_aggregate::ReverseOrder;
 use olap_aggregate::{NaturalOrder, NumericValue, SumOp, TotalOrder};
-use olap_array::{ArrayError, DenseArray, Parallelism, Region, Shape};
+use olap_array::{DenseArray, Parallelism, Region, Shape};
 use olap_prefix_sum::batch::CellUpdate;
 use olap_prefix_sum::{batch, BlockedPrefixCube, BoundaryPolicy, PrefixSumCube};
-use olap_query::AccessStats;
-use olap_range_max::{MaxTree, MaxTreeError, NaturalMaxTree, PointUpdate};
+use olap_query::{AccessStats, EngineKind, QueryOutcome, RangeQuery};
+use olap_range_max::{MaxTree, NaturalMaxTree, PointUpdate};
 use olap_tree_sum::SumTreeCube;
-use std::fmt;
 
 /// Which prefix-sum structure to maintain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,38 +55,6 @@ impl Default for IndexConfig {
             sum_tree_fanout: None,
             parallelism: Parallelism::Sequential,
         }
-    }
-}
-
-/// Errors from building or querying a [`CubeIndex`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum EngineError {
-    /// Shape/region validation failures.
-    Array(ArrayError),
-    /// Range-max tree failures.
-    MaxTree(MaxTreeError),
-}
-
-impl fmt::Display for EngineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            EngineError::Array(e) => write!(f, "{e}"),
-            EngineError::MaxTree(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-impl std::error::Error for EngineError {}
-
-impl From<ArrayError> for EngineError {
-    fn from(e: ArrayError) -> Self {
-        EngineError::Array(e)
-    }
-}
-
-impl From<MaxTreeError> for EngineError {
-    fn from(e: MaxTreeError) -> Self {
-        EngineError::MaxTree(e)
     }
 }
 
@@ -272,7 +241,7 @@ where
     pub fn explain_sum(&self, region: &Region) -> Result<String, EngineError> {
         use olap_query::QueryStats;
         let (engine, model): (&str, f64) = if self.prefix.is_some() {
-            ("basic prefix sums (§3)", (1u64 << region.ndim()) as f64)
+            ("basic prefix sums (§3)", olap_planner::pow2(region.ndim()))
         } else if let Some(bp) = &self.blocked {
             let stats = QueryStats::of_region(region);
             (
@@ -357,6 +326,91 @@ where
             *st = SumTreeCube::build(&self.a, st.fanout())?;
         }
         Ok(stats)
+    }
+}
+
+impl<T> RangeEngine<T> for CubeIndex<T>
+where
+    T: NumericValue + PartialOrd + Send + Sync,
+    NaturalOrder<T>: TotalOrder<Value = T>,
+{
+    fn label(&self) -> String {
+        match self.config.prefix {
+            PrefixChoice::Basic => "cube-index(basic-prefix)".to_string(),
+            PrefixChoice::Blocked(b) => format!("cube-index(blocked b={b})"),
+            PrefixChoice::None => match &self.sum_tree {
+                Some(st) => format!("cube-index(tree-sum b={})", st.fanout()),
+                None => "cube-index(naive)".to_string(),
+            },
+        }
+    }
+
+    fn shape(&self) -> &Shape {
+        self.a.shape()
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::full()
+    }
+
+    fn estimate(&self, query: &RangeQuery) -> f64 {
+        use olap_planner::cost;
+        let Ok(region) = query.to_region(self.a.shape()) else {
+            return f64::INFINITY;
+        };
+        let d = region.ndim();
+        if self.prefix.is_some() {
+            return cost::pow2(d);
+        }
+        let qs = olap_query::QueryStats::of_region(&region);
+        if let Some(bp) = &self.blocked {
+            return cost::prefix_sum_cost(d, qs.surface, bp.block_size());
+        }
+        if let Some(st) = &self.sum_tree {
+            return cost::tree_cost(d, qs.surface, st.fanout(), st.height());
+        }
+        region.volume() as f64
+    }
+
+    fn range_sum(&self, query: &RangeQuery) -> Result<QueryOutcome<T>, EngineError> {
+        let region = query.to_region(self.a.shape())?;
+        let kind = if self.prefix.is_some() {
+            EngineKind::PrefixSum
+        } else if self.blocked.is_some() {
+            EngineKind::BlockedPrefix
+        } else if self.sum_tree.is_some() {
+            EngineKind::TreeSum
+        } else {
+            EngineKind::NaiveScan
+        };
+        let (v, stats) = CubeIndex::range_sum(self, &region)?;
+        Ok(QueryOutcome::aggregate(v, stats, kind))
+    }
+
+    fn range_max(&self, query: &RangeQuery) -> Result<QueryOutcome<T>, EngineError> {
+        let region = query.to_region(self.a.shape())?;
+        let kind = if self.max_tree.is_some() {
+            EngineKind::MaxTree
+        } else {
+            EngineKind::NaiveScan
+        };
+        let (at, v, stats) = CubeIndex::range_max(self, &region)?;
+        Ok(QueryOutcome::extremum(at, v, stats, kind))
+    }
+
+    fn range_min(&self, query: &RangeQuery) -> Result<QueryOutcome<T>, EngineError> {
+        let region = query.to_region(self.a.shape())?;
+        let kind = if self.min_tree.is_some() {
+            EngineKind::MinTree
+        } else {
+            EngineKind::NaiveScan
+        };
+        let (at, v, stats) = CubeIndex::range_min(self, &region)?;
+        Ok(QueryOutcome::extremum(at, v, stats, kind))
+    }
+
+    fn apply_updates(&mut self, updates: &[(Vec<usize>, T)]) -> Result<AccessStats, EngineError> {
+        CubeIndex::apply_updates(self, updates)
     }
 }
 

@@ -1,28 +1,48 @@
 //! Unified query engines over a data cube.
 //!
-//! This crate is the "product" layer a downstream user talks to:
+//! This crate is the "product" layer a downstream user talks to. Every
+//! backend implements the [`RangeEngine`] trait — the lingua franca of
+//! [`olap_query::RangeQuery`] in, [`olap_query::QueryOutcome`] out — and
+//! the [`AdaptiveRouter`] picks among them with the paper's §8/§9 cost
+//! model, calibrated against observed access counts:
 //!
 //! - [`CubeIndex`]: holds a dense cube plus whichever precomputed
 //!   structures an [`IndexConfig`] requests (basic prefix sum §3, blocked
 //!   prefix sum §4, range-max tree §6, tree-sum baseline §8), routes every
 //!   query to the best available structure, and keeps all structures
 //!   consistent under batched updates (§5, §7),
-//! - [`naive`]: the no-precomputation baselines every experiment compares
-//!   against,
+//! - [`PlannedIndex`]: the §9-planned set of per-cuboid structures,
+//! - [`ExtendedCube`]: the \[GBLP96\] baseline the paper starts from,
+//! - [`NaiveEngine`] / [`naive`]: the no-precomputation baselines every
+//!   experiment compares against,
+//! - [`SumTreeEngine`], [`SparseSumEngine`], [`SparseMaxEngine`]: the §8
+//!   tree baseline and the §10 sparse engines behind the trait,
+//! - [`AdaptiveRouter`]: cost-based routing over any set of the above,
+//!   with an [`AdaptiveRouter::explain`] view of every decision,
 //! - [`rolling`]: ROLLING SUM / ROLLING AVERAGE, which §1 notes are
 //!   special cases of range-sum and range-average.
+//!
+//! All fallible operations report one [`EngineError`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backends;
 pub mod cuboid;
+mod error;
 mod extended;
 mod index;
 pub mod naive;
 mod planned;
+mod range_engine;
 pub mod rolling;
+mod router;
 
+pub use backends::{NaiveEngine, SparseMaxEngine, SparseSumEngine, SumTreeEngine};
+pub use error::EngineError;
 pub use extended::ExtendedCube;
-pub use index::{CubeIndex, EngineError, IndexConfig, PrefixChoice};
+pub use index::{CubeIndex, IndexConfig, PrefixChoice};
 pub use olap_array::Parallelism;
 pub use planned::PlannedIndex;
+pub use range_engine::{Capabilities, EngineOp, RangeEngine};
+pub use router::{AdaptiveRouter, Candidate, Explain, ReplayRecord, DEFAULT_ALPHA};

@@ -3,13 +3,13 @@
 //! structure — the end-to-end version of the paper's physical design.
 
 use crate::cuboid::materialize_cuboid;
+use crate::range_engine::{Capabilities, RangeEngine};
 use crate::EngineError;
 use olap_aggregate::{NumericValue, SumOp};
 use olap_array::{DenseArray, Range, Region, Shape};
-use olap_planner::cost::f_of_b;
 use olap_planner::PrefixSumChoice;
 use olap_prefix_sum::BlockedPrefixCube;
-use olap_query::{AccessStats, CuboidId, QueryStats, RangeQuery};
+use olap_query::{AccessStats, CuboidId, EngineKind, QueryOutcome, QueryStats, RangeQuery};
 
 /// One materialized structure: a cuboid slice plus its blocked prefix sum
 /// (block size 1 degenerates to the basic algorithm).
@@ -119,13 +119,45 @@ impl<T: NumericValue + PartialOrd> PlannedIndex<T> {
                 .map(|&j| region.range(j).len() as f64)
                 .collect();
             let stats = QueryStats::from_sides(&sides);
-            let cost =
-                (1u64 << s.choice.cuboid.ndim()) as f64 + stats.surface * f_of_b(s.choice.block);
+            let cost = olap_planner::cost::prefix_sum_cost(
+                s.choice.cuboid.ndim(),
+                stats.surface,
+                s.choice.block,
+            );
             if best.is_none_or(|(_, c)| cost < c) {
                 best = Some((i, cost));
             }
         }
         best.map(|(i, _)| i)
+    }
+
+    /// The Equation-3 cost of the structure [`PlannedIndex::route`] would
+    /// pick, or the naive-scan volume when nothing covers the query —
+    /// the model behind the [`crate::RangeEngine::estimate`] impl.
+    pub fn estimated_cost(&self, query: &RangeQuery) -> f64 {
+        let Ok(region) = query.to_region(self.a.shape()) else {
+            return f64::INFINITY;
+        };
+        let q_cuboid = query.cuboid(self.a.shape());
+        match self.pick(query, q_cuboid) {
+            None => region.volume() as f64,
+            Some(i) => {
+                let s = &self.structures[i];
+                let sides: Vec<f64> = s
+                    .choice
+                    .cuboid
+                    .dims()
+                    .iter()
+                    .map(|&j| region.range(j).len() as f64)
+                    .collect();
+                let stats = QueryStats::from_sides(&sides);
+                olap_planner::cost::prefix_sum_cost(
+                    s.choice.cuboid.ndim(),
+                    stats.surface,
+                    s.choice.block,
+                )
+            }
+        }
     }
 
     /// Answers a range-sum query: routed to the cheapest applicable
@@ -168,6 +200,34 @@ impl<T: NumericValue + PartialOrd> PlannedIndex<T> {
     /// The shape of the underlying cube.
     pub fn shape(&self) -> &Shape {
         self.a.shape()
+    }
+}
+
+impl<T: NumericValue + PartialOrd> RangeEngine<T> for PlannedIndex<T> {
+    fn label(&self) -> String {
+        format!("planned-index({} structures)", self.structures.len())
+    }
+
+    fn shape(&self) -> &Shape {
+        self.a.shape()
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::sum_only()
+    }
+
+    fn estimate(&self, query: &RangeQuery) -> f64 {
+        self.estimated_cost(query)
+    }
+
+    fn range_sum(&self, query: &RangeQuery) -> Result<QueryOutcome<T>, EngineError> {
+        let kind = if self.route(query).is_some() {
+            EngineKind::PlannedCuboid
+        } else {
+            EngineKind::NaiveScan
+        };
+        let (v, stats) = PlannedIndex::range_sum(self, query)?;
+        Ok(QueryOutcome::aggregate(v, stats, kind))
     }
 }
 

@@ -1,0 +1,175 @@
+//! The [`RangeEngine`] trait: one query vocabulary over every backend.
+//!
+//! The paper's §8/§9 argument is a *cost model choosing among structures*;
+//! for the model to arbitrate at query time, every structure must answer
+//! the same [`RangeQuery`] with the same [`QueryOutcome`] and advertise an
+//! analytic [`RangeEngine::estimate`] in the paper's element-access unit.
+//! `CubeIndex`, `PlannedIndex`, `ExtendedCube`, the naive baselines, the
+//! tree-sum baseline, and the sparse engines all implement this trait, so
+//! [`crate::AdaptiveRouter`] can hold them as trait objects and pick the
+//! argmin.
+
+use crate::EngineError;
+use olap_array::Shape;
+use olap_query::{AccessStats, QueryOutcome, RangeQuery};
+use std::fmt;
+
+/// The operations an engine may support.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineOp {
+    /// Range sum (and the aggregates derived from it).
+    Sum,
+    /// Range max with argmax.
+    Max,
+    /// Range min with argmin.
+    Min,
+    /// Batched absolute-value updates.
+    Update,
+}
+
+impl EngineOp {
+    /// The operation's method name, for error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineOp::Sum => "range_sum",
+            EngineOp::Max => "range_max",
+            EngineOp::Min => "range_min",
+            EngineOp::Update => "apply_updates",
+        }
+    }
+}
+
+impl fmt::Display for EngineOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What an engine can do. Routers filter candidates by these flags before
+/// comparing costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Capabilities {
+    /// Answers [`RangeEngine::range_sum`].
+    pub range_sum: bool,
+    /// Answers [`RangeEngine::range_max`].
+    pub range_max: bool,
+    /// Answers [`RangeEngine::range_min`].
+    pub range_min: bool,
+    /// Accepts [`RangeEngine::apply_updates`].
+    pub updates: bool,
+}
+
+impl Capabilities {
+    /// Sum queries only (no extrema, no updates).
+    pub fn sum_only() -> Self {
+        Capabilities {
+            range_sum: true,
+            ..Capabilities::default()
+        }
+    }
+
+    /// Everything: sum, max, min, and updates.
+    pub fn full() -> Self {
+        Capabilities {
+            range_sum: true,
+            range_max: true,
+            range_min: true,
+            updates: true,
+        }
+    }
+
+    /// Whether the given operation is supported.
+    pub fn supports(&self, op: EngineOp) -> bool {
+        match op {
+            EngineOp::Sum => self.range_sum,
+            EngineOp::Max => self.range_max,
+            EngineOp::Min => self.range_min,
+            EngineOp::Update => self.updates,
+        }
+    }
+}
+
+/// A queryable cube backend: the lingua franca between structures, the
+/// adaptive router, benches, and the CLI.
+///
+/// The trait is object safe; routers hold `Box<dyn RangeEngine<V>>`.
+/// Operations outside an engine's [`Capabilities`] default to
+/// [`EngineError::Unsupported`].
+pub trait RangeEngine<V> {
+    /// A short human-readable label naming the engine and its tuning
+    /// (e.g. `cube-index(blocked b=8)`), used by `explain` output.
+    fn label(&self) -> String;
+
+    /// The shape of the base cube the engine answers queries over.
+    fn shape(&self) -> &Shape;
+
+    /// Which operations the engine supports.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Predicted cost of answering `query`, in the paper's unit (elements
+    /// accessed), from the §8/§9 analytic model (`olap_planner::cost`).
+    ///
+    /// Estimates are *raw model output*: systematic model error is
+    /// corrected by the router's EWMA calibration, not here. An engine
+    /// that cannot resolve the query returns `+∞` (never routed to).
+    fn estimate(&self, query: &RangeQuery) -> f64;
+
+    /// Answers a range-sum query.
+    ///
+    /// # Errors
+    /// Query validation, or [`EngineError::Unsupported`].
+    fn range_sum(&self, query: &RangeQuery) -> Result<QueryOutcome<V>, EngineError>;
+
+    /// Answers a range-max query (argmax + value).
+    ///
+    /// # Errors
+    /// Query validation, or [`EngineError::Unsupported`].
+    fn range_max(&self, query: &RangeQuery) -> Result<QueryOutcome<V>, EngineError> {
+        let _ = query;
+        Err(EngineError::unsupported(self.label(), "range_max"))
+    }
+
+    /// Answers a range-min query (argmin + value).
+    ///
+    /// # Errors
+    /// Query validation, or [`EngineError::Unsupported`].
+    fn range_min(&self, query: &RangeQuery) -> Result<QueryOutcome<V>, EngineError> {
+        let _ = query;
+        Err(EngineError::unsupported(self.label(), "range_min"))
+    }
+
+    /// Applies a batch of **absolute-value** updates `(index, new value)`,
+    /// keeping every internal structure consistent. Later updates to the
+    /// same cell win.
+    ///
+    /// # Errors
+    /// Index validation, or [`EngineError::Unsupported`].
+    fn apply_updates(&mut self, updates: &[(Vec<usize>, V)]) -> Result<AccessStats, EngineError> {
+        let _ = updates;
+        Err(EngineError::unsupported(self.label(), "apply_updates"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_filters() {
+        let c = Capabilities::sum_only();
+        assert!(c.supports(EngineOp::Sum));
+        assert!(!c.supports(EngineOp::Max));
+        assert!(!c.supports(EngineOp::Update));
+        let f = Capabilities::full();
+        for op in [
+            EngineOp::Sum,
+            EngineOp::Max,
+            EngineOp::Min,
+            EngineOp::Update,
+        ] {
+            assert!(f.supports(op));
+        }
+        assert_eq!(EngineOp::Min.name(), "range_min");
+        assert_eq!(EngineOp::Update.to_string(), "apply_updates");
+    }
+}

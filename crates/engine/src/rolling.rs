@@ -5,8 +5,9 @@
 //! each window position is one range-sum, so with a prefix-sum array every
 //! position costs `2^d` lookups regardless of `w`.
 
+use crate::EngineError;
 use olap_aggregate::AbelianGroup;
-use olap_array::{ArrayError, Range, Region};
+use olap_array::{Range, Region};
 use olap_prefix_sum::PrefixSumArray;
 use olap_query::AccessStats;
 
@@ -15,20 +16,20 @@ use olap_query::AccessStats;
 /// position (`len(axis range) − window + 1` of them).
 ///
 /// # Errors
-/// Validates `base` and requires `window ≥ 1` no longer than the axis
-/// range.
+/// Validates `base`; a window of 0 or wider than the axis range is
+/// [`EngineError::WindowTooLarge`].
 pub fn rolling_aggregate<G: AbelianGroup>(
     ps: &PrefixSumArray<G>,
     base: &Region,
     axis: usize,
     window: usize,
-) -> Result<(Vec<G::Value>, AccessStats), ArrayError> {
+) -> Result<(Vec<G::Value>, AccessStats), EngineError> {
     ps.shape().check_region(base)?;
     let r = base.range(axis);
     if window == 0 || window > r.len() {
-        return Err(ArrayError::InvertedRange {
-            lo: window,
-            hi: r.len(),
+        return Err(EngineError::WindowTooLarge {
+            window,
+            len: r.len(),
         });
     }
     let mut out = Vec::with_capacity(r.len() - window + 1);
@@ -86,11 +87,17 @@ mod tests {
     }
 
     #[test]
-    fn rejects_oversized_window() {
+    fn oversized_window_is_window_too_large_not_inverted_range() {
         let a = DenseArray::filled(Shape::new(&[4]).unwrap(), 1i64);
         let ps = PrefixSumCube::build(&a);
         let base = Region::from_bounds(&[(0, 3)]).unwrap();
-        assert!(rolling_aggregate(&ps, &base, 0, 5).is_err());
-        assert!(rolling_aggregate(&ps, &base, 0, 0).is_err());
+        assert_eq!(
+            rolling_aggregate(&ps, &base, 0, 5).unwrap_err(),
+            EngineError::WindowTooLarge { window: 5, len: 4 }
+        );
+        assert_eq!(
+            rolling_aggregate(&ps, &base, 0, 0).unwrap_err(),
+            EngineError::WindowTooLarge { window: 0, len: 4 }
+        );
     }
 }

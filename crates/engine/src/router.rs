@@ -1,0 +1,516 @@
+//! The cost-calibrated adaptive router: §8/§9's "choose the structure by
+//! its analytic cost" made operational.
+//!
+//! [`AdaptiveRouter`] holds several [`RangeEngine`]s, predicts each one's
+//! cost for an incoming [`RangeQuery`] from the paper's analytic model
+//! ([`RangeEngine::estimate`]), and routes to the argmin. Because the
+//! analytic model has systematic error (it ignores constants, tree-node
+//! overheads, and a structure's real boundary handling), the router keeps
+//! one EWMA correction ratio per engine — observed cost (from
+//! [`AccessStats::total_accesses`]) over predicted — and multiplies it
+//! into future predictions, so routing decisions tighten as queries flow.
+//!
+//! [`AdaptiveRouter::explain`] exposes the whole decision: every
+//! candidate's raw and calibrated prediction, the chosen route, and the
+//! observed cost after execution.
+
+use crate::range_engine::{EngineOp, RangeEngine};
+use crate::EngineError;
+use olap_query::{AccessStats, QueryLog, QueryOutcome, RangeQuery};
+use std::fmt;
+
+/// Default EWMA smoothing factor: recent queries dominate after ~10
+/// observations, but a single outlier cannot swing the ratio.
+pub const DEFAULT_ALPHA: f64 = 0.3;
+
+/// One engine's standing in a routing decision, captured *before*
+/// execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Index of the engine inside the router.
+    pub index: usize,
+    /// The engine's [`RangeEngine::label`].
+    pub label: String,
+    /// Raw analytic estimate (paper units, elements accessed).
+    pub raw: f64,
+    /// The engine's current EWMA observed/predicted ratio.
+    pub ratio: f64,
+    /// `raw × ratio` — what the router actually compares.
+    pub calibrated: f64,
+    /// Whether the engine's [`crate::Capabilities`] admit the operation.
+    pub eligible: bool,
+}
+
+/// A full routing decision: the candidate table, the chosen engine, and
+/// the executed outcome with its observed cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explain<V> {
+    /// The operation that was routed.
+    pub op: EngineOp,
+    /// Every engine's predicted standing at decision time.
+    pub candidates: Vec<Candidate>,
+    /// Index (into `candidates`) of the engine that answered.
+    pub chosen: usize,
+    /// The executed answer, including observed [`AccessStats`].
+    pub outcome: QueryOutcome<V>,
+}
+
+impl<V> Explain<V> {
+    /// The chosen candidate row.
+    pub fn chosen_candidate(&self) -> &Candidate {
+        &self.candidates[self.chosen]
+    }
+
+    /// Observed cost of the executed query, in the same unit as the
+    /// predictions.
+    pub fn observed(&self) -> u64 {
+        self.outcome.cost()
+    }
+}
+
+impl<V: fmt::Display> fmt::Display for Explain<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} via {}", self.op, self.outcome.answered_by)?;
+        writeln!(
+            f,
+            "  {:<28} {:>12} {:>8} {:>12}",
+            "candidate", "raw", "ratio", "calibrated"
+        )?;
+        for c in &self.candidates {
+            let mark = if c.index == self.chosen { "*" } else { " " };
+            if c.eligible {
+                writeln!(
+                    f,
+                    "{mark} {:<28} {:>12.1} {:>8.3} {:>12.1}",
+                    c.label, c.raw, c.ratio, c.calibrated
+                )?;
+            } else {
+                writeln!(
+                    f,
+                    "{mark} {:<28} {:>12} {:>8} {:>12}",
+                    c.label, "-", "-", "-"
+                )?;
+            }
+        }
+        writeln!(f, "  observed: {} accesses", self.observed())?;
+        write!(f, "  answer: {}", self.outcome.answer)
+    }
+}
+
+/// One replayed query's prediction-vs-reality record, for studying how the
+/// EWMA calibration converges over a [`QueryLog`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayRecord {
+    /// Label of the engine that answered.
+    pub engine: String,
+    /// Calibrated prediction at decision time (before this query's own
+    /// observation fed back).
+    pub predicted: f64,
+    /// Observed cost, [`AccessStats::total_accesses`].
+    pub observed: u64,
+}
+
+impl ReplayRecord {
+    /// `|observed − predicted| / observed` — the relative prediction error
+    /// the calibration is meant to shrink.
+    pub fn relative_error(&self) -> f64 {
+        if self.observed == 0 {
+            return 0.0;
+        }
+        (self.observed as f64 - self.predicted).abs() / self.observed as f64
+    }
+}
+
+/// Routes each query to the cheapest capable engine under the calibrated
+/// §8/§9 cost model. See the module docs.
+pub struct AdaptiveRouter<V> {
+    engines: Vec<Box<dyn RangeEngine<V>>>,
+    /// Per-engine EWMA of observed/predicted; starts at 1.0 (trust the
+    /// analytic model until evidence arrives).
+    ratios: Vec<f64>,
+    alpha: f64,
+}
+
+impl<V> AdaptiveRouter<V> {
+    /// An empty router with the default smoothing factor.
+    pub fn new() -> Self {
+        AdaptiveRouter::with_alpha(DEFAULT_ALPHA)
+    }
+
+    /// An empty router with smoothing factor `alpha` in `(0, 1]`; higher
+    /// values chase recent observations harder.
+    pub fn with_alpha(alpha: f64) -> Self {
+        AdaptiveRouter {
+            engines: Vec::new(),
+            ratios: Vec::new(),
+            alpha: alpha.clamp(f64::MIN_POSITIVE, 1.0),
+        }
+    }
+
+    /// Adds an engine to the candidate set.
+    pub fn push(&mut self, engine: Box<dyn RangeEngine<V>>) {
+        self.engines.push(engine);
+        self.ratios.push(1.0);
+    }
+
+    /// Builder-style [`AdaptiveRouter::push`].
+    #[must_use]
+    pub fn with_engine(mut self, engine: Box<dyn RangeEngine<V>>) -> Self {
+        self.push(engine);
+        self
+    }
+
+    /// Number of candidate engines.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Whether the router has no engines.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// The candidate engines' labels, in routing order.
+    pub fn labels(&self) -> Vec<String> {
+        self.engines.iter().map(|e| e.label()).collect()
+    }
+
+    /// The current EWMA observed/predicted ratios, parallel to
+    /// [`AdaptiveRouter::labels`].
+    pub fn calibration(&self) -> &[f64] {
+        &self.ratios
+    }
+
+    /// Borrows engine `i`.
+    pub fn engine(&self, i: usize) -> &dyn RangeEngine<V> {
+        self.engines[i].as_ref()
+    }
+
+    /// The full candidate table for `query`/`op`: raw estimate, current
+    /// ratio, calibrated prediction, and eligibility per engine.
+    pub fn candidates(&self, query: &RangeQuery, op: EngineOp) -> Vec<Candidate> {
+        self.engines
+            .iter()
+            .enumerate()
+            .map(|(index, e)| {
+                let eligible = e.capabilities().supports(op);
+                let raw = if eligible {
+                    e.estimate(query)
+                } else {
+                    f64::INFINITY
+                };
+                let ratio = self.ratios[index];
+                Candidate {
+                    index,
+                    label: e.label(),
+                    raw,
+                    ratio,
+                    calibrated: raw * ratio,
+                    eligible,
+                }
+            })
+            .collect()
+    }
+
+    /// Argmin of the calibrated predictions among engines supporting `op`.
+    /// Strict `<` keeps the first index on ties, so routing is
+    /// deterministic for a fixed engine order.
+    fn route(&self, query: &RangeQuery, op: EngineOp) -> Result<usize, EngineError> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, e) in self.engines.iter().enumerate() {
+            if !e.capabilities().supports(op) {
+                continue;
+            }
+            let cost = e.estimate(query) * self.ratios[i];
+            // Strict `<` also rejects NaN, so a poisoned estimate can never
+            // displace an incumbent.
+            let better = match best {
+                None => true,
+                Some((_, b)) => cost < b,
+            };
+            if better {
+                best = Some((i, cost));
+            }
+        }
+        best.map(|(i, _)| i)
+            .ok_or(EngineError::NoCandidate { op: op.name() })
+    }
+
+    /// Feeds one observation into engine `i`'s EWMA ratio. Skipped when the
+    /// raw prediction is non-finite or non-positive (nothing to scale).
+    fn observe(&mut self, i: usize, raw: f64, observed: u64) {
+        if !raw.is_finite() || raw <= 0.0 {
+            return;
+        }
+        let sample = observed as f64 / raw;
+        self.ratios[i] = (1.0 - self.alpha) * self.ratios[i] + self.alpha * sample;
+    }
+
+    fn execute(
+        &mut self,
+        query: &RangeQuery,
+        op: EngineOp,
+    ) -> Result<(usize, QueryOutcome<V>), EngineError> {
+        let i = self.route(query, op)?;
+        let raw = self.engines[i].estimate(query);
+        let outcome = match op {
+            EngineOp::Sum => self.engines[i].range_sum(query)?,
+            EngineOp::Max => self.engines[i].range_max(query)?,
+            EngineOp::Min => self.engines[i].range_min(query)?,
+            EngineOp::Update => unreachable!("updates go through apply_updates"),
+        };
+        self.observe(i, raw, outcome.cost());
+        Ok((i, outcome))
+    }
+
+    /// Routes and answers a range-sum query, feeding the observed cost back
+    /// into the chosen engine's calibration.
+    ///
+    /// # Errors
+    /// [`EngineError::NoCandidate`] if no engine supports sums; otherwise
+    /// whatever the chosen engine reports.
+    pub fn range_sum(&mut self, query: &RangeQuery) -> Result<QueryOutcome<V>, EngineError> {
+        self.execute(query, EngineOp::Sum).map(|(_, o)| o)
+    }
+
+    /// Routes and answers a range-max query. See [`AdaptiveRouter::range_sum`].
+    ///
+    /// # Errors
+    /// [`EngineError::NoCandidate`] or the chosen engine's error.
+    pub fn range_max(&mut self, query: &RangeQuery) -> Result<QueryOutcome<V>, EngineError> {
+        self.execute(query, EngineOp::Max).map(|(_, o)| o)
+    }
+
+    /// Routes and answers a range-min query. See [`AdaptiveRouter::range_sum`].
+    ///
+    /// # Errors
+    /// [`EngineError::NoCandidate`] or the chosen engine's error.
+    pub fn range_min(&mut self, query: &RangeQuery) -> Result<QueryOutcome<V>, EngineError> {
+        self.execute(query, EngineOp::Min).map(|(_, o)| o)
+    }
+
+    /// Applies absolute-value updates to **every** engine, keeping the
+    /// whole candidate set consistent (any of them may answer the next
+    /// query).
+    ///
+    /// # Errors
+    /// [`EngineError::Unsupported`] naming the first engine that cannot
+    /// take updates (checked before any engine is mutated), or the first
+    /// engine failure.
+    pub fn apply_updates(&mut self, updates: &[(Vec<usize>, V)]) -> Result<AccessStats, EngineError>
+    where
+        V: Clone,
+    {
+        if let Some(e) = self
+            .engines
+            .iter()
+            .find(|e| !e.capabilities().supports(EngineOp::Update))
+        {
+            return Err(EngineError::unsupported(e.label(), "apply_updates"));
+        }
+        let mut stats = AccessStats::new();
+        for e in &mut self.engines {
+            stats += e.apply_updates(updates)?;
+        }
+        Ok(stats)
+    }
+
+    /// Routes, executes, and reports the whole decision for a range-sum
+    /// query: every candidate's predicted cost, the chosen route, and the
+    /// observed cost. Feeds calibration like [`AdaptiveRouter::range_sum`].
+    ///
+    /// # Errors
+    /// [`EngineError::NoCandidate`] or the chosen engine's error.
+    pub fn explain(&mut self, query: &RangeQuery) -> Result<Explain<V>, EngineError> {
+        self.explain_op(query, EngineOp::Sum)
+    }
+
+    /// [`AdaptiveRouter::explain`] for an arbitrary read operation.
+    ///
+    /// # Errors
+    /// [`EngineError::NoCandidate`], or `op == Update` (not a query), or
+    /// the chosen engine's error.
+    pub fn explain_op(
+        &mut self,
+        query: &RangeQuery,
+        op: EngineOp,
+    ) -> Result<Explain<V>, EngineError> {
+        if op == EngineOp::Update {
+            return Err(EngineError::NoCandidate {
+                op: "explain(update)",
+            });
+        }
+        let candidates = self.candidates(query, op);
+        let (chosen, outcome) = self.execute(query, op)?;
+        Ok(Explain {
+            op,
+            candidates,
+            chosen,
+            outcome,
+        })
+    }
+
+    /// Replays a [`QueryLog`] through the router as range sums, recording
+    /// each decision's calibrated prediction and observed cost. The
+    /// returned records show the EWMA tightening predicted-vs-observed
+    /// error as the replay proceeds.
+    ///
+    /// # Errors
+    /// The first routing or engine error.
+    pub fn replay(&mut self, log: &QueryLog) -> Result<Vec<ReplayRecord>, EngineError> {
+        let mut records = Vec::with_capacity(log.len());
+        for q in log.queries() {
+            let i = self.route(q, EngineOp::Sum)?;
+            let predicted = self.engines[i].estimate(q) * self.ratios[i];
+            let outcome = self.range_sum(q)?;
+            records.push(ReplayRecord {
+                engine: self.engines[i].label(),
+                predicted,
+                observed: outcome.cost(),
+            });
+        }
+        Ok(records)
+    }
+}
+
+impl<V> Default for AdaptiveRouter<V> {
+    fn default() -> Self {
+        AdaptiveRouter::new()
+    }
+}
+
+impl<V> fmt::Debug for AdaptiveRouter<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AdaptiveRouter")
+            .field("engines", &self.labels())
+            .field("ratios", &self.ratios)
+            .field("alpha", &self.alpha)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::{NaiveEngine, SumTreeEngine};
+    use crate::{CubeIndex, IndexConfig};
+    use olap_array::{DenseArray, Region, Shape};
+
+    fn cube() -> DenseArray<i64> {
+        DenseArray::from_fn(Shape::new(&[64, 64]).unwrap(), |i| {
+            (i[0] * 7 + i[1] * 13) as i64 % 23
+        })
+    }
+
+    fn q(bounds: &[(usize, usize)]) -> RangeQuery {
+        RangeQuery::from_region(&Region::from_bounds(bounds).unwrap())
+    }
+
+    fn router() -> AdaptiveRouter<i64> {
+        let a = cube();
+        AdaptiveRouter::new()
+            .with_engine(Box::new(NaiveEngine::new(a.clone())))
+            .with_engine(Box::new(
+                CubeIndex::build(a.clone(), IndexConfig::default()).unwrap(),
+            ))
+            .with_engine(Box::new(SumTreeEngine::build(a, 4).unwrap()))
+    }
+
+    #[test]
+    fn routes_to_cheapest_and_answers_correctly() {
+        let mut r = router();
+        let a = cube();
+        // Large query: prefix sum (2^d = 4) must beat naive (volume) and
+        // the tree.
+        let big = q(&[(0, 60), (0, 60)]);
+        let out = r.range_sum(&big).unwrap();
+        let region = big.to_region(a.shape()).unwrap();
+        let expected = a.fold_region(&region, 0i64, |s, &x| s + x);
+        assert_eq!(out.value(), Some(&expected));
+        let cands = r.candidates(&big, EngineOp::Sum);
+        let chosen = cands
+            .iter()
+            .filter(|c| c.eligible)
+            .min_by(|x, y| x.calibrated.partial_cmp(&y.calibrated).unwrap())
+            .unwrap();
+        assert!(chosen.label.contains("prefix"), "{chosen:?}");
+    }
+
+    #[test]
+    fn tiny_queries_route_to_naive() {
+        let mut r = router();
+        // A 1-cell query: naive costs 1, prefix costs 2^d = 4.
+        let tiny = q(&[(5, 5), (9, 9)]);
+        let e = r.explain(&tiny).unwrap();
+        assert_eq!(e.chosen_candidate().label, "naive-scan");
+        assert_eq!(e.candidates.len(), 3);
+        assert!(e.observed() >= 1);
+    }
+
+    #[test]
+    fn calibration_moves_toward_observed() {
+        let mut r = router();
+        assert!(r.calibration().iter().all(|&x| x == 1.0));
+        let query = q(&[(0, 63), (0, 31)]);
+        let out = r.range_sum(&query).unwrap();
+        let cands = r.candidates(&query, EngineOp::Sum);
+        let chosen: Vec<_> = r
+            .calibration()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &x)| x != 1.0)
+            .collect();
+        assert_eq!(chosen.len(), 1, "exactly one engine observed");
+        let (i, &ratio) = chosen[0];
+        let expected =
+            (1.0 - DEFAULT_ALPHA) + DEFAULT_ALPHA * out.cost() as f64 / cands[i].raw * 1.0;
+        assert!((ratio - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn updates_reach_every_engine() {
+        let mut r = router();
+        r.apply_updates(&[(vec![3, 4], 1000)]).unwrap();
+        let probe = q(&[(3, 3), (4, 4)]);
+        // Every engine must see the new value, whichever is routed to.
+        for i in 0..r.len() {
+            let out = r.engine(i).range_sum(&probe).unwrap();
+            assert_eq!(out.value(), Some(&1000), "engine {}", r.engine(i).label());
+        }
+    }
+
+    #[test]
+    fn no_candidate_for_unsupported_op() {
+        let a = cube();
+        let mut r: AdaptiveRouter<i64> =
+            AdaptiveRouter::new().with_engine(Box::new(SumTreeEngine::build(a, 4).unwrap()));
+        let err = r.range_max(&q(&[(0, 5), (0, 5)])).unwrap_err();
+        assert!(matches!(err, EngineError::NoCandidate { op: "range_max" }));
+    }
+
+    #[test]
+    fn explain_display_lists_all_candidates() {
+        let mut r = router();
+        let e = r.explain(&q(&[(0, 31), (0, 31)])).unwrap();
+        let text = e.to_string();
+        for label in r.labels() {
+            assert!(text.contains(&label), "missing {label} in:\n{text}");
+        }
+        assert!(text.contains("observed:"));
+    }
+
+    #[test]
+    fn replay_records_predictions() {
+        let a = cube();
+        let mut log = QueryLog::new(a.shape().clone());
+        for k in 0..10 {
+            let lo = k * 3;
+            log.push(q(&[(lo, lo + 20), (0, 40)]));
+        }
+        let mut r = router();
+        let records = r.replay(&log).unwrap();
+        assert_eq!(records.len(), 10);
+        assert!(records.iter().all(|rec| rec.predicted.is_finite()));
+        assert!(records.iter().all(|rec| rec.observed > 0));
+    }
+}

@@ -9,11 +9,14 @@
 //! exercised for real.
 
 use olap_array::{DenseArray, Parallelism, Region, Shape};
-use olap_engine::{CubeIndex, IndexConfig, PrefixChoice};
+use olap_engine::{
+    AdaptiveRouter, CubeIndex, IndexConfig, NaiveEngine, PrefixChoice, SumTreeEngine,
+};
 use olap_prefix_sum::batch::{
     apply_batch, apply_batch_blocked, apply_batch_blocked_par, apply_batch_par, CellUpdate,
 };
 use olap_prefix_sum::{BlockedPrefixCube, BoundaryPolicy, PrefixSumCube};
+use olap_query::RangeQuery;
 use olap_range_max::NaturalMaxTree;
 use olap_sparse::{DenseRegionFinder, RegionFinderParams};
 use proptest::prelude::*;
@@ -185,5 +188,56 @@ proptest! {
         let (pi, pm, _) = par_idx.range_max(&q).unwrap();
         prop_assert_eq!(si, pi);
         prop_assert_eq!(sm.to_bits(), pm.to_bits());
+    }
+
+    /// The router's whole decision trajectory — chosen routes, answer
+    /// bits, access statistics, and calibration ratios — is bit-identical
+    /// whether the structures inside execute sequentially or threaded.
+    /// (Routing feeds on AccessStats, so PR 1's determinism guarantee
+    /// lifts to routing determinism.)
+    #[test]
+    fn router_decisions_are_identical_under_threads(
+        (a, qs) in arb_cube().prop_flat_map(|a| {
+            let qs = prop::collection::vec(arb_region(a.shape()), 1..8);
+            (Just(a), qs)
+        }),
+        b in 1usize..4,
+        threads in 2usize..6,
+    ) {
+        let router_for = |par: Parallelism| -> AdaptiveRouter<f64> {
+            let cfg = IndexConfig {
+                prefix: PrefixChoice::Blocked(b),
+                max_tree_fanout: None,
+                min_tree_fanout: None,
+                sum_tree_fanout: None,
+                parallelism: par,
+            };
+            AdaptiveRouter::new()
+                .with_engine(Box::new(NaiveEngine::new(a.clone())))
+                .with_engine(Box::new(CubeIndex::build(a.clone(), cfg).unwrap()))
+                .with_engine(Box::new(SumTreeEngine::build(a.clone(), 2).unwrap()))
+        };
+        let mut seq = router_for(Parallelism::Sequential);
+        let mut par = router_for(Parallelism::Threads(threads));
+        for q in &qs {
+            let query = RangeQuery::from_region(q);
+            let se = seq.explain(&query).unwrap();
+            let pe = par.explain(&query).unwrap();
+            prop_assert_eq!(se.chosen, pe.chosen, "route diverged on {}", q);
+            for (sc, pc) in se.candidates.iter().zip(&pe.candidates) {
+                prop_assert_eq!(sc.raw.to_bits(), pc.raw.to_bits());
+                prop_assert_eq!(sc.ratio.to_bits(), pc.ratio.to_bits());
+                prop_assert_eq!(sc.calibrated.to_bits(), pc.calibrated.to_bits());
+            }
+            prop_assert_eq!(&se.outcome.stats, &pe.outcome.stats);
+            prop_assert_eq!(
+                se.outcome.value().map(|v| v.to_bits()),
+                pe.outcome.value().map(|v| v.to_bits())
+            );
+            // Post-observation calibration state must match bit-for-bit.
+            let sr: Vec<u64> = seq.calibration().iter().map(|r| r.to_bits()).collect();
+            let pr: Vec<u64> = par.calibration().iter().map(|r| r.to_bits()).collect();
+            prop_assert_eq!(sr, pr);
+        }
     }
 }

@@ -3,6 +3,49 @@
 //! All costs are in the paper's unit: *number of elements accessed* to
 //! answer a query, using the query statistics of Table 1 (volume `V`,
 //! surface area `S`).
+//!
+//! Every function here is **total**: the `2^d` terms are computed in f64
+//! (saturating to `+∞` beyond the exponent range instead of overflowing a
+//! shift), and the one genuinely partial operation — a tree depth with a
+//! fanout that cannot shrink the domain — reports a [`CostError`] instead
+//! of panicking.
+
+use std::fmt;
+
+/// Errors from the cost model's partial inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostError {
+    /// A tree of fanout `b < 2` never shrinks its domain, so it has no
+    /// finite depth.
+    FanoutTooSmall {
+        /// The offending fanout.
+        b: usize,
+    },
+}
+
+impl fmt::Display for CostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostError::FanoutTooSmall { b } => {
+                write!(f, "tree fanout must be ≥ 2, got {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostError {}
+
+/// `2^d` as an f64, for any `d`: exact for `d ≤ 52`, and saturating to
+/// `+∞` once `d` exceeds the exponent range — no shift overflow.
+pub fn pow2(d: usize) -> f64 {
+    (d as f64).exp2()
+}
+
+/// `b^e` in f64 with a clamped integer exponent, saturating instead of
+/// overflowing the `i32` exponent of `powi`.
+fn powu(b: f64, e: usize) -> f64 {
+    b.powi(e.min(i32::MAX as usize) as i32)
+}
 
 /// `F(b)`: the expected number of boundary cells accessed per unit of
 /// query surface (§8): `b/4` for even `b`, `b/4 − 1/(4b)` for odd `b`
@@ -19,29 +62,38 @@ pub fn f_of_b(b: usize) -> f64 {
 /// Average cost of the (blocked) prefix-sum algorithm, Equation 3:
 /// `2^d + S·F(b)`.
 pub fn prefix_sum_cost(d: usize, surface: f64, b: usize) -> f64 {
-    (1u64 << d) as f64 + surface * f_of_b(b)
+    pow2(d) + surface * f_of_b(b)
 }
 
 /// Depth `t` of a tree of fanout `b` per dimension over a domain of
 /// maximum extent `n`: `⌈log_b n⌉`.
-pub fn tree_depth(n: usize, b: usize) -> usize {
-    assert!(b >= 2, "tree fanout must be ≥ 2");
+///
+/// # Errors
+/// [`CostError::FanoutTooSmall`] for `b < 2` (such a tree never shrinks
+/// the domain, so it has no finite depth).
+pub fn tree_depth(n: usize, b: usize) -> Result<usize, CostError> {
+    if b < 2 {
+        return Err(CostError::FanoutTooSmall { b });
+    }
     let mut t = 0;
     let mut cover = 1usize;
     while cover < n {
         cover = cover.saturating_mul(b);
         t += 1;
     }
-    t.max(1)
+    Ok(t.max(1))
 }
 
 /// Average cost of the hierarchical-tree range-sum (§8):
 /// `F(b) · Σ_{k=0}^{t−1} S / b^{k(d−1)}`.
+///
+/// Total in `d`: a (degenerate) `d = 0` is treated like `d = 1`, where
+/// every level contributes the full surface term.
 pub fn tree_cost(d: usize, surface: f64, b: usize, depth: usize) -> f64 {
     let f = f_of_b(b);
     let mut total = 0.0;
     for k in 0..depth {
-        total += surface / (b as f64).powi((k * (d - 1)) as i32);
+        total += surface / powu(b as f64, k.saturating_mul(d.saturating_sub(1)));
     }
     f * total
 }
@@ -49,7 +101,7 @@ pub fn tree_cost(d: usize, surface: f64, b: usize, depth: usize) -> f64 {
 /// The Figure-11 closed form: for queries of side `α·b` in every
 /// dimension, `Cost(tree) − Cost(prefix sum) ≈ d·α^{d−1}·b/2 − 2^d`.
 pub fn fig11_difference(d: usize, b: usize, alpha: f64) -> f64 {
-    d as f64 * alpha.powi(d as i32 - 1) * b as f64 / 2.0 - (1u64 << d) as f64
+    d as f64 * powu(alpha, d.saturating_sub(1)) * b as f64 / 2.0 - pow2(d)
 }
 
 /// Benefit/space ratio of materializing a blocked prefix sum (§9.3):
@@ -58,7 +110,7 @@ pub fn fig11_difference(d: usize, b: usize, alpha: f64) -> f64 {
 /// `nq_over_n` is the query count divided by the cuboid size.
 pub fn benefit_space_ratio(nq_over_n: f64, v: f64, s: f64, d: usize, b: usize) -> f64 {
     let bf = b as f64;
-    nq_over_n * ((v - (1u64 << d) as f64) * bf.powi(d as i32) - (s / 4.0) * bf.powi(d as i32 + 1))
+    nq_over_n * ((v - pow2(d)) * powu(bf, d) - (s / 4.0) * powu(bf, d.saturating_add(1)))
 }
 
 /// The block size maximising benefit/space (§9.3):
@@ -69,7 +121,7 @@ pub fn benefit_space_ratio(nq_over_n: f64, v: f64, s: f64, d: usize, b: usize) -
 /// "there is no benefit to computing the prefix sum with blocking"), in
 /// which case the caller should consider `b = 1`.
 pub fn optimal_block_size(v: f64, s: f64, d: usize) -> Option<usize> {
-    let v_eff = v - (1u64 << d) as f64;
+    let v_eff = v - pow2(d);
     if v_eff <= s / 4.0 || s <= 0.0 {
         return None;
     }
@@ -117,10 +169,45 @@ mod tests {
 
     #[test]
     fn tree_depth_examples() {
-        assert_eq!(tree_depth(14, 3), 3); // Figure 9
-        assert_eq!(tree_depth(1000, 10), 3);
-        assert_eq!(tree_depth(1001, 10), 4);
-        assert_eq!(tree_depth(1, 2), 1);
+        assert_eq!(tree_depth(14, 3).unwrap(), 3); // Figure 9
+        assert_eq!(tree_depth(1000, 10).unwrap(), 3);
+        assert_eq!(tree_depth(1001, 10).unwrap(), 4);
+        assert_eq!(tree_depth(1, 2).unwrap(), 1);
+    }
+
+    #[test]
+    fn tree_depth_rejects_degenerate_fanouts() {
+        assert_eq!(tree_depth(100, 0), Err(CostError::FanoutTooSmall { b: 0 }));
+        assert_eq!(tree_depth(100, 1), Err(CostError::FanoutTooSmall { b: 1 }));
+        assert!(tree_depth(100, 1).unwrap_err().to_string().contains("≥ 2"));
+    }
+
+    #[test]
+    fn pow2_is_exact_then_saturates() {
+        assert_eq!(pow2(0), 1.0);
+        assert_eq!(pow2(10), 1024.0);
+        assert_eq!(pow2(63), 9_223_372_036_854_775_808.0);
+        // Beyond the u64 shift range: finite up to the f64 exponent limit,
+        // then +∞ — never an overflow panic or a wrapped shift.
+        assert_eq!(pow2(64), 2.0f64.powi(32).powi(2));
+        assert!(pow2(1023).is_finite());
+        assert_eq!(pow2(1024), f64::INFINITY);
+        assert_eq!(pow2(usize::MAX), f64::INFINITY);
+    }
+
+    #[test]
+    fn high_dimension_costs_saturate_instead_of_overflowing() {
+        // d ≥ 64 used to overflow `1u64 << d`; now the 2^d term saturates.
+        assert!(prefix_sum_cost(64, 100.0, 4).is_finite());
+        assert_eq!(prefix_sum_cost(2000, 100.0, 4), f64::INFINITY);
+        assert_eq!(fig11_difference(2000, 10, 1.0), f64::NEG_INFINITY);
+        assert!(fig11_difference(64, 10, 2.0).is_finite());
+        // Tree cost is total in d (d = 0 treated like d = 1) and in depth.
+        assert!(tree_cost(0, 100.0, 4, 3).is_finite());
+        assert!(tree_cost(70, 100.0, 4, 64).is_finite());
+        // Benefit/space and b* stay total too.
+        assert!(benefit_space_ratio(1.0, 1e6, 100.0, 70, 3).is_finite());
+        assert_eq!(optimal_block_size(1e6, 100.0, 2000), None);
     }
 
     #[test]
@@ -144,7 +231,7 @@ mod tests {
                     let side = alpha * b as f64;
                     let v: f64 = side.powi(d as i32);
                     let s = 2.0 * d as f64 * v / side;
-                    let depth = tree_depth(4096, b);
+                    let depth = tree_depth(4096, b).unwrap();
                     assert!(
                         tree_cost(d, s, b, depth) > prefix_sum_cost(d, s, b),
                         "d={d} b={b} α={alpha}"

@@ -5,7 +5,7 @@
 //! prefix sum maximises benefit/space — followed by a drop-and-replace
 //! fine-tuning loop.
 
-use crate::cost::{self, f_of_b};
+use crate::cost;
 use olap_array::Shape;
 use olap_query::{CuboidId, CuboidStats};
 use std::collections::BTreeMap;
@@ -97,7 +97,7 @@ impl GreedyPlanner {
     /// inside it and the blocked algorithm degrades to the scan (the
     /// §8 caveat for very small queries, in the pessimistic direction).
     fn query_cost_with(&self, q: &CuboidStats, structure: CuboidId, b: usize) -> f64 {
-        let modelled = (1u64 << structure.ndim()) as f64 + q.avg.surface * f_of_b(b);
+        let modelled = cost::prefix_sum_cost(structure.ndim(), q.avg.surface, b);
         modelled.min(q.avg.volume)
     }
 

@@ -24,7 +24,7 @@ pub mod dimensions;
 
 pub use cost::{
     benefit_space_ratio, f_of_b, fig11_difference, optimal_block_size,
-    optimal_block_size_under_ancestor, prefix_sum_cost, tree_cost, tree_depth,
+    optimal_block_size_under_ancestor, pow2, prefix_sum_cost, tree_cost, tree_depth, CostError,
 };
 pub use cuboids::{GreedyPlanner, Plan, PrefixSumChoice};
 pub use dimensions::{choose_dimensions_exact, choose_dimensions_heuristic, selection_cost};

@@ -30,7 +30,7 @@ proptest! {
         // with equal storage the tree pays the blocked prefix's boundary
         // cost at every level, so it can be cheaper only by the 2^d corner
         // term.
-        let depth = tree_depth(n, b);
+        let depth = tree_depth(n, b).unwrap();
         let p = prefix_sum_cost(d, surface, b);
         let t = tree_cost(d, surface, b, depth);
         prop_assert!(t + (1u64 << d) as f64 >= p - 1e-9);

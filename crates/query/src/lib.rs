@@ -11,6 +11,9 @@
 //! This crate provides:
 //!
 //! - [`DimSelection`] / [`RangeQuery`]: the user-facing query model,
+//! - [`Answer`] / [`QueryOutcome`] / [`EngineKind`]: the unified answer
+//!   vocabulary every engine returns (value + access stats + which
+//!   structure answered),
 //! - [`CuboidId`]: a bitmask identifying a cuboid (a subset of dimensions),
 //! - [`QueryStats`] and [`CuboidStats`]: Table-1 statistics for a single
 //!   query and averaged over a log,
@@ -23,6 +26,7 @@
 mod access;
 mod cuboid;
 mod log;
+mod outcome;
 mod query;
 mod schema;
 mod stats;
@@ -30,6 +34,7 @@ mod stats;
 pub use access::AccessStats;
 pub use cuboid::CuboidId;
 pub use log::{CuboidStats, QueryLog};
+pub use outcome::{Answer, EngineKind, QueryOutcome};
 pub use query::{DimSelection, RangeQuery};
 pub use schema::{AttrDomain, Attribute, CubeSchema, QueryBuilder, SchemaError};
 pub use stats::QueryStats;

@@ -107,6 +107,25 @@ impl RangeQuery {
         RangeQuery::new(vec![DimSelection::All; d])
     }
 
+    /// Builds the query equivalent to a concrete [`Region`]: one span (or
+    /// singleton) per dimension. Spans that happen to cover a whole domain
+    /// are classified as `all` later, by [`RangeQuery::cuboid`] against a
+    /// shape; the region itself does not know the domain extents.
+    pub fn from_region(region: &Region) -> Self {
+        let sels: Vec<DimSelection> = region
+            .ranges()
+            .iter()
+            .map(|r| {
+                if r.len() == 1 {
+                    DimSelection::Single(r.lo())
+                } else {
+                    DimSelection::Span(*r)
+                }
+            })
+            .collect();
+        RangeQuery { sels: sels.into() }
+    }
+
     /// The per-dimension selections.
     pub fn selections(&self) -> &[DimSelection] {
         &self.sels
@@ -286,6 +305,17 @@ mod tests {
     #[test]
     fn span_collapses_singleton() {
         assert_eq!(DimSelection::span(4, 4).unwrap(), DimSelection::Single(4));
+    }
+
+    #[test]
+    fn from_region_round_trips() {
+        let shape = Shape::new(&[10, 10, 10]).unwrap();
+        let region = Region::from_bounds(&[(2, 5), (7, 7), (0, 9)]).unwrap();
+        let q = RangeQuery::from_region(&region);
+        assert_eq!(q.to_region(&shape).unwrap(), region);
+        assert_eq!(q.selections()[1], DimSelection::Single(7));
+        // The full-domain span is classified as `all` for cuboid purposes.
+        assert_eq!(q.cuboid(&shape), CuboidId::from_dims(&[0, 1]));
     }
 
     #[test]

@@ -1,44 +1,83 @@
-//! Cross-crate integration: every range-sum engine and every range-max
-//! engine in the workspace must agree on the same cubes and queries.
+//! Cross-crate integration: every backend family answers the same
+//! [`RangeQuery`] through the [`RangeEngine`] trait, and they must all
+//! agree — on sums, extrema, and after updates applied through the trait.
 
-use olap_array::Shape;
-use olap_cube::aggregate::{NaturalOrder, SumOp};
-use olap_cube::engine::{naive, CubeIndex, IndexConfig, PrefixChoice};
-use olap_cube::prefix_sum::{BlockedPrefixCube, BoundaryPolicy, PrefixSumCube};
-use olap_cube::range_max::{NaturalMaxTree, SearchOptions};
-use olap_cube::sparse::{SparseCube, SparseRangeMax, SparseRangeSum};
-use olap_cube::tree_sum::SumTreeCube;
+use olap_cube::aggregate::SumOp;
+use olap_cube::array::{DenseArray, Region, Shape};
+use olap_cube::engine::{
+    CubeIndex, EngineError, ExtendedCube, IndexConfig, NaiveEngine, Parallelism, PlannedIndex,
+    PrefixChoice, RangeEngine, SparseMaxEngine, SparseSumEngine, SumTreeEngine,
+};
+use olap_cube::planner::PrefixSumChoice;
+use olap_cube::query::{CuboidId, RangeQuery};
 use olap_cube::workload::{skewed_cube, uniform_cube, uniform_regions};
+
+type Engines = Vec<Box<dyn RangeEngine<i64>>>;
+
+fn config(prefix: PrefixChoice, sum_tree: Option<usize>) -> IndexConfig {
+    IndexConfig {
+        prefix,
+        max_tree_fanout: None,
+        min_tree_fanout: None,
+        sum_tree_fanout: sum_tree,
+        parallelism: Parallelism::Sequential,
+    }
+}
+
+/// Every range-sum backend family over one dense cube: the naive scan,
+/// `CubeIndex` in each §3/§4/§8 configuration, the standalone tree-sum
+/// engine, the \[GBLP96\] extended cube, the §9 planned index, and the
+/// §10.2 sparse engine.
+fn sum_engines(a: &DenseArray<i64>) -> Engines {
+    let full_cuboid: Vec<usize> = (0..a.shape().ndim()).collect();
+    let mut engines: Engines = vec![
+        Box::new(NaiveEngine::new(a.clone())),
+        Box::new(CubeIndex::build(a.clone(), config(PrefixChoice::Basic, None)).unwrap()),
+        Box::new(CubeIndex::build(a.clone(), config(PrefixChoice::None, Some(3))).unwrap()),
+        Box::new(CubeIndex::build(a.clone(), config(PrefixChoice::None, None)).unwrap()),
+        Box::new(SumTreeEngine::build(a.clone(), 3).unwrap()),
+        Box::new(ExtendedCube::build(a, SumOp::new()).unwrap()),
+        Box::new(
+            PlannedIndex::build(
+                a.clone(),
+                &[PrefixSumChoice {
+                    cuboid: CuboidId::from_dims(&full_cuboid),
+                    block: 4,
+                }],
+            )
+            .unwrap(),
+        ),
+        Box::new(SparseSumEngine::from_dense(a).unwrap()),
+    ];
+    for b in [2usize, 5, 8, 16] {
+        engines.push(Box::new(
+            CubeIndex::build(a.clone(), config(PrefixChoice::Blocked(b), None)).unwrap(),
+        ));
+    }
+    engines
+}
+
+fn ground_truth_sum(a: &DenseArray<i64>, region: &Region) -> i64 {
+    a.fold_region(region, 0i64, |s, &x| s + x)
+}
 
 #[test]
 fn all_sum_engines_agree_2d() {
     let shape = Shape::new(&[40, 33]).unwrap();
     let a = uniform_cube(shape.clone(), 100, 1);
-    let ps = PrefixSumCube::build(&a);
-    let blocked: Vec<_> = [2usize, 5, 8, 16]
-        .iter()
-        .map(|&b| BlockedPrefixCube::build(&a, b).unwrap())
-        .collect();
-    let st = SumTreeCube::build(&a, 3).unwrap();
-    let sparse = SparseRangeSum::build(&SparseCube::from_dense(&a, |&v| v == 0)).unwrap();
-    for q in uniform_regions(&shape, 60, 2) {
-        let (expected, _) = naive::range_aggregate(&a, &SumOp::<i64>::new(), &q).unwrap();
-        assert_eq!(ps.range_sum(&q).unwrap(), expected, "prefix {q}");
-        for bp in &blocked {
-            for policy in [
-                BoundaryPolicy::Auto,
-                BoundaryPolicy::AlwaysDirect,
-                BoundaryPolicy::AlwaysComplement,
-            ] {
-                let (v, _) = bp.range_sum_with_policy(&a, &q, policy).unwrap();
-                assert_eq!(v, expected, "blocked b={} {q} {policy:?}", bp.block_size());
-            }
+    let engines = sum_engines(&a);
+    for region in uniform_regions(&shape, 60, 2) {
+        let q = RangeQuery::from_region(&region);
+        let expected = ground_truth_sum(&a, &region);
+        for e in &engines {
+            let out = e.range_sum(&q).unwrap();
+            assert_eq!(out.value(), Some(&expected), "{} {region}", e.label());
+            assert!(
+                e.estimate(&q).is_finite() && e.estimate(&q) > 0.0,
+                "{} estimate for {region}",
+                e.label()
+            );
         }
-        for complement in [true, false] {
-            let (v, _) = st.range_sum_with_stats(&a, &q, complement).unwrap();
-            assert_eq!(v, expected, "tree-sum {q}");
-        }
-        assert_eq!(sparse.range_sum(&q).unwrap(), expected, "sparse {q}");
     }
 }
 
@@ -46,109 +85,126 @@ fn all_sum_engines_agree_2d() {
 fn all_sum_engines_agree_4d() {
     let shape = Shape::new(&[7, 6, 5, 4]).unwrap();
     let a = uniform_cube(shape.clone(), 50, 3);
-    let ps = PrefixSumCube::build(&a);
-    let bp = BlockedPrefixCube::build(&a, 3).unwrap();
-    let st = SumTreeCube::build(&a, 2).unwrap();
-    for q in uniform_regions(&shape, 80, 4) {
-        let (expected, _) = naive::range_aggregate(&a, &SumOp::<i64>::new(), &q).unwrap();
-        assert_eq!(ps.range_sum(&q).unwrap(), expected);
-        assert_eq!(bp.range_sum(&a, &q).unwrap(), expected);
-        assert_eq!(st.range_sum(&a, &q).unwrap(), expected);
+    let engines = sum_engines(&a);
+    for region in uniform_regions(&shape, 80, 4) {
+        let q = RangeQuery::from_region(&region);
+        let expected = ground_truth_sum(&a, &region);
+        for e in &engines {
+            let out = e.range_sum(&q).unwrap();
+            assert_eq!(out.value(), Some(&expected), "{} {region}", e.label());
+        }
     }
 }
 
 #[test]
-fn all_max_engines_agree() {
+fn all_extremum_engines_agree() {
     let shape = Shape::new(&[50, 30]).unwrap();
     let a = skewed_cube(shape.clone(), 10_000, 5);
-    let trees: Vec<_> = [2usize, 3, 4]
-        .iter()
-        .map(|&b| NaturalMaxTree::for_values(&a, b).unwrap())
-        .collect();
-    let sparse = SparseRangeMax::build(&SparseCube::from_dense(&a, |_| false));
-    for q in uniform_regions(&shape, 60, 6) {
-        let (_, expected, _) = naive::range_max(&a, &NaturalOrder::<i64>::new(), &q).unwrap();
-        for t in &trees {
-            for bb in [true, false] {
-                let opts = SearchOptions {
-                    branch_and_bound: bb,
-                    ..Default::default()
-                };
-                let (_, v, _) = t.range_max_with_options(&a, &q, opts).unwrap();
-                assert_eq!(v, expected, "tree b={} {q}", t.fanout());
+    let mut max_engines: Engines = vec![
+        Box::new(NaiveEngine::new(a.clone())),
+        Box::new(SparseMaxEngine::from_dense(&a)),
+    ];
+    for b in [2usize, 3, 4] {
+        let cfg = IndexConfig {
+            prefix: PrefixChoice::None,
+            max_tree_fanout: Some(b),
+            min_tree_fanout: Some(b),
+            sum_tree_fanout: None,
+            parallelism: Parallelism::Sequential,
+        };
+        max_engines.push(Box::new(CubeIndex::build(a.clone(), cfg).unwrap()));
+    }
+    for region in uniform_regions(&shape, 60, 6) {
+        let q = RangeQuery::from_region(&region);
+        let emax = a.fold_region(&region, i64::MIN, |m, &x| m.max(x));
+        let emin = a.fold_region(&region, i64::MAX, |m, &x| m.min(x));
+        for e in &max_engines {
+            let out = e.range_max(&q).unwrap();
+            assert_eq!(out.value(), Some(&emax), "max {} {region}", e.label());
+            if e.capabilities().range_min {
+                let out = e.range_min(&q).unwrap();
+                assert_eq!(out.value(), Some(&emin), "min {} {region}", e.label());
             }
         }
-        let got = sparse
-            .range_max(&q)
-            .unwrap()
-            .expect("dense-derived cube has points");
-        assert_eq!(got.1, expected, "sparse {q}");
     }
 }
 
 #[test]
-fn cube_index_routes_like_direct_engines() {
-    let shape = Shape::new(&[20, 20, 8]).unwrap();
-    let a = uniform_cube(shape.clone(), 200, 9);
-    let configs = [
-        IndexConfig {
-            prefix: PrefixChoice::Basic,
-            max_tree_fanout: Some(2),
-            min_tree_fanout: None,
-            sum_tree_fanout: None,
-            ..IndexConfig::default()
-        },
-        IndexConfig {
-            prefix: PrefixChoice::Blocked(4),
-            max_tree_fanout: Some(4),
-            min_tree_fanout: Some(3),
-            sum_tree_fanout: Some(2),
-            ..IndexConfig::default()
-        },
-        IndexConfig {
-            prefix: PrefixChoice::None,
-            max_tree_fanout: None,
-            min_tree_fanout: None,
-            sum_tree_fanout: Some(3),
-            ..IndexConfig::default()
-        },
-        IndexConfig {
-            prefix: PrefixChoice::None,
-            max_tree_fanout: None,
-            min_tree_fanout: None,
-            sum_tree_fanout: None,
-            ..IndexConfig::default()
-        },
-    ];
-    let indexes: Vec<_> = configs
-        .iter()
-        .map(|&cfg| CubeIndex::build(a.clone(), cfg).unwrap())
+fn capabilities_are_honest() {
+    let a = uniform_cube(Shape::new(&[12, 12]).unwrap(), 100, 7);
+    let engines = sum_engines(&a);
+    let q = RangeQuery::from_region(&Region::from_bounds(&[(1, 8), (2, 9)]).unwrap());
+    for e in &engines {
+        let caps = e.capabilities();
+        assert!(caps.range_sum, "{}", e.label());
+        if !caps.range_max {
+            assert!(
+                matches!(e.range_max(&q), Err(EngineError::Unsupported { .. })),
+                "{} advertises no range_max but answered",
+                e.label()
+            );
+        }
+        if !caps.range_min {
+            assert!(matches!(
+                e.range_min(&q),
+                Err(EngineError::Unsupported { .. })
+            ));
+        }
+    }
+}
+
+#[test]
+fn updates_flow_through_the_trait() {
+    let shape = Shape::new(&[16, 12]).unwrap();
+    let a = uniform_cube(shape.clone(), 100, 8);
+    let mut engines: Engines = sum_engines(&a)
+        .into_iter()
+        .filter(|e| e.capabilities().updates)
         .collect();
-    for q in uniform_regions(&shape, 40, 10) {
-        let (expected, _) = naive::range_aggregate(&a, &SumOp::<i64>::new(), &q).unwrap();
-        let (_, emax, _) = naive::range_max(&a, &NaturalOrder::<i64>::new(), &q).unwrap();
-        for (idx, cfg) in indexes.iter().zip(&configs) {
-            let (s, _) = idx.range_sum(&q).unwrap();
-            assert_eq!(s, expected, "{cfg:?} {q}");
-            let (_, m, _) = idx.range_max(&q).unwrap();
-            assert_eq!(m, emax, "{cfg:?} {q}");
+    assert!(engines.len() >= 4, "naive, cube-index, tree-sum, sparse");
+    let updates: Vec<(Vec<usize>, i64)> = vec![
+        (vec![0, 0], 5000),
+        (vec![15, 11], -77),
+        (vec![7, 7], 0),
+        (vec![7, 7], 123), // later update to the same cell wins
+    ];
+    let mut shadow = a.clone();
+    for (idx, v) in &updates {
+        *shadow.get_mut(idx) = *v;
+    }
+    for e in &mut engines {
+        e.apply_updates(&updates).unwrap();
+    }
+    for region in uniform_regions(&shape, 30, 9) {
+        let q = RangeQuery::from_region(&region);
+        let expected = ground_truth_sum(&shadow, &region);
+        for e in &engines {
+            let out = e.range_sum(&q).unwrap();
+            assert_eq!(out.value(), Some(&expected), "{} {region}", e.label());
         }
     }
 }
 
 #[test]
 fn prefix_sum_cost_is_constant_while_naive_grows() {
-    // The §11 claim: precomputation wins more as query volume grows.
+    // The §11 claim, observed through the trait's AccessStats: the naive
+    // scan's cost grows with query volume while the §3 prefix sum stays at
+    // 2^d, and the analytic estimates track the same shape.
     let shape = Shape::new(&[256, 256]).unwrap();
     let a = uniform_cube(shape, 100, 11);
-    let ps = PrefixSumCube::build(&a);
+    let naive: Box<dyn RangeEngine<i64>> = Box::new(NaiveEngine::new(a.clone()));
+    let prefix: Box<dyn RangeEngine<i64>> =
+        Box::new(CubeIndex::build(a, config(PrefixChoice::Basic, None)).unwrap());
     let mut last_naive = 0u64;
     for side in [4usize, 16, 64, 192] {
-        let q = olap_array::Region::from_bounds(&[(10, 9 + side), (20, 19 + side)]).unwrap();
-        let (_, ns) = naive::range_aggregate(&a, &SumOp::<i64>::new(), &q).unwrap();
-        let (_, ps_stats) = ps.range_sum_with_stats(&q).unwrap();
-        assert!(ns.total_accesses() > last_naive);
-        last_naive = ns.total_accesses();
-        assert!(ps_stats.total_accesses() <= 4, "prefix stays ≤ 2^d");
+        let region = Region::from_bounds(&[(10, 9 + side), (20, 19 + side)]).unwrap();
+        let q = RangeQuery::from_region(&region);
+        let ncost = naive.range_sum(&q).unwrap().cost();
+        assert!(ncost > last_naive);
+        last_naive = ncost;
+        assert!(naive.estimate(&q) >= (side * side) as f64);
+        let pout = prefix.range_sum(&q).unwrap();
+        assert!(pout.cost() <= 4, "prefix stays ≤ 2^d");
+        assert_eq!(prefix.estimate(&q), 4.0);
     }
 }
