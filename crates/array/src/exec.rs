@@ -95,23 +95,65 @@ where
         parts.push((base, std::mem::replace(&mut items, rest)));
         base += take;
     }
+    // Telemetry scopes are thread-local, so each worker re-enters the
+    // spawning thread's context: a scoped workload's counters land in the
+    // scoped registry no matter which thread did the work.
+    #[cfg(feature = "telemetry")]
+    let ctx = olap_telemetry::current();
     let mut out: Vec<R> = Vec::with_capacity(total);
+    #[cfg(feature = "telemetry")]
+    let mut worker_nanos: Vec<u64> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let handles: Vec<_> = parts
             .into_iter()
             .map(|(first, part)| {
+                #[cfg(feature = "telemetry")]
+                let ctx = ctx.clone();
                 scope.spawn(move || {
-                    part.into_iter()
-                        .enumerate()
-                        .map(|(i, t)| f(first + i, t))
-                        .collect::<Vec<R>>()
+                    let run = || {
+                        part.into_iter()
+                            .enumerate()
+                            .map(|(i, t)| f(first + i, t))
+                            .collect::<Vec<R>>()
+                    };
+                    #[cfg(feature = "telemetry")]
+                    if let Some(ctx) = ctx {
+                        let start = std::time::Instant::now();
+                        let chunk = olap_telemetry::with_scope(&ctx, run);
+                        let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                        ctx.registry()
+                            .histogram("olap_exec_worker_nanos", &[])
+                            .observe(nanos);
+                        return (chunk, nanos);
+                    }
+                    (run(), 0u64)
                 })
             })
             .collect();
         for h in handles {
-            out.extend(h.join().expect("chunk worker panicked"));
+            let (chunk, nanos) = h.join().expect("chunk worker panicked");
+            #[cfg(not(feature = "telemetry"))]
+            let _ = nanos;
+            #[cfg(feature = "telemetry")]
+            worker_nanos.push(nanos);
+            out.extend(chunk);
         }
     });
+    #[cfg(feature = "telemetry")]
+    if let Some(ctx) = ctx {
+        let reg = ctx.registry();
+        reg.counter("olap_exec_fanouts_total", &[]).inc(1);
+        reg.counter("olap_exec_chunks_total", &[]).inc(total as u64);
+        // Imbalance of the fan-out just finished: how much the slowest
+        // worker exceeded the mean, in permille (0 = perfectly balanced).
+        let n = worker_nanos.len() as f64;
+        let mean = worker_nanos.iter().sum::<u64>() as f64 / n.max(1.0);
+        if mean > 0.0 {
+            let max = worker_nanos.iter().copied().max().unwrap_or(0) as f64;
+            reg.gauge("olap_exec_imbalance_permille", &[])
+                .set((max / mean - 1.0) * 1000.0);
+        }
+    }
     out
 }
 
@@ -181,6 +223,33 @@ mod tests {
         }
         assert!(!Parallelism::Threads(1).is_parallel());
         assert!(!Parallelism::Sequential.is_parallel());
+    }
+
+    #[cfg(all(feature = "parallel", feature = "telemetry"))]
+    #[test]
+    fn workers_record_into_the_scoped_registry() {
+        let ctx = std::sync::Arc::new(olap_telemetry::Telemetry::new());
+        olap_telemetry::with_scope(&ctx, || {
+            run_indexed(
+                Parallelism::Threads(4),
+                (0..32).collect::<Vec<usize>>(),
+                |_, x| {
+                    if let Some(c) = olap_telemetry::current() {
+                        c.registry().counter("kernel_chunks", &[]).inc(1);
+                    }
+                    x
+                },
+            );
+        });
+        let reg = ctx.registry();
+        assert_eq!(
+            reg.counter("kernel_chunks", &[]).get(),
+            32,
+            "worker threads must inherit the spawning thread's scope"
+        );
+        assert_eq!(reg.counter("olap_exec_fanouts_total", &[]).get(), 1);
+        assert_eq!(reg.counter("olap_exec_chunks_total", &[]).get(), 32);
+        assert_eq!(reg.histogram("olap_exec_worker_nanos", &[]).count(), 4);
     }
 
     #[test]

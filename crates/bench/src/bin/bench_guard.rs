@@ -1,0 +1,195 @@
+//! Regression guard over bench baselines: compares a freshly written
+//! baseline JSON (the vendored criterion's `BENCH_BASELINE_JSON` dump)
+//! against a checked-in one and fails when any shared benchmark slowed
+//! beyond a tolerance.
+//!
+//! ```text
+//! BENCH_BASELINE_JSON=/tmp/current.json cargo bench -p olap-bench --bench router_overhead
+//! cargo run -p olap-bench --bin bench_guard -- \
+//!     results/router_overhead_baseline.json /tmp/current.json 1.10
+//! ```
+//!
+//! The guard compares **min** per-iteration time — the least noisy of the
+//! three recorded statistics — for every benchmark present in both files,
+//! and gates on the **geometric mean** of the ratios: individual
+//! microbenchmarks on a shared box jitter far beyond 10% run to run
+//! (warm-up alone skews whichever group runs first), but a systematic
+//! regression — like instrumentation on the hot path — moves every
+//! benchmark and therefore the mean. Per-benchmark ratios are printed for
+//! diagnosis. Exit status 1 when the mean ratio exceeds the limit, so CI
+//! can gate on it.
+
+use std::process::ExitCode;
+
+/// One record of the baseline dump.
+#[derive(Debug, Clone, PartialEq)]
+struct Record {
+    benchmark: String,
+    min_s: f64,
+    mean_s: f64,
+    max_s: f64,
+}
+
+/// Parses the flat JSON array the vendored criterion writes: one object
+/// per record with string field `benchmark` and number fields `min_s`,
+/// `mean_s`, `max_s`. Not a general JSON parser — it only needs to read
+/// what `write_baseline_if_requested` produces.
+fn parse_baseline(text: &str) -> Result<Vec<Record>, String> {
+    let mut out = Vec::new();
+    for chunk in text.split('{').skip(1) {
+        let body = chunk
+            .split('}')
+            .next()
+            .ok_or_else(|| format!("unterminated object near {chunk:.40}"))?;
+        let benchmark = string_field(body, "benchmark")?;
+        out.push(Record {
+            benchmark,
+            min_s: number_field(body, "min_s")?,
+            mean_s: number_field(body, "mean_s")?,
+            max_s: number_field(body, "max_s")?,
+        });
+    }
+    Ok(out)
+}
+
+fn string_field(body: &str, name: &str) -> Result<String, String> {
+    let tag = format!("\"{name}\": \"");
+    let rest = body
+        .split(&tag)
+        .nth(1)
+        .ok_or_else(|| format!("missing field {name} in {body:.60}"))?;
+    Ok(rest.split('"').next().unwrap_or_default().to_string())
+}
+
+fn number_field(body: &str, name: &str) -> Result<f64, String> {
+    let tag = format!("\"{name}\": ");
+    let rest = body
+        .split(&tag)
+        .nth(1)
+        .ok_or_else(|| format!("missing field {name} in {body:.60}"))?;
+    rest.split([',', '\n'])
+        .next()
+        .unwrap_or_default()
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad number for {name}: {e}"))
+}
+
+fn run(baseline_path: &str, current_path: &str, max_ratio: f64) -> Result<bool, String> {
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let baseline = parse_baseline(&read(baseline_path)?)?;
+    let current = parse_baseline(&read(current_path)?)?;
+    let mut compared = 0u32;
+    let mut log_ratio_sum = 0.0f64;
+    println!(
+        "{:<44} {:>12} {:>12} {:>8}",
+        "benchmark", "baseline", "current", "ratio"
+    );
+    for cur in &current {
+        let Some(base) = baseline.iter().find(|b| b.benchmark == cur.benchmark) else {
+            continue;
+        };
+        compared += 1;
+        let ratio = cur.min_s / base.min_s;
+        log_ratio_sum += ratio.ln();
+        let note = if ratio <= max_ratio { "" } else { "  slow" };
+        println!(
+            "{:<44} {:>10.3}µs {:>10.3}µs {:>8.3}{note}",
+            cur.benchmark,
+            base.min_s * 1e6,
+            cur.min_s * 1e6,
+            ratio
+        );
+    }
+    if compared == 0 {
+        return Err("no benchmark appears in both files — wrong baseline?".into());
+    }
+    let geo_mean = (log_ratio_sum / compared as f64).exp();
+    let ok = geo_mean.is_finite() && geo_mean <= max_ratio;
+    println!(
+        "\n{compared} benchmarks vs {baseline_path}: geometric-mean ratio {geo_mean:.3} \
+         (limit {max_ratio:.2}): {}",
+        if ok { "ok" } else { "REGRESSION" }
+    );
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline, current) = match (args.first(), args.get(1)) {
+        (Some(b), Some(c)) => (b.as_str(), c.as_str()),
+        _ => {
+            eprintln!("usage: bench_guard BASELINE.json CURRENT.json [MAX_RATIO=1.10]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let max_ratio: f64 = match args.get(2).map(|s| s.parse()) {
+        None => 1.10,
+        Some(Ok(r)) => r,
+        Some(Err(_)) => {
+            eprintln!("MAX_RATIO must be a number, e.g. 1.10");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(baseline, current, max_ratio) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_guard: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"[
+  {"benchmark": "router_overhead/direct_prefix/4", "min_s": 1.2e-6, "mean_s": 1.3e-6, "max_s": 1.6e-6},
+  {"benchmark": "router_overhead/routed/4", "min_s": 5.6e-6, "mean_s": 7.3e-6, "max_s": 1.5e-5}
+]
+"#;
+
+    #[test]
+    fn parses_the_criterion_dump() {
+        let records = parse_baseline(SAMPLE).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].benchmark, "router_overhead/direct_prefix/4");
+        assert!((records[0].min_s - 1.2e-6).abs() < 1e-15);
+        assert!((records[1].max_s - 1.5e-5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn parses_the_checked_in_baseline() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/router_overhead_baseline.json"
+        ))
+        .unwrap();
+        let records = parse_baseline(&text).unwrap();
+        assert_eq!(records.len(), 6);
+        assert!(records.iter().all(|r| r.min_s > 0.0 && r.min_s <= r.max_s));
+    }
+
+    #[test]
+    fn guard_flags_regressions_only_beyond_the_limit() {
+        let dir = std::env::temp_dir().join("bench-guard-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        std::fs::write(&base, SAMPLE).unwrap();
+        // One of two benchmarks 5% slower: geometric-mean ratio
+        // √1.05 ≈ 1.025, inside a 1.10 limit, outside a 1.02 limit.
+        let slower = SAMPLE.replace("\"min_s\": 1.2e-6", "\"min_s\": 1.26e-6");
+        std::fs::write(&cur, slower).unwrap();
+        let b = base.to_str().unwrap();
+        let c = cur.to_str().unwrap();
+        assert!(run(b, c, 1.10).unwrap());
+        assert!(!run(b, c, 1.02).unwrap());
+        // Disjoint benchmark sets are an error, not a silent pass.
+        let other = SAMPLE.replace("router_overhead", "something_else");
+        std::fs::write(&cur, other).unwrap();
+        assert!(run(b, c, 1.10).is_err());
+    }
+}

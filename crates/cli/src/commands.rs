@@ -25,6 +25,10 @@ commands:
   explain  --cube FILE --query Q [--blocked B] [--tree B]       routed query + cost table
   repl     --cube FILE [--index FILE…]                          interactive session
   plan     --dims N,N[,N…] --log FILE --budget CELLS            §9 physical design
+  metrics  --cube FILE [--queries N] [--updates U] [--seed S] [--format prom|json]
+           run a seeded mixed workload through the router, dump the metric registry
+  flight-record --cube FILE [--queries N] [--seed S] [--capacity N]
+           same workload, dump the last-N per-query flight records as JSON
   info     FILE
 
 queries: per dimension `lo:hi`, a single index, or `all` — e.g. 3:17,all,5";
@@ -49,6 +53,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "explain" => cmd_explain(rest),
         "info" => cmd_info(rest),
         "plan" => cmd_plan(rest),
+        "metrics" => cmd_metrics(rest),
+        "flight-record" => cmd_flight_record(rest),
         "repl" => {
             let stdin = std::io::stdin();
             let mut input = stdin.lock();
@@ -63,7 +69,27 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
 }
 
-fn open_reader(path: &str) -> Result<BufReader<File>, CliError> {
+#[cfg(feature = "telemetry")]
+use crate::telemetry_cmd::{cmd_flight_record, cmd_metrics};
+
+/// Without the `telemetry` feature the instrumentation sites are compiled
+/// out, so there is nothing to dump — say so instead of printing an empty
+/// registry.
+#[cfg(not(feature = "telemetry"))]
+fn cmd_metrics(_args: &[String]) -> Result<String, CliError> {
+    Err(usage(
+        "this build has telemetry compiled out; rebuild with --features telemetry",
+    ))
+}
+
+#[cfg(not(feature = "telemetry"))]
+fn cmd_flight_record(_args: &[String]) -> Result<String, CliError> {
+    Err(usage(
+        "this build has telemetry compiled out; rebuild with --features telemetry",
+    ))
+}
+
+pub(crate) fn open_reader(path: &str) -> Result<BufReader<File>, CliError> {
     Ok(BufReader::new(
         File::open(path).map_err(storage::StorageError::Io)?,
     ))
@@ -226,7 +252,7 @@ fn cmd_sum(args: &[String]) -> Result<String, CliError> {
 
 /// Builds a sequential `CubeIndex` engine over `a` with the given prefix
 /// structure and nothing else.
-fn prefix_engine(
+pub(crate) fn prefix_engine(
     a: &olap_array::DenseArray<i64>,
     prefix: olap_engine::PrefixChoice,
 ) -> Result<olap_engine::CubeIndex<i64>, CliError> {
@@ -759,6 +785,94 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn metrics_command_validates_the_cost_model() {
+        let cube = tmp("t10.olap");
+        run_s(&["gen", "--dims", "48,48", "--seed", "11", "--out", &cube]).unwrap();
+        let out = run_s(&[
+            "metrics",
+            "--cube",
+            &cube,
+            "--queries",
+            "1000",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        // Per-engine access histograms made it into the dump.
+        assert!(out.contains("olap_engine_accesses"), "{out}");
+        assert!(out.contains("olap_router_route_total"), "{out}");
+        assert!(out.contains("olap_batch_regions_total"), "{out}");
+        // The ISSUE acceptance criterion: over a 1000-query mixed
+        // workload, each prefix-sum engine's mean observed accesses stays
+        // within 2× of its mean analytic estimate.
+        let mut prefix_lines = 0;
+        for line in out.lines().filter(|l| l.starts_with("# cost-model{")) {
+            let ratio: f64 = line
+                .split("ratio=")
+                .nth(1)
+                .unwrap_or_else(|| panic!("no ratio in {line}"))
+                .trim()
+                .parse()
+                .unwrap();
+            if line.contains("prefix") {
+                prefix_lines += 1;
+                assert!(
+                    (0.5..=2.0).contains(&ratio),
+                    "prefix engine drifted beyond 2× of estimate: {line}"
+                );
+            }
+        }
+        assert!(prefix_lines > 0, "no prefix engine got traffic:\n{out}");
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn metrics_json_and_flight_record() {
+        let cube = tmp("t11.olap");
+        run_s(&["gen", "--dims", "16,16", "--seed", "3", "--out", &cube]).unwrap();
+        let json = run_s(&[
+            "metrics",
+            "--cube",
+            &cube,
+            "--queries",
+            "60",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        assert!(json.trim_start().starts_with('['), "{json}");
+        assert!(json.contains("olap_engine_queries_total"), "{json}");
+        assert!(!json.contains("# cost-model"), "{json}");
+        let flights = run_s(&[
+            "flight-record",
+            "--cube",
+            &cube,
+            "--queries",
+            "60",
+            "--capacity",
+            "5",
+        ])
+        .unwrap();
+        assert!(flights.contains("\"op\": \"range_sum\""), "{flights}");
+        // Capacity bounds the dump: exactly 5 records survive of 60.
+        assert_eq!(flights.matches("\"seq\":").count(), 5, "{flights}");
+        assert!(flights.contains("\"seq\": 59"), "{flights}");
+        // Bad format is a usage error.
+        let err = run_s(&["metrics", "--cube", &cube, "--format", "yaml"]).unwrap_err();
+        assert!(err.to_string().contains("prom or json"), "{err}");
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn metrics_without_the_feature_explains_itself() {
+        let err = run_s(&["metrics", "--cube", "x"]).unwrap_err();
+        assert!(err.to_string().contains("telemetry"), "{err}");
+        let err = run_s(&["flight-record", "--cube", "x"]).unwrap_err();
+        assert!(err.to_string().contains("telemetry"), "{err}");
     }
 
     #[test]

@@ -21,6 +21,8 @@ pub mod args;
 pub mod commands;
 pub mod csv;
 pub mod repl;
+#[cfg(feature = "telemetry")]
+mod telemetry_cmd;
 
 pub use args::{parse_dims, parse_query, parse_range_query, parse_set, CliError};
 pub use commands::run;

@@ -1,0 +1,220 @@
+//! The `metrics` and `flight-record` commands: run a seeded mixed
+//! workload through the [`AdaptiveRouter`] inside a *scoped* telemetry
+//! context, then dump what the instrumentation recorded.
+//!
+//! The workload interleaves three query shapes — large uniform boxes,
+//! small fixed-side boxes, and point lookups — plus a few batched updates,
+//! so every engine in the candidate set gets traffic and the registry ends
+//! up holding per-engine access histograms, route-choice counters, and
+//! batch-update metrics. `metrics` renders the registry (Prometheus-style
+//! text or JSON) and, in text form, appends a §8 cost-model check
+//! comparing each engine's mean observed accesses against the mean
+//! analytic `estimate()` over the queries actually routed to it.
+//! `flight-record` dumps the recorder's last-N per-query decisions as
+//! JSON.
+
+use crate::args::{split_args, usage, CliError, ParsedArgs};
+use crate::commands::{open_reader, prefix_engine};
+use olap_array::{DenseArray, Shape};
+use olap_engine::{AdaptiveRouter, NaiveEngine, PrefixChoice, SumTreeEngine};
+use olap_query::RangeQuery;
+use olap_storage as storage;
+use olap_telemetry::Telemetry;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Workload parameters shared by `metrics` and `flight-record`.
+struct Workload {
+    queries: usize,
+    updates: usize,
+    seed: u64,
+    blocked: usize,
+    tree: usize,
+}
+
+fn parse_usize(p: &ParsedArgs, flag: &str, default: usize) -> Result<usize, CliError> {
+    match p.get(flag) {
+        Some(s) => s
+            .parse()
+            .map_err(|_| usage(format!("{flag} must be a non-negative integer"))),
+        None => Ok(default),
+    }
+}
+
+fn parse_workload(p: &ParsedArgs) -> Result<Workload, CliError> {
+    Ok(Workload {
+        queries: parse_usize(p, "--queries", 1000)?,
+        updates: parse_usize(p, "--updates", 4)?,
+        seed: p
+            .get("--seed")
+            .unwrap_or("0")
+            .parse()
+            .map_err(|_| usage("--seed must be an integer"))?,
+        blocked: parse_usize(p, "--blocked", 16)?,
+        tree: parse_usize(p, "--tree", 4)?,
+    })
+}
+
+/// The same candidate set as `explain`: naive scan, basic prefix sum,
+/// blocked prefix sum, tree-sum baseline.
+fn build_router(a: &DenseArray<i64>, w: &Workload) -> Result<AdaptiveRouter<i64>, CliError> {
+    Ok(AdaptiveRouter::new()
+        .with_engine(Box::new(NaiveEngine::new(a.clone())))
+        .with_engine(Box::new(prefix_engine(a, PrefixChoice::Basic)?))
+        .with_engine(Box::new(prefix_engine(
+            a,
+            PrefixChoice::Blocked(w.blocked),
+        )?))
+        .with_engine(Box::new(
+            SumTreeEngine::build(a.clone(), w.tree).map_err(|e| CliError::Query(e.to_string()))?,
+        )))
+}
+
+/// splitmix64 — a tiny deterministic mixer for the update positions, so
+/// the workload needs no RNG state.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// A mixed query stream: round-robin over large uniform boxes, small
+/// fixed-side boxes, and point lookups, all seeded.
+fn mixed_queries(shape: &Shape, count: usize, seed: u64) -> Vec<RangeQuery> {
+    let third = count.div_ceil(3);
+    let small_side = shape
+        .dims()
+        .iter()
+        .copied()
+        .min()
+        .unwrap_or(1)
+        .div_ceil(4)
+        .max(1);
+    let families = [
+        olap_workload::uniform_regions(shape, third, seed),
+        olap_workload::sided_regions(shape, small_side, third, mix(seed)),
+        olap_workload::sided_regions(shape, 1, third, mix(seed ^ 1)),
+    ];
+    let mut its: Vec<_> = families.into_iter().map(|f| f.into_iter()).collect();
+    let mut out = Vec::with_capacity(count);
+    'fill: loop {
+        for it in &mut its {
+            match it.next() {
+                Some(r) => out.push(RangeQuery::from_region(&r)),
+                None => break 'fill,
+            }
+            if out.len() == count {
+                break 'fill;
+            }
+        }
+    }
+    out
+}
+
+/// Runs the workload: `queries` routed range sums with `updates` batched
+/// point updates spread evenly through the stream.
+fn run_workload(
+    router: &mut AdaptiveRouter<i64>,
+    shape: &Shape,
+    w: &Workload,
+) -> Result<(), CliError> {
+    let queries = mixed_queries(shape, w.queries, w.seed);
+    let every = if w.updates == 0 {
+        usize::MAX
+    } else {
+        (w.queries / (w.updates + 1)).max(1)
+    };
+    let mut applied = 0usize;
+    for (i, q) in queries.iter().enumerate() {
+        router
+            .range_sum(q)
+            .map_err(|e| CliError::Query(e.to_string()))?;
+        if applied < w.updates && (i + 1) % every == 0 {
+            let r = mix(w.seed ^ ((applied as u64) << 32));
+            let idx: Vec<usize> = shape
+                .dims()
+                .iter()
+                .enumerate()
+                .map(|(d, &n)| (mix(r ^ d as u64) as usize) % n)
+                .collect();
+            let value = (r % 2000) as i64 - 1000;
+            router
+                .apply_updates(&[(idx, value)])
+                .map_err(|e| CliError::Query(e.to_string()))?;
+            applied += 1;
+        }
+    }
+    Ok(())
+}
+
+/// The §8 cost-model check appended to the Prometheus dump, as comment
+/// lines: per engine, mean observed accesses vs mean analytic estimate
+/// over the queries the router sent to it.
+fn cost_model_report(ctx: &Telemetry) -> String {
+    let mut by_engine: BTreeMap<String, (u64, f64, u64)> = BTreeMap::new();
+    for r in ctx.recorder().snapshot() {
+        if r.op != "range_sum" || !r.raw.is_finite() {
+            continue;
+        }
+        let e = by_engine.entry(r.engine).or_insert((0, 0.0, 0));
+        e.0 += 1;
+        e.1 += r.raw;
+        e.2 += r.observed;
+    }
+    let mut out = String::from(
+        "# §8 cost-model check (from the flight recorder): mean observed accesses\n\
+         # vs mean analytic estimate, per engine, over the queries routed to it.\n",
+    );
+    for (engine, (n, est_sum, obs_sum)) in by_engine {
+        let mean_est = est_sum / n as f64;
+        let mean_obs = obs_sum as f64 / n as f64;
+        let ratio = if mean_est > 0.0 {
+            mean_obs / mean_est
+        } else {
+            f64::NAN
+        };
+        out.push_str(&format!(
+            "# cost-model{{engine=\"{engine}\"}} queries={n} \
+             mean_observed={mean_obs:.2} mean_estimate={mean_est:.2} ratio={ratio:.3}\n"
+        ));
+    }
+    out
+}
+
+/// `metrics`: run the workload, print the registry.
+pub(crate) fn cmd_metrics(args: &[String]) -> Result<String, CliError> {
+    let p = split_args(args)?;
+    let cube_path = p.require("--cube")?;
+    let w = parse_workload(&p)?;
+    let format = p.get("--format").unwrap_or("prom");
+    if format != "prom" && format != "json" {
+        return Err(usage("--format must be prom or json"));
+    }
+    let a = storage::read_dense_i64(&mut open_reader(cube_path)?)?;
+    let mut router = build_router(&a, &w)?;
+    // Flight capacity covers the whole workload so the cost-model check
+    // sees every routed query, not just the newest window.
+    let ctx = Arc::new(Telemetry::with_flight_capacity(w.queries.max(1)));
+    olap_telemetry::with_scope(&ctx, || run_workload(&mut router, a.shape(), &w))?;
+    if format == "json" {
+        return Ok(ctx.registry().render_json());
+    }
+    let mut out = ctx.registry().render_prometheus();
+    out.push_str(&cost_model_report(&ctx));
+    Ok(out)
+}
+
+/// `flight-record`: run the workload, dump the recorder's last N
+/// per-query decisions as JSON.
+pub(crate) fn cmd_flight_record(args: &[String]) -> Result<String, CliError> {
+    let p = split_args(args)?;
+    let cube_path = p.require("--cube")?;
+    let w = parse_workload(&p)?;
+    let capacity = parse_usize(&p, "--capacity", olap_telemetry::DEFAULT_FLIGHT_CAPACITY)?;
+    let a = storage::read_dense_i64(&mut open_reader(cube_path)?)?;
+    let mut router = build_router(&a, &w)?;
+    let ctx = Arc::new(Telemetry::with_flight_capacity(capacity));
+    olap_telemetry::with_scope(&ctx, || run_workload(&mut router, a.shape(), &w))?;
+    Ok(ctx.recorder().to_json())
+}

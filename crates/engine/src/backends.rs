@@ -60,34 +60,62 @@ where
     }
 
     fn range_sum(&self, query: &RangeQuery) -> Result<QueryOutcome<T>, EngineError> {
-        let region = query.to_region(self.a.shape())?;
-        let (v, stats) = crate::naive::range_aggregate(&self.a, &SumOp::<T>::new(), &region)?;
-        Ok(QueryOutcome::aggregate(v, stats, EngineKind::NaiveScan))
+        crate::telemetry::observe_query(
+            || self.label(),
+            "range_sum",
+            query.ndim(),
+            || {
+                let region = query.to_region(self.a.shape())?;
+                let (v, stats) =
+                    crate::naive::range_aggregate(&self.a, &SumOp::<T>::new(), &region)?;
+                Ok(QueryOutcome::aggregate(v, stats, EngineKind::NaiveScan))
+            },
+        )
     }
 
     fn range_max(&self, query: &RangeQuery) -> Result<QueryOutcome<T>, EngineError> {
-        let region = query.to_region(self.a.shape())?;
-        let (at, v, stats) = crate::naive::range_max(&self.a, &NaturalOrder::<T>::new(), &region)?;
-        Ok(QueryOutcome::extremum(at, v, stats, EngineKind::NaiveScan))
+        crate::telemetry::observe_query(
+            || self.label(),
+            "range_max",
+            query.ndim(),
+            || {
+                let region = query.to_region(self.a.shape())?;
+                let (at, v, stats) =
+                    crate::naive::range_max(&self.a, &NaturalOrder::<T>::new(), &region)?;
+                Ok(QueryOutcome::extremum(at, v, stats, EngineKind::NaiveScan))
+            },
+        )
     }
 
     fn range_min(&self, query: &RangeQuery) -> Result<QueryOutcome<T>, EngineError> {
-        let region = query.to_region(self.a.shape())?;
-        let order = ReverseOrder::new(NaturalOrder::<T>::new());
-        let (at, v, stats) = crate::naive::range_max(&self.a, &order, &region)?;
-        Ok(QueryOutcome::extremum(at, v, stats, EngineKind::NaiveScan))
+        crate::telemetry::observe_query(
+            || self.label(),
+            "range_min",
+            query.ndim(),
+            || {
+                let region = query.to_region(self.a.shape())?;
+                let order = ReverseOrder::new(NaturalOrder::<T>::new());
+                let (at, v, stats) = crate::naive::range_max(&self.a, &order, &region)?;
+                Ok(QueryOutcome::extremum(at, v, stats, EngineKind::NaiveScan))
+            },
+        )
     }
 
     fn apply_updates(&mut self, updates: &[(Vec<usize>, T)]) -> Result<AccessStats, EngineError> {
-        for (idx, _) in updates {
-            self.a.shape().check_index(idx)?;
-        }
-        let mut stats = AccessStats::new();
-        for (idx, v) in updates {
-            *self.a.get_mut(idx) = v.clone();
-            stats.read_a(1);
-        }
-        Ok(stats)
+        let obs = crate::telemetry::UpdateObservation::start();
+        let result = (|| {
+            for (idx, _) in updates {
+                self.a.shape().check_index(idx)?;
+            }
+            let mut stats = AccessStats::new();
+            for (idx, v) in updates {
+                *self.a.get_mut(idx) = v.clone();
+                stats.read_a(1);
+            }
+            Ok(stats)
+        })();
+        obs.finish(|| self.label(), updates.len(), &result);
+        result
     }
 }
 
@@ -150,23 +178,35 @@ where
     }
 
     fn range_sum(&self, query: &RangeQuery) -> Result<QueryOutcome<T>, EngineError> {
-        let region = query.to_region(self.a.shape())?;
-        let (v, stats) = self.tree.range_sum_with_stats(&self.a, &region, true)?;
-        Ok(QueryOutcome::aggregate(v, stats, EngineKind::TreeSum))
+        crate::telemetry::observe_query(
+            || self.label(),
+            "range_sum",
+            query.ndim(),
+            || {
+                let region = query.to_region(self.a.shape())?;
+                let (v, stats) = self.tree.range_sum_with_stats(&self.a, &region, true)?;
+                Ok(QueryOutcome::aggregate(v, stats, EngineKind::TreeSum))
+            },
+        )
     }
 
     fn apply_updates(&mut self, updates: &[(Vec<usize>, T)]) -> Result<AccessStats, EngineError> {
-        for (idx, _) in updates {
-            self.a.shape().check_index(idx)?;
-        }
-        let mut stats = AccessStats::new();
-        for (idx, v) in updates {
-            *self.a.get_mut(idx) = v.clone();
-            stats.read_a(1);
-        }
-        self.tree = SumTreeCube::build(&self.a, self.tree.fanout())?;
-        stats.visit_nodes(self.tree.node_count() as u64);
-        Ok(stats)
+        let obs = crate::telemetry::UpdateObservation::start();
+        let result = (|| {
+            for (idx, _) in updates {
+                self.a.shape().check_index(idx)?;
+            }
+            let mut stats = AccessStats::new();
+            for (idx, v) in updates {
+                *self.a.get_mut(idx) = v.clone();
+                stats.read_a(1);
+            }
+            self.tree = SumTreeCube::build(&self.a, self.tree.fanout())?;
+            stats.visit_nodes(self.tree.node_count() as u64);
+            Ok(stats)
+        })();
+        obs.finish(|| self.label(), updates.len(), &result);
+        result
     }
 }
 
@@ -236,25 +276,37 @@ impl<T: NumericValue> RangeEngine<T> for SparseSumEngine<T> {
     }
 
     fn range_sum(&self, query: &RangeQuery) -> Result<QueryOutcome<T>, EngineError> {
-        let region = query.to_region(self.inner.shape())?;
-        let (v, stats) = self.inner.range_sum_with_stats(&region)?;
-        Ok(QueryOutcome::aggregate(v, stats, EngineKind::SparseSum))
+        crate::telemetry::observe_query(
+            || self.label(),
+            "range_sum",
+            query.ndim(),
+            || {
+                let region = query.to_region(self.inner.shape())?;
+                let (v, stats) = self.inner.range_sum_with_stats(&region)?;
+                Ok(QueryOutcome::aggregate(v, stats, EngineKind::SparseSum))
+            },
+        )
     }
 
     fn apply_updates(&mut self, updates: &[(Vec<usize>, T)]) -> Result<AccessStats, EngineError> {
+        let obs = crate::telemetry::UpdateObservation::start();
         // The inner engine speaks deltas (value-to-add); the trait speaks
         // absolute values. Convert one update at a time against the
         // current state so duplicate updates to a cell compose correctly.
-        let mut stats = AccessStats::new();
-        for (idx, new_v) in updates {
-            let point = Region::point(idx)?;
-            let (old, s) = self.inner.range_sum_with_stats(&point)?;
-            stats += s;
-            self.inner
-                .apply_updates(&[(idx.clone(), new_v.clone() - old)])?;
-            stats.read_a(1);
-        }
-        Ok(stats)
+        let result = (|| {
+            let mut stats = AccessStats::new();
+            for (idx, new_v) in updates {
+                let point = Region::point(idx)?;
+                let (old, s) = self.inner.range_sum_with_stats(&point)?;
+                stats += s;
+                self.inner
+                    .apply_updates(&[(idx.clone(), new_v.clone() - old)])?;
+                stats.read_a(1);
+            }
+            Ok(stats)
+        })();
+        obs.finish(|| self.label(), updates.len(), &result);
+        result
     }
 }
 
@@ -337,12 +389,19 @@ where
     }
 
     fn range_max(&self, query: &RangeQuery) -> Result<QueryOutcome<T>, EngineError> {
-        let region = query.to_region(self.inner.shape())?;
-        let (result, stats) = self.inner.range_max_with_stats(&region)?;
-        Ok(match result {
-            Some((at, v)) => QueryOutcome::extremum(at, v, stats, EngineKind::SparseMax),
-            None => QueryOutcome::empty(stats, EngineKind::SparseMax),
-        })
+        crate::telemetry::observe_query(
+            || self.label(),
+            "range_max",
+            query.ndim(),
+            || {
+                let region = query.to_region(self.inner.shape())?;
+                let (result, stats) = self.inner.range_max_with_stats(&region)?;
+                Ok(match result {
+                    Some((at, v)) => QueryOutcome::extremum(at, v, stats, EngineKind::SparseMax),
+                    None => QueryOutcome::empty(stats, EngineKind::SparseMax),
+                })
+            },
+        )
     }
 }
 

@@ -174,8 +174,15 @@ impl<G: AbelianGroup> RangeEngine<G::Value> for ExtendedCube<G> {
     }
 
     fn range_sum(&self, query: &RangeQuery) -> Result<QueryOutcome<G::Value>, EngineError> {
-        let (v, stats) = self.aggregate(query)?;
-        Ok(QueryOutcome::aggregate(v, stats, EngineKind::ExtendedCube))
+        crate::telemetry::observe_query(
+            || self.label(),
+            "range_sum",
+            query.ndim(),
+            || {
+                let (v, stats) = self.aggregate(query)?;
+                Ok(QueryOutcome::aggregate(v, stats, EngineKind::ExtendedCube))
+            },
+        )
     }
 }
 

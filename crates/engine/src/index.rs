@@ -373,44 +373,68 @@ where
     }
 
     fn range_sum(&self, query: &RangeQuery) -> Result<QueryOutcome<T>, EngineError> {
-        let region = query.to_region(self.a.shape())?;
-        let kind = if self.prefix.is_some() {
-            EngineKind::PrefixSum
-        } else if self.blocked.is_some() {
-            EngineKind::BlockedPrefix
-        } else if self.sum_tree.is_some() {
-            EngineKind::TreeSum
-        } else {
-            EngineKind::NaiveScan
-        };
-        let (v, stats) = CubeIndex::range_sum(self, &region)?;
-        Ok(QueryOutcome::aggregate(v, stats, kind))
+        crate::telemetry::observe_query(
+            || self.label(),
+            "range_sum",
+            query.ndim(),
+            || {
+                let region = query.to_region(self.a.shape())?;
+                let kind = if self.prefix.is_some() {
+                    EngineKind::PrefixSum
+                } else if self.blocked.is_some() {
+                    EngineKind::BlockedPrefix
+                } else if self.sum_tree.is_some() {
+                    EngineKind::TreeSum
+                } else {
+                    EngineKind::NaiveScan
+                };
+                let (v, stats) = CubeIndex::range_sum(self, &region)?;
+                Ok(QueryOutcome::aggregate(v, stats, kind))
+            },
+        )
     }
 
     fn range_max(&self, query: &RangeQuery) -> Result<QueryOutcome<T>, EngineError> {
-        let region = query.to_region(self.a.shape())?;
-        let kind = if self.max_tree.is_some() {
-            EngineKind::MaxTree
-        } else {
-            EngineKind::NaiveScan
-        };
-        let (at, v, stats) = CubeIndex::range_max(self, &region)?;
-        Ok(QueryOutcome::extremum(at, v, stats, kind))
+        crate::telemetry::observe_query(
+            || self.label(),
+            "range_max",
+            query.ndim(),
+            || {
+                let region = query.to_region(self.a.shape())?;
+                let kind = if self.max_tree.is_some() {
+                    EngineKind::MaxTree
+                } else {
+                    EngineKind::NaiveScan
+                };
+                let (at, v, stats) = CubeIndex::range_max(self, &region)?;
+                Ok(QueryOutcome::extremum(at, v, stats, kind))
+            },
+        )
     }
 
     fn range_min(&self, query: &RangeQuery) -> Result<QueryOutcome<T>, EngineError> {
-        let region = query.to_region(self.a.shape())?;
-        let kind = if self.min_tree.is_some() {
-            EngineKind::MinTree
-        } else {
-            EngineKind::NaiveScan
-        };
-        let (at, v, stats) = CubeIndex::range_min(self, &region)?;
-        Ok(QueryOutcome::extremum(at, v, stats, kind))
+        crate::telemetry::observe_query(
+            || self.label(),
+            "range_min",
+            query.ndim(),
+            || {
+                let region = query.to_region(self.a.shape())?;
+                let kind = if self.min_tree.is_some() {
+                    EngineKind::MinTree
+                } else {
+                    EngineKind::NaiveScan
+                };
+                let (at, v, stats) = CubeIndex::range_min(self, &region)?;
+                Ok(QueryOutcome::extremum(at, v, stats, kind))
+            },
+        )
     }
 
     fn apply_updates(&mut self, updates: &[(Vec<usize>, T)]) -> Result<AccessStats, EngineError> {
-        CubeIndex::apply_updates(self, updates)
+        let obs = crate::telemetry::UpdateObservation::start();
+        let result = CubeIndex::apply_updates(self, updates);
+        obs.finish(|| RangeEngine::label(self), updates.len(), &result);
+        result
     }
 }
 

@@ -37,6 +37,7 @@ mod planned;
 mod range_engine;
 pub mod rolling;
 mod router;
+mod telemetry;
 
 pub use backends::{NaiveEngine, SparseMaxEngine, SparseSumEngine, SumTreeEngine};
 pub use error::EngineError;

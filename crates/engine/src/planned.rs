@@ -221,13 +221,20 @@ impl<T: NumericValue + PartialOrd> RangeEngine<T> for PlannedIndex<T> {
     }
 
     fn range_sum(&self, query: &RangeQuery) -> Result<QueryOutcome<T>, EngineError> {
-        let kind = if self.route(query).is_some() {
-            EngineKind::PlannedCuboid
-        } else {
-            EngineKind::NaiveScan
-        };
-        let (v, stats) = PlannedIndex::range_sum(self, query)?;
-        Ok(QueryOutcome::aggregate(v, stats, kind))
+        crate::telemetry::observe_query(
+            || RangeEngine::label(self),
+            "range_sum",
+            query.ndim(),
+            || {
+                let kind = if self.route(query).is_some() {
+                    EngineKind::PlannedCuboid
+                } else {
+                    EngineKind::NaiveScan
+                };
+                let (v, stats) = PlannedIndex::range_sum(self, query)?;
+                Ok(QueryOutcome::aggregate(v, stats, kind))
+            },
+        )
     }
 }
 

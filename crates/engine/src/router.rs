@@ -121,6 +121,30 @@ impl ReplayRecord {
     }
 }
 
+/// One engine's numbers in a routing decision — [`Candidate`] without the
+/// label, so the routing hot path never formats engine labels or touches
+/// the allocator beyond one small `Vec` per cache miss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Prediction {
+    raw: f64,
+    ratio: f64,
+    calibrated: f64,
+    eligible: bool,
+}
+
+/// One memoised routing decision. Valid as long as the router's
+/// `version` is unchanged — i.e. no EWMA ratio moved and the engine set
+/// was not touched — so consecutive identical queries (and the
+/// candidates-then-execute pair inside one `explain`) cost a single
+/// [`RangeEngine::estimate`] pass.
+struct CachedDecision {
+    query: RangeQuery,
+    op: EngineOp,
+    version: u64,
+    predictions: Vec<Prediction>,
+    chosen: Option<usize>,
+}
+
 /// Routes each query to the cheapest capable engine under the calibrated
 /// §8/§9 cost model. See the module docs.
 pub struct AdaptiveRouter<V> {
@@ -129,6 +153,11 @@ pub struct AdaptiveRouter<V> {
     /// analytic model until evidence arrives).
     ratios: Vec<f64>,
     alpha: f64,
+    /// Bumped whenever anything a decision depends on changes: an EWMA
+    /// ratio actually moving, an engine joining, or updates flowing to
+    /// the engines (estimates may depend on engine contents).
+    version: u64,
+    cache: Option<CachedDecision>,
 }
 
 impl<V> AdaptiveRouter<V> {
@@ -144,6 +173,8 @@ impl<V> AdaptiveRouter<V> {
             engines: Vec::new(),
             ratios: Vec::new(),
             alpha: alpha.clamp(f64::MIN_POSITIVE, 1.0),
+            version: 0,
+            cache: None,
         }
     }
 
@@ -151,6 +182,7 @@ impl<V> AdaptiveRouter<V> {
     pub fn push(&mut self, engine: Box<dyn RangeEngine<V>>) {
         self.engines.push(engine);
         self.ratios.push(1.0);
+        self.version = self.version.wrapping_add(1);
     }
 
     /// Builder-style [`AdaptiveRouter::push`].
@@ -186,9 +218,9 @@ impl<V> AdaptiveRouter<V> {
         self.engines[i].as_ref()
     }
 
-    /// The full candidate table for `query`/`op`: raw estimate, current
-    /// ratio, calibrated prediction, and eligibility per engine.
-    pub fn candidates(&self, query: &RangeQuery, op: EngineOp) -> Vec<Candidate> {
+    /// The label-free estimate sweep: raw estimate, current ratio,
+    /// calibrated prediction, and eligibility per engine.
+    fn predictions(&self, query: &RangeQuery, op: EngineOp) -> Vec<Prediction> {
         self.engines
             .iter()
             .enumerate()
@@ -200,9 +232,7 @@ impl<V> AdaptiveRouter<V> {
                     f64::INFINITY
                 };
                 let ratio = self.ratios[index];
-                Candidate {
-                    index,
-                    label: e.label(),
+                Prediction {
                     raw,
                     ratio,
                     calibrated: raw * ratio,
@@ -212,55 +242,167 @@ impl<V> AdaptiveRouter<V> {
             .collect()
     }
 
-    /// Argmin of the calibrated predictions among engines supporting `op`.
+    /// The full candidate table for `query`/`op`: raw estimate, current
+    /// ratio, calibrated prediction, and eligibility per engine. A fresh
+    /// estimate sweep — routing itself goes through the decision cache.
+    pub fn candidates(&self, query: &RangeQuery, op: EngineOp) -> Vec<Candidate> {
+        self.label_predictions(&self.predictions(query, op))
+    }
+
+    /// Attaches engine labels to a prediction sweep, turning it into the
+    /// public [`Candidate`] table.
+    fn label_predictions(&self, predictions: &[Prediction]) -> Vec<Candidate> {
+        predictions
+            .iter()
+            .enumerate()
+            .map(|(index, p)| Candidate {
+                index,
+                label: self.engines[index].label(),
+                raw: p.raw,
+                ratio: p.ratio,
+                calibrated: p.calibrated,
+                eligible: p.eligible,
+            })
+            .collect()
+    }
+
+    /// Argmin of the calibrated predictions among eligible candidates.
     /// Strict `<` keeps the first index on ties, so routing is
-    /// deterministic for a fixed engine order.
-    fn route(&self, query: &RangeQuery, op: EngineOp) -> Result<usize, EngineError> {
+    /// deterministic for a fixed engine order, and rejects NaN, so a
+    /// poisoned estimate can never displace an incumbent.
+    fn choose(predictions: &[Prediction]) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
-        for (i, e) in self.engines.iter().enumerate() {
-            if !e.capabilities().supports(op) {
+        for (i, p) in predictions.iter().enumerate() {
+            if !p.eligible {
                 continue;
             }
-            let cost = e.estimate(query) * self.ratios[i];
-            // Strict `<` also rejects NaN, so a poisoned estimate can never
-            // displace an incumbent.
             let better = match best {
                 None => true,
-                Some((_, b)) => cost < b,
+                Some((_, b)) => p.calibrated < b,
             };
             if better {
-                best = Some((i, cost));
+                best = Some((i, p.calibrated));
             }
         }
         best.map(|(i, _)| i)
-            .ok_or(EngineError::NoCandidate { op: op.name() })
+    }
+
+    /// Ensures the cache holds the decision for `query`/`op` (one
+    /// estimate sweep on a miss, none on a hit) and returns the chosen
+    /// engine index. The predictions stay in `self.cache`.
+    fn ensure_decision(&mut self, query: &RangeQuery, op: EngineOp) -> Option<usize> {
+        if let Some(c) = &self.cache {
+            if c.version == self.version && c.op == op && c.query == *query {
+                #[cfg(feature = "telemetry")]
+                if let Some(ctx) = olap_telemetry::current() {
+                    ctx.registry()
+                        .counter("olap_router_cache_hits_total", &[])
+                        .inc(1);
+                }
+                return c.chosen;
+            }
+        }
+        let predictions = self.predictions(query, op);
+        let chosen = Self::choose(&predictions);
+        self.cache = Some(CachedDecision {
+            query: query.clone(),
+            op,
+            version: self.version,
+            predictions,
+            chosen,
+        });
+        chosen
     }
 
     /// Feeds one observation into engine `i`'s EWMA ratio. Skipped when the
-    /// raw prediction is non-finite or non-positive (nothing to scale).
+    /// raw prediction is non-finite or non-positive (nothing to scale), or
+    /// when the sample equals the current ratio — the EWMA's fixed point,
+    /// where applying the update would only add rounding drift.
     fn observe(&mut self, i: usize, raw: f64, observed: u64) {
         if !raw.is_finite() || raw <= 0.0 {
             return;
         }
         let sample = observed as f64 / raw;
-        self.ratios[i] = (1.0 - self.alpha) * self.ratios[i] + self.alpha * sample;
+        if sample.to_bits() == self.ratios[i].to_bits() {
+            return;
+        }
+        let next = (1.0 - self.alpha) * self.ratios[i] + self.alpha * sample;
+        if next.to_bits() != self.ratios[i].to_bits() {
+            self.ratios[i] = next;
+            self.version = self.version.wrapping_add(1);
+        }
     }
 
     fn execute(
         &mut self,
         query: &RangeQuery,
         op: EngineOp,
-    ) -> Result<(usize, QueryOutcome<V>), EngineError> {
-        let i = self.route(query, op)?;
-        let raw = self.engines[i].estimate(query);
+    ) -> Result<(usize, f64, QueryOutcome<V>), EngineError> {
+        let chosen = self.ensure_decision(query, op);
+        let i = chosen.ok_or(EngineError::NoCandidate { op: op.name() })?;
+        let p = self
+            .cache
+            .as_ref()
+            .expect("decision just ensured")
+            .predictions[i];
+        #[cfg(feature = "telemetry")]
+        let observing = olap_telemetry::current().map(|ctx| (ctx, std::time::Instant::now()));
         let outcome = match op {
             EngineOp::Sum => self.engines[i].range_sum(query)?,
             EngineOp::Max => self.engines[i].range_max(query)?,
             EngineOp::Min => self.engines[i].range_min(query)?,
             EngineOp::Update => unreachable!("updates go through apply_updates"),
         };
-        self.observe(i, raw, outcome.cost());
-        Ok((i, outcome))
+        self.observe(i, p.raw, outcome.cost());
+        #[cfg(feature = "telemetry")]
+        if let Some((ctx, start)) = observing {
+            self.record_route(&ctx, start, i, op, p, &outcome);
+        }
+        Ok((i, p.calibrated, outcome))
+    }
+
+    /// Records one routed execution: route-choice counter, the chosen
+    /// engine's post-observation EWMA ratio, the calibration drift, and a
+    /// flight record.
+    #[cfg(feature = "telemetry")]
+    fn record_route(
+        &self,
+        ctx: &olap_telemetry::Telemetry,
+        start: std::time::Instant,
+        i: usize,
+        op: EngineOp,
+        p: Prediction,
+        outcome: &QueryOutcome<V>,
+    ) {
+        let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let label = self.engines[i].label();
+        let observed = outcome.cost();
+        let reg = ctx.registry();
+        reg.counter(
+            "olap_router_route_total",
+            &[("engine", &label), ("op", op.name())],
+        )
+        .inc(1);
+        reg.gauge("olap_router_ratio", &[("engine", &label)])
+            .set(self.ratios[i]);
+        if p.calibrated.is_finite() && p.calibrated > 0.0 {
+            let drift = ((observed as f64 / p.calibrated) - 1.0).abs() * 1000.0;
+            reg.histogram("olap_router_drift_permille", &[("engine", &label)])
+                .observe(drift.min(u64::MAX as f64) as u64);
+        }
+        ctx.recorder().record(olap_telemetry::FlightRecord {
+            seq: 0,
+            op: op.name(),
+            engine: label,
+            kind: outcome.answered_by.to_string(),
+            raw: p.raw,
+            predicted: p.calibrated,
+            observed,
+            a_cells: outcome.stats.a_cells,
+            p_cells: outcome.stats.p_cells,
+            tree_nodes: outcome.stats.tree_nodes,
+            latency_ns: nanos,
+        });
     }
 
     /// Routes and answers a range-sum query, feeding the observed cost back
@@ -270,7 +412,7 @@ impl<V> AdaptiveRouter<V> {
     /// [`EngineError::NoCandidate`] if no engine supports sums; otherwise
     /// whatever the chosen engine reports.
     pub fn range_sum(&mut self, query: &RangeQuery) -> Result<QueryOutcome<V>, EngineError> {
-        self.execute(query, EngineOp::Sum).map(|(_, o)| o)
+        self.execute(query, EngineOp::Sum).map(|(_, _, o)| o)
     }
 
     /// Routes and answers a range-max query. See [`AdaptiveRouter::range_sum`].
@@ -278,7 +420,7 @@ impl<V> AdaptiveRouter<V> {
     /// # Errors
     /// [`EngineError::NoCandidate`] or the chosen engine's error.
     pub fn range_max(&mut self, query: &RangeQuery) -> Result<QueryOutcome<V>, EngineError> {
-        self.execute(query, EngineOp::Max).map(|(_, o)| o)
+        self.execute(query, EngineOp::Max).map(|(_, _, o)| o)
     }
 
     /// Routes and answers a range-min query. See [`AdaptiveRouter::range_sum`].
@@ -286,7 +428,7 @@ impl<V> AdaptiveRouter<V> {
     /// # Errors
     /// [`EngineError::NoCandidate`] or the chosen engine's error.
     pub fn range_min(&mut self, query: &RangeQuery) -> Result<QueryOutcome<V>, EngineError> {
-        self.execute(query, EngineOp::Min).map(|(_, o)| o)
+        self.execute(query, EngineOp::Min).map(|(_, _, o)| o)
     }
 
     /// Applies absolute-value updates to **every** engine, keeping the
@@ -312,6 +454,9 @@ impl<V> AdaptiveRouter<V> {
         for e in &mut self.engines {
             stats += e.apply_updates(updates)?;
         }
+        // Engine contents changed, so analytic estimates may have too
+        // (e.g. the sparse engines' region counts): drop cached decisions.
+        self.version = self.version.wrapping_add(1);
         Ok(stats)
     }
 
@@ -340,8 +485,15 @@ impl<V> AdaptiveRouter<V> {
                 op: "explain(update)",
             });
         }
-        let candidates = self.candidates(query, op);
-        let (chosen, outcome) = self.execute(query, op)?;
+        // `ensure_decision` memoises, so this candidate table and the
+        // routing pass inside `execute` share one estimate() sweep; the
+        // labels only get formatted here, never on the plain query path.
+        self.ensure_decision(query, op);
+        let candidates = {
+            let cache = self.cache.as_ref().expect("decision just ensured");
+            self.label_predictions(&cache.predictions)
+        };
+        let (chosen, _, outcome) = self.execute(query, op)?;
         Ok(Explain {
             op,
             candidates,
@@ -360,9 +512,7 @@ impl<V> AdaptiveRouter<V> {
     pub fn replay(&mut self, log: &QueryLog) -> Result<Vec<ReplayRecord>, EngineError> {
         let mut records = Vec::with_capacity(log.len());
         for q in log.queries() {
-            let i = self.route(q, EngineOp::Sum)?;
-            let predicted = self.engines[i].estimate(q) * self.ratios[i];
-            let outcome = self.range_sum(q)?;
+            let (i, predicted, outcome) = self.execute(q, EngineOp::Sum)?;
             records.push(ReplayRecord {
                 engine: self.engines[i].label(),
                 predicted,
@@ -497,6 +647,149 @@ mod tests {
             assert!(text.contains(&label), "missing {label} in:\n{text}");
         }
         assert!(text.contains("observed:"));
+    }
+
+    /// A pass-through engine that counts how often the router asks it for
+    /// an estimate — the probe for the decision cache.
+    struct CountingEngine {
+        inner: NaiveEngine<i64>,
+        estimates: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl RangeEngine<i64> for CountingEngine {
+        fn label(&self) -> String {
+            "counting-naive".to_string()
+        }
+        fn shape(&self) -> &Shape {
+            self.inner.shape()
+        }
+        fn capabilities(&self) -> crate::Capabilities {
+            self.inner.capabilities()
+        }
+        fn estimate(&self, query: &RangeQuery) -> f64 {
+            self.estimates
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.estimate(query)
+        }
+        fn range_sum(&self, query: &RangeQuery) -> Result<QueryOutcome<i64>, EngineError> {
+            self.inner.range_sum(query)
+        }
+        fn range_max(&self, query: &RangeQuery) -> Result<QueryOutcome<i64>, EngineError> {
+            self.inner.range_max(query)
+        }
+        fn range_min(&self, query: &RangeQuery) -> Result<QueryOutcome<i64>, EngineError> {
+            self.inner.range_min(query)
+        }
+        fn apply_updates(
+            &mut self,
+            updates: &[(Vec<usize>, i64)],
+        ) -> Result<AccessStats, EngineError> {
+            self.inner.apply_updates(updates)
+        }
+    }
+
+    fn counting_router() -> (
+        AdaptiveRouter<i64>,
+        std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    ) {
+        let estimates = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let a = cube();
+        let r = AdaptiveRouter::new()
+            .with_engine(Box::new(CountingEngine {
+                inner: NaiveEngine::new(a.clone()),
+                estimates: estimates.clone(),
+            }))
+            .with_engine(Box::new(
+                CubeIndex::build(a, IndexConfig::default()).unwrap(),
+            ));
+        (r, estimates)
+    }
+
+    #[test]
+    fn consecutive_explains_reuse_one_estimate_pass() {
+        let (mut r, estimates) = counting_router();
+        // A 1-cell query routes to naive with observed == predicted == 1,
+        // the EWMA fixed point, so nothing a decision depends on moves.
+        let tiny = q(&[(5, 5), (9, 9)]);
+        let e1 = r.explain(&tiny).unwrap();
+        let after_first = estimates.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(
+            after_first, 1,
+            "candidates + route inside one explain must share one estimate sweep"
+        );
+        let e2 = r.explain(&tiny).unwrap();
+        assert_eq!(
+            estimates.load(std::sync::atomic::Ordering::Relaxed),
+            after_first,
+            "a repeat explain with no state change must hit the decision cache"
+        );
+        assert_eq!(e1.candidates, e2.candidates, "tables must be identical");
+        assert_eq!(e1.chosen, e2.chosen);
+    }
+
+    #[test]
+    fn cache_invalidated_by_calibration_and_updates() {
+        let (mut r, estimates) = counting_router();
+        let ord = std::sync::atomic::Ordering::Relaxed;
+        // A big query moves the chosen engine's EWMA ratio, so the next
+        // decision must re-estimate.
+        let big = q(&[(0, 60), (0, 60)]);
+        r.range_sum(&big).unwrap();
+        let n1 = estimates.load(ord);
+        r.range_sum(&big).unwrap();
+        let n2 = estimates.load(ord);
+        assert!(n2 > n1, "ratio moved, decision must be recomputed");
+        // Once calibration settles (sample == ratio is skipped as the EWMA
+        // fixed point may never hit exactly), a *tiny* query at its fixed
+        // point caches; an update then invalidates it.
+        let tiny = q(&[(5, 5), (9, 9)]);
+        r.range_sum(&tiny).unwrap();
+        let n3 = estimates.load(ord);
+        r.range_sum(&tiny).unwrap();
+        assert_eq!(estimates.load(ord), n3, "fixed-point query must cache");
+        r.apply_updates(&[(vec![0, 0], 5)]).unwrap();
+        r.range_sum(&tiny).unwrap();
+        assert!(
+            estimates.load(ord) > n3,
+            "updates must invalidate the cache"
+        );
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn routed_queries_reach_registry_and_flight_recorder() {
+        use std::sync::Arc;
+        let ctx = Arc::new(olap_telemetry::Telemetry::new());
+        olap_telemetry::with_scope(&ctx, || {
+            let mut r = router();
+            r.range_sum(&q(&[(0, 60), (0, 60)])).unwrap();
+            r.range_sum(&q(&[(2, 2), (3, 3)])).unwrap();
+            r.range_max(&q(&[(0, 10), (0, 10)])).unwrap();
+        });
+        let snap = ctx.registry().snapshot();
+        let routes: u64 = snap
+            .iter()
+            .filter(|m| m.name == "olap_router_route_total")
+            .map(|m| match m.value {
+                olap_telemetry::MetricValue::Counter(n) => n,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(routes, 3, "one route-choice count per executed query");
+        // Engine-level series exist for the engines that answered.
+        assert!(
+            snap.iter()
+                .any(|m| m.name == "olap_engine_accesses" && m.label("op") == Some("range_sum")),
+            "missing engine access histogram in {snap:?}"
+        );
+        let flights = ctx.recorder().snapshot();
+        assert_eq!(flights.len(), 3);
+        assert!(flights.iter().all(|f| f.observed > 0));
+        assert_eq!(flights[2].op, "range_max");
+        // The prefix-sum route's prediction is the paper's 2^d = 4.
+        let big = &flights[0];
+        assert!(big.engine.contains("prefix"), "{big:?}");
+        assert_eq!(big.raw, 4.0);
     }
 
     #[test]

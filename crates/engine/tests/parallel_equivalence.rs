@@ -241,3 +241,92 @@ proptest! {
         }
     }
 }
+
+/// The telemetry counters are derived from the same deterministic
+/// quantities (queries issued, accesses performed, routes chosen, regions
+/// planned), so their totals must be identical under `Sequential` and
+/// `Threads(n)` too. Only the genuinely nondeterministic metrics are
+/// exempt: wall-clock measurements (`*nanos*`, `*latency*`) and the
+/// executor's own fan-out accounting (`olap_exec_*`), which exists only
+/// when threads actually run.
+#[cfg(feature = "telemetry")]
+mod telemetry_equivalence {
+    use super::*;
+    use olap_telemetry::{MetricValue, Telemetry};
+    use std::sync::Arc;
+
+    /// Every metric in the registry that has a deterministic value,
+    /// rendered to a sortable line (floats compared by bits).
+    fn deterministic_totals(ctx: &Telemetry) -> Vec<String> {
+        let mut out: Vec<String> = ctx
+            .registry()
+            .snapshot()
+            .into_iter()
+            .filter(|m| !m.name.starts_with("olap_exec_"))
+            .filter(|m| !m.name.contains("nanos") && !m.name.contains("latency"))
+            .map(|m| {
+                let v = match m.value {
+                    MetricValue::Counter(c) => format!("counter {c}"),
+                    MetricValue::Gauge(g) => format!("gauge {:016x}", g.to_bits()),
+                    MetricValue::Histogram(h) => {
+                        format!(
+                            "hist count={} sum={} buckets={:?}",
+                            h.count, h.sum, h.buckets
+                        )
+                    }
+                };
+                format!("{} {:?} = {v}", m.name, m.labels)
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn registry_totals_match_under_threads(
+            (a, qs, updates) in arb_cube().prop_flat_map(|a| {
+                let qs = prop::collection::vec(arb_region(a.shape()), 1..6);
+                let dims = a.shape().dims().to_vec();
+                let upd = prop::collection::vec(
+                    (dims.iter().map(|&n| 0..n).collect::<Vec<_>>(), -100i64..100),
+                    0..4,
+                );
+                (Just(a), qs, upd)
+            }),
+            b in 1usize..4,
+            threads in 2usize..6,
+        ) {
+            let batch: Vec<(Vec<usize>, f64)> = updates
+                .iter()
+                .map(|(i, v)| (i.clone(), *v as f64 * 0.5))
+                .collect();
+            let run = |par: Parallelism| {
+                let cfg = IndexConfig {
+                    prefix: PrefixChoice::Blocked(b),
+                    max_tree_fanout: None,
+                    min_tree_fanout: None,
+                    sum_tree_fanout: None,
+                    parallelism: par,
+                };
+                let mut router = AdaptiveRouter::new()
+                    .with_engine(Box::new(NaiveEngine::new(a.clone())))
+                    .with_engine(Box::new(CubeIndex::build(a.clone(), cfg).unwrap()))
+                    .with_engine(Box::new(SumTreeEngine::build(a.clone(), 2).unwrap()));
+                let ctx = Arc::new(Telemetry::new());
+                olap_telemetry::with_scope(&ctx, || {
+                    for q in &qs {
+                        router.range_sum(&RangeQuery::from_region(q)).unwrap();
+                    }
+                    if !batch.is_empty() {
+                        router.apply_updates(&batch).unwrap();
+                    }
+                });
+                deterministic_totals(&ctx)
+            };
+            prop_assert_eq!(run(Parallelism::Sequential), run(Parallelism::Threads(threads)));
+        }
+    }
+}

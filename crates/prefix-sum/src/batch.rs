@@ -65,6 +65,27 @@ pub fn plan_regions<G: AbelianGroup>(
         .collect();
     let mut out = Vec::new();
     recurse(shape.dims(), op, entries, &mut Vec::new(), &mut out);
+    // Every batch path (basic and blocked) plans here, so this is the one
+    // choke point for the regions-vs-Theorem-2 accounting.
+    #[cfg(feature = "telemetry")]
+    if let Some(ctx) = olap_telemetry::current() {
+        let reg = ctx.registry();
+        reg.counter("olap_batch_plans_total", &[]).inc(1);
+        reg.counter("olap_batch_updates_total", &[])
+            .inc(updates.len() as u64);
+        reg.counter("olap_batch_regions_total", &[])
+            .inc(out.len() as u64);
+        if !updates.is_empty() {
+            let bound = max_regions(updates.len(), shape.dims().len());
+            if bound.is_finite() && bound > 0.0 {
+                // Planned regions as a share of the worst-case bound, in
+                // permille: 1000 = the bound was hit, lower = coalescing won.
+                let permille = (out.len() as f64 / bound * 1000.0).min(u64::MAX as f64) as u64;
+                reg.histogram("olap_batch_region_bound_permille", &[])
+                    .observe(permille);
+            }
+        }
+    }
     Ok(out)
 }
 
@@ -542,6 +563,33 @@ mod tests {
             bp.range_sum(&a, &q).unwrap(),
             a.fold_region(&q, 0i64, |s, &x| s + x)
         );
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn planning_records_regions_vs_bound() {
+        let ctx = std::sync::Arc::new(olap_telemetry::Telemetry::new());
+        olap_telemetry::with_scope(&ctx, || {
+            let a = cube(&[8, 8]);
+            let mut ps = PrefixSumCube::build(&a);
+            let updates = [
+                CellUpdate::new(&[1, 5], 1),
+                CellUpdate::new(&[3, 2], 2),
+                CellUpdate::new(&[6, 6], 3),
+            ];
+            let regions = apply_batch(&mut ps, &updates).unwrap();
+            let reg = ctx.registry();
+            assert_eq!(reg.counter("olap_batch_plans_total", &[]).get(), 1);
+            assert_eq!(reg.counter("olap_batch_updates_total", &[]).get(), 3);
+            assert_eq!(
+                reg.counter("olap_batch_regions_total", &[]).get(),
+                regions as u64
+            );
+            let h = reg.histogram("olap_batch_region_bound_permille", &[]);
+            assert_eq!(h.count(), 1);
+            // NR(3,2) = 6; the plan can never exceed the Theorem 2 bound.
+            assert!(h.sum() <= 1000, "regions exceeded the bound: {}", h.sum());
+        });
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Global and scoped telemetry contexts, and the one-atomic-load fast
+//! path instrumented code relies on.
+//!
+//! A [`Telemetry`] context bundles a [`Registry`], a [`FlightRecorder`],
+//! and an optional [`Subscriber`]. Instrumented call sites ask
+//! [`current`] for the active context:
+//!
+//! - if **no** context is active anywhere in the process, [`current`] is a
+//!   single relaxed atomic load returning `None` — the disabled cost the
+//!   acceptance bench pins,
+//! - a context entered with [`with_scope`] (thread-local, innermost wins)
+//!   takes precedence,
+//! - otherwise the process-wide context installed by [`enable_global`]
+//!   answers.
+//!
+//! Scoped contexts are how tests and the CLI isolate a workload's metrics
+//! from everything else running in the process.
+
+use crate::flight::FlightRecorder;
+use crate::registry::Registry;
+use crate::span::Subscriber;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A bundle of telemetry sinks: metric registry, flight recorder, and an
+/// optional span subscriber.
+#[derive(Default)]
+pub struct Telemetry {
+    registry: Registry,
+    recorder: FlightRecorder,
+    subscriber: Mutex<Option<Arc<dyn Subscriber>>>,
+}
+
+impl Telemetry {
+    /// A fresh context with an empty registry and a default-capacity
+    /// flight recorder.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// A fresh context whose flight recorder keeps the last `capacity`
+    /// records.
+    pub fn with_flight_capacity(capacity: usize) -> Self {
+        Telemetry {
+            registry: Registry::new(),
+            recorder: FlightRecorder::with_capacity(capacity),
+            subscriber: Mutex::new(None),
+        }
+    }
+
+    /// The metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The flight recorder.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Installs a span subscriber (replacing any previous one).
+    pub fn set_subscriber(&self, s: Arc<dyn Subscriber>) {
+        *self.subscriber.lock().expect("subscriber lock") = Some(s);
+    }
+
+    /// The current span subscriber, if any.
+    pub fn subscriber(&self) -> Option<Arc<dyn Subscriber>> {
+        self.subscriber.lock().expect("subscriber lock").clone()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("metrics", &self.registry.len())
+            .field("flight_records", &self.recorder.len())
+            .finish()
+    }
+}
+
+/// Number of active contexts (global counts as one). Zero ⇒ the fast
+/// path: instrumentation is a single load of this atomic.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether the global context is currently enabled.
+static GLOBAL_ON: AtomicBool = AtomicBool::new(false);
+
+static GLOBAL: OnceLock<Arc<Telemetry>> = OnceLock::new();
+
+thread_local! {
+    static SCOPES: RefCell<Vec<Arc<Telemetry>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Whether any telemetry context is active anywhere in the process. One
+/// relaxed atomic load; instrumentation's fast path.
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed) != 0
+}
+
+/// The process-wide telemetry context (created lazily; recording to it is
+/// a no-op for instrumented code until [`enable_global`]).
+pub fn global() -> Arc<Telemetry> {
+    GLOBAL.get_or_init(|| Arc::new(Telemetry::new())).clone()
+}
+
+/// Turns on the process-wide context: every instrumented call site starts
+/// recording into [`global`]'s registry and flight recorder.
+pub fn enable_global() {
+    if !GLOBAL_ON.swap(true, Ordering::SeqCst) {
+        let _ = global(); // materialize before the first hot-path lookup
+        ACTIVE.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Turns the process-wide context back off (scoped contexts are
+/// unaffected). The registry contents are kept.
+pub fn disable_global() {
+    if GLOBAL_ON.swap(false, Ordering::SeqCst) {
+        ACTIVE.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+struct ScopeGuard;
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPES.with(|s| {
+            s.borrow_mut().pop();
+        });
+        ACTIVE.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Runs `f` with `ctx` installed as the current thread's telemetry
+/// context. Nestable (innermost wins); unwound correctly on panic.
+///
+/// Worker threads spawned inside `f` do **not** inherit the scope
+/// automatically — executors that fan out must capture [`current`] and
+/// re-enter it per worker (as `olap_array::exec` does).
+pub fn with_scope<R>(ctx: &Arc<Telemetry>, f: impl FnOnce() -> R) -> R {
+    SCOPES.with(|s| s.borrow_mut().push(ctx.clone()));
+    ACTIVE.fetch_add(1, Ordering::SeqCst);
+    let _guard = ScopeGuard;
+    f()
+}
+
+/// The active telemetry context for this thread: the innermost
+/// [`with_scope`] context, else the global context when enabled, else
+/// `None`. When nothing is active anywhere this is one atomic load.
+#[inline]
+pub fn current() -> Option<Arc<Telemetry>> {
+    if !enabled() {
+        return None;
+    }
+    current_slow()
+}
+
+#[inline(never)]
+fn current_slow() -> Option<Arc<Telemetry>> {
+    let local = SCOPES.with(|s| s.borrow().last().cloned());
+    if local.is_some() {
+        return local;
+    }
+    if GLOBAL_ON.load(Ordering::Relaxed) {
+        Some(global())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests share the process-global ACTIVE counter with every
+    // other test in this binary, so they only assert on *scoped* state
+    // and on relative transitions, never on absolute disabled-ness.
+
+    #[test]
+    fn scoped_context_wins_and_unwinds() {
+        let a = Arc::new(Telemetry::new());
+        let b = Arc::new(Telemetry::new());
+        with_scope(&a, || {
+            a.registry().counter("outer", &[]).inc(1);
+            let cur = current().expect("scope active");
+            cur.registry().counter("via_current", &[]).inc(1);
+            with_scope(&b, || {
+                let cur = current().expect("scope active");
+                cur.registry().counter("inner", &[]).inc(1);
+            });
+            // Back to the outer scope after the inner one ends.
+            let cur = current().expect("scope active");
+            cur.registry().counter("outer_again", &[]).inc(1);
+        });
+        assert_eq!(a.registry().counter("outer", &[]).get(), 1);
+        assert_eq!(a.registry().counter("via_current", &[]).get(), 1);
+        assert_eq!(a.registry().counter("outer_again", &[]).get(), 1);
+        assert_eq!(b.registry().counter("inner", &[]).get(), 1);
+        // Nothing leaked across contexts.
+        assert_eq!(a.registry().counter("inner", &[]).get(), 0);
+    }
+
+    #[test]
+    fn scope_survives_panic() {
+        let a = Arc::new(Telemetry::new());
+        let before = ACTIVE.load(Ordering::SeqCst);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_scope(&a, || panic!("boom"));
+        }));
+        assert!(r.is_err());
+        assert_eq!(ACTIVE.load(Ordering::SeqCst), before, "scope not popped");
+    }
+
+    #[test]
+    fn scopes_are_thread_local() {
+        let a = Arc::new(Telemetry::new());
+        with_scope(&a, || {
+            let handle = std::thread::spawn(|| {
+                // The spawned thread has no scoped context; with the
+                // global context off it may still see `None` even though
+                // ACTIVE is nonzero because of our scope.
+                SCOPES.with(|s| s.borrow().len())
+            });
+            assert_eq!(handle.join().unwrap(), 0);
+        });
+    }
+
+    #[test]
+    fn global_roundtrip() {
+        // Serialise with a local lock so parallel tests in this module
+        // don't interleave global enable/disable.
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _g = LOCK.lock().unwrap();
+        enable_global();
+        assert!(enabled());
+        let ctx = current().expect("global active");
+        ctx.registry().counter("global_hits", &[]).inc(1);
+        assert!(global().registry().counter("global_hits", &[]).get() >= 1);
+        disable_global();
+        // Double disable is harmless.
+        disable_global();
+        enable_global();
+        disable_global();
+    }
+}

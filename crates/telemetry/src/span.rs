@@ -1,0 +1,170 @@
+//! The span API: time a named section of code, with static numeric
+//! fields, through the current telemetry context.
+//!
+//! [`span!`](crate::span!) is the entry point:
+//!
+//! ```
+//! fn answer(dims: usize) {
+//!     let _span = olap_telemetry::span!("range_sum", dims = dims);
+//!     // ... work ...
+//! } // on drop: histogram `olap_span_nanos{span="range_sum"}` + subscriber
+//! ```
+//!
+//! With no active context ([`crate::current`] returns `None`) starting a
+//! span is one atomic load and the guard is inert. With a context, the
+//! drop records the elapsed nanoseconds into the context registry's
+//! `olap_span_nanos{span=NAME}` histogram and forwards to the context's
+//! [`Subscriber`], if any.
+
+use crate::dispatch::{current, Telemetry};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Receives completed spans. Implementations must be cheap and
+/// non-blocking — they run inline at the instrumentation point.
+pub trait Subscriber: Send + Sync {
+    /// Called once per completed span with its static fields and elapsed
+    /// wall time in nanoseconds.
+    fn record_span(&self, name: &'static str, fields: &[(&'static str, f64)], nanos: u64);
+}
+
+/// A completed span as buffered by [`CollectingSubscriber`]:
+/// `(name, fields, nanos)`.
+pub type CollectedSpan = (&'static str, Vec<(&'static str, f64)>, u64);
+
+/// A subscriber that buffers every span — for tests and debugging.
+#[derive(Default)]
+pub struct CollectingSubscriber {
+    spans: Mutex<Vec<CollectedSpan>>,
+}
+
+impl CollectingSubscriber {
+    /// An empty collector.
+    pub fn new() -> Self {
+        CollectingSubscriber::default()
+    }
+
+    /// The spans recorded so far as `(name, fields, nanos)`.
+    pub fn spans(&self) -> Vec<CollectedSpan> {
+        self.spans.lock().expect("spans lock").clone()
+    }
+}
+
+impl Subscriber for CollectingSubscriber {
+    fn record_span(&self, name: &'static str, fields: &[(&'static str, f64)], nanos: u64) {
+        self.spans
+            .lock()
+            .expect("spans lock")
+            .push((name, fields.to_vec(), nanos));
+    }
+}
+
+/// An active span; records on drop. Construct with [`crate::span!`] or
+/// [`SpanTimer::start`].
+pub struct SpanTimer {
+    state: Option<SpanState>,
+}
+
+struct SpanState {
+    name: &'static str,
+    fields: Vec<(&'static str, f64)>,
+    start: Instant,
+    ctx: Arc<Telemetry>,
+}
+
+impl SpanTimer {
+    /// Starts a span against the current telemetry context; inert when no
+    /// context is active.
+    pub fn start(name: &'static str, fields: &[(&'static str, f64)]) -> SpanTimer {
+        let state = current().map(|ctx| SpanState {
+            name,
+            fields: fields.to_vec(),
+            start: Instant::now(),
+            ctx,
+        });
+        SpanTimer { state }
+    }
+
+    /// Whether this span is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.state.is_some()
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        let Some(state) = self.state.take() else {
+            return;
+        };
+        let nanos = state.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        state
+            .ctx
+            .registry()
+            .histogram("olap_span_nanos", &[("span", state.name)])
+            .observe(nanos);
+        if let Some(sub) = state.ctx.subscriber() {
+            sub.record_span(state.name, &state.fields, nanos);
+        }
+    }
+}
+
+/// Starts a [`SpanTimer`] named by a string literal, with optional
+/// `key = numeric_value` fields (values are converted with `as f64`).
+///
+/// ```
+/// let d = 3usize;
+/// let _span = olap_telemetry::span!("range_sum", dims = d);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::SpanTimer::start($name, &[$((stringify!($key), ($value) as f64)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::with_scope;
+
+    #[test]
+    fn inert_without_context() {
+        let span = span!("nothing", k = 1);
+        assert!(!span.is_recording());
+    }
+
+    #[test]
+    fn records_histogram_and_subscriber() {
+        let ctx = Arc::new(Telemetry::new());
+        let sub = Arc::new(CollectingSubscriber::new());
+        ctx.set_subscriber(sub.clone());
+        with_scope(&ctx, || {
+            let span = span!("range_sum", dims = 2, volume = 100);
+            assert!(span.is_recording());
+            drop(span);
+            // A second span of the same name lands in the same series.
+            drop(span!("range_sum", dims = 3, volume = 10));
+        });
+        let h = ctx
+            .registry()
+            .histogram("olap_span_nanos", &[("span", "range_sum")]);
+        assert_eq!(h.count(), 2);
+        let spans = sub.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].0, "range_sum");
+        assert_eq!(spans[0].1, vec![("dims", 2.0), ("volume", 100.0)]);
+        assert_eq!(spans[1].1[0], ("dims", 3.0));
+    }
+
+    #[test]
+    fn fieldless_span() {
+        let ctx = Arc::new(Telemetry::new());
+        with_scope(&ctx, || drop(span!("bare")));
+        assert_eq!(
+            ctx.registry()
+                .histogram("olap_span_nanos", &[("span", "bare")])
+                .count(),
+            1
+        );
+    }
+}
