@@ -294,11 +294,9 @@ impl<T> DenseArray<T> {
         let ranges: Vec<Range> = block_idx
             .iter()
             .zip(self.shape.dims())
-            .map(|(&bi, &n)| {
-                Range::new(bi * b, ((bi + 1) * b - 1).min(n - 1)).expect("block inside array")
-            })
+            .map(|(&bi, &n)| Range::trusted(bi * b, ((bi + 1) * b - 1).min(n - 1)))
             .collect();
-        Region::new(ranges).expect("d ≥ 1")
+        Region::trusted(ranges)
     }
 
     /// Applies `f` to every cell, producing a new array of the same shape.

@@ -1,3 +1,4 @@
+use crate::budget::Interrupt;
 use std::fmt;
 
 /// Errors produced when constructing or indexing arrays, ranges, and regions.
@@ -45,6 +46,10 @@ pub enum ArrayError {
     },
     /// A block size of zero was supplied to a blocked operation.
     ZeroBlock,
+    /// A budgeted computation stopped early: deadline, access cap, or
+    /// cancellation (see [`crate::budget`]). Layers above convert this to
+    /// their own typed interrupt variants.
+    Interrupted(Interrupt),
 }
 
 impl fmt::Display for ArrayError {
@@ -73,8 +78,15 @@ impl fmt::Display for ArrayError {
                 write!(f, "shape needs {expected} cells but buffer holds {actual}")
             }
             ArrayError::ZeroBlock => write!(f, "block size must be at least 1"),
+            ArrayError::Interrupted(i) => write!(f, "{i}"),
         }
     }
 }
 
 impl std::error::Error for ArrayError {}
+
+impl From<Interrupt> for ArrayError {
+    fn from(i: Interrupt) -> Self {
+        ArrayError::Interrupted(i)
+    }
+}

@@ -78,6 +78,66 @@ where
     run_threads(par.workers_for(items.len()), items, &f)
 }
 
+/// [`run_indexed`] for kernels that can fail — the execution primitive of
+/// budgeted queries (see [`crate::budget`]).
+///
+/// Sequentially, this short-circuits at the first `Err` exactly like a
+/// `collect::<Result<_, _>>()`. Under [`Parallelism::Threads`], every
+/// worker stops taking new items once *any* worker has failed (checked via
+/// a shared flag before each item), the chunks are stitched in input
+/// order, and the error of the smallest-indexed failed item is returned.
+/// For a pure kernel the `Ok` output is therefore bit-identical to the
+/// sequential run; which error surfaces when *several* items fail can
+/// depend on scheduling, but whether the call fails does not: it fails iff
+/// some item's kernel fails.
+///
+/// # Errors
+/// The first (lowest-index) kernel error among those that occurred.
+pub fn run_indexed_fallible<T, R, E, F>(par: Parallelism, items: Vec<T>, f: F) -> Result<Vec<R>, E>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    F: Fn(usize, T) -> Result<R, E> + Sync,
+{
+    if par.workers_for(items.len()) <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let results: Vec<Option<Result<R, E>>> = run_indexed(par, items, |i, t| {
+        if stop.load(std::sync::atomic::Ordering::Relaxed) {
+            return None; // another worker already failed; don't start new work
+        }
+        let r = f(i, t);
+        if r.is_err() {
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+        Some(r)
+    });
+    let mut out = Vec::with_capacity(results.len());
+    let mut first_err = None;
+    for r in results {
+        match r {
+            Some(Ok(v)) if first_err.is_none() => out.push(v),
+            Some(Ok(_)) => {}
+            Some(Err(e)) => {
+                first_err.get_or_insert(e);
+            }
+            // Skipped after a failure elsewhere; the failure itself is in
+            // the results and will be (or was) picked up.
+            None => {}
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
 #[cfg(feature = "parallel")]
 fn run_threads<T, R, F>(workers: usize, mut items: Vec<T>, f: &F) -> Vec<R>
 where
@@ -131,7 +191,13 @@ where
             })
             .collect();
         for h in handles {
-            let (chunk, nanos) = h.join().expect("chunk worker panicked");
+            // Re-raise a worker panic with its original payload so the
+            // engine layer's `catch_unwind` containment sees the real
+            // message rather than a generic join error.
+            let (chunk, nanos) = match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
             #[cfg(not(feature = "telemetry"))]
             let _ = nanos;
             #[cfg(feature = "telemetry")]
@@ -250,6 +316,54 @@ mod tests {
         assert_eq!(reg.counter("olap_exec_fanouts_total", &[]).get(), 1);
         assert_eq!(reg.counter("olap_exec_chunks_total", &[]).get(), 32);
         assert_eq!(reg.histogram("olap_exec_worker_nanos", &[]).count(), 4);
+    }
+
+    #[test]
+    fn fallible_sequential_short_circuits() {
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let out: Result<Vec<i32>, &str> =
+            run_indexed_fallible(Parallelism::Sequential, vec![1, 2, 3, 4], |_, x| {
+                calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if x == 2 {
+                    Err("boom")
+                } else {
+                    Ok(x * 10)
+                }
+            });
+        assert_eq!(out, Err("boom"));
+        assert_eq!(
+            calls.load(std::sync::atomic::Ordering::Relaxed),
+            2,
+            "items after the failure never run"
+        );
+    }
+
+    #[test]
+    fn fallible_matches_infallible_on_success() {
+        let items: Vec<usize> = (0..77).collect();
+        for par in [Parallelism::Sequential, Parallelism::Threads(4)] {
+            let got: Result<Vec<usize>, ()> = run_indexed_fallible(par, items.clone(), |i, x| {
+                assert_eq!(i, x);
+                Ok(x + 1)
+            });
+            assert_eq!(got.unwrap(), (1..78).collect::<Vec<usize>>(), "{par:?}");
+        }
+    }
+
+    #[test]
+    fn fallible_threads_return_lowest_index_error() {
+        // Two failing items; the smaller index must win whenever both ran.
+        let items: Vec<usize> = (0..64).collect();
+        let got: Result<Vec<usize>, usize> =
+            run_indexed_fallible(Parallelism::Threads(4), items, |_, x| {
+                if x == 9 || x == 50 {
+                    Err(x)
+                } else {
+                    Ok(x)
+                }
+            });
+        let e = got.unwrap_err();
+        assert!(e == 9 || e == 50, "one of the injected errors surfaces");
     }
 
     #[test]

@@ -30,7 +30,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code reports failures as typed errors; panicking escape
+// hatches are denied outside test builds (tests and benches may unwrap).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod budget;
 mod dense;
 mod error;
 pub mod exec;
@@ -39,6 +43,7 @@ mod range;
 mod region;
 mod shape;
 
+pub use budget::{BudgetMeter, CancellationToken, Interrupt, QueryBudget};
 pub use dense::DenseArray;
 pub use error::ArrayError;
 pub use exec::Parallelism;

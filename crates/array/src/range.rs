@@ -31,6 +31,16 @@ impl Range {
         Range { lo: x, hi: x }
     }
 
+    /// Workspace-internal constructor for bounds the caller has already
+    /// proven ordered (block clipping, bounding unions, slab splits).
+    /// Checked in debug builds; never panics in release. Not part of the
+    /// public API — external callers use [`Range::new`].
+    #[doc(hidden)]
+    pub fn trusted(lo: usize, hi: usize) -> Self {
+        debug_assert!(lo <= hi, "trusted range inverted: {lo}:{hi}");
+        Range { lo, hi }
+    }
+
     /// Lower (inclusive) bound `ℓ`.
     pub fn lo(&self) -> usize {
         self.lo
@@ -92,6 +102,9 @@ impl fmt::Display for Range {
 
 impl From<std::ops::RangeInclusive<usize>> for Range {
     /// Converts `a..=b`; panics if the range is empty or inverted.
+    // The panic is this conversion's documented contract; fallible callers
+    // use `Range::new`.
+    #[allow(clippy::expect_used)]
     fn from(r: std::ops::RangeInclusive<usize>) -> Self {
         Range::new(*r.start(), *r.end()).expect("inverted RangeInclusive")
     }

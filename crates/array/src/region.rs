@@ -41,6 +41,18 @@ impl Region {
         Region::new(index.iter().map(|&x| Range::singleton(x)).collect())
     }
 
+    /// Workspace-internal constructor for range lists the caller has
+    /// already proven non-empty. Checked in debug builds; never panics in
+    /// release. Not part of the public API — external callers use
+    /// [`Region::new`].
+    #[doc(hidden)]
+    pub fn trusted(ranges: Vec<Range>) -> Self {
+        debug_assert!(!ranges.is_empty(), "trusted region with no ranges");
+        Region {
+            ranges: ranges.into(),
+        }
+    }
+
     /// Number of dimensions.
     pub fn ndim(&self) -> usize {
         self.ranges.len()
@@ -145,9 +157,7 @@ impl Region {
                 .ranges
                 .iter()
                 .zip(other.ranges.iter())
-                .map(|(a, b)| {
-                    Range::new(a.lo().min(b.lo()), a.hi().max(b.hi())).expect("min ≤ max")
-                })
+                .map(|(a, b)| Range::trusted(a.lo().min(b.lo()), a.hi().max(b.hi())))
                 .collect(),
         }
     }
@@ -174,14 +184,14 @@ impl Region {
             let i = inter.range(axis);
             if r.lo() < i.lo() {
                 let mut slab = core.clone();
-                slab[axis] = Range::new(r.lo(), i.lo() - 1).expect("lo < i.lo");
+                slab[axis] = Range::trusted(r.lo(), i.lo() - 1);
                 out.push(Region {
                     ranges: slab.into(),
                 });
             }
             if r.hi() > i.hi() {
                 let mut slab = core.clone();
-                slab[axis] = Range::new(i.hi() + 1, r.hi()).expect("hi > i.hi");
+                slab[axis] = Range::trusted(i.hi() + 1, r.hi());
                 out.push(Region {
                     ranges: slab.into(),
                 });

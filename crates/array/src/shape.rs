@@ -134,13 +134,12 @@ impl Shape {
 
     /// The region covering the whole cube, `Region(0:n_1−1, …, 0:n_d−1)`.
     pub fn full_region(&self) -> Region {
-        Region::new(
+        Region::trusted(
             self.dims
                 .iter()
-                .map(|&n| Range::new(0, n - 1).expect("extent ≥ 1"))
+                .map(|&n| Range::trusted(0, n - 1))
                 .collect::<Vec<_>>(),
         )
-        .expect("non-empty dims")
     }
 
     /// Validates that a region lies entirely inside this shape.

@@ -20,6 +20,7 @@ fn index_config(prefix: PrefixChoice) -> IndexConfig {
         min_tree_fanout: None,
         sum_tree_fanout: None,
         parallelism: Parallelism::Sequential,
+        ..IndexConfig::default()
     }
 }
 

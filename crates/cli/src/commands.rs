@@ -29,6 +29,9 @@ commands:
            run a seeded mixed workload through the router, dump the metric registry
   flight-record --cube FILE [--queries N] [--seed S] [--capacity N]
            same workload, dump the last-N per-query flight records as JSON
+  chaos    --cube FILE [--queries N] [--updates U] [--seed S] [--error-rate PM] [--panic-rate PM]
+           run the workload with seeded fault injection on every engine and
+           print a resilience report (failovers, quarantines, contained panics)
   info     FILE
 
 queries: per dimension `lo:hi`, a single index, or `all` — e.g. 3:17,all,5";
@@ -55,6 +58,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "plan" => cmd_plan(rest),
         "metrics" => cmd_metrics(rest),
         "flight-record" => cmd_flight_record(rest),
+        "chaos" => crate::chaos_cmd::cmd_chaos(rest),
         "repl" => {
             let stdin = std::io::stdin();
             let mut input = stdin.lock();
@@ -262,6 +266,7 @@ pub(crate) fn prefix_engine(
         min_tree_fanout: None,
         sum_tree_fanout: None,
         parallelism: olap_engine::Parallelism::Sequential,
+        ..olap_engine::IndexConfig::default()
     };
     olap_engine::CubeIndex::build(a.clone(), config).map_err(|e| CliError::Query(e.to_string()))
 }

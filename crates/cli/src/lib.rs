@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+mod chaos_cmd;
 pub mod commands;
 pub mod csv;
 pub mod repl;

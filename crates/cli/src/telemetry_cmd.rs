@@ -14,10 +14,10 @@
 //! JSON.
 
 use crate::args::{split_args, usage, CliError, ParsedArgs};
+use crate::chaos_cmd::{mix, mixed_queries};
 use crate::commands::{open_reader, prefix_engine};
 use olap_array::{DenseArray, Shape};
 use olap_engine::{AdaptiveRouter, NaiveEngine, PrefixChoice, SumTreeEngine};
-use olap_query::RangeQuery;
 use olap_storage as storage;
 use olap_telemetry::Telemetry;
 use std::collections::BTreeMap;
@@ -68,48 +68,6 @@ fn build_router(a: &DenseArray<i64>, w: &Workload) -> Result<AdaptiveRouter<i64>
         .with_engine(Box::new(
             SumTreeEngine::build(a.clone(), w.tree).map_err(|e| CliError::Query(e.to_string()))?,
         )))
-}
-
-/// splitmix64 — a tiny deterministic mixer for the update positions, so
-/// the workload needs no RNG state.
-fn mix(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e3779b97f4a7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
-    x ^ (x >> 31)
-}
-
-/// A mixed query stream: round-robin over large uniform boxes, small
-/// fixed-side boxes, and point lookups, all seeded.
-fn mixed_queries(shape: &Shape, count: usize, seed: u64) -> Vec<RangeQuery> {
-    let third = count.div_ceil(3);
-    let small_side = shape
-        .dims()
-        .iter()
-        .copied()
-        .min()
-        .unwrap_or(1)
-        .div_ceil(4)
-        .max(1);
-    let families = [
-        olap_workload::uniform_regions(shape, third, seed),
-        olap_workload::sided_regions(shape, small_side, third, mix(seed)),
-        olap_workload::sided_regions(shape, 1, third, mix(seed ^ 1)),
-    ];
-    let mut its: Vec<_> = families.into_iter().map(|f| f.into_iter()).collect();
-    let mut out = Vec::with_capacity(count);
-    'fill: loop {
-        for it in &mut its {
-            match it.next() {
-                Some(r) => out.push(RangeQuery::from_region(&r)),
-                None => break 'fill,
-            }
-            if out.len() == count {
-                break 'fill;
-            }
-        }
-    }
-    out
 }
 
 /// Runs the workload: `queries` routed range sums with `updates` batched

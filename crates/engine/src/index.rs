@@ -5,7 +5,7 @@ use crate::error::EngineError;
 use crate::range_engine::{Capabilities, RangeEngine};
 use olap_aggregate::ReverseOrder;
 use olap_aggregate::{NaturalOrder, NumericValue, SumOp, TotalOrder};
-use olap_array::{DenseArray, Parallelism, Region, Shape};
+use olap_array::{BudgetMeter, DenseArray, Parallelism, QueryBudget, Region, Shape};
 use olap_prefix_sum::batch::CellUpdate;
 use olap_prefix_sum::{batch, BlockedPrefixCube, BoundaryPolicy, PrefixSumCube};
 use olap_query::{AccessStats, EngineKind, QueryOutcome, RangeQuery};
@@ -44,6 +44,12 @@ pub struct IndexConfig {
     /// threads (when the `parallel` feature is enabled) with bit-identical
     /// results and statistics.
     pub parallelism: Parallelism,
+    /// Per-query budget (deadline and/or cell-access cap) enforced
+    /// cooperatively inside the query kernels. The default
+    /// [`QueryBudget::unlimited`] costs one branch per query. A query cut
+    /// off by the budget returns [`EngineError::DeadlineExceeded`],
+    /// [`EngineError::BudgetExhausted`], or [`EngineError::Cancelled`].
+    pub budget: QueryBudget,
 }
 
 impl Default for IndexConfig {
@@ -54,6 +60,7 @@ impl Default for IndexConfig {
             min_tree_fanout: None,
             sum_tree_fanout: None,
             parallelism: Parallelism::Sequential,
+            budget: QueryBudget::unlimited(),
         }
     }
 }
@@ -167,26 +174,51 @@ where
     /// # Errors
     /// Validates the region.
     pub fn range_sum(&self, region: &Region) -> Result<(T, AccessStats), EngineError> {
+        self.range_sum_metered(region, &self.config.budget.start(None))
+    }
+
+    /// [`CubeIndex::range_sum`] under an explicit [`BudgetMeter`]: the
+    /// meter is threaded into whichever kernel answers (blocked fan-out,
+    /// tree traversal, or naive scan), so deadlines, access caps, and
+    /// cancellation interrupt the query *inside* the computation.
+    ///
+    /// # Errors
+    /// Validates the region; budget kills surface as
+    /// [`EngineError::DeadlineExceeded`], [`EngineError::BudgetExhausted`],
+    /// or [`EngineError::Cancelled`].
+    pub fn range_sum_metered(
+        &self,
+        region: &Region,
+        meter: &BudgetMeter,
+    ) -> Result<(T, AccessStats), EngineError> {
+        meter.check().map_err(EngineError::from)?;
         if let Some(ps) = &self.prefix {
-            return Ok(ps.range_sum_with_stats(region)?);
+            // 2^d lookups: charge after the (constant-time) kernel.
+            let (v, stats) = ps.range_sum_with_stats(region)?;
+            meter
+                .charge(stats.total_accesses())
+                .map_err(EngineError::from)?;
+            return Ok((v, stats));
         }
         if let Some(bp) = &self.blocked {
             // The ≤ 3^d decomposition parts fan out under the configured
             // strategy; values and stats reduce in part order either way.
-            return Ok(bp.range_sum_with_policy_par(
+            return Ok(bp.range_sum_with_budget(
                 &self.a,
                 region,
                 BoundaryPolicy::Auto,
                 self.config.parallelism,
+                meter,
             )?);
         }
         if let Some(st) = &self.sum_tree {
-            return Ok(st.range_sum_with_stats(&self.a, region, true)?);
+            return Ok(st.range_sum_with_stats_budget(&self.a, region, true, meter)?);
         }
-        Ok(crate::naive::range_aggregate(
+        Ok(crate::naive::range_aggregate_budgeted(
             &self.a,
             &SumOp::<T>::new(),
             region,
+            meter,
         )?)
     }
 
@@ -389,6 +421,32 @@ where
                     EngineKind::NaiveScan
                 };
                 let (v, stats) = CubeIndex::range_sum(self, &region)?;
+                Ok(QueryOutcome::aggregate(v, stats, kind))
+            },
+        )
+    }
+
+    fn range_sum_budgeted(
+        &self,
+        query: &RangeQuery,
+        meter: &BudgetMeter,
+    ) -> Result<QueryOutcome<T>, EngineError> {
+        crate::telemetry::observe_query(
+            || self.label(),
+            "range_sum",
+            query.ndim(),
+            || {
+                let region = query.to_region(self.a.shape())?;
+                let kind = if self.prefix.is_some() {
+                    EngineKind::PrefixSum
+                } else if self.blocked.is_some() {
+                    EngineKind::BlockedPrefix
+                } else if self.sum_tree.is_some() {
+                    EngineKind::TreeSum
+                } else {
+                    EngineKind::NaiveScan
+                };
+                let (v, stats) = self.range_sum_metered(&region, meter)?;
                 Ok(QueryOutcome::aggregate(v, stats, kind))
             },
         )

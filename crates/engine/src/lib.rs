@@ -26,11 +26,15 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code reports failures as typed errors; panicking escape
+// hatches are denied outside test builds (tests and benches may unwrap).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod backends;
 pub mod cuboid;
 mod error;
 mod extended;
+pub mod faults;
 mod index;
 pub mod naive;
 mod planned;
@@ -42,8 +46,12 @@ mod telemetry;
 pub use backends::{NaiveEngine, SparseMaxEngine, SparseSumEngine, SumTreeEngine};
 pub use error::EngineError;
 pub use extended::ExtendedCube;
+pub use faults::{FaultPlan, FaultyEngine};
 pub use index::{CubeIndex, IndexConfig, PrefixChoice};
-pub use olap_array::Parallelism;
+pub use olap_array::{BudgetMeter, CancellationToken, Interrupt, Parallelism, QueryBudget};
 pub use planned::PlannedIndex;
 pub use range_engine::{Capabilities, EngineOp, RangeEngine};
-pub use router::{AdaptiveRouter, Candidate, Explain, ReplayRecord, DEFAULT_ALPHA};
+pub use router::{
+    AdaptiveRouter, Candidate, EngineHealth, EngineStatus, Explain, FaultStats, ReplayRecord,
+    DEFAULT_ALPHA, QUARANTINE_COOLDOWN_TICKS, QUARANTINE_THRESHOLD,
+};

@@ -4,8 +4,13 @@
 //! cost equal to the query volume `V`.
 
 use olap_aggregate::{Monoid, TotalOrder};
-use olap_array::{ArrayError, DenseArray, Region};
+use olap_array::{ArrayError, BudgetMeter, DenseArray, Region};
 use olap_query::AccessStats;
+
+/// Cells scanned between budget checkpoints: the charge is an atomic add
+/// per batch and the deadline/cancellation check a clock read per batch,
+/// so a runaway scan is cut off within `CHECK_EVERY` cells.
+const CHECK_EVERY: u64 = 4096;
 
 /// Range aggregation by scanning the region (cost `V`).
 ///
@@ -16,13 +21,39 @@ pub fn range_aggregate<M: Monoid>(
     op: &M,
     region: &Region,
 ) -> Result<(M::Value, AccessStats), ArrayError> {
+    range_aggregate_budgeted(a, op, region, &BudgetMeter::unlimited())
+}
+
+/// [`range_aggregate`] under a [`BudgetMeter`]: the scan charges the
+/// budget and re-checks the deadline every `CHECK_EVERY` (4096) cells, so a
+/// query over a huge region is interrupted mid-scan rather than after it.
+///
+/// # Errors
+/// Validates the region; propagates budget interrupts.
+pub fn range_aggregate_budgeted<M: Monoid>(
+    a: &DenseArray<M::Value>,
+    op: &M,
+    region: &Region,
+    meter: &BudgetMeter,
+) -> Result<(M::Value, AccessStats), ArrayError> {
     a.shape().check_region(region)?;
+    meter.check()?;
     let mut stats = AccessStats::new();
     let mut acc = op.identity();
+    let mut pending = 0u64;
     for off in a.region_offsets(region) {
         stats.read_a(1);
         stats.step(1);
         acc = op.combine(&acc, a.get_flat(off));
+        pending += 1;
+        if pending == CHECK_EVERY {
+            meter.charge(pending)?;
+            meter.check()?;
+            pending = 0;
+        }
+    }
+    if pending > 0 {
+        meter.charge(pending)?;
     }
     Ok((acc, stats))
 }
@@ -51,7 +82,10 @@ pub fn range_max<O: TotalOrder>(
             }
         }
     }
-    let flat = best.expect("regions are non-empty");
+    // Regions are non-empty by construction (inclusive bounds), so a
+    // validated scan always sees at least one cell; report the
+    // impossible case as a typed error rather than panicking.
+    let flat = best.ok_or(ArrayError::EmptyShape)?;
     Ok((a.shape().unflatten(flat), a.get_flat(flat).clone(), stats))
 }
 
@@ -69,6 +103,25 @@ mod tests {
         assert_eq!(stats.a_cells, q.volume() as u64);
         let expected: i64 = q.iter_indices().map(|i| (i[0] + i[1]) as i64).sum();
         assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn naive_scan_respects_access_budget() {
+        use olap_array::{Interrupt, QueryBudget};
+        let a = DenseArray::from_fn(Shape::new(&[100, 100]).unwrap(), |i| (i[0] + i[1]) as i64);
+        let q = a.shape().full_region();
+        // 10 000 cells but only 4 096 allowed: the batched charge fires.
+        let meter = QueryBudget::unlimited().max_accesses(4096).start(None);
+        let err = range_aggregate_budgeted(&a, &SumOp::<i64>::new(), &q, &meter).unwrap_err();
+        assert!(matches!(
+            err,
+            ArrayError::Interrupted(Interrupt::BudgetExhausted { .. })
+        ));
+        // An exact budget completes with the unbudgeted answer.
+        let meter = QueryBudget::unlimited().max_accesses(10_000).start(None);
+        let (v, _) = range_aggregate_budgeted(&a, &SumOp::<i64>::new(), &q, &meter).unwrap();
+        let (v0, _) = range_aggregate(&a, &SumOp::<i64>::new(), &q).unwrap();
+        assert_eq!(v, v0);
     }
 
     #[test]

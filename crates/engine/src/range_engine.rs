@@ -10,7 +10,7 @@
 //! argmin.
 
 use crate::EngineError;
-use olap_array::Shape;
+use olap_array::{BudgetMeter, Shape};
 use olap_query::{AccessStats, QueryOutcome, RangeQuery};
 use std::fmt;
 
@@ -136,6 +136,34 @@ pub trait RangeEngine<V> {
     fn range_min(&self, query: &RangeQuery) -> Result<QueryOutcome<V>, EngineError> {
         let _ = query;
         Err(EngineError::unsupported(self.label(), "range_min"))
+    }
+
+    /// Answers a range-sum query under a [`BudgetMeter`]: the engine
+    /// checks the meter before kernel work and charges element accesses
+    /// as it goes, returning [`EngineError::DeadlineExceeded`],
+    /// [`EngineError::BudgetExhausted`], or [`EngineError::Cancelled`]
+    /// when cut off.
+    ///
+    /// The default implementation enforces the budget only **around** the
+    /// kernel — one check before dispatch and one charge/check after —
+    /// which is correct but coarse: a deep kernel may overrun its
+    /// deadline by one whole query. Engines with cooperative kernels
+    /// (`CubeIndex` and the naive scan here) override this to interrupt
+    /// *inside* the computation.
+    ///
+    /// # Errors
+    /// Query validation, [`EngineError::Unsupported`], or a budget
+    /// interrupt.
+    fn range_sum_budgeted(
+        &self,
+        query: &RangeQuery,
+        meter: &BudgetMeter,
+    ) -> Result<QueryOutcome<V>, EngineError> {
+        meter.check()?;
+        let outcome = self.range_sum(query)?;
+        meter.charge(outcome.stats.total_accesses())?;
+        meter.check()?;
+        Ok(outcome)
     }
 
     /// Applies a batch of **absolute-value** updates `(index, new value)`,

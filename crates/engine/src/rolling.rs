@@ -16,8 +16,8 @@ use olap_query::AccessStats;
 /// position (`len(axis range) − window + 1` of them).
 ///
 /// # Errors
-/// Validates `base`; a window of 0 or wider than the axis range is
-/// [`EngineError::WindowTooLarge`].
+/// Validates `base` and `axis`; a window of 0 or wider than the axis
+/// range is [`EngineError::WindowTooLarge`].
 pub fn rolling_aggregate<G: AbelianGroup>(
     ps: &PrefixSumArray<G>,
     base: &Region,
@@ -25,7 +25,13 @@ pub fn rolling_aggregate<G: AbelianGroup>(
     window: usize,
 ) -> Result<(Vec<G::Value>, AccessStats), EngineError> {
     ps.shape().check_region(base)?;
-    let r = base.range(axis);
+    let Some(&r) = base.ranges().get(axis) else {
+        return Err(EngineError::Array(olap_array::ArrayError::OutOfBounds {
+            axis,
+            index: axis,
+            extent: base.ndim(),
+        }));
+    };
     if window == 0 || window > r.len() {
         return Err(EngineError::WindowTooLarge {
             window,
@@ -36,7 +42,7 @@ pub fn rolling_aggregate<G: AbelianGroup>(
     let mut stats = AccessStats::new();
     for start in r.lo()..=(r.hi() - window + 1) {
         let mut ranges = base.ranges().to_vec();
-        ranges[axis] = Range::new(start, start + window - 1).expect("window fits");
+        ranges[axis] = Range::new(start, start + window - 1)?;
         let region = Region::new(ranges)?;
         let (v, s) = ps.range_sum_with_stats(&region)?;
         stats += s;

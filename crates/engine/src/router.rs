@@ -13,15 +13,146 @@
 //! [`AdaptiveRouter::explain`] exposes the whole decision: every
 //! candidate's raw and calibrated prediction, the chosen route, and the
 //! observed cost after execution.
+//!
+//! # Fault tolerance
+//!
+//! The router guarantees **a correct answer or one typed error — never a
+//! panic, never a hang**:
+//!
+//! - every dispatch runs under [`std::panic::catch_unwind`]; a panicking
+//!   engine surfaces as [`EngineError::EnginePanicked`] and is marked
+//!   [`EngineStatus::Poisoned`], never to be re-entered (its internal
+//!   invariants may be broken mid-mutation),
+//! - an engine fault ([`EngineError::is_engine_fault`]) triggers
+//!   **failover**: the next-best candidate from the cost-ranked list
+//!   answers instead, and the fault counts against the failing engine's
+//!   circuit breaker — [`QUARANTINE_THRESHOLD`] consecutive faults
+//!   quarantine it ([`EngineStatus::Quarantined`]) until a half-open
+//!   probe after [`QUARANTINE_COOLDOWN_TICKS`] routing decisions,
+//! - a budget interrupt ([`EngineError::is_interrupt`]) is **not** a
+//!   fault: the engine was healthy and obeyed its deadline; the kill is
+//!   counted and returned without failover,
+//! - validation errors return immediately: they would fail identically
+//!   on every engine.
+//!
+//! [`AdaptiveRouter::fault_stats`] and [`AdaptiveRouter::health`] expose
+//! the resilience counters and per-engine breaker state; with the
+//! `telemetry` feature the same events reach the metric registry and the
+//! flight recorder.
 
 use crate::range_engine::{EngineOp, RangeEngine};
 use crate::EngineError;
+use olap_array::{BudgetMeter, CancellationToken, QueryBudget};
 use olap_query::{AccessStats, QueryLog, QueryOutcome, RangeQuery};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Default EWMA smoothing factor: recent queries dominate after ~10
 /// observations, but a single outlier cannot swing the ratio.
 pub const DEFAULT_ALPHA: f64 = 0.3;
+
+/// Consecutive engine faults that open the circuit breaker.
+pub const QUARANTINE_THRESHOLD: u32 = 3;
+
+/// Routing decisions an open breaker waits before admitting a half-open
+/// probe. Ticks, not wall-clock, keep the breaker deterministic under
+/// test and independent of query latency.
+pub const QUARANTINE_COOLDOWN_TICKS: u64 = 16;
+
+/// An engine's circuit-breaker standing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineStatus {
+    /// Breaker closed: routed to normally.
+    #[default]
+    Healthy,
+    /// Breaker open after [`QUARANTINE_THRESHOLD`] consecutive faults:
+    /// skipped until a half-open probe after
+    /// [`QUARANTINE_COOLDOWN_TICKS`] decisions.
+    Quarantined,
+    /// The engine panicked. Permanently removed from routing — a panic
+    /// mid-mutation may have torn internal invariants.
+    Poisoned,
+}
+
+impl fmt::Display for EngineStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EngineStatus::Healthy => "healthy",
+            EngineStatus::Quarantined => "quarantined",
+            EngineStatus::Poisoned => "poisoned",
+        })
+    }
+}
+
+/// One engine's breaker state, as reported by [`AdaptiveRouter::health`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineHealth {
+    /// The engine's [`RangeEngine::label`].
+    pub label: String,
+    /// Breaker standing.
+    pub status: EngineStatus,
+    /// Consecutive faults so far (reset on every success).
+    pub consecutive_faults: u32,
+}
+
+/// Resilience counters, maintained with or without the `telemetry`
+/// feature (the chaos harness reads them directly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Engine faults that caused the router to try the next candidate.
+    pub failovers: u64,
+    /// Panics contained at the dispatch boundary.
+    pub panics_contained: u64,
+    /// Breaker-open events (an engine entering quarantine).
+    pub quarantines: u64,
+    /// Half-open probes dispatched to quarantined engines.
+    pub probes: u64,
+    /// Queries killed by deadline, access budget, or cancellation.
+    pub budget_kills: u64,
+}
+
+/// Per-engine breaker bookkeeping (internal).
+#[derive(Debug, Clone, Copy, Default)]
+struct Health {
+    status: Status,
+    consecutive_faults: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Status {
+    #[default]
+    Closed,
+    Open {
+        since_tick: u64,
+    },
+    Poisoned,
+}
+
+impl Health {
+    fn public_status(&self) -> EngineStatus {
+        match self.status {
+            Status::Closed => EngineStatus::Healthy,
+            Status::Open { .. } => EngineStatus::Quarantined,
+            Status::Poisoned => EngineStatus::Poisoned,
+        }
+    }
+
+    /// Whether the engine may be dispatched to at `tick`; `true` for an
+    /// open breaker past its cooldown means a half-open probe.
+    fn admissible(&self, tick: u64) -> bool {
+        match self.status {
+            Status::Closed => true,
+            Status::Poisoned => false,
+            Status::Open { since_tick } => {
+                tick.saturating_sub(since_tick) >= QUARANTINE_COOLDOWN_TICKS
+            }
+        }
+    }
+
+    fn is_probe(&self) -> bool {
+        matches!(self.status, Status::Open { .. })
+    }
+}
 
 /// One engine's standing in a routing decision, captured *before*
 /// execution.
@@ -39,6 +170,8 @@ pub struct Candidate {
     pub calibrated: f64,
     /// Whether the engine's [`crate::Capabilities`] admit the operation.
     pub eligible: bool,
+    /// The engine's circuit-breaker standing at decision time.
+    pub status: EngineStatus,
 }
 
 /// A full routing decision: the candidate table, the chosen engine, and
@@ -158,6 +291,17 @@ pub struct AdaptiveRouter<V> {
     /// the engines (estimates may depend on engine contents).
     version: u64,
     cache: Option<CachedDecision>,
+    /// Per-engine circuit breakers, parallel to `engines`. Breaker state
+    /// does not affect prediction caching — it filters candidates at
+    /// dispatch time.
+    healths: Vec<Health>,
+    /// Routing decisions taken; the breaker cooldown clock.
+    ticks: u64,
+    /// Per-query budget applied to every routed query.
+    budget: QueryBudget,
+    /// Cooperative cancellation shared with callers.
+    token: Option<CancellationToken>,
+    faults: FaultStats,
 }
 
 impl<V> AdaptiveRouter<V> {
@@ -175,6 +319,11 @@ impl<V> AdaptiveRouter<V> {
             alpha: alpha.clamp(f64::MIN_POSITIVE, 1.0),
             version: 0,
             cache: None,
+            healths: Vec::new(),
+            ticks: 0,
+            budget: QueryBudget::unlimited(),
+            token: None,
+            faults: FaultStats::default(),
         }
     }
 
@@ -182,7 +331,52 @@ impl<V> AdaptiveRouter<V> {
     pub fn push(&mut self, engine: Box<dyn RangeEngine<V>>) {
         self.engines.push(engine);
         self.ratios.push(1.0);
+        self.healths.push(Health::default());
         self.version = self.version.wrapping_add(1);
+    }
+
+    /// Sets the per-query [`QueryBudget`] every routed query runs under.
+    /// The deadline spans failover attempts: retries never extend a
+    /// query's time allowance.
+    pub fn set_budget(&mut self, budget: QueryBudget) {
+        self.budget = budget;
+    }
+
+    /// Builder-style [`AdaptiveRouter::set_budget`].
+    #[must_use]
+    pub fn with_budget(mut self, budget: QueryBudget) -> Self {
+        self.set_budget(budget);
+        self
+    }
+
+    /// The budget applied to routed queries.
+    pub fn budget(&self) -> QueryBudget {
+        self.budget
+    }
+
+    /// Installs (or clears) a [`CancellationToken`] checked by every
+    /// subsequent routed query; cancel it from any thread to interrupt
+    /// in-flight work at the next kernel checkpoint.
+    pub fn set_cancellation_token(&mut self, token: Option<CancellationToken>) {
+        self.token = token;
+    }
+
+    /// Resilience counters accumulated since construction.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
+    }
+
+    /// Per-engine circuit-breaker state, in routing order.
+    pub fn health(&self) -> Vec<EngineHealth> {
+        self.engines
+            .iter()
+            .zip(&self.healths)
+            .map(|(e, h)| EngineHealth {
+                label: e.label(),
+                status: h.public_status(),
+                consecutive_faults: h.consecutive_faults,
+            })
+            .collect()
     }
 
     /// Builder-style [`AdaptiveRouter::push`].
@@ -262,6 +456,7 @@ impl<V> AdaptiveRouter<V> {
                 ratio: p.ratio,
                 calibrated: p.calibrated,
                 eligible: p.eligible,
+                status: self.healths[index].public_status(),
             })
             .collect()
     }
@@ -333,32 +528,185 @@ impl<V> AdaptiveRouter<V> {
         }
     }
 
+    /// The cost-ranked dispatch order: the cache's argmin first, then the
+    /// remaining eligible candidates by ascending calibrated cost (stable
+    /// on ties, so routing order stays deterministic for a fixed engine
+    /// set). Breaker state is *not* applied here — admissibility is
+    /// checked per attempt, so a quarantined argmin falls through to the
+    /// next-best automatically.
+    fn ranked_candidates(predictions: &[Prediction], first: usize) -> Vec<usize> {
+        let mut rest: Vec<usize> = (0..predictions.len())
+            .filter(|&i| i != first && predictions[i].eligible)
+            .collect();
+        rest.sort_by(|&a, &b| {
+            predictions[a]
+                .calibrated
+                .partial_cmp(&predictions[b].calibrated)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut order = Vec::with_capacity(rest.len() + 1);
+        order.push(first);
+        order.extend(rest);
+        order
+    }
+
+    /// Dispatches one attempt to engine `i` with the panic boundary: a
+    /// panicking engine surfaces as [`EngineError::EnginePanicked`]
+    /// instead of unwinding through the router.
+    ///
+    /// `AssertUnwindSafe` is sound here because the closure only touches
+    /// `&self.engines[i]` and the meter: the caller poisons the engine on
+    /// panic, so any state it tore mid-unwind is never observed again.
+    fn dispatch(
+        &self,
+        i: usize,
+        query: &RangeQuery,
+        op: EngineOp,
+        meter: &BudgetMeter,
+    ) -> Result<QueryOutcome<V>, EngineError> {
+        let engine = &self.engines[i];
+        let result = catch_unwind(AssertUnwindSafe(|| match op {
+            EngineOp::Sum => engine.range_sum_budgeted(query, meter),
+            EngineOp::Max => {
+                meter.check()?;
+                let o = engine.range_max(query)?;
+                meter.charge(o.cost())?;
+                Ok(o)
+            }
+            EngineOp::Min => {
+                meter.check()?;
+                let o = engine.range_min(query)?;
+                meter.charge(o.cost())?;
+                Ok(o)
+            }
+            EngineOp::Update => unreachable!("updates go through apply_updates"),
+        }));
+        result.unwrap_or_else(|payload| {
+            Err(EngineError::EnginePanicked {
+                engine: engine.label(),
+                message: panic_message(payload.as_ref()),
+            })
+        })
+    }
+
+    /// Success closes the breaker and clears the fault streak.
+    fn note_success(&mut self, i: usize) {
+        self.healths[i].status = Status::Closed;
+        self.healths[i].consecutive_faults = 0;
+    }
+
+    /// An engine fault: bump the streak; a panic poisons permanently, a
+    /// failed probe re-opens immediately, and a streak reaching
+    /// [`QUARANTINE_THRESHOLD`] opens the breaker.
+    fn note_fault(&mut self, i: usize, tick: u64, panicked: bool) {
+        let h = &mut self.healths[i];
+        h.consecutive_faults = h.consecutive_faults.saturating_add(1);
+        if panicked {
+            self.faults.panics_contained += 1;
+            if h.status != Status::Poisoned {
+                h.status = Status::Poisoned;
+                self.faults.quarantines += 1;
+            }
+        } else if h.is_probe() || h.consecutive_faults >= QUARANTINE_THRESHOLD {
+            let was_open = h.is_probe();
+            h.status = Status::Open { since_tick: tick };
+            if !was_open {
+                self.faults.quarantines += 1;
+            }
+        }
+    }
+
     fn execute(
         &mut self,
         query: &RangeQuery,
         op: EngineOp,
     ) -> Result<(usize, f64, QueryOutcome<V>), EngineError> {
-        let chosen = self.ensure_decision(query, op);
-        let i = chosen.ok_or(EngineError::NoCandidate { op: op.name() })?;
-        let p = self
-            .cache
-            .as_ref()
-            .expect("decision just ensured")
-            .predictions[i];
-        #[cfg(feature = "telemetry")]
-        let observing = olap_telemetry::current().map(|ctx| (ctx, std::time::Instant::now()));
-        let outcome = match op {
-            EngineOp::Sum => self.engines[i].range_sum(query)?,
-            EngineOp::Max => self.engines[i].range_max(query)?,
-            EngineOp::Min => self.engines[i].range_min(query)?,
-            EngineOp::Update => unreachable!("updates go through apply_updates"),
-        };
-        self.observe(i, p.raw, outcome.cost());
-        #[cfg(feature = "telemetry")]
-        if let Some((ctx, start)) = observing {
-            self.record_route(&ctx, start, i, op, p, &outcome);
+        self.ticks += 1;
+        let tick = self.ticks;
+        // One meter for the whole query: the deadline spans failover
+        // attempts, so retries never extend the time allowance. An
+        // already-expired budget (a zero deadline, a fired cancellation
+        // token) kills the query with its interrupt *before* any routing
+        // work — even when no candidate would have been admissible.
+        let meter = self.budget.start(self.token.clone());
+        if let Err(interrupt) = meter.check() {
+            self.faults.budget_kills += 1;
+            return Err(interrupt.into());
         }
-        Ok((i, p.calibrated, outcome))
+        let chosen = self.ensure_decision(query, op);
+        let first = chosen.ok_or(EngineError::NoCandidate { op: op.name() })?;
+        // `ensure_decision` just populated the cache; a missing table is a
+        // routing bug, reported as the typed no-candidate error rather
+        // than a panic.
+        let predictions = match self.cache.as_ref() {
+            Some(cache) => cache.predictions.clone(),
+            None => return Err(EngineError::NoCandidate { op: op.name() }),
+        };
+        let order = Self::ranked_candidates(&predictions, first);
+        let mut last_fault: Option<EngineError> = None;
+        for &i in &order {
+            if !self.healths[i].admissible(tick) {
+                continue;
+            }
+            if self.healths[i].is_probe() {
+                self.faults.probes += 1;
+                self.record_fault_event("probe", i, op);
+            }
+            if last_fault.is_some() {
+                self.faults.failovers += 1;
+                self.record_fault_event("failover", i, op);
+            }
+            let p = predictions[i];
+            #[cfg(feature = "telemetry")]
+            let observing = olap_telemetry::current().map(|ctx| (ctx, std::time::Instant::now()));
+            match self.dispatch(i, query, op, &meter) {
+                Ok(outcome) => {
+                    self.note_success(i);
+                    self.observe(i, p.raw, outcome.cost());
+                    #[cfg(feature = "telemetry")]
+                    if let Some((ctx, start)) = observing {
+                        self.record_route(&ctx, start, i, op, p, &outcome);
+                    }
+                    return Ok((i, p.calibrated, outcome));
+                }
+                Err(e) if e.is_interrupt() => {
+                    // The engine obeyed its budget: healthy, no failover
+                    // (a retry would re-run the same doomed query).
+                    self.note_success(i);
+                    self.faults.budget_kills += 1;
+                    self.record_fault_event("budget_kill", i, op);
+                    return Err(e);
+                }
+                Err(e) if e.is_engine_fault() => {
+                    let panicked = matches!(e, EngineError::EnginePanicked { .. });
+                    self.note_fault(i, tick, panicked);
+                    self.record_fault_event(if panicked { "panic" } else { "fault" }, i, op);
+                    last_fault = Some(e);
+                }
+                // Validation errors fail identically everywhere: return
+                // without failover and without breaker counting.
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_fault.unwrap_or(EngineError::NoCandidate { op: op.name() }))
+    }
+
+    /// Counts one fault-tolerance event in the telemetry registry (no-op
+    /// without the `telemetry` feature; the [`FaultStats`] counters are
+    /// maintained unconditionally by the caller).
+    #[allow(unused_variables)]
+    fn record_fault_event(&self, event: &'static str, i: usize, op: EngineOp) {
+        #[cfg(feature = "telemetry")]
+        if let Some(ctx) = olap_telemetry::current() {
+            let label = self.engines[i].label();
+            ctx.registry()
+                .counter(
+                    "olap_router_fault_events_total",
+                    &[("event", event), ("engine", &label), ("op", op.name())],
+                )
+                .inc(1);
+        }
     }
 
     /// Records one routed execution: route-choice counter, the chosen
@@ -451,13 +799,40 @@ impl<V> AdaptiveRouter<V> {
             return Err(EngineError::unsupported(e.label(), "apply_updates"));
         }
         let mut stats = AccessStats::new();
-        for e in &mut self.engines {
-            stats += e.apply_updates(updates)?;
+        let mut first_err: Option<EngineError> = None;
+        for i in 0..self.engines.len() {
+            // A poisoned engine is never re-entered, not even for updates.
+            if self.healths[i].status == Status::Poisoned {
+                continue;
+            }
+            let engine = &mut self.engines[i];
+            match catch_unwind(AssertUnwindSafe(|| engine.apply_updates(updates))) {
+                Ok(Ok(s)) => stats += s,
+                // Keep applying to the remaining engines so the healthy
+                // candidate set stays mutually consistent; the first
+                // failure is still reported to the caller.
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                Err(payload) => {
+                    let label = self.engines[i].label();
+                    self.healths[i].status = Status::Poisoned;
+                    self.faults.panics_contained += 1;
+                    self.faults.quarantines += 1;
+                    first_err.get_or_insert(EngineError::EnginePanicked {
+                        engine: label,
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+            }
         }
         // Engine contents changed, so analytic estimates may have too
         // (e.g. the sparse engines' region counts): drop cached decisions.
         self.version = self.version.wrapping_add(1);
-        Ok(stats)
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(stats),
+        }
     }
 
     /// Routes, executes, and reports the whole decision for a range-sum
@@ -489,10 +864,10 @@ impl<V> AdaptiveRouter<V> {
         // routing pass inside `execute` share one estimate() sweep; the
         // labels only get formatted here, never on the plain query path.
         self.ensure_decision(query, op);
-        let candidates = {
-            let cache = self.cache.as_ref().expect("decision just ensured");
-            self.label_predictions(&cache.predictions)
+        let Some(cache) = self.cache.as_ref() else {
+            return Err(EngineError::NoCandidate { op: op.name() });
         };
+        let candidates = self.label_predictions(&cache.predictions);
         let (chosen, _, outcome) = self.execute(query, op)?;
         Ok(Explain {
             op,
@@ -520,6 +895,20 @@ impl<V> AdaptiveRouter<V> {
             });
         }
         Ok(records)
+    }
+}
+
+/// Renders a contained panic payload as a human-readable message for
+/// [`EngineError::EnginePanicked`]. `panic!` with a literal yields `&str`,
+/// `panic!` with a format string yields `String`; anything else (a custom
+/// payload from `panic_any`) is summarised opaquely.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -805,5 +1194,236 @@ mod tests {
         assert_eq!(records.len(), 10);
         assert!(records.iter().all(|rec| rec.predicted.is_finite()));
         assert!(records.iter().all(|rec| rec.observed > 0));
+    }
+
+    // ------------------------------------------------------------------
+    // Fault tolerance: failover, quarantine, poisoning, budgets.
+    // ------------------------------------------------------------------
+
+    use crate::faults::{FaultPlan, FaultyEngine};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// A faulty engine that lies it is cheapest (so it is always ranked
+    /// first) in front of a healthy `CubeIndex`.
+    fn faulty_router(plan: FaultPlan) -> AdaptiveRouter<i64> {
+        let a = cube();
+        AdaptiveRouter::new()
+            .with_engine(Box::new(FaultyEngine::new(
+                Box::new(NaiveEngine::new(a.clone())),
+                plan,
+            )))
+            .with_engine(Box::new(
+                CubeIndex::build(a, IndexConfig::default()).unwrap(),
+            ))
+    }
+
+    #[test]
+    fn failover_answers_from_the_next_best_engine() {
+        // The first-ranked engine fails every call; the router must still
+        // return the correct answer, silently, via the runner-up.
+        let mut r = faulty_router(FaultPlan::seeded(1).errors(1000).lie_cheapest());
+        let a = cube();
+        let query = q(&[(0, 31), (0, 31)]);
+        let out = r.range_sum(&query).unwrap();
+        let region = query.to_region(a.shape()).unwrap();
+        let expected = a.fold_region(&region, 0i64, |s, &x| s + x);
+        assert_eq!(out.value(), Some(&expected));
+        assert!(r.fault_stats().failovers >= 1, "{:?}", r.fault_stats());
+        assert_eq!(r.fault_stats().panics_contained, 0);
+    }
+
+    /// Fails its first `fail_first` query calls with a backend error, then
+    /// recovers; always claims to be the cheapest candidate.
+    struct FlakyEngine {
+        inner: NaiveEngine<i64>,
+        fail_first: usize,
+        calls: Arc<AtomicUsize>,
+    }
+
+    impl RangeEngine<i64> for FlakyEngine {
+        fn label(&self) -> String {
+            "flaky".to_string()
+        }
+        fn shape(&self) -> &Shape {
+            self.inner.shape()
+        }
+        fn capabilities(&self) -> crate::Capabilities {
+            self.inner.capabilities()
+        }
+        fn estimate(&self, _query: &RangeQuery) -> f64 {
+            0.0
+        }
+        fn range_sum(&self, query: &RangeQuery) -> Result<QueryOutcome<i64>, EngineError> {
+            let n = self.calls.fetch_add(1, Ordering::Relaxed);
+            if n < self.fail_first {
+                return Err(EngineError::backend("flaky", format!("down for call {n}")));
+            }
+            self.inner.range_sum(query)
+        }
+        fn apply_updates(
+            &mut self,
+            updates: &[(Vec<usize>, i64)],
+        ) -> Result<AccessStats, EngineError> {
+            self.inner.apply_updates(updates)
+        }
+    }
+
+    fn flaky_router(fail_first: usize) -> (AdaptiveRouter<i64>, Arc<AtomicUsize>) {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let a = cube();
+        let r = AdaptiveRouter::new()
+            .with_engine(Box::new(FlakyEngine {
+                inner: NaiveEngine::new(a.clone()),
+                fail_first,
+                calls: calls.clone(),
+            }))
+            .with_engine(Box::new(
+                CubeIndex::build(a, IndexConfig::default()).unwrap(),
+            ));
+        (r, calls)
+    }
+
+    #[test]
+    fn quarantine_opens_after_threshold_and_probe_recovers() {
+        let threshold = QUARANTINE_THRESHOLD as usize;
+        let (mut r, calls) = flaky_router(threshold);
+        let query = q(&[(0, 15), (0, 15)]);
+        // Three consecutive faults: each query fails over and succeeds,
+        // and the third trips the breaker.
+        for _ in 0..threshold {
+            r.range_sum(&query).unwrap();
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), threshold);
+        let h = &r.health()[0];
+        assert_eq!(h.status, EngineStatus::Quarantined, "{h:?}");
+        assert_eq!(h.consecutive_faults, QUARANTINE_THRESHOLD);
+        assert_eq!(r.fault_stats().quarantines, 1);
+        assert_eq!(r.fault_stats().failovers, threshold as u64);
+        // The quarantine is visible in the candidate table.
+        let cands = r.candidates(&query, EngineOp::Sum);
+        assert_eq!(cands[0].status, EngineStatus::Quarantined);
+        // During cooldown the engine is never re-entered (and skipping it
+        // is not a failover — nothing failed).
+        for _ in 0..(QUARANTINE_COOLDOWN_TICKS - 1) {
+            r.range_sum(&query).unwrap();
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), threshold, "not re-entered");
+        assert_eq!(r.fault_stats().failovers, threshold as u64);
+        // Cooldown over: the next decision sends a half-open probe, the
+        // recovered engine answers, and the breaker closes.
+        r.range_sum(&query).unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), threshold + 1, "one probe");
+        assert_eq!(r.fault_stats().probes, 1);
+        assert_eq!(r.health()[0].status, EngineStatus::Healthy);
+        assert_eq!(r.health()[0].consecutive_faults, 0);
+    }
+
+    #[test]
+    fn failed_probe_reopens_the_quarantine_immediately() {
+        let threshold = QUARANTINE_THRESHOLD as usize;
+        // One more failure than the threshold: the probe itself fails.
+        let (mut r, calls) = flaky_router(threshold + 1);
+        let query = q(&[(0, 15), (0, 15)]);
+        for _ in 0..threshold {
+            r.range_sum(&query).unwrap();
+        }
+        for _ in 0..(QUARANTINE_COOLDOWN_TICKS - 1) {
+            r.range_sum(&query).unwrap();
+        }
+        // The probe fails: back to quarantine without waiting for a new
+        // streak of `QUARANTINE_THRESHOLD` faults.
+        r.range_sum(&query).unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), threshold + 1);
+        assert_eq!(r.health()[0].status, EngineStatus::Quarantined);
+        // One continuous quarantine episode, extended by the failed probe.
+        assert_eq!(r.fault_stats().quarantines, 1);
+        assert_eq!(r.fault_stats().probes, 1);
+        r.range_sum(&query).unwrap();
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            threshold + 1,
+            "re-opened breaker keeps the engine out"
+        );
+    }
+
+    #[test]
+    fn panics_are_contained_and_the_engine_poisoned_forever() {
+        let mut r = faulty_router(FaultPlan::seeded(2).panics(1000).lie_cheapest());
+        let a = cube();
+        let query = q(&[(0, 20), (0, 20)]);
+        // The panic is contained; the caller sees a correct answer.
+        let out = r.range_sum(&query).unwrap();
+        let region = query.to_region(a.shape()).unwrap();
+        let expected = a.fold_region(&region, 0i64, |s, &x| s + x);
+        assert_eq!(out.value(), Some(&expected));
+        assert_eq!(r.fault_stats().panics_contained, 1);
+        assert_eq!(r.health()[0].status, EngineStatus::Poisoned);
+        // Poisoned engines are permanently out: no probes, no more panics.
+        for _ in 0..(QUARANTINE_COOLDOWN_TICKS + 2) {
+            r.range_sum(&query).unwrap();
+        }
+        assert_eq!(r.fault_stats().panics_contained, 1, "never re-entered");
+        assert_eq!(r.fault_stats().probes, 0);
+        // Updates skip the poisoned engine but still reach the rest.
+        r.apply_updates(&[(vec![0, 0], 7)]).unwrap();
+        let probe = q(&[(0, 0), (0, 0)]);
+        assert_eq!(r.range_sum(&probe).unwrap().value(), Some(&7));
+    }
+
+    #[test]
+    fn budget_interrupts_return_typed_errors_without_failover() {
+        let mut r = router().with_budget(QueryBudget::with_deadline(Duration::ZERO));
+        let query = q(&[(0, 40), (0, 40)]);
+        let err = r.range_sum(&query).unwrap_err();
+        assert!(matches!(err, EngineError::DeadlineExceeded { .. }), "{err}");
+        let stats = r.fault_stats();
+        assert_eq!(stats.budget_kills, 1);
+        assert_eq!(stats.failovers, 0, "interrupts must not fail over");
+        assert!(
+            r.health().iter().all(|h| h.status == EngineStatus::Healthy),
+            "an engine honouring its deadline is not at fault"
+        );
+        // Lifting the budget restores service on the same router.
+        r.set_budget(QueryBudget::unlimited());
+        r.range_sum(&query).unwrap();
+    }
+
+    #[test]
+    fn access_budget_kills_scans_mid_flight() {
+        // A naive-only router must scan all 64*64 = 4096 cells; a
+        // 100-access cap interrupts the scan mid-flight.
+        let mut r: AdaptiveRouter<i64> = AdaptiveRouter::new()
+            .with_engine(Box::new(NaiveEngine::new(cube())))
+            .with_budget(QueryBudget::with_max_accesses(100));
+        let err = r.range_sum(&q(&[(0, 63), (0, 63)])).unwrap_err();
+        assert!(matches!(err, EngineError::BudgetExhausted { .. }), "{err}");
+        assert_eq!(r.fault_stats().budget_kills, 1);
+    }
+
+    #[test]
+    fn cancellation_token_kills_routed_queries() {
+        let token = CancellationToken::new();
+        let mut r = router();
+        r.set_cancellation_token(Some(token.clone()));
+        r.range_sum(&q(&[(0, 10), (0, 10)])).unwrap();
+        token.cancel();
+        let err = r.range_sum(&q(&[(0, 10), (0, 10)])).unwrap_err();
+        assert!(matches!(err, EngineError::Cancelled), "{err}");
+        assert_eq!(r.fault_stats().budget_kills, 1);
+        // Detaching the token restores service.
+        r.set_cancellation_token(None);
+        r.range_sum(&q(&[(0, 10), (0, 10)])).unwrap();
+    }
+
+    #[test]
+    fn validation_errors_do_not_trip_the_breaker() {
+        let mut r = router();
+        // Out of bounds for the 64x64 cube: a caller error, not an engine
+        // fault — no failover, no breaker movement.
+        assert!(r.range_sum(&q(&[(0, 100), (0, 100)])).is_err());
+        assert_eq!(r.fault_stats(), FaultStats::default());
+        assert!(r.health().iter().all(|h| h.status == EngineStatus::Healthy));
     }
 }

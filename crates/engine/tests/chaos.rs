@@ -1,0 +1,193 @@
+//! Chaos equivalence: the router's fault-tolerance answer guarantee,
+//! checked end to end. Under **any single injected engine fault** — a
+//! backend error or a panic, at any position in the query stream — the
+//! router's answers must be **bit-identical** to the fault-free run, for
+//! both `Parallelism::Sequential` and `Parallelism::Threads(n)` engines.
+//!
+//! Every test is named `chaos_…` so `cargo test -- chaos` runs exactly
+//! this drill (the CI chaos leg).
+
+use olap_array::{DenseArray, Parallelism, Region, Shape};
+use olap_engine::{
+    AdaptiveRouter, CubeIndex, EngineError, EngineStatus, FaultPlan, FaultyEngine, IndexConfig,
+    NaiveEngine, QueryBudget, RangeEngine, SumTreeEngine,
+};
+use olap_query::RangeQuery;
+use std::time::Duration;
+
+fn cube() -> DenseArray<i64> {
+    DenseArray::from_fn(Shape::new(&[32, 32]).unwrap(), |i| {
+        (i[0] * 31 + i[1] * 17) as i64 % 97 - 48
+    })
+}
+
+/// A small deterministic mixed workload: large boxes, thin slabs, points.
+fn workload() -> Vec<RangeQuery> {
+    let mut qs = Vec::new();
+    for k in 0..6 {
+        let lo = k * 4;
+        qs.push(RangeQuery::from_region(
+            &Region::from_bounds(&[(lo, lo + 7), (0, 31 - lo)]).unwrap(),
+        ));
+        qs.push(RangeQuery::from_region(
+            &Region::from_bounds(&[(0, 31), (lo, lo + 1)]).unwrap(),
+        ));
+        qs.push(RangeQuery::from_region(
+            &Region::from_bounds(&[(lo, lo), (3 * k, 3 * k)]).unwrap(),
+        ));
+    }
+    qs
+}
+
+/// A router whose first-ranked engine is a fault injector (it lies it is
+/// cheapest, so every query tries it first) over healthy engines running
+/// under `par`.
+fn chaotic_router(plan: FaultPlan, par: Parallelism) -> AdaptiveRouter<i64> {
+    let a = cube();
+    let config = IndexConfig {
+        parallelism: par,
+        ..IndexConfig::default()
+    };
+    AdaptiveRouter::new()
+        .with_engine(Box::new(FaultyEngine::new(
+            Box::new(NaiveEngine::new(a.clone())),
+            plan.lie_cheapest(),
+        )))
+        .with_engine(Box::new(CubeIndex::build(a.clone(), config).unwrap()))
+        .with_engine(Box::new(SumTreeEngine::build(a, 4).unwrap()))
+}
+
+fn answers(router: &mut AdaptiveRouter<i64>) -> Vec<i64> {
+    workload()
+        .iter()
+        .map(|q| *router.range_sum(q).unwrap().value().unwrap())
+        .collect()
+}
+
+#[test]
+fn chaos_single_error_fault_is_invisible_in_answers() {
+    for par in [Parallelism::Sequential, Parallelism::Threads(4)] {
+        let baseline = answers(&mut chaotic_router(FaultPlan::benign(), par));
+        // Place one backend-error fault at every position of the stream:
+        // the answers must be bit-identical to the fault-free run.
+        for k in 0..workload().len() as u64 {
+            let mut r = chaotic_router(FaultPlan::benign().fail_call(k), par);
+            assert_eq!(
+                answers(&mut r),
+                baseline,
+                "error fault at call {k} under {par:?} changed an answer"
+            );
+            assert_eq!(r.fault_stats().failovers, 1);
+        }
+    }
+}
+
+#[test]
+fn chaos_single_panic_fault_is_contained_and_invisible() {
+    for par in [Parallelism::Sequential, Parallelism::Threads(4)] {
+        let baseline = answers(&mut chaotic_router(FaultPlan::benign(), par));
+        for k in [0u64, 3, 9] {
+            let mut r = chaotic_router(FaultPlan::benign().panic_call(k), par);
+            assert_eq!(
+                answers(&mut r),
+                baseline,
+                "panic fault at call {k} under {par:?} changed an answer"
+            );
+            assert_eq!(r.fault_stats().panics_contained, 1);
+            assert_eq!(
+                r.health()[0].status,
+                EngineStatus::Poisoned,
+                "a panicking engine must be poisoned"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_sequential_and_threaded_runs_are_bit_identical() {
+    // The same single fault, Sequential vs Threads(n): answers agree.
+    let plan = FaultPlan::benign().fail_call(5);
+    let seq = answers(&mut chaotic_router(plan, Parallelism::Sequential));
+    for n in [2, 4, 7] {
+        let thr = answers(&mut chaotic_router(plan, Parallelism::Threads(n)));
+        assert_eq!(seq, thr, "Threads({n}) diverged from Sequential");
+    }
+}
+
+#[test]
+fn chaos_zero_deadline_kills_before_kernel_work() {
+    // Engine level: a CubeIndex carrying a zero-allowance budget refuses
+    // every query with the typed interrupt before touching a kernel.
+    let config = IndexConfig {
+        budget: QueryBudget::with_deadline(Duration::ZERO),
+        ..IndexConfig::default()
+    };
+    let index = CubeIndex::build(cube(), config).unwrap();
+    for q in workload() {
+        let err = RangeEngine::range_sum(&index, &q).unwrap_err();
+        assert!(matches!(err, EngineError::DeadlineExceeded { .. }), "{err}");
+    }
+    // Router level: the same budget on the router kills the routed query
+    // and the injector underneath is never even dispatched.
+    let mut r = chaotic_router(FaultPlan::benign(), Parallelism::Sequential)
+        .with_budget(QueryBudget::with_deadline(Duration::ZERO));
+    let err = r.range_sum(&workload()[0]).unwrap_err();
+    assert!(matches!(err, EngineError::DeadlineExceeded { .. }), "{err}");
+    assert_eq!(r.fault_stats().budget_kills, 1);
+    assert_eq!(r.fault_stats().failovers, 0, "interrupts never fail over");
+    // Worst case: every candidate already poisoned AND a dead deadline —
+    // the expired budget still wins over `NoCandidate`, because the meter
+    // is checked before any routing work.
+    let mut dead = AdaptiveRouter::new()
+        .with_engine(Box::new(FaultyEngine::new(
+            Box::new(NaiveEngine::new(cube())),
+            FaultPlan::benign().panic_call(0).lie_cheapest(),
+        )))
+        .with_budget(QueryBudget::unlimited());
+    let _ = dead.range_sum(&workload()[0]); // poison the only engine
+    assert_eq!(dead.health()[0].status, EngineStatus::Poisoned);
+    dead.set_budget(QueryBudget::with_deadline(Duration::ZERO));
+    let err = dead.range_sum(&workload()[0]).unwrap_err();
+    assert!(matches!(err, EngineError::DeadlineExceeded { .. }), "{err}");
+}
+
+#[test]
+fn chaos_heavy_fault_mix_never_panics_or_wedges() {
+    // A high-rate mixed fault plan over the whole workload, repeated: the
+    // router must keep answering correctly from the healthy engines. Any
+    // escaped panic fails this test by itself.
+    let baseline = answers(&mut chaotic_router(
+        FaultPlan::benign(),
+        Parallelism::Sequential,
+    ));
+    for seed in 0..8 {
+        let plan = FaultPlan::seeded(seed).errors(400).panics(50);
+        let mut r = chaotic_router(plan, Parallelism::Sequential);
+        assert_eq!(
+            answers(&mut r),
+            baseline,
+            "seed {seed}: a fault leaked into an answer"
+        );
+    }
+}
+
+#[test]
+fn chaos_updates_stay_consistent_across_failover() {
+    // Updates reach every non-poisoned engine, so whichever engine a
+    // later query fails over to sees the same cube.
+    let mut r = chaotic_router(FaultPlan::benign().panic_call(0), Parallelism::Sequential);
+    let probe = RangeQuery::from_region(&Region::from_bounds(&[(2, 2), (3, 3)]).unwrap());
+    // Poison the injector with its one panic.
+    let _ = r.range_sum(&probe).unwrap();
+    r.apply_updates(&[(vec![2, 3], 4242)]).unwrap();
+    assert_eq!(r.range_sum(&probe).unwrap().value(), Some(&4242));
+    // Every still-standing engine agrees.
+    for i in 1..r.len() {
+        assert_eq!(
+            r.engine(i).range_sum(&probe).unwrap().value(),
+            Some(&4242),
+            "engine {} missed the update",
+            r.engine(i).label()
+        );
+    }
+}

@@ -211,6 +211,7 @@ proptest! {
                 min_tree_fanout: None,
                 sum_tree_fanout: None,
                 parallelism: par,
+                ..IndexConfig::default()
             };
             AdaptiveRouter::new()
                 .with_engine(Box::new(NaiveEngine::new(a.clone())))
@@ -310,6 +311,7 @@ mod telemetry_equivalence {
                     min_tree_fanout: None,
                     sum_tree_fanout: None,
                     parallelism: par,
+                    ..IndexConfig::default()
                 };
                 let mut router = AdaptiveRouter::new()
                     .with_engine(Box::new(NaiveEngine::new(a.clone())))

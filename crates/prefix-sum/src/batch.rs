@@ -124,8 +124,8 @@ fn recurse<G: AbelianGroup>(
                 n
             };
             acc = Some(v.clone());
-            prefix.push(Range::new(u, next - 1).expect("u < next ≤ n"));
-            out.push((Region::new(prefix.clone()).expect("d ≥ 1"), v));
+            prefix.push(Range::trusted(u, next - 1));
+            out.push((Region::trusted(prefix.clone()), v));
             prefix.pop();
         }
         return;
@@ -145,7 +145,7 @@ fn recurse<G: AbelianGroup>(
             .get(g + 1)
             .map(|&s| entries[s].0[0])
             .unwrap_or(n);
-        let slab = Range::new(u, next - 1).expect("u < next ≤ n");
+        let slab = Range::trusted(u, next - 1);
         // All updates with first coordinate ≤ u, projected one dimension
         // down. Duplicate projections are coalesced inside the recursion.
         let end = group_starts.get(g + 1).copied().unwrap_or(entries.len());
@@ -253,8 +253,8 @@ fn apply_plan<G>(
                 continue;
             }
             let mut ranges = region.ranges().to_vec();
-            ranges[0] = Range::new(lo, hi).expect("clipped range non-empty");
-            let clipped = Region::new(ranges).expect("d ≥ 1");
+            ranges[0] = Range::trusted(lo, hi);
+            let clipped = Region::trusted(ranges);
             for off in FlatRegionIter::new(&shape, &clipped) {
                 let local = off - start * row;
                 let merged = op.combine(&slab[local], delta);
@@ -278,7 +278,7 @@ pub fn apply_single_naive<G: AbelianGroup>(
         .index
         .iter()
         .zip(ps.shape().dims())
-        .map(|(&x, &n)| Range::new(x, n - 1).expect("x < n"))
+        .map(|(&x, &n)| Range::trusted(x, n - 1))
         .collect();
     let region = Region::new(ranges)?;
     let op = ps.op().clone();

@@ -2,7 +2,7 @@
 //! anchors, trading query time for a `1/b^d` space footprint.
 
 use olap_aggregate::{AbelianGroup, NumericValue, SumOp};
-use olap_array::{exec, ArrayError, DenseArray, Parallelism, Range, Region, Shape};
+use olap_array::{exec, ArrayError, BudgetMeter, DenseArray, Parallelism, Range, Region, Shape};
 use olap_query::AccessStats;
 
 /// How a single boundary region was (or must be) evaluated (§4.2).
@@ -254,7 +254,12 @@ impl<G: AbelianGroup> BlockedPrefixSum<G> {
     /// Decomposes a query into its `≤ 3^d` disjoint parts (§4.2, cases 1
     /// and 2), each with its superblock. Exactly one part is internal when
     /// every dimension has a non-empty block-aligned middle.
-    pub fn decompose(&self, region: &Region) -> Vec<RegionPart> {
+    ///
+    /// # Errors
+    /// Propagates range/region construction failures instead of panicking
+    /// — unreachable for a region already validated against this
+    /// structure's shape, but query paths must never abort the process.
+    pub fn decompose(&self, region: &Region) -> Result<Vec<RegionPart>, ArrayError> {
         let d = region.ndim();
         // Per-dimension subranges, each tagged (range, superblock-range, is_mid).
         let mut per_dim: Vec<Vec<(Range, Range, bool)>> = Vec::with_capacity(d);
@@ -271,25 +276,21 @@ impl<G: AbelianGroup> BlockedPrefixSum<G> {
                 // Case 1: a non-empty aligned middle exists.
                 if l < l_inner {
                     subs.push((
-                        Range::new(l, l_inner - 1).expect("low subrange"),
-                        Range::new(l_outer, l_inner - 1).expect("low superblock"),
+                        Range::new(l, l_inner - 1)?,
+                        Range::new(l_outer, l_inner - 1)?,
                         false,
                     ));
                 }
-                let mid = Range::new(l_inner, h_inner - 1).expect("mid subrange");
+                let mid = Range::new(l_inner, h_inner - 1)?;
                 subs.push((mid, mid, true));
                 subs.push((
-                    Range::new(h_inner, h).expect("high subrange"),
-                    Range::new(h_inner, h_outer - 1).expect("high superblock"),
+                    Range::new(h_inner, h)?,
+                    Range::new(h_inner, h_outer - 1)?,
                     false,
                 ));
             } else {
                 // Case 2: the range does not span a full block boundary.
-                subs.push((
-                    Range::new(l, h).expect("whole subrange"),
-                    Range::new(l_outer, h_outer - 1).expect("whole superblock"),
-                    false,
-                ));
+                subs.push((Range::new(l, h)?, Range::new(l_outer, h_outer - 1)?, false));
             }
             per_dim.push(subs);
         }
@@ -307,15 +308,15 @@ impl<G: AbelianGroup> BlockedPrefixSum<G> {
                 internal &= mid;
             }
             parts.push(RegionPart {
-                region: Region::new(ranges).expect("d ≥ 1"),
-                superblock: Region::new(super_ranges).expect("d ≥ 1"),
+                region: Region::new(ranges)?,
+                superblock: Region::new(super_ranges)?,
                 internal,
             });
             // Odometer over the choices.
             let mut axis = d;
             loop {
                 if axis == 0 {
-                    return parts;
+                    return Ok(parts);
                 }
                 axis -= 1;
                 choice[axis] += 1;
@@ -404,7 +405,7 @@ impl<G: AbelianGroup> BlockedPrefixSum<G> {
         let mut stats = AccessStats::new();
         let mut lower = self.op.identity();
         let mut upper = self.op.identity();
-        for part in self.decompose(region) {
+        for part in self.decompose(region)? {
             if part.internal || part.superblock == part.region {
                 // Exact from P: the internal region, or a boundary region
                 // that happens to fill its whole superblock.
@@ -483,7 +484,7 @@ impl<G: AbelianGroup> BlockedPrefixSum<G> {
         let d = region.ndim();
         let mut stats = AccessStats::new();
         let mut acc = self.op.identity();
-        for part in self.decompose(region) {
+        for part in self.decompose(region)? {
             let v = self.eval_part(a, &part, policy, d, &mut stats);
             acc = self.op.combine(&acc, &v);
         }
@@ -511,6 +512,33 @@ impl<G: AbelianGroup> BlockedPrefixSum<G> {
         G: Sync,
         G::Value: Send + Sync,
     {
+        self.range_sum_with_budget(a, region, policy, par, &BudgetMeter::unlimited())
+    }
+
+    /// [`BlockedPrefixSum::range_sum_with_policy_par`] under a
+    /// [`BudgetMeter`]: the meter is checked before any kernel work and at
+    /// every part boundary, and each part's element accesses are charged
+    /// against the budget as they complete. An exhausted budget, elapsed
+    /// deadline, or cancelled token surfaces as
+    /// [`ArrayError::Interrupted`]; the answer on the `Ok` path is
+    /// bit-identical to the unbudgeted evaluation under every
+    /// [`Parallelism`].
+    ///
+    /// # Errors
+    /// Validates the region and the cube shape; propagates budget
+    /// interrupts.
+    pub fn range_sum_with_budget(
+        &self,
+        a: &DenseArray<G::Value>,
+        region: &Region,
+        policy: BoundaryPolicy,
+        par: Parallelism,
+        meter: &BudgetMeter,
+    ) -> Result<(G::Value, AccessStats), ArrayError>
+    where
+        G: Sync,
+        G::Value: Send + Sync,
+    {
         if a.shape() != &self.shape {
             return Err(ArrayError::DimMismatch {
                 expected: self.shape.ndim(),
@@ -518,13 +546,17 @@ impl<G: AbelianGroup> BlockedPrefixSum<G> {
             });
         }
         self.shape.check_region(region)?;
+        meter.check()?;
         let d = region.ndim();
-        let parts = self.decompose(region);
-        let results: Vec<(G::Value, AccessStats)> = exec::run_indexed(par, parts, |_, part| {
-            let mut part_stats = AccessStats::new();
-            let v = self.eval_part(a, &part, policy, d, &mut part_stats);
-            (v, part_stats)
-        });
+        let parts = self.decompose(region)?;
+        let results: Vec<(G::Value, AccessStats)> =
+            exec::run_indexed_fallible(par, parts, |_, part| {
+                meter.check()?;
+                let mut part_stats = AccessStats::new();
+                let v = self.eval_part(a, &part, policy, d, &mut part_stats);
+                meter.charge(part_stats.total_accesses())?;
+                Ok::<_, ArrayError>((v, part_stats))
+            })?;
         let mut acc = self.op.identity();
         let mut stats = AccessStats::new();
         for (v, s) in &results {
@@ -573,7 +605,7 @@ mod tests {
         let a = DenseArray::filled(Shape::new(&[400, 400]).unwrap(), 1i64);
         let bp = BlockedPrefixCube::build(&a, 100).unwrap();
         let q = Region::from_bounds(&[(50, 349), (50, 349)]).unwrap();
-        let parts = bp.decompose(&q);
+        let parts = bp.decompose(&q).unwrap();
         assert_eq!(parts.len(), 9);
         let internal: Vec<_> = parts.iter().filter(|p| p.internal).collect();
         assert_eq!(internal.len(), 1);
@@ -604,7 +636,7 @@ mod tests {
         let a = DenseArray::filled(Shape::new(&[400, 400]).unwrap(), 1i64);
         let bp = BlockedPrefixCube::build(&a, 100).unwrap();
         let q = Region::from_bounds(&[(75, 374), (100, 354)]).unwrap();
-        let parts = bp.decompose(&q);
+        let parts = bp.decompose(&q).unwrap();
         // Dim 0 has Low/Mid/High; dim 1's low subrange is empty (100 is a
         // block boundary), so 3 × 2 = 6 parts.
         assert_eq!(parts.len(), 6);
@@ -628,7 +660,7 @@ mod tests {
         let a = DenseArray::from_fn(Shape::new(&[20, 20]).unwrap(), |i| (i[0] + 2 * i[1]) as i64);
         let bp = BlockedPrefixCube::build(&a, 8).unwrap();
         let q = Region::from_bounds(&[(9, 14), (2, 5)]).unwrap();
-        let parts = bp.decompose(&q);
+        let parts = bp.decompose(&q).unwrap();
         assert_eq!(parts.len(), 1);
         assert!(!parts[0].internal);
         assert_eq!(
@@ -637,6 +669,66 @@ mod tests {
         );
         let naive = a.fold_region(&q, 0i64, |s, &x| s + x);
         assert_eq!(bp.range_sum(&a, &q).unwrap(), naive);
+    }
+
+    #[test]
+    fn budget_cuts_off_blocked_query() {
+        use olap_array::{Interrupt, QueryBudget};
+        let a = DenseArray::from_fn(Shape::new(&[30, 30]).unwrap(), |i| (i[0] + i[1]) as i64);
+        let bp = BlockedPrefixCube::build(&a, 8).unwrap();
+        let q = Region::from_bounds(&[(3, 27), (5, 29)]).unwrap();
+        let (v0, s0) = bp.range_sum_with_stats(&a, &q).unwrap();
+        // One access short: interrupted. Exactly enough: identical answer.
+        let tight = QueryBudget::unlimited()
+            .max_accesses(s0.total_accesses() - 1)
+            .start(None);
+        let err = bp
+            .range_sum_with_budget(
+                &a,
+                &q,
+                BoundaryPolicy::Auto,
+                Parallelism::Sequential,
+                &tight,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ArrayError::Interrupted(Interrupt::BudgetExhausted { .. })
+        ));
+        for par in [Parallelism::Sequential, Parallelism::Threads(4)] {
+            let enough = QueryBudget::unlimited()
+                .max_accesses(s0.total_accesses())
+                .start(None);
+            let (v, s) = bp
+                .range_sum_with_budget(&a, &q, BoundaryPolicy::Auto, par, &enough)
+                .unwrap();
+            assert_eq!(v, v0, "{par:?}");
+            assert_eq!(s.total_accesses(), s0.total_accesses(), "{par:?}");
+        }
+    }
+
+    #[test]
+    fn zero_deadline_kills_blocked_query_before_work() {
+        use olap_array::{Interrupt, QueryBudget};
+        let a = DenseArray::from_fn(Shape::new(&[30, 30]).unwrap(), |i| (i[0] + i[1]) as i64);
+        let bp = BlockedPrefixCube::build(&a, 8).unwrap();
+        let q = Region::from_bounds(&[(3, 27), (5, 29)]).unwrap();
+        let meter = QueryBudget::unlimited()
+            .deadline(std::time::Duration::ZERO)
+            .start(None);
+        let err = bp
+            .range_sum_with_budget(
+                &a,
+                &q,
+                BoundaryPolicy::Auto,
+                Parallelism::Sequential,
+                &meter,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ArrayError::Interrupted(Interrupt::DeadlineExceeded { .. })
+        ));
     }
 
     #[test]

@@ -20,6 +20,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code reports failures as typed errors; panicking escape
+// hatches are denied outside test builds (tests and benches may unwrap).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod basic;
 mod blocked;

@@ -50,12 +50,9 @@ impl LruPages {
             e.insert(self.clock);
             if self.pages.len() > self.capacity {
                 // Evict the least recently used page.
-                let (&victim, _) = self
-                    .pages
-                    .iter()
-                    .min_by_key(|(_, &t)| t)
-                    .expect("non-empty cache");
-                self.pages.remove(&victim);
+                if let Some((&victim, _)) = self.pages.iter().min_by_key(|(_, &t)| t) {
+                    self.pages.remove(&victim);
+                }
             }
         } else {
             self.pages.insert(page, self.clock);

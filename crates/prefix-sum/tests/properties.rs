@@ -71,7 +71,7 @@ proptest! {
         })
     ) {
         let bp = BlockedPrefixCube::build(&a, b).unwrap();
-        let parts = bp.decompose(&q);
+        let parts = bp.decompose(&q).unwrap();
         // Disjoint…
         for i in 0..parts.len() {
             for j in (i + 1)..parts.len() {

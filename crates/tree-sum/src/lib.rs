@@ -17,9 +17,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code reports failures as typed errors; panicking escape
+// hatches are denied outside test builds (tests and benches may unwrap).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use olap_aggregate::{AbelianGroup, NumericValue, SumOp};
-use olap_array::{ArrayError, DenseArray, Range, Region, Shape};
+use olap_array::{ArrayError, BudgetMeter, DenseArray, Range, Region, Shape};
 use olap_query::AccessStats;
 
 /// One level of the sum tree: a contracted array whose cells hold the sum
@@ -87,8 +90,7 @@ impl<G: AbelianGroup> SumTree<G> {
             let next = match levels.last() {
                 None => a.contract_blocks(b, op.identity(), |acc, x, _| op.combine(acc, x))?,
                 Some(l) => {
-                    let arr = DenseArray::from_vec(l.shape.clone(), l.sums.to_vec())
-                        .expect("level storage consistent");
+                    let arr = DenseArray::from_vec(l.shape.clone(), l.sums.to_vec())?;
                     arr.contract_blocks(b, op.identity(), |acc, x, _| op.combine(acc, x))?
                 }
             };
@@ -128,18 +130,14 @@ impl<G: AbelianGroup> SumTree<G> {
     }
 
     /// The region of `A` covered by a node (level 0 = a cell).
-    fn node_region(&self, level: usize, coords: &[usize]) -> Region {
+    fn node_region(&self, level: usize, coords: &[usize]) -> Result<Region, ArrayError> {
         let side = self.b.pow(level as u32);
-        Region::new(
-            coords
-                .iter()
-                .zip(self.shape.dims())
-                .map(|(&c, &n)| {
-                    Range::new(c * side, ((c + 1) * side - 1).min(n - 1)).expect("in bounds")
-                })
-                .collect(),
-        )
-        .expect("d ≥ 1")
+        let ranges = coords
+            .iter()
+            .zip(self.shape.dims())
+            .map(|(&c, &n)| Range::new(c * side, ((c + 1) * side - 1).min(n - 1)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Region::new(ranges)
     }
 
     /// Answers a range-sum query by tree traversal.
@@ -165,6 +163,24 @@ impl<G: AbelianGroup> SumTree<G> {
         region: &Region,
         use_complement: bool,
     ) -> Result<(G::Value, AccessStats), ArrayError> {
+        self.range_sum_with_stats_budget(a, region, use_complement, &BudgetMeter::unlimited())
+    }
+
+    /// [`SumTree::range_sum_with_stats`] under a [`BudgetMeter`]: the
+    /// meter is checked before the traversal starts and at every internal
+    /// node, and each node visit or cube-cell read is charged one access.
+    /// An exhausted budget, elapsed deadline, or cancelled token surfaces
+    /// as [`ArrayError::Interrupted`].
+    ///
+    /// # Errors
+    /// Validates the region and cube shape; propagates budget interrupts.
+    pub fn range_sum_with_stats_budget(
+        &self,
+        a: &DenseArray<G::Value>,
+        region: &Region,
+        use_complement: bool,
+        meter: &BudgetMeter,
+    ) -> Result<(G::Value, AccessStats), ArrayError> {
         if a.shape() != &self.shape {
             return Err(ArrayError::DimMismatch {
                 expected: self.shape.ndim(),
@@ -172,6 +188,7 @@ impl<G: AbelianGroup> SumTree<G> {
             });
         }
         self.shape.check_region(region)?;
+        meter.check()?;
         let mut stats = AccessStats::new();
         // Start at the lowest node covering the query (same addressing as
         // the max tree).
@@ -189,16 +206,18 @@ impl<G: AbelianGroup> SumTree<G> {
         }
         if self.height() == 0 {
             // Single-cell cube.
+            meter.charge(1)?;
             stats.read_a(1);
             return Ok((a.get_flat(0).clone(), stats));
         }
         let side = self.b.pow(level as u32);
         let coords: Vec<usize> = region.lower_corner().iter().map(|&l| l / side).collect();
-        let v = self.sum_in(a, level, &coords, region, use_complement, &mut stats);
+        let v = self.sum_in(a, level, &coords, region, use_complement, &mut stats, meter)?;
         Ok((v, stats))
     }
 
     /// Sum over `region`, which must be a non-empty box inside `C(node)`.
+    #[allow(clippy::too_many_arguments)]
     fn sum_in(
         &self,
         a: &DenseArray<G::Value>,
@@ -207,38 +226,43 @@ impl<G: AbelianGroup> SumTree<G> {
         region: &Region,
         use_complement: bool,
         stats: &mut AccessStats,
-    ) -> G::Value {
-        let covered = self.node_region(level, coords);
+        meter: &BudgetMeter,
+    ) -> Result<G::Value, ArrayError> {
+        let covered = self.node_region(level, coords)?;
         debug_assert!(covered.contains_region(region));
         if &covered == region {
             if level == 0 {
+                meter.charge(1)?;
                 stats.read_a(1);
-                return a.get(coords).clone();
+                return Ok(a.get(coords).clone());
             }
+            meter.charge(1)?;
             stats.visit_nodes(1);
             let l = &self.levels[level - 1];
-            return l.sums[l.shape.flatten(coords)].clone();
+            return Ok(l.sums[l.shape.flatten(coords)].clone());
         }
         debug_assert!(level >= 1, "level-0 node region is a single cell");
         let vol = region.volume();
         let comp_vol = covered.volume() - vol;
         if use_complement && comp_vol < vol {
             // Node total minus the holes.
+            meter.charge(1)?;
             stats.visit_nodes(1);
             let l = &self.levels[level - 1];
             let mut acc = l.sums[l.shape.flatten(coords)].clone();
             for hole in covered.subtract(region) {
-                let h = self.sum_children(a, level, coords, &hole, use_complement, stats);
+                let h = self.sum_children(a, level, coords, &hole, use_complement, stats, meter)?;
                 acc = self.op.uncombine(&acc, &h);
             }
-            acc
+            Ok(acc)
         } else {
-            self.sum_children(a, level, coords, region, use_complement, stats)
+            self.sum_children(a, level, coords, region, use_complement, stats, meter)
         }
     }
 
     /// Sums `box_region` (⊆ `C(node)`) by recursing into the node's
     /// children that intersect it.
+    #[allow(clippy::too_many_arguments)]
     fn sum_children(
         &self,
         a: &DenseArray<G::Value>,
@@ -247,7 +271,9 @@ impl<G: AbelianGroup> SumTree<G> {
         box_region: &Region,
         use_complement: bool,
         stats: &mut AccessStats,
-    ) -> G::Value {
+        meter: &BudgetMeter,
+    ) -> Result<G::Value, ArrayError> {
+        meter.check()?;
         let child_dims: Vec<usize> = if level == 1 {
             self.shape.dims().to_vec()
         } else {
@@ -263,19 +289,19 @@ impl<G: AbelianGroup> SumTree<G> {
         let mut cur = lo.clone();
         loop {
             let child_covered = if level == 1 {
-                Region::point(&cur).expect("d ≥ 1")
+                Region::point(&cur)?
             } else {
-                self.node_region(level - 1, &cur)
+                self.node_region(level - 1, &cur)?
             };
             if let Some(inter) = child_covered.intersect(box_region) {
-                let v = self.sum_in(a, level - 1, &cur, &inter, use_complement, stats);
+                let v = self.sum_in(a, level - 1, &cur, &inter, use_complement, stats, meter)?;
                 acc = self.op.combine(&acc, &v);
                 stats.step(1);
             }
             let mut axis = cur.len();
             loop {
                 if axis == 0 {
-                    return acc;
+                    return Ok(acc);
                 }
                 axis -= 1;
                 if cur[axis] < hi[axis] {
@@ -399,6 +425,51 @@ mod tests {
         assert!(t
             .range_sum(&other, &Region::from_bounds(&[(0, 2)]).unwrap())
             .is_err());
+    }
+
+    #[test]
+    fn budget_exhaustion_interrupts_traversal() {
+        use olap_array::{Interrupt, QueryBudget};
+        let a = cube2d();
+        let t = SumTreeCube::build(&a, 3).unwrap();
+        let q = Region::from_bounds(&[(1, 7), (2, 8)]).unwrap();
+        let (_, stats) = t.range_sum_with_stats(&a, &q, true).unwrap();
+        let needed = stats.a_cells + stats.tree_nodes;
+        // One access short of what the traversal needs: must be cut off.
+        let meter = QueryBudget::unlimited()
+            .max_accesses(needed.saturating_sub(1))
+            .start(None);
+        let err = t
+            .range_sum_with_stats_budget(&a, &q, true, &meter)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ArrayError::Interrupted(Interrupt::BudgetExhausted { .. })
+        ));
+        // A sufficient budget answers identically to the unbudgeted path.
+        let meter = QueryBudget::unlimited().max_accesses(needed).start(None);
+        let (v, s) = t.range_sum_with_stats_budget(&a, &q, true, &meter).unwrap();
+        let (v0, s0) = t.range_sum_with_stats(&a, &q, true).unwrap();
+        assert_eq!(v, v0);
+        assert_eq!(s.total_accesses(), s0.total_accesses());
+    }
+
+    #[test]
+    fn zero_deadline_kills_before_traversal() {
+        use olap_array::{Interrupt, QueryBudget};
+        let a = cube2d();
+        let t = SumTreeCube::build(&a, 3).unwrap();
+        let q = Region::from_bounds(&[(0, 8), (0, 8)]).unwrap();
+        let meter = QueryBudget::unlimited()
+            .deadline(std::time::Duration::ZERO)
+            .start(None);
+        let err = t
+            .range_sum_with_stats_budget(&a, &q, true, &meter)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ArrayError::Interrupted(Interrupt::DeadlineExceeded { .. })
+        ));
     }
 
     #[test]

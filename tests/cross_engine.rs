@@ -21,6 +21,7 @@ fn config(prefix: PrefixChoice, sum_tree: Option<usize>) -> IndexConfig {
         min_tree_fanout: None,
         sum_tree_fanout: sum_tree,
         parallelism: Parallelism::Sequential,
+        ..IndexConfig::default()
     }
 }
 
@@ -111,6 +112,7 @@ fn all_extremum_engines_agree() {
             min_tree_fanout: Some(b),
             sum_tree_fanout: None,
             parallelism: Parallelism::Sequential,
+            ..IndexConfig::default()
         };
         max_engines.push(Box::new(CubeIndex::build(a.clone(), cfg).unwrap()));
     }

@@ -26,6 +26,7 @@ fn engines(a: &DenseArray<i64>) -> Vec<Box<dyn RangeEngine<i64>>> {
         min_tree_fanout: None,
         sum_tree_fanout: sum_tree,
         parallelism: Parallelism::Sequential,
+        ..IndexConfig::default()
     };
     vec![
         Box::new(NaiveEngine::new(a.clone())),
