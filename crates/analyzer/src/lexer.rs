@@ -1,0 +1,532 @@
+//! A small, self-contained Rust lexer.
+//!
+//! The analyzer's rules are all *token-shaped* — "`.unwrap(` outside a
+//! test module", "`Ordering::SeqCst` without a justification comment",
+//! "`[`-indexing after an expression token" — so a full parser would be
+//! wasted weight. This lexer produces exactly what the rules need:
+//!
+//! - **significant tokens** (identifiers, lifetimes, literals,
+//!   punctuation) with 1-based line/column positions,
+//! - **comments** as a separate stream, preserved verbatim so the
+//!   `// analyzer: allow(...)` escape hatch and the `ordering:`
+//!   justification tags can be read back per line.
+//!
+//! It understands the lexical edge cases that would otherwise cause
+//! false positives: nested block comments, raw strings with hash fences,
+//! byte/raw-byte strings, char literals vs lifetimes, raw identifiers,
+//! and numeric literals with type suffixes (without swallowing the `..`
+//! of a range expression).
+
+/// What a significant token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (keywords are not distinguished here).
+    Ident,
+    /// A lifetime such as `'a` (without the quote in `text`).
+    Lifetime,
+    /// Integer or float literal, including suffixes (`1_000u64`, `1.5e3`).
+    Number,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation; multi-character operators arrive as one token
+    /// (`::`, `->`, `..=`, `+=`, …).
+    Punct,
+}
+
+/// One significant token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// The token's text. For `Str`/`Char` this is the raw literal
+    /// including quotes; for raw identifiers the `r#` prefix is dropped.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in chars).
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is the exact punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+
+    /// Whether this token is the exact identifier `id`.
+    pub fn is_ident(&self, id: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == id
+    }
+}
+
+/// A comment with its position; `text` includes the `//` / `/* … */`.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text, delimiters included.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based column the comment starts at.
+    pub col: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order, separate from `tokens`.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so the match is maximal.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "::", "->", "=>", "..", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+struct Cursor<'a> {
+    chars: Vec<char>,
+    src: std::marker::PhantomData<&'a str>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            src: std::marker::PhantomData,
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        s.chars()
+            .enumerate()
+            .all(|(i, c)| self.peek_at(i) == Some(c))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into significant tokens and comments. Never fails: on a
+/// malformed literal the lexer degrades to single-character punctuation
+/// and keeps going (the analyzer only audits code that already compiles,
+/// so this path exists for robustness, not correctness).
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if cur.starts_with("//") {
+            let mut text = String::new();
+            while let Some(c) = cur.peek() {
+                if c == '\n' {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            out.comments.push(Comment { text, line, col });
+            continue;
+        }
+        if cur.starts_with("/*") {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            loop {
+                if cur.starts_with("/*") {
+                    depth += 1;
+                    text.push_str("/*");
+                    cur.bump();
+                    cur.bump();
+                } else if cur.starts_with("*/") {
+                    depth -= 1;
+                    text.push_str("*/");
+                    cur.bump();
+                    cur.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                } else if let Some(c) = cur.bump() {
+                    text.push(c);
+                } else {
+                    break; // unterminated; EOF
+                }
+            }
+            out.comments.push(Comment { text, line, col });
+            continue;
+        }
+        // Raw identifiers and raw / byte string prefixes.
+        if c == 'r' || c == 'b' {
+            if cur.starts_with("r#\"") || cur.starts_with("r\"") {
+                cur.bump(); // r
+                let text = lex_raw_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            if cur.starts_with("br#\"") || cur.starts_with("br\"") {
+                cur.bump(); // b
+                cur.bump(); // r
+                let text = lex_raw_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            if cur.starts_with("b\"") {
+                cur.bump(); // b
+                let text = lex_quoted(&mut cur, '"');
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            if cur.starts_with("b'") {
+                cur.bump(); // b
+                let text = lex_quoted(&mut cur, '\'');
+                out.tokens.push(Token {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            if cur.starts_with("r#") && cur.peek_at(2).is_some_and(is_ident_start) {
+                cur.bump(); // r
+                cur.bump(); // #
+                let text = lex_ident(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
+                continue;
+            }
+        }
+        if is_ident_start(c) {
+            let text = lex_ident(&mut cur);
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let text = lex_number(&mut cur);
+            out.tokens.push(Token {
+                kind: TokKind::Number,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '"' {
+            let text = lex_quoted(&mut cur, '"');
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime or char literal. `'a'` is a char; `'a` (no closing
+            // quote right after the name) is a lifetime; `'\n'` is a char.
+            let next = cur.peek_at(1);
+            let is_char = match next {
+                Some('\\') => true,
+                Some(n) if is_ident_continue(n) => {
+                    // Scan the identifier-ish run; char iff a `'` follows
+                    // immediately (so `'static` stays a lifetime).
+                    let mut k = 2;
+                    while cur.peek_at(k).is_some_and(is_ident_continue) {
+                        k += 1;
+                    }
+                    cur.peek_at(k) == Some('\'')
+                }
+                // Any other single char (`'('`, `' '`, `'+'`) is a char
+                // literal iff a closing quote follows immediately.
+                Some(_) => cur.peek_at(2) == Some('\''),
+                None => false,
+            };
+            if is_char {
+                let text = lex_quoted(&mut cur, '\'');
+                out.tokens.push(Token {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                    col,
+                });
+            } else {
+                cur.bump(); // '
+                let text = lex_ident(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+        // Punctuation: longest multi-char operator first.
+        let mut matched = false;
+        for op in MULTI_PUNCT {
+            if cur.starts_with(op) {
+                for _ in 0..op.len() {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (*op).to_string(),
+                    line,
+                    col,
+                });
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        cur.bump();
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+fn lex_ident(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    text
+}
+
+fn lex_number(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c.is_alphanumeric() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else if c == '.' {
+            // Consume a decimal point only when a digit follows — never
+            // eat the `..` of `0..n`.
+            if cur.peek_at(1).is_some_and(|n| n.is_ascii_digit()) {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    text
+}
+
+/// Lexes a `"…"` or `'…'` literal (cursor on the opening quote),
+/// honoring backslash escapes.
+fn lex_quoted(cur: &mut Cursor, quote: char) -> String {
+    let mut text = String::new();
+    text.push(cur.bump().unwrap_or(quote)); // opening quote
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        if c == '\\' {
+            if let Some(e) = cur.bump() {
+                text.push(e);
+            }
+            continue;
+        }
+        if c == quote {
+            break;
+        }
+    }
+    text
+}
+
+/// Lexes `#*"…"#*` with the cursor on the first `#` or the `"`.
+fn lex_raw_string(cur: &mut Cursor) -> String {
+    let mut text = String::from("r");
+    let mut hashes = 0usize;
+    while cur.peek() == Some('#') {
+        hashes += 1;
+        text.push('#');
+        cur.bump();
+    }
+    if cur.peek() == Some('"') {
+        text.push('"');
+        cur.bump();
+    }
+    let closer: String = std::iter::once('"')
+        .chain(std::iter::repeat_n('#', hashes))
+        .collect();
+    loop {
+        if cur.starts_with(&closer) {
+            for _ in 0..closer.len() {
+                if let Some(c) = cur.bump() {
+                    text.push(c);
+                }
+            }
+            break;
+        }
+        match cur.bump() {
+            Some(c) => text.push(c),
+            None => break,
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_punct() {
+        let ts = kinds("let x = a[i + 1].unwrap();");
+        let texts: Vec<&str> = ts.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["let", "x", "=", "a", "[", "i", "+", "1", "]", ".", "unwrap", "(", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn multi_char_ops_are_single_tokens() {
+        let ts = kinds("a..=b :: -> x += 1 .. y");
+        let texts: Vec<&str> = ts.iter().map(|(_, t)| t.as_str()).collect();
+        assert!(texts.contains(&"..="));
+        assert!(texts.contains(&"::"));
+        assert!(texts.contains(&"->"));
+        assert!(texts.contains(&"+="));
+        assert!(texts.contains(&".."));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let ts = kinds("0..n 1.5f64 0x1F_u8");
+        let texts: Vec<&str> = ts.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, vec!["0", "..", "n", "1.5f64", "0x1F_u8"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let ts = kinds("&'a str 'x' '\\n' 'static");
+        assert_eq!(ts[1], (TokKind::Lifetime, "a".to_string()));
+        assert_eq!(ts[3], (TokKind::Char, "'x'".to_string()));
+        assert_eq!(ts[4], (TokKind::Char, "'\\n'".to_string()));
+        assert_eq!(ts[5], (TokKind::Lifetime, "static".to_string()));
+    }
+
+    #[test]
+    fn strings_raw_strings_and_comments() {
+        let lx =
+            lex("let s = r#\"no // comment \"inside\"\"#; // trailing [1]\n/* block\n[2] */ x");
+        let strs: Vec<&Token> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("no // comment"));
+        assert_eq!(lx.comments.len(), 2);
+        assert!(lx.comments[0].text.contains("trailing"));
+        assert!(lx.comments[1].text.contains("block"));
+        // No `[` punctuation leaked out of strings or comments.
+        assert!(!lx.tokens.iter().any(|t| t.is_punct("[")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lx = lex("/* a /* nested */ b */ x");
+        assert_eq!(lx.comments.len(), 1);
+        assert_eq!(lx.tokens.len(), 1);
+        assert!(lx.tokens[0].is_ident("x"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lx = lex("a\n  b");
+        assert_eq!((lx.tokens[0].line, lx.tokens[0].col), (1, 1));
+        assert_eq!((lx.tokens[1].line, lx.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifiers_drop_the_prefix() {
+        let ts = kinds("r#fn r#type");
+        assert_eq!(ts[0], (TokKind::Ident, "fn".to_string()));
+        assert_eq!(ts[1], (TokKind::Ident, "type".to_string()));
+    }
+}

@@ -1,0 +1,130 @@
+//! `olap-analyzer` — a zero-dependency static-analysis pass over the
+//! workspace's library sources.
+//!
+//! The generic tooling already in CI (clippy's `unwrap_used`, the
+//! four-feature build matrix) checks what *any* Rust project should
+//! check. This crate checks what **this** project's design demands and
+//! nothing off-the-shelf can express:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `panic-site`      | no panicking construct on a query path reachable from a `RangeEngine` method (PR 4's `catch_unwind` containment must never fire) |
+//! | `atomic-ordering` | every `Ordering::…` carries an `// ordering:` justification; `SeqCst` is a smell |
+//! | `lock-order`      | the guard-held-while-acquiring graph across all `Mutex`/`RwLock` fields is acyclic |
+//! | `feature-gate`    | telemetry-/parallel-gated symbols are referenced only under a matching cfg |
+//! | `error-surface`   | pub fns in `olap-engine`/`olap-array` don't silently swallow fallible internals |
+//!
+//! The implementation is a hand-written lexer ([`lexer`]), a structural
+//! outline pass ([`outline`]), name-based reachability
+//! ([`reachability`]), and token-level rule passes ([`rules`]) — no
+//! `syn`, no `rustc` internals, nothing to install. Findings are
+//! suppressed either inline (`// analyzer: allow(rule, reason = "…")`,
+//! reason mandatory) or by the checked-in baseline
+//! (`crates/analyzer/baseline.json`), so CI fails only on **new**
+//! violations. See `README.md` § "Static analysis" for the workflow.
+
+pub mod findings;
+pub mod json;
+pub mod lexer;
+pub mod model;
+pub mod outline;
+pub mod reachability;
+pub mod rules;
+
+use findings::{apply_allows, Baseline, Finding, Report};
+use model::Model;
+use std::path::Path;
+
+/// Runs every rule over a model and assembles the report (allows
+/// applied, findings sorted by file/line/col/rule).
+pub fn analyze(model: &Model) -> Report {
+    let reach = reachability::compute(model);
+    let mut findings: Vec<Finding> = Vec::new();
+    findings.extend(
+        model
+            .files
+            .iter()
+            .flat_map(|f| f.malformed_allows.iter().cloned()),
+    );
+    findings.extend(rules::panics::check(model, &reach));
+    findings.extend(rules::atomics::check(model));
+    findings.extend(rules::locks::check(model));
+    findings.extend(rules::features::check(model));
+    findings.extend(rules::error_surface::check(model));
+    let by_rel: std::collections::BTreeMap<&str, &model::FileModel> =
+        model.files.iter().map(|f| (f.rel.as_str(), f)).collect();
+    for f in findings.iter_mut() {
+        if let Some(fm) = by_rel.get(f.file.as_str()) {
+            apply_allows(std::slice::from_mut(f), &fm.allows);
+        }
+    }
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Report { findings }
+}
+
+/// The outcome of a `check` run, ready for the CLI to render.
+pub struct CheckOutcome {
+    /// The full report.
+    pub report: Report,
+    /// Findings new relative to the baseline (indices into
+    /// `report.findings` would dangle; these are clones).
+    pub new_findings: Vec<Finding>,
+    /// Baseline keys no longer produced by a fresh scan.
+    pub stale: Vec<(String, String, String)>,
+    /// Number of entries in the parsed baseline.
+    pub baseline_len: usize,
+}
+
+/// Scans the workspace at `root`, compares against the baseline file
+/// (when present), and returns the outcome.
+///
+/// # Errors
+/// I/O failure while scanning, or a malformed baseline file.
+pub fn run_check(root: &Path, baseline_path: &Path) -> Result<CheckOutcome, String> {
+    let model = Model::scan_workspace(root).map_err(|e| format!("scan failed: {e}"))?;
+    if model.files.is_empty() {
+        return Err(format!(
+            "no sources found under {} — wrong --root?",
+            root.display()
+        ));
+    }
+    let report = analyze(&model);
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(src) => {
+            Baseline::parse(&src).map_err(|e| format!("{}: {e}", baseline_path.display()))?
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(e) => return Err(format!("{}: {e}", baseline_path.display())),
+    };
+    let new_findings: Vec<Finding> = report
+        .new_vs_baseline(&baseline)
+        .into_iter()
+        .cloned()
+        .collect();
+    let stale = baseline.stale_keys(&report);
+    Ok(CheckOutcome {
+        report,
+        new_findings,
+        stale,
+        baseline_len: baseline.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_sorts_and_applies_allows() {
+        let model = Model::from_sources(&[(
+            "crates/engine/src/a.rs",
+            "impl RangeEngine for E {\n  fn range_sum(&self) {\n    a.unwrap(); // analyzer: allow(panic-site, reason = \"poisoning is fatal by design\")\n    b.unwrap();\n  }\n}\n",
+        )]);
+        let report = analyze(&model);
+        let active: Vec<_> = report.active().collect();
+        assert_eq!(report.findings.len(), 2);
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].line, 4);
+    }
+}

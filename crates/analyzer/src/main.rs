@@ -1,0 +1,135 @@
+//! CLI for the workspace static analyzer.
+//!
+//! ```text
+//! cargo run -p olap-analyzer -- check             # human output, exit 1 on new findings
+//! cargo run -p olap-analyzer -- check --json      # machine-readable report on stdout
+//! cargo run -p olap-analyzer -- check --write-baseline
+//! cargo run -p olap-analyzer -- check --root <dir> --baseline <file>
+//! ```
+//!
+//! Exit codes: `0` clean (or fully base-lined), `1` new findings or
+//! stale baseline entries, `2` usage/scan errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    baseline: PathBuf,
+    json: bool,
+    write_baseline: bool,
+}
+
+fn usage() -> String {
+    "usage: olap-analyzer check [--json] [--write-baseline] [--root <dir>] [--baseline <file>]\n\
+     \n\
+     Scans crates/*/src and src/ for violations of the workspace rules\n\
+     (panic-site, atomic-ordering, lock-order, feature-gate,\n\
+     error-surface) and compares them against the checked-in baseline.\n\
+     Exit 0: no findings beyond the baseline. Exit 1: new findings or a\n\
+     stale baseline. Exit 2: bad usage or unreadable sources."
+        .to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    match argv.next().as_deref() {
+        Some("check") => {}
+        Some("--help") | Some("-h") | None => return Err(usage()),
+        Some(other) => return Err(format!("unknown command `{other}`\n\n{}", usage())),
+    }
+    // Default root: the workspace directory (two levels above this
+    // crate's manifest), so `cargo run -p olap-analyzer` works from any
+    // cwd inside the workspace.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let default_root = manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let mut args = Args {
+        baseline: default_root.join("crates/analyzer/baseline.json"),
+        root: default_root,
+        json: false,
+        write_baseline: false,
+    };
+    let mut explicit_baseline = false;
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--root" => {
+                let v = argv.next().ok_or("--root needs a directory")?;
+                args.root = PathBuf::from(v);
+                if !explicit_baseline {
+                    args.baseline = args.root.join("crates/analyzer/baseline.json");
+                }
+            }
+            "--baseline" => {
+                let v = argv.next().ok_or("--baseline needs a file path")?;
+                args.baseline = PathBuf::from(v);
+                explicit_baseline = true;
+            }
+            other => return Err(format!("unknown flag `{other}`\n\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match olap_analyzer::run_check(&args.root, &args.baseline) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("olap-analyzer: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.write_baseline {
+        let rendered = outcome.report.render_baseline();
+        if let Err(e) = std::fs::write(&args.baseline, &rendered) {
+            eprintln!("olap-analyzer: writing {}: {e}", args.baseline.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "olap-analyzer: wrote {} entries to {}",
+            outcome.report.baseline_counts().len(),
+            args.baseline.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if args.json {
+        print!("{}", outcome.report.render_json(outcome.new_findings.len()));
+    } else {
+        for f in &outcome.new_findings {
+            println!("{}", f.display());
+        }
+        for k in &outcome.stale {
+            println!(
+                "stale baseline entry: [{}] {} :: {} (run `cargo run -p olap-analyzer -- check --write-baseline`)",
+                k.0, k.1, k.2
+            );
+        }
+        let total = outcome.report.findings.len();
+        let allowed = total - outcome.report.active().count();
+        eprintln!(
+            "olap-analyzer: {} findings ({} allowed inline, {} baselined, {} new, {} stale baseline entries)",
+            total,
+            allowed,
+            outcome.baseline_len,
+            outcome.new_findings.len(),
+            outcome.stale.len()
+        );
+    }
+    if outcome.new_findings.is_empty() && outcome.stale.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

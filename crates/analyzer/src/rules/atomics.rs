@@ -1,0 +1,151 @@
+//! Rule `atomic-ordering`: every atomic `Ordering` choice carries a
+//! justification, and `SeqCst` is treated as a smell.
+//!
+//! The budget meter, the telemetry fast path, and the fault-injection
+//! bookkeeping all lean on hand-picked memory orderings; a wrong
+//! `Relaxed` is a heisenbug and an unnecessary `SeqCst` is a fence on a
+//! hot path. The rule requires a **justification tag** — a comment on
+//! the same line, or in the comment block directly above, containing
+//! `ordering:` — at every use of
+//! `Ordering::{Relaxed, Acquire, Release, AcqRel, SeqCst}`:
+//!
+//! ```text
+//! // ordering: Relaxed — per-query counter; clones synchronize via the
+//! // Arc that carries it, the count itself needs no ordering.
+//! m.spent.fetch_add(cells, Ordering::Relaxed);
+//! ```
+//!
+//! `SeqCst` is additionally flagged even when tagged: the workspace
+//! protocols are all pairwise (publish/observe), so a genuine need for
+//! sequential consistency across *independent* atomics must argue its
+//! case in an `analyzer: allow(atomic-ordering, reason = "…")`.
+//!
+//! `std::cmp::Ordering` never collides: its variants (`Less`, `Equal`,
+//! `Greater`) are disjoint from the atomic set. `use` items are skipped.
+
+use crate::findings::Finding;
+use crate::model::Model;
+
+const VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Runs the rule over the model.
+pub fn check(model: &Model) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in &model.files {
+        let toks = &file.lexed.tokens;
+        for i in 0..toks.len() {
+            if !toks[i].is_ident("Ordering") {
+                continue;
+            }
+            let Some(sep) = toks.get(i + 1) else { continue };
+            let Some(var) = toks.get(i + 2) else { continue };
+            if !sep.is_punct("::") || !VARIANTS.contains(&var.text.as_str()) {
+                continue;
+            }
+            if file.outline.in_use(i) || file.outline.in_test(i) {
+                continue;
+            }
+            let line = toks[i].line;
+            if !has_justification(file, line) {
+                out.push(file.finding(
+                    "atomic-ordering",
+                    line,
+                    toks[i].col,
+                    format!(
+                        "`Ordering::{}` without an `ordering:` justification tag",
+                        var.text
+                    ),
+                ));
+            }
+            if var.text == "SeqCst" {
+                out.push(file.finding(
+                    "atomic-ordering",
+                    line,
+                    toks[i].col,
+                    "`Ordering::SeqCst` is a smell here: state which independent atomics need a \
+                     total order, or downgrade to Acquire/Release"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// A justification is a comment containing `ordering:` on the same line
+/// or in the contiguous comment-only block directly above it.
+fn has_justification(file: &crate::model::FileModel, line: u32) -> bool {
+    let tagged = |l: u32| {
+        file.lexed
+            .comments
+            .iter()
+            .any(|c| c.line == l && c.text.contains("ordering:"))
+    };
+    if tagged(line) {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        let text = file
+            .lines
+            .get((l as usize).saturating_sub(1))
+            .map(|s| s.trim())
+            .unwrap_or("");
+        if !(text.starts_with("//") || text.starts_with("/*") || text.starts_with('*')) {
+            return false;
+        }
+        if tagged(l) {
+            return true;
+        }
+        l -= 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check(&Model::from_sources(&[("crates/array/src/a.rs", src)]))
+    }
+
+    #[test]
+    fn untagged_ordering_is_flagged() {
+        let f = run("fn f() { x.load(Ordering::Relaxed); }\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn same_line_and_block_above_tags_satisfy() {
+        let f = run(
+            "fn f() {\n  x.load(Ordering::Relaxed); // ordering: Relaxed — counter only\n  \
+             // ordering: Acquire pairs with the Release store in g().\n  y.load(Ordering::Acquire);\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn seqcst_is_flagged_even_when_tagged() {
+        let f = run("fn f() {\n  // ordering: SeqCst because reasons\n  x.swap(true, Ordering::SeqCst);\n}\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("smell"));
+    }
+
+    #[test]
+    fn use_items_cmp_ordering_and_tests_are_skipped() {
+        let f = run(
+            "use std::sync::atomic::Ordering;\nfn f(a: u8) -> std::cmp::Ordering {\n  a.cmp(&1).then(std::cmp::Ordering::Less)\n}\n\
+             #[cfg(test)]\nmod tests {\n  fn t() { x.load(Ordering::SeqCst); }\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn qualified_paths_are_still_caught() {
+        let f = run("fn f() { x.load(std::sync::atomic::Ordering::Relaxed); }\n");
+        assert_eq!(f.len(), 1);
+    }
+}

@@ -1,0 +1,8 @@
+//! The five rule passes. Each exposes `check(…) -> Vec<Finding>`; the
+//! orchestration in [`crate::analyze`] runs them all and applies allows.
+
+pub mod atomics;
+pub mod error_surface;
+pub mod features;
+pub mod locks;
+pub mod panics;

@@ -1,0 +1,245 @@
+//! Rule `panic-site`: no panicking constructs on library query paths.
+//!
+//! The paper's correctness theorems reduce every range query to total
+//! array arithmetic; the fault-tolerance layer (PR 4) then *relies* on
+//! library query paths never panicking — a panic is contained by
+//! `catch_unwind` but permanently poisons the engine. This rule makes
+//! the no-panic property checkable: inside every function reachable from
+//! a [`RangeEngine`] method (see [`crate::reachability`]), it flags
+//!
+//! - `.unwrap()` / `.expect(…)`,
+//! - `panic!`, `unreachable!`, `todo!`, `unimplemented!`, and the
+//!   release-mode `assert!` family (`debug_assert!` is exempt: it
+//!   vanishes from release builds, which is the sanctioned way to state
+//!   internal invariants — `Range::trusted` does exactly this),
+//! - `[…]` indexing and slicing (both desugar to a panicking `Index`),
+//! - unchecked `+ - *` (and `+= -= *=`) where an operand is an
+//!   index-typed identifier (`i`, `off`, `stride`, `…_idx`, …) — the
+//!   overflow/underflow feeding a later out-of-bounds access.
+//!
+//! Intentional sites take an inline
+//! `// analyzer: allow(panic-site, reason = "…")`.
+
+use crate::findings::Finding;
+use crate::lexer::{TokKind, Token};
+use crate::model::Model;
+use crate::reachability::Reachability;
+
+/// Crates whose `src/` counts as library query-path code. The CLI and
+/// bench harnesses are front ends (they may unwrap on their own I/O),
+/// and `workload` only generates test inputs.
+pub const PANIC_SCOPE: &[&str] = &[
+    "aggregate",
+    "array",
+    "engine",
+    "planner",
+    "prefix-sum",
+    "query",
+    "range-max",
+    "sparse",
+    "storage",
+    "telemetry",
+    "tree-sum",
+    "root",
+];
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Identifier names treated as index-typed for the unchecked-arithmetic
+/// check: short canonical loop/offset names plus `…idx`-style suffixes.
+fn is_index_typed(name: &str) -> bool {
+    const EXACT: &[&str] = &[
+        "i", "j", "k", "idx", "off", "pos", "lo", "hi", "start", "end", "len", "stride", "depth",
+        "rows", "cols",
+    ];
+    const SUFFIXES: &[&str] = &["_idx", "_index", "_off", "_offset", "_pos", "_len", "idx"];
+    EXACT.contains(&name) || SUFFIXES.iter().any(|s| name.ends_with(s))
+}
+
+/// Runs the rule over the model.
+pub fn check(model: &Model, reach: &Reachability) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (fi, file) in model.files.iter().enumerate() {
+        if !PANIC_SCOPE.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        for (gi, f) in file.outline.fns.iter().enumerate() {
+            if f.in_test || !reach.contains(fi, gi) {
+                continue;
+            }
+            let Some((a, b)) = f.body else {
+                continue;
+            };
+            scan_body(file, &file.lexed.tokens, a, b, &f.name, &mut out);
+        }
+    }
+    out
+}
+
+fn scan_body(
+    file: &crate::model::FileModel,
+    toks: &[Token],
+    a: usize,
+    b: usize,
+    fn_name: &str,
+    out: &mut Vec<Finding>,
+) {
+    let end = b.min(toks.len().saturating_sub(1));
+    for i in a..=end {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            // `.unwrap(` / `.expect(`
+            if (t.text == "unwrap" || t.text == "expect")
+                && i > 0
+                && toks[i - 1].is_punct(".")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            {
+                out.push(file.finding(
+                    "panic-site",
+                    t.line,
+                    t.col,
+                    format!("`.{}()` on the query path through `{fn_name}`", t.text),
+                ));
+                continue;
+            }
+            // Panicking macros.
+            if PANIC_MACROS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            {
+                out.push(file.finding(
+                    "panic-site",
+                    t.line,
+                    t.col,
+                    format!("`{}!` on the query path through `{fn_name}`", t.text),
+                ));
+                continue;
+            }
+        }
+        // `[`-indexing / slicing: `expr[…]` — the previous significant
+        // token is an identifier, `)`, or `]`. Attribute brackets follow
+        // `#`, array types follow `:`/`=`/`<`, slice patterns follow
+        // `,`/`(`/`=>`; none of those match.
+        if t.is_punct("[") && i > 0 {
+            let prev = &toks[i - 1];
+            let is_expr_prefix = prev.kind == TokKind::Ident && !is_keyword_prefix(&prev.text)
+                || prev.is_punct(")")
+                || prev.is_punct("]");
+            if is_expr_prefix {
+                out.push(file.finding(
+                    "panic-site",
+                    t.line,
+                    t.col,
+                    format!(
+                        "`[]`-indexing of `{}` on the query path through `{fn_name}`",
+                        prev.text
+                    ),
+                ));
+            }
+            continue;
+        }
+        // Unchecked arithmetic on index-typed operands.
+        if matches!(t.text.as_str(), "+" | "-" | "*" | "+=" | "-=" | "*=")
+            && t.kind == TokKind::Punct
+        {
+            let Some(prev) = (i > 0).then(|| &toks[i - 1]) else {
+                continue;
+            };
+            let Some(next) = toks.get(i + 1) else {
+                continue;
+            };
+            // Binary only: the left operand must end an expression.
+            let binary = matches!(prev.kind, TokKind::Ident | TokKind::Number)
+                || prev.is_punct(")")
+                || prev.is_punct("]");
+            if !binary {
+                continue;
+            }
+            let left_indexy = prev.kind == TokKind::Ident && is_index_typed(&prev.text);
+            let right_indexy = next.kind == TokKind::Ident && is_index_typed(&next.text);
+            if left_indexy || right_indexy {
+                let operand = if left_indexy { &prev.text } else { &next.text };
+                out.push(file.finding(
+                    "panic-site",
+                    t.line,
+                    t.col,
+                    format!(
+                        "unchecked `{}` on index-typed `{operand}` in `{fn_name}` (overflow panics under overflow-checks; wraps in release)",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (`return [a, b]`, `break [x]`, …).
+fn is_keyword_prefix(name: &str) -> bool {
+    matches!(
+        name,
+        "return" | "break" | "in" | "else" | "match" | "if" | "while" | "mut" | "dyn" | "as"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+    use crate::reachability;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let model = Model::from_sources(&[("crates/engine/src/f.rs", src)]);
+        let reach = reachability::compute(&model);
+        check(&model, &reach)
+    }
+
+    #[test]
+    fn flags_unwrap_indexing_and_macros_on_query_paths() {
+        let f = run(
+            "impl R for E {\n  fn range_sum(&self) {\n    let v = cells[off];\n    let s = &v[1..3];\n    opt.unwrap();\n    res.expect(\"x\");\n    panic!(\"boom\");\n    unreachable!();\n  }\n}\n",
+        );
+        let msgs: Vec<&str> = f.iter().map(|f| f.message.as_str()).collect();
+        assert_eq!(f.len(), 6, "{msgs:?}");
+    }
+
+    #[test]
+    fn ignores_unreachable_and_test_code() {
+        let f = run(
+            "fn helper_not_called() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { v[0]; x.unwrap(); }\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn debug_assert_and_vec_macro_are_fine() {
+        let f = run(
+            "fn range_sum() {\n  debug_assert!(x < n);\n  debug_assert_eq!(a, b);\n  let v = vec![1, 2];\n  let t: [u8; 4] = [0; 4];\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn flags_index_arithmetic_but_not_value_arithmetic() {
+        let f = run(
+            "fn range_sum(off: usize, sum: i64) {\n  let a = off + 1;\n  let b = sum + sum;\n}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("off"));
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_skipped() {
+        let model =
+            Model::from_sources(&[("crates/cli/src/f.rs", "fn range_sum() { x.unwrap(); }\n")]);
+        let reach = reachability::compute(&model);
+        assert!(check(&model, &reach).is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! The checked-in baseline matches a fresh scan of the workspace.
+//!
+//! This is the invariant `cargo run -p olap-analyzer -- check` enforces
+//! in CI, replayed as a plain test so `cargo test` alone catches a
+//! drifted baseline: no *new* findings (a violation someone introduced
+//! without allowing or re-baselining it) and no *stale* entries (a fix
+//! that should have been celebrated by shrinking the baseline).
+
+use std::path::Path;
+
+#[test]
+fn checked_in_baseline_matches_fresh_scan() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("analyzer lives two levels below the workspace root");
+    let baseline = manifest.join("baseline.json");
+    let outcome = olap_analyzer::run_check(root, &baseline).expect("scan succeeds");
+    assert!(
+        outcome.new_findings.is_empty(),
+        "findings not covered by an allow or the baseline:\n{:#?}",
+        outcome.new_findings
+    );
+    assert!(
+        outcome.stale.is_empty(),
+        "baseline entries no longer produced by a fresh scan (re-run \
+         `cargo run -p olap-analyzer -- check --write-baseline`):\n{:?}",
+        outcome.stale
+    );
+    assert!(outcome.baseline_len > 0, "baseline file exists and parses");
+}

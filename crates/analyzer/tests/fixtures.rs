@@ -1,0 +1,165 @@
+//! End-to-end rule tests over the fixture files in `tests/fixtures/`.
+//!
+//! Each rule gets a positive fixture (violations the rule must catch),
+//! an allowed fixture where relevant (inline `analyzer: allow` silences
+//! the finding but the scan still sees it), and a false-positive guard
+//! (near-miss constructs that must stay quiet). Fixtures run through
+//! the same `analyze` entry point as the CLI, mapped onto in-scope
+//! crate paths, so these tests cover the lexer → outline → reachability
+//! → rule → allow pipeline, not a rule function in isolation.
+
+use olap_analyzer::analyze;
+use olap_analyzer::findings::{Finding, Report};
+use olap_analyzer::model::Model;
+
+/// Runs the full analysis over one fixture mapped to `rel`.
+fn run(rel: &str, src: &str) -> Report {
+    analyze(&Model::from_sources(&[(rel, src)]))
+}
+
+/// Active (non-allowed) findings for one rule.
+fn active<'r>(report: &'r Report, rule: &str) -> Vec<&'r Finding> {
+    report.active().filter(|f| f.rule == rule).collect()
+}
+
+/// All findings (allowed or not) for one rule.
+fn all<'r>(report: &'r Report, rule: &str) -> Vec<&'r Finding> {
+    report.findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn panic_site_positive_catches_every_construct() {
+    let r = run(
+        "crates/engine/src/fx.rs",
+        include_str!("fixtures/panic_site_positive.rs"),
+    );
+    let f = active(&r, "panic-site");
+    // indexing, slicing, index arithmetic in range_sum; unwrap and
+    // panic! in the helper it reaches.
+    assert_eq!(f.len(), 5, "{f:#?}");
+    let msgs: Vec<&str> = f.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("`[]`-indexing")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("unchecked `+`")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("`.unwrap()`")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("`panic!`")), "{msgs:?}");
+}
+
+#[test]
+fn panic_site_allowed_findings_are_recorded_but_inactive() {
+    let r = run(
+        "crates/engine/src/fx.rs",
+        include_str!("fixtures/panic_site_allowed.rs"),
+    );
+    assert_eq!(all(&r, "panic-site").len(), 2, "scan still sees the sites");
+    assert!(active(&r, "panic-site").is_empty(), "allows silence them");
+    assert!(
+        active(&r, "malformed-allow").is_empty(),
+        "reasons are well-formed"
+    );
+}
+
+#[test]
+fn panic_site_guard_stays_quiet() {
+    let r = run(
+        "crates/engine/src/fx.rs",
+        include_str!("fixtures/panic_site_guard.rs"),
+    );
+    assert!(
+        active(&r, "panic-site").is_empty(),
+        "{:#?}",
+        all(&r, "panic-site")
+    );
+}
+
+#[test]
+fn atomic_ordering_positive_flags_untagged_and_seqcst() {
+    let r = run(
+        "crates/array/src/fx.rs",
+        include_str!("fixtures/atomic_ordering_positive.rs"),
+    );
+    let f = active(&r, "atomic-ordering");
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert!(f.iter().any(|f| f.message.contains("justification")));
+    assert!(f.iter().any(|f| f.message.contains("smell")));
+}
+
+#[test]
+fn atomic_ordering_allowed_and_tagged_passes() {
+    let r = run(
+        "crates/array/src/fx.rs",
+        include_str!("fixtures/atomic_ordering_allowed.rs"),
+    );
+    assert!(active(&r, "atomic-ordering").is_empty());
+    // The SeqCst smell finding exists but is allowed with a reason.
+    assert_eq!(all(&r, "atomic-ordering").len(), 1);
+}
+
+#[test]
+fn atomic_ordering_guard_stays_quiet() {
+    let r = run(
+        "crates/array/src/fx.rs",
+        include_str!("fixtures/atomic_ordering_guard.rs"),
+    );
+    assert!(active(&r, "atomic-ordering").is_empty());
+}
+
+#[test]
+fn lock_order_positive_reports_the_cycle_once() {
+    let r = run(
+        "crates/engine/src/fx.rs",
+        include_str!("fixtures/lock_order_positive.rs"),
+    );
+    let f = active(&r, "lock-order");
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert!(f[0].message.contains("jobs") && f[0].message.contains("results"));
+}
+
+#[test]
+fn lock_order_guard_stays_quiet() {
+    let r = run(
+        "crates/engine/src/fx.rs",
+        include_str!("fixtures/lock_order_guard.rs"),
+    );
+    assert!(active(&r, "lock-order").is_empty());
+}
+
+#[test]
+fn feature_gate_positive_flags_ungated_references() {
+    let r = run(
+        "crates/engine/src/fx.rs",
+        include_str!("fixtures/feature_gate_positive.rs"),
+    );
+    let f = active(&r, "feature-gate");
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert!(f.iter().any(|f| f.message.contains("fan_out")));
+    assert!(f.iter().any(|f| f.message.contains("olap_telemetry")));
+}
+
+#[test]
+fn feature_gate_guard_stays_quiet() {
+    let r = run(
+        "crates/engine/src/fx.rs",
+        include_str!("fixtures/feature_gate_guard.rs"),
+    );
+    assert!(active(&r, "feature-gate").is_empty());
+}
+
+#[test]
+fn error_surface_positive_flags_the_swallowed_result() {
+    let r = run(
+        "crates/engine/src/fx.rs",
+        include_str!("fixtures/error_surface_positive.rs"),
+    );
+    let f = active(&r, "error-surface");
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert!(f[0].message.contains("warm") && f[0].message.contains("load_page"));
+}
+
+#[test]
+fn error_surface_guard_stays_quiet() {
+    let r = run(
+        "crates/engine/src/fx.rs",
+        include_str!("fixtures/error_surface_guard.rs"),
+    );
+    assert!(active(&r, "error-surface").is_empty());
+}

@@ -1,0 +1,17 @@
+//! Fixture: tagged orderings pass; a genuinely-needed `SeqCst` argues
+//! its case in an inline allow.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static FLAG: AtomicBool = AtomicBool::new(false);
+
+pub fn tagged() -> bool {
+    // ordering: Relaxed — one-way flag; readers tolerate a stale false.
+    FLAG.load(Ordering::Relaxed)
+}
+
+pub fn justified_seqcst() {
+    // ordering: SeqCst — this flag and the sibling flag need one total order.
+    // analyzer: allow(atomic-ordering, reason = "store must be totally ordered with the sibling flag's store")
+    FLAG.store(true, Ordering::SeqCst);
+}

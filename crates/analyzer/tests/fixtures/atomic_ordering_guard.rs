@@ -1,0 +1,18 @@
+//! Fixture: false-positive guards — `use` items, `std::cmp::Ordering`
+//! variants, and `#[cfg(test)]` code are all out of the rule's scope.
+
+use std::sync::atomic::Ordering;
+
+pub fn compare(a: u8, b: u8) -> std::cmp::Ordering {
+    a.cmp(&b).then(std::cmp::Ordering::Less)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_use_seqcst() {
+        FLAG.load(Ordering::SeqCst);
+    }
+}

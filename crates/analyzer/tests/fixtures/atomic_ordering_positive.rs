@@ -1,0 +1,15 @@
+//! Fixture: atomic-ordering positives — an untagged ordering and a
+//! tagged `SeqCst` (the smell finding fires even when tagged).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static FLAG: AtomicBool = AtomicBool::new(false);
+
+pub fn untagged() -> bool {
+    FLAG.load(Ordering::Relaxed)
+}
+
+pub fn tagged_seqcst() {
+    // ordering: SeqCst — tagged, but the smell finding still fires.
+    FLAG.store(true, Ordering::SeqCst);
+}

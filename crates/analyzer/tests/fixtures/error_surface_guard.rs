@@ -1,0 +1,31 @@
+//! Fixture: error-surface false-positive guards — visible handling in
+//! every sanctioned shape, private callers, and `Result`-returning
+//! callers are all fine.
+
+fn load_page(i: usize) -> Result<Page, E> {
+    body(i)
+}
+
+pub fn propagates(i: usize) -> Result<(), E> {
+    load_page(i)?;
+    Ok(())
+}
+
+pub fn matches_it(i: usize) {
+    match load_page(i) {
+        _ => {}
+    }
+}
+
+pub fn binds_it(i: usize) {
+    let r = load_page(i);
+    log(r);
+}
+
+pub fn consumes_it(i: usize) -> bool {
+    load_page(i).is_ok()
+}
+
+fn private_caller(i: usize) {
+    load_page(i);
+}

@@ -1,0 +1,10 @@
+//! Fixture: error-surface positive — a `pub fn` returning a bare value
+//! calls an unambiguously fallible internal and drops the `Result`.
+
+fn load_page(i: usize) -> Result<Page, E> {
+    body(i)
+}
+
+pub fn warm(i: usize) {
+    load_page(i);
+}

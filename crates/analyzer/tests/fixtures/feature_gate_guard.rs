@@ -1,0 +1,35 @@
+//! Fixture: feature-gate false-positive guards — gated references,
+//! statement-level gates, ambiguous names (both gated and ungated
+//! definitions), and `#[cfg(test)]` code.
+
+#[cfg(feature = "parallel")]
+fn fan_out() {}
+
+#[cfg(feature = "parallel")]
+fn gated_caller() {
+    fan_out();
+}
+
+pub fn statement_gate() {
+    #[cfg(feature = "parallel")]
+    fan_out();
+}
+
+#[cfg(feature = "parallel")]
+fn run() {}
+
+#[cfg(not(feature = "parallel"))]
+fn run() {}
+
+pub fn ambiguous_caller() {
+    run();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_reference_gated_symbols() {
+        super::statement_gate();
+        fan_out();
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: feature-gate positives — a gated symbol referenced without
+//! a gate, and a bare `olap_telemetry::` path in a crate that gates
+//! telemetry elsewhere.
+
+#[cfg(feature = "parallel")]
+fn fan_out() {}
+
+pub fn caller() {
+    fan_out();
+}
+
+#[cfg(feature = "telemetry")]
+fn gated_record() {
+    olap_telemetry::current();
+}
+
+pub fn ungated_record() {
+    olap_telemetry::current();
+}

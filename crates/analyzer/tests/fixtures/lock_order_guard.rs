@@ -1,0 +1,31 @@
+//! Fixture: lock-order false-positive guards — a consistent acquisition
+//! order everywhere, and a temporary guard (no `let`) that is released
+//! at the end of its statement, before the second lock is taken.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    jobs: Mutex<Vec<u64>>,
+    results: Mutex<Vec<u64>>,
+}
+
+impl Shared {
+    pub fn consistent_a(&self) {
+        let jobs = self.jobs.lock().unwrap();
+        let results = self.results.lock().unwrap();
+        drop((jobs, results));
+    }
+
+    pub fn consistent_b(&self) {
+        let jobs = self.jobs.lock().unwrap();
+        let results = self.results.lock().unwrap();
+        drop((results, jobs));
+    }
+
+    pub fn temporary_guard(&self) {
+        self.results.lock().unwrap().clear();
+        let jobs = self.jobs.lock().unwrap();
+        drop(jobs);
+        self.results.lock().unwrap().push(1);
+    }
+}

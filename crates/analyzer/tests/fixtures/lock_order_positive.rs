@@ -1,0 +1,23 @@
+//! Fixture: lock-order positive — two functions acquire the same two
+//! mutexes in opposite orders while holding the first.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    jobs: Mutex<Vec<u64>>,
+    results: Mutex<Vec<u64>>,
+}
+
+impl Shared {
+    pub fn forward(&self) {
+        let jobs = self.jobs.lock().unwrap();
+        let results = self.results.lock().unwrap();
+        drop((jobs, results));
+    }
+
+    pub fn backward(&self) {
+        let results = self.results.lock().unwrap();
+        let jobs = self.jobs.lock().unwrap();
+        drop((results, jobs));
+    }
+}

@@ -1,0 +1,31 @@
+//! Fixture: false-positive guards — constructs that look close to a
+//! panic site but must NOT be flagged: `debug_assert!` (vanishes in
+//! release), `vec![…]`/array literals, attribute brackets, value (not
+//! index) arithmetic, unreachable helpers, and `#[cfg(test)]` code.
+
+#[derive(Debug)]
+pub struct Cube;
+
+impl RangeEngine for Cube {
+    fn range_sum(&self, total: i64, weight: i64) -> i64 {
+        debug_assert!(weight > 0);
+        debug_assert_eq!(total, total);
+        let v = vec![1, 2, 3];
+        let t: [u8; 4] = [0; 4];
+        total + weight + v.capacity() as i64 + t.iter().count() as i64
+    }
+}
+
+fn never_called() {
+    dangerous().unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v = vec![1];
+        let first = v[0];
+        assert_eq!(maybe(first).unwrap(), 1);
+    }
+}

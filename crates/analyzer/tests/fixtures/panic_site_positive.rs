@@ -1,0 +1,19 @@
+//! Fixture: every panic-site construct the rule must flag, all on a
+//! query path seeded by a `RangeEngine` method.
+
+pub struct Cube;
+
+impl RangeEngine for Cube {
+    fn range_sum(&self, cells: &Vec<i64>, off: usize) -> i64 {
+        let v = cells[off];
+        let s = &cells[1..3];
+        let n = off + 1;
+        helper(n);
+        v + total(s)
+    }
+}
+
+fn helper(n: usize) {
+    maybe(n).unwrap();
+    panic!("boom");
+}

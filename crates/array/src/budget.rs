@@ -87,11 +87,15 @@ impl CancellationToken {
 
     /// Requests cancellation. Idempotent; never blocks.
     pub fn cancel(&self) {
+        // ordering: Relaxed — a monotone one-way flag; no data is
+        // published with it, and a kernel observing it one chunk late is
+        // within the cancellation contract.
         self.cancelled.store(true, Ordering::Relaxed);
     }
 
     /// Whether cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
+        // ordering: Relaxed — polling read of the one-way flag above.
         self.cancelled.load(Ordering::Relaxed)
     }
 }
@@ -205,6 +209,9 @@ impl BudgetMeter {
     /// Element accesses charged so far.
     pub fn spent(&self) -> u64 {
         match &self.inner {
+            // ordering: Relaxed — per-query counter; worker charges need
+            // no mutual order, the total is only read for reporting and
+            // the (intentionally approximate) cap check.
             Some(m) => m.spent.load(Ordering::Relaxed),
             None => 0,
         }
@@ -214,6 +221,7 @@ impl BudgetMeter {
     pub fn remaining_accesses(&self) -> Option<u64> {
         let m = self.inner.as_ref()?;
         let limit = m.max_accesses?;
+        // ordering: Relaxed — same per-query counter as `spent`.
         Some(limit.saturating_sub(m.spent.load(Ordering::Relaxed)))
     }
 
@@ -258,12 +266,16 @@ impl BudgetMeter {
         let Some(m) = &self.inner else {
             return Ok(());
         };
+        // ordering: Relaxed — per-query counter; the cap contract allows
+        // overshoot by one chunk, so charges need no cross-worker order.
         m.spent.fetch_add(cells, Ordering::Relaxed);
         self.check_spent(m)
     }
 
     fn check_spent(&self, m: &MeterInner) -> Result<(), Interrupt> {
         if let Some(limit) = m.max_accesses {
+            // ordering: Relaxed — cap check against the approximate
+            // counter; see `charge`.
             let spent = m.spent.load(Ordering::Relaxed);
             if spent > limit {
                 return Err(Interrupt::BudgetExhausted { spent, limit });

@@ -109,11 +109,15 @@ where
     }
     let stop = std::sync::atomic::AtomicBool::new(false);
     let results: Vec<Option<Result<R, E>>> = run_indexed(par, items, |i, t| {
+        // ordering: Relaxed — best-effort early-exit flag; a worker that
+        // misses the store merely computes one extra chunk. The error
+        // value itself travels through the join, not this atomic.
         if stop.load(std::sync::atomic::Ordering::Relaxed) {
             return None; // another worker already failed; don't start new work
         }
         let r = f(i, t);
         if r.is_err() {
+            // ordering: Relaxed — see the load above; flag is advisory.
             stop.store(true, std::sync::atomic::Ordering::Relaxed);
         }
         Some(r)

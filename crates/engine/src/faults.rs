@@ -147,14 +147,20 @@ impl<V> FaultyEngine<V> {
 
     /// How many query calls the wrapper has intercepted so far.
     pub fn calls(&self) -> u64 {
+        // ordering: Relaxed — reporting read of the call counter; the
+        // schedule decisions happen in `inject`'s fetch_add.
         self.calls.load(Ordering::Relaxed)
     }
 
     /// Decides the fate of one query call: counts it, then panics, errors,
     /// sleeps, or passes through per the plan's deterministic schedule.
     fn inject(&self, op: &str) -> Result<(), EngineError> {
+        // ordering: Relaxed — the RMW already makes each call see a
+        // unique n (the only property the deterministic schedule needs);
+        // callers never publish data through this counter.
         let n = self.calls.fetch_add(1, Ordering::Relaxed);
         if self.plan.panic_call == Some(n) {
+            // analyzer: allow(panic-site, reason = "fault injection: panicking on schedule is this wrapper's documented purpose")
             panic!("injected panic on call {n} ({op})");
         }
         if self.plan.fail_call == Some(n) {
@@ -168,6 +174,7 @@ impl<V> FaultyEngine<V> {
         let error_band = panic_band + u64::from(self.plan.error_per_mille);
         let delay_band = error_band + u64::from(self.plan.delay_per_mille);
         if roll < panic_band {
+            // analyzer: allow(panic-site, reason = "fault injection: panicking on schedule is this wrapper's documented purpose")
             panic!("injected panic on call {n} ({op})");
         }
         if roll < error_band {
@@ -241,6 +248,7 @@ impl<V> std::fmt::Debug for FaultyEngine<V> {
         f.debug_struct("FaultyEngine")
             .field("inner", &self.inner.label())
             .field("plan", &self.plan)
+            // ordering: Relaxed — debug-format read of the call counter.
             .field("calls", &self.calls.load(Ordering::Relaxed))
             .finish()
     }

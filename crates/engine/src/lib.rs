@@ -28,6 +28,9 @@
 #![warn(missing_docs)]
 // Library code reports failures as typed errors; panicking escape
 // hatches are denied outside test builds (tests and benches may unwrap).
+// Clippy catches unwrap/expect; `olap-analyzer`'s panic-site rule covers
+// what it can't — indexing, slicing, panic-family macros, and unchecked
+// index arithmetic on query paths (see crates/analyzer).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod backends;

@@ -14,6 +14,7 @@ impl CuboidId {
 
     /// The cuboid containing every one of `d` dimensions — the cube itself.
     pub fn full(d: usize) -> Self {
+        // analyzer: allow(panic-site, reason = "documented constructor precondition: CuboidId packs dimensions into a u64 bitmask")
         assert!(d <= 64, "at most 64 dimensions supported");
         if d == 64 {
             CuboidId(u64::MAX)
@@ -43,6 +44,7 @@ impl CuboidId {
 
     /// Adds a dimension.
     pub fn with_dim(self, dim: usize) -> Self {
+        // analyzer: allow(panic-site, reason = "documented constructor precondition: CuboidId packs dimensions into a u64 bitmask")
         assert!(dim < 64, "at most 64 dimensions supported");
         CuboidId(self.0 | (1u64 << dim))
     }
@@ -89,6 +91,7 @@ impl CuboidId {
     /// All cuboids over `d` dimensions (the full lattice, `2^d` entries
     /// including the empty cuboid).
     pub fn lattice(d: usize) -> impl Iterator<Item = CuboidId> {
+        // analyzer: allow(panic-site, reason = "documented precondition: the lattice has 2^d entries and d >= 64 cannot be enumerated")
         assert!(d < 64, "lattice enumeration limited to < 64 dimensions");
         (0..(1u64 << d)).map(CuboidId)
     }

@@ -50,6 +50,7 @@ impl<V> Default for BPlusTree<V> {
 impl<V> BPlusTree<V> {
     /// Creates an empty tree with the given node capacity (≥ 4).
     pub fn new(order: usize) -> Self {
+        // analyzer: allow(panic-site, reason = "documented constructor precondition on the branching factor; not reachable from query execution")
         assert!(order >= 4, "B+-tree order must be at least 4");
         BPlusTree {
             root: Node::Leaf {

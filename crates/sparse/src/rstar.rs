@@ -61,6 +61,7 @@ impl<T> RStarTree<T> {
     /// Creates an empty tree with node capacity `max_entries` (≥ 4);
     /// minimum fill is 40%.
     pub fn new(max_entries: usize) -> Self {
+        // analyzer: allow(panic-site, reason = "documented constructor precondition on the node capacity; not reachable from query execution")
         assert!(max_entries >= 4, "R*-tree capacity must be ≥ 4");
         RStarTree {
             max_entries,
@@ -421,6 +422,7 @@ impl<T> RStarTree<T> {
                     children.push((r, sub));
                     children.len() > max
                 }
+                // analyzer: allow(panic-site, reason = "R*-tree structural invariant: a non-leaf node always has at least one child entry")
                 _ => unreachable!("level/type mismatch in R*-tree insertion"),
             };
             if !overflow {
@@ -468,6 +470,7 @@ impl<T> RStarTree<T> {
         // Descend.
         let children = match node {
             Node::Internal(children) => children,
+            // analyzer: allow(panic-site, reason = "R*-tree structural invariant: a non-leaf node always has at least one child entry")
             Node::Leaf(_) => unreachable!("target level below a leaf"),
         };
         let i = Self::choose_child(children, &item_mbr);

@@ -66,6 +66,7 @@ impl Telemetry {
 
     /// The current span subscriber, if any.
     pub fn subscriber(&self) -> Option<Arc<dyn Subscriber>> {
+        // analyzer: allow(panic-site, reason = "mutex poisoning propagates a panic from another telemetry call; fail loud rather than silently drop the subscriber")
         self.subscriber.lock().expect("subscriber lock").clone()
     }
 }
@@ -96,6 +97,10 @@ thread_local! {
 /// relaxed atomic load; instrumentation's fast path.
 #[inline]
 pub fn enabled() -> bool {
+    // ordering: Relaxed — ACTIVE is a hint, not a publication channel.
+    // The context data itself is published by OnceLock (global) or a
+    // thread-local (scoped); a stale zero here only delays the first
+    // recording by one query, which the protocol tolerates.
     ACTIVE.load(Ordering::Relaxed) != 0
 }
 
@@ -108,17 +113,28 @@ pub fn global() -> Arc<Telemetry> {
 /// Turns on the process-wide context: every instrumented call site starts
 /// recording into [`global`]'s registry and flight recorder.
 pub fn enable_global() {
-    if !GLOBAL_ON.swap(true, Ordering::SeqCst) {
+    // ordering: AcqRel — the swap is the sole arbiter of the off→on
+    // transition (exactly one caller wins and bumps ACTIVE); AcqRel
+    // pairs it with the mirror swap in `disable_global`. The Telemetry
+    // value itself is published by the OnceLock inside `global()`, so
+    // no SeqCst fence is needed — there is no second independent atomic
+    // whose order relative to this one matters.
+    if !GLOBAL_ON.swap(true, Ordering::AcqRel) {
         let _ = global(); // materialize before the first hot-path lookup
-        ACTIVE.fetch_add(1, Ordering::SeqCst);
+                          // ordering: Relaxed — pure counter feeding the `enabled()` hint;
+                          // see the justification there.
+        ACTIVE.fetch_add(1, Ordering::Relaxed);
     }
 }
 
 /// Turns the process-wide context back off (scoped contexts are
 /// unaffected). The registry contents are kept.
 pub fn disable_global() {
-    if GLOBAL_ON.swap(false, Ordering::SeqCst) {
-        ACTIVE.fetch_sub(1, Ordering::SeqCst);
+    // ordering: AcqRel — mirror of the swap in `enable_global`; exactly
+    // one caller observes on→off and decrements ACTIVE.
+    if GLOBAL_ON.swap(false, Ordering::AcqRel) {
+        // ordering: Relaxed — counter hint only; see `enabled()`.
+        ACTIVE.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -129,7 +145,10 @@ impl Drop for ScopeGuard {
         SCOPES.with(|s| {
             s.borrow_mut().pop();
         });
-        ACTIVE.fetch_sub(1, Ordering::SeqCst);
+        // ordering: Relaxed — counter hint only (see `enabled()`); the
+        // scope stack itself is thread-local, so no cross-thread data
+        // hangs off this decrement.
+        ACTIVE.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -141,7 +160,10 @@ impl Drop for ScopeGuard {
 /// re-enter it per worker (as `olap_array::exec` does).
 pub fn with_scope<R>(ctx: &Arc<Telemetry>, f: impl FnOnce() -> R) -> R {
     SCOPES.with(|s| s.borrow_mut().push(ctx.clone()));
-    ACTIVE.fetch_add(1, Ordering::SeqCst);
+    // ordering: Relaxed — counter hint only (see `enabled()`); the
+    // pushed context is visible to `current()` through the thread-local
+    // SCOPES, never through this atomic.
+    ACTIVE.fetch_add(1, Ordering::Relaxed);
     let _guard = ScopeGuard;
     f()
 }
@@ -163,6 +185,9 @@ fn current_slow() -> Option<Arc<Telemetry>> {
     if local.is_some() {
         return local;
     }
+    // ordering: Relaxed — `global()` synchronizes through its OnceLock,
+    // so this load only decides *whether* to consult it; a stale answer
+    // is a missed (or spurious but harmless) lookup, not a data race.
     if GLOBAL_ON.load(Ordering::Relaxed) {
         Some(global())
     } else {

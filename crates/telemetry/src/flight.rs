@@ -116,6 +116,7 @@ impl FlightRecorder {
 
     /// Number of records currently held.
     pub fn len(&self) -> usize {
+        // analyzer: allow(panic-site, reason = "mutex poisoning propagates a panic from another telemetry call; fail loud rather than report a torn ring buffer")
         self.inner.lock().expect("flight lock").records.len()
     }
 
@@ -132,6 +133,7 @@ impl FlightRecorder {
     /// Appends a record, evicting the oldest at capacity. The record's
     /// `seq` is overwritten with the recorder's next sequence number.
     pub fn record(&self, mut record: FlightRecord) {
+        // analyzer: allow(panic-site, reason = "mutex poisoning propagates a panic from another telemetry call; fail loud rather than report a torn ring buffer")
         let mut inner = self.inner.lock().expect("flight lock");
         record.seq = inner.next_seq;
         inner.next_seq += 1;
@@ -145,6 +147,7 @@ impl FlightRecorder {
     pub fn snapshot(&self) -> Vec<FlightRecord> {
         self.inner
             .lock()
+            // analyzer: allow(panic-site, reason = "mutex poisoning propagates a panic from another telemetry call; fail loud rather than report a torn ring buffer")
             .expect("flight lock")
             .records
             .iter()
@@ -154,6 +157,7 @@ impl FlightRecorder {
 
     /// Drops every retained record (sequence numbers keep counting).
     pub fn clear(&self) {
+        // analyzer: allow(panic-site, reason = "mutex poisoning propagates a panic from another telemetry call; fail loud rather than report a torn ring buffer")
         self.inner.lock().expect("flight lock").records.clear();
     }
 

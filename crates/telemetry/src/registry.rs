@@ -26,6 +26,8 @@ impl Counter {
         // fetch_update to saturate instead of wrapping on overflow.
         let _ = self
             .0
+            // ordering: Relaxed — statistical counter; readers only
+            // report its value, no data is published through it.
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
                 Some(v.saturating_add(n))
             });
@@ -33,6 +35,7 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed — reporting read of a statistical counter.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -44,11 +47,14 @@ pub struct Gauge(Arc<AtomicU64>);
 impl Gauge {
     /// Sets the gauge.
     pub fn set(&self, v: f64) {
+        // ordering: Relaxed — last-writer-wins gauge; the stored bits
+        // are self-contained, nothing else is published alongside them.
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> f64 {
+        // ordering: Relaxed — reporting read of a self-contained gauge.
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 }
@@ -79,12 +85,17 @@ fn bucket_index(v: u64) -> usize {
 impl Histogram {
     /// Records one sample.
     pub fn observe(&self, v: u64) {
+        // ordering: Relaxed — bucket/count/sum are statistical cells; a
+        // snapshot racing an observe may see the sample in one cell and
+        // not another, which reporting tolerates by design.
         self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        // ordering: Relaxed — see above; same statistical protocol.
         self.0.count.fetch_add(1, Ordering::Relaxed);
         // Saturating sum so pathological accumulations pin instead of wrap.
         let _ = self
             .0
             .sum
+            // ordering: Relaxed — see above; same statistical protocol.
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
                 Some(s.saturating_add(v))
             });
@@ -92,11 +103,13 @@ impl Histogram {
 
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
+        // ordering: Relaxed — reporting read; see `observe`.
         self.0.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all samples (saturating).
     pub fn sum(&self) -> u64 {
+        // ordering: Relaxed — reporting read; see `observe`.
         self.0.sum.load(Ordering::Relaxed)
     }
 
@@ -113,6 +126,8 @@ impl Histogram {
     fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = Vec::new();
         for (b, cell) in self.0.buckets.iter().enumerate() {
+            // ordering: Relaxed — snapshot read; buckets may be mid-update
+            // and the protocol tolerates the skew (see `observe`).
             let n = cell.load(Ordering::Relaxed);
             if n > 0 {
                 let le = if b == 0 {
@@ -232,12 +247,14 @@ impl Registry {
     /// # Panics
     /// If the same name + labels were registered as a different type.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        // analyzer: allow(panic-site, reason = "mutex poisoning propagates a panic from another telemetry call; fail loud rather than silently drop metrics")
         let mut map = self.metrics.lock().expect("registry lock");
         let entry = map
             .entry(key(name, labels))
             .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))));
         match entry {
             Metric::Counter(c) => c.clone(),
+            // analyzer: allow(panic-site, reason = "metric type mismatch is a programming error in the instrumentation itself; documented under # Panics")
             other => panic!("{name} already registered as {other:?}, not a counter"),
         }
     }
@@ -248,12 +265,14 @@ impl Registry {
     /// # Panics
     /// If the same name + labels were registered as a different type.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        // analyzer: allow(panic-site, reason = "mutex poisoning propagates a panic from another telemetry call; fail loud rather than silently drop metrics")
         let mut map = self.metrics.lock().expect("registry lock");
         let entry = map
             .entry(key(name, labels))
             .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))));
         match entry {
             Metric::Gauge(g) => g.clone(),
+            // analyzer: allow(panic-site, reason = "metric type mismatch is a programming error in the instrumentation itself; documented under # Panics")
             other => panic!("{name} already registered as {other:?}, not a gauge"),
         }
     }
@@ -264,6 +283,7 @@ impl Registry {
     /// # Panics
     /// If the same name + labels were registered as a different type.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        // analyzer: allow(panic-site, reason = "mutex poisoning propagates a panic from another telemetry call; fail loud rather than silently drop metrics")
         let mut map = self.metrics.lock().expect("registry lock");
         let entry = map.entry(key(name, labels)).or_insert_with(|| {
             Metric::Histogram(Histogram(Arc::new(HistogramCore {
@@ -274,12 +294,14 @@ impl Registry {
         });
         match entry {
             Metric::Histogram(h) => h.clone(),
+            // analyzer: allow(panic-site, reason = "metric type mismatch is a programming error in the instrumentation itself; documented under # Panics")
             other => panic!("{name} already registered as {other:?}, not a histogram"),
         }
     }
 
     /// Number of registered metrics.
     pub fn len(&self) -> usize {
+        // analyzer: allow(panic-site, reason = "mutex poisoning propagates a panic from another telemetry call; fail loud rather than silently drop metrics")
         self.metrics.lock().expect("registry lock").len()
     }
 
@@ -291,6 +313,7 @@ impl Registry {
     /// A point-in-time snapshot of every metric, in deterministic
     /// (name, labels) order.
     pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        // analyzer: allow(panic-site, reason = "mutex poisoning propagates a panic from another telemetry call; fail loud rather than silently drop metrics")
         let map = self.metrics.lock().expect("registry lock");
         map.iter()
             .map(|(k, m)| MetricSnapshot {
