@@ -11,12 +11,15 @@
 //! the scanned sources.
 //!
 //! Roots are (a) every method defined in an `impl … RangeEngine … for …`
-//! block or in the `trait RangeEngine` declaration itself, and (b) every
+//! block or in the `trait RangeEngine` declaration itself, (b) every
 //! function *named like* a `RangeEngine` method — which folds in the
 //! router's and the concrete indexes' inherent entry points of the same
 //! name (`AdaptiveRouter::range_sum` calls engines through the trait; a
 //! future inherent `range_sum` on a new index is a query path by
-//! definition).
+//! definition) — and (c) every method of a serving-layer type named in
+//! [`SERVING_TYPES`]: `CubeServer` fan-out helpers and the
+//! `VersionCell` swap path run while answering queries even when their
+//! names don't collide with the trait's vocabulary.
 
 use crate::model::Model;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -34,6 +37,11 @@ pub const ENGINE_METHODS: &[&str] = &[
     "label",
     "shape",
 ];
+
+/// Serving-layer types whose inherent methods are reachability roots:
+/// their entry points run on the query path (shard fan-out, snapshot
+/// loads and installs) without being named like a trait method.
+pub const SERVING_TYPES: &[&str] = &["CubeServer", "VersionCell"];
 
 /// One function in the cross-file graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -94,8 +102,12 @@ pub fn compute(model: &Model) -> Reachability {
                 .impl_header
                 .as_deref()
                 .is_some_and(|h| h.contains("RangeEngine"));
+            let in_serving_impl = f
+                .impl_header
+                .as_deref()
+                .is_some_and(|h| SERVING_TYPES.iter().any(|t| h.contains(t)));
             let named_like_method = ENGINE_METHODS.contains(&f.name.as_str());
-            if in_engine_impl || named_like_method {
+            if in_engine_impl || in_serving_impl || named_like_method {
                 let r = FnRef {
                     file: fi,
                     fn_id: gi,
@@ -195,6 +207,29 @@ mod tests {
         )]);
         let r = compute(&model);
         assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn serving_impl_methods_are_roots_even_with_novel_names() {
+        let model = Model::from_sources(&[(
+            "crates/server/src/s.rs",
+            "impl CubeServer {\n  pub fn fan_out(&self) { merge(); }\n}\n\
+             impl<V> VersionCell<V> {\n  fn swap_in(&self) {}\n}\n\
+             fn merge() {}\nfn unrelated() {}\n",
+        )]);
+        let r = compute(&model);
+        let mut flat: Vec<&str> = Vec::new();
+        for (fi, f) in model.files.iter().enumerate() {
+            for (gi, g) in f.outline.fns.iter().enumerate() {
+                if r.contains(fi, gi) {
+                    flat.push(g.name.as_str());
+                }
+            }
+        }
+        assert!(flat.contains(&"fan_out"), "{flat:?}");
+        assert!(flat.contains(&"swap_in"), "{flat:?}");
+        assert!(flat.contains(&"merge"), "{flat:?}");
+        assert!(!flat.contains(&"unrelated"), "{flat:?}");
     }
 
     #[test]

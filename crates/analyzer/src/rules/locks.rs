@@ -11,9 +11,13 @@
 //! The pass is token-level and deliberately over-approximate:
 //!
 //! - **lock identities** are field/static names whose declared type
-//!   mentions `Mutex` or `RwLock` (from the outline);
+//!   mentions `Mutex`, `RwLock`, or `VersionCell` (from the outline);
 //! - an **acquisition** is `name.lock(` / `name.read(` / `name.write(`
-//!   on such a name;
+//!   on a `Mutex`/`RwLock` identity, or `name.load(` / `name.update(` /
+//!   `name.install(` / `name.swap_in(` on a `VersionCell` identity —
+//!   every entry point of the snapshot swap path enters the cell's
+//!   internal `writer`/`current` locks, so a call through the cell is an
+//!   acquisition of the cell's own identity;
 //! - a guard bound with `let` is held to the end of its enclosing block,
 //!   a temporary to the end of its statement;
 //! - acquiring `b` while `a` is held adds the edge `a → b`.
@@ -25,6 +29,7 @@
 use crate::findings::Finding;
 use crate::lexer::{TokKind, Token};
 use crate::model::Model;
+use crate::outline::LockKind;
 use std::collections::BTreeMap;
 
 /// One `a → b` edge with the evidence needed for a diagnostic.
@@ -40,12 +45,14 @@ struct Edge {
 
 /// Runs the rule over the model.
 pub fn check(model: &Model) -> Vec<Finding> {
-    // Lock identities from every file (non-test declarations).
-    let mut locks: Vec<String> = Vec::new();
+    // Lock identities from every file (non-test declarations). A name
+    // declared as both kinds anywhere keeps both vocabularies — the
+    // conservative direction for a name-resolved pass.
+    let mut locks: Vec<(String, LockKind)> = Vec::new();
     for file in &model.files {
         for l in &file.outline.lock_fields {
-            if !l.in_test && !locks.contains(&l.field) {
-                locks.push(l.field.clone());
+            if !l.in_test && !locks.contains(&(l.field.clone(), l.kind)) {
+                locks.push((l.field.clone(), l.kind));
             }
         }
     }
@@ -158,12 +165,12 @@ struct Acq {
 }
 
 /// Finds acquisitions in a body and computes their hold extents.
-fn acquisitions(toks: &[Token], a: usize, b: usize, locks: &[String]) -> Vec<Acq> {
+fn acquisitions(toks: &[Token], a: usize, b: usize, locks: &[(String, LockKind)]) -> Vec<Acq> {
     let end = b.min(toks.len().saturating_sub(1));
     let mut out = Vec::new();
     for i in a..=end {
         let t = &toks[i];
-        if t.kind != TokKind::Ident || !locks.iter().any(|l| l == &t.text) {
+        if t.kind != TokKind::Ident {
             continue;
         }
         let dotted = toks.get(i + 1).is_some_and(|n| n.is_punct("."));
@@ -171,7 +178,19 @@ fn acquisitions(toks: &[Token], a: usize, b: usize, locks: &[String]) -> Vec<Acq
         let called = toks.get(i + 3).is_some_and(|n| n.is_punct("("));
         let is_acq = dotted
             && called
-            && method.is_some_and(|m| matches!(m.text.as_str(), "lock" | "read" | "write"));
+            && method.is_some_and(|m| {
+                locks.iter().any(|(name, kind)| {
+                    name == &t.text
+                        && match kind {
+                            LockKind::Sync => {
+                                matches!(m.text.as_str(), "lock" | "read" | "write")
+                            }
+                            LockKind::Cell => {
+                                matches!(m.text.as_str(), "load" | "update" | "install" | "swap_in")
+                            }
+                        }
+                })
+            });
         if !is_acq {
             continue;
         }
@@ -318,6 +337,39 @@ mod tests {
             ),
         ]));
         assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn version_cell_swap_calls_join_the_acquisition_graph() {
+        // Holding `m` while installing into the cell in one function and
+        // holding the cell while taking `m` in another is the classic
+        // opposite-order cycle — now visible across the swap path.
+        let src = "struct S { m: Mutex<u8>, cell: VersionCell<i64> }\n\
+                   fn f(s: &S) {\n  let g = s.m.lock();\n  s.cell.update(&[]);\n}\n\
+                   fn g(s: &S) {\n  let v = s.cell.load();\n  s.m.lock().unwrap();\n}\n";
+        let f = check(&Model::from_sources(&[("crates/x/src/c.rs", src)]));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("cell"), "{f:?}");
+    }
+
+    #[test]
+    fn cell_vocabulary_does_not_apply_to_plain_mutexes() {
+        // `.load(` on a Mutex-kind identity is not an acquisition (it is
+        // the atomic vocabulary), so no overlap and no cycle.
+        let src = "struct S { m: Mutex<u8>, n: Mutex<u8> }\n\
+                   fn f(s: &S) {\n  let g = s.m.lock();\n  s.n.load(Ordering::Relaxed);\n}\n\
+                   fn g(s: &S) {\n  let g = s.n.load(Ordering::Relaxed);\n  s.m.lock().unwrap();\n}\n";
+        let f = check(&Model::from_sources(&[("crates/x/src/c.rs", src)]));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn consistent_cell_then_lock_order_is_fine() {
+        let src = "struct S { m: Mutex<u8>, cell: VersionCell<i64> }\n\
+                   fn f(s: &S) {\n  let v = s.cell.load();\n  s.m.lock().unwrap();\n}\n\
+                   fn g(s: &S) {\n  let v = s.cell.install(e);\n  s.m.lock().unwrap();\n}\n";
+        let f = check(&Model::from_sources(&[("crates/x/src/c.rs", src)]));
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! library query paths never panicking — a panic is contained by
 //! `catch_unwind` but permanently poisons the engine. This rule makes
 //! the no-panic property checkable: inside every function reachable from
-//! a [`RangeEngine`] method (see [`crate::reachability`]), it flags
+//! a `RangeEngine` method (see [`crate::reachability`]), it flags
 //!
 //! - `.unwrap()` / `.expect(…)`,
 //! - `panic!`, `unreachable!`, `todo!`, `unimplemented!`, and the

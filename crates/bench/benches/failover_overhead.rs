@@ -51,10 +51,10 @@ fn router(a: &olap_array::DenseArray<i64>) -> AdaptiveRouter<i64> {
 
 fn failover_overhead(c: &mut Criterion) {
     let a = uniform_cube(Shape::new(&[256, 256]).unwrap(), 1000, 13);
-    let mut unbudgeted = router(&a);
+    let unbudgeted = router(&a);
     // A generous budget that never fires: the meter is armed (every kernel
     // charges it and checks the deadline) but no query comes near the cap.
-    let mut budgeted = router(&a).with_budget(
+    let budgeted = router(&a).with_budget(
         QueryBudget::unlimited()
             .deadline(Duration::from_secs(3600))
             .max_accesses(u64::MAX / 2),
@@ -63,7 +63,7 @@ fn failover_overhead(c: &mut Criterion) {
     // quarantines it after the threshold, so the steady state measures
     // admissibility bookkeeping plus a failed half-open probe (one
     // contained fault + one failover) every cooldown window.
-    let mut failing = AdaptiveRouter::new()
+    let failing = AdaptiveRouter::new()
         .with_engine(Box::new(FaultyEngine::new(
             Box::new(NaiveEngine::new(a.clone())),
             FaultPlan::seeded(7).errors(1000).lie_cheapest(),

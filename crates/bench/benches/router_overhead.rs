@@ -28,7 +28,7 @@ fn router_overhead(c: &mut Criterion) {
     let a = uniform_cube(Shape::new(&[256, 256]).unwrap(), 1000, 13);
     let direct: Box<dyn RangeEngine<i64>> =
         Box::new(CubeIndex::build(a.clone(), index_config(PrefixChoice::Basic)).unwrap());
-    let mut router: AdaptiveRouter<i64> = AdaptiveRouter::new()
+    let router: AdaptiveRouter<i64> = AdaptiveRouter::new()
         .with_engine(Box::new(NaiveEngine::new(a.clone())))
         .with_engine(Box::new(
             CubeIndex::build(a.clone(), index_config(PrefixChoice::Basic)).unwrap(),

@@ -1,0 +1,73 @@
+//! What does sharded serving cost per query, and how fast do snapshot
+//! installs turn over? Two prices are pinned:
+//!
+//! - **fan-out**: a `range_sum` through the `CubeServer` front door —
+//!   region decomposition across shard slabs, one queue hop per
+//!   overlapping shard, partial-merge on the caller — measured at one
+//!   shard (pure dispatch overhead over a plain router) and at four
+//!   (real fan-out with partial sums in flight);
+//! - **install**: a full derive+install cycle for a small single-shard
+//!   update batch — the copy-on-write successor derivation, the epoch
+//!   registration, and the pointer swap that publishes it.
+//!
+//! CI gates the geometric mean against
+//! `results/serve_throughput_baseline.json` with the same 10% tolerance
+//! as the router- and failover-overhead gates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use olap_array::Shape;
+use olap_query::RangeQuery;
+use olap_server::{CubeServer, ServeConfig};
+use olap_workload::{uniform_cube, uniform_regions};
+use std::hint::black_box;
+
+fn serve_throughput(c: &mut Criterion) {
+    let a = uniform_cube(Shape::new(&[96, 96]).unwrap(), 1000, 17);
+    let queries: Vec<RangeQuery> = uniform_regions(a.shape(), 16, 23)
+        .iter()
+        .map(RangeQuery::from_region)
+        .collect();
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(20);
+    for shards in [1usize, 4] {
+        let srv = CubeServer::build(
+            &a,
+            ServeConfig {
+                shards,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("range_sum", shards),
+            &queries,
+            |bch, qs| {
+                bch.iter(|| {
+                    for q in qs {
+                        black_box(srv.range_sum(q).unwrap());
+                    }
+                })
+            },
+        );
+    }
+
+    // Install turnover: every iteration derives and publishes one
+    // successor snapshot on the shard owning row 0.
+    let srv = CubeServer::build(
+        &a,
+        ServeConfig {
+            shards: 4,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let batch: Vec<(Vec<usize>, i64)> = (0..4).map(|i| (vec![0, i * 7], i as i64)).collect();
+    group.bench_function(BenchmarkId::new("install", 4), |bch| {
+        bch.iter(|| black_box(srv.apply_updates(&batch).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, serve_throughput);
+criterion_main!(benches);

@@ -125,7 +125,7 @@ pub(crate) fn cmd_chaos(args: &[String]) -> Result<String, CliError> {
     let panic_pm = parse_u16(&p, "--panic-rate", 10)?;
     let a = storage::read_dense_i64(&mut open_reader(cube_path)?)?;
 
-    let mut chaotic = chaotic_router(&a, seed, error_pm, panic_pm)?;
+    let chaotic = chaotic_router(&a, seed, error_pm, panic_pm)?;
     // The fault-free oracle: a plain prefix-sum index over the same cube.
     let reference = CubeIndex::build(a.clone(), IndexConfig::default())
         .map_err(|e| CliError::Query(e.to_string()))?;
@@ -189,9 +189,10 @@ pub(crate) fn cmd_chaos(args: &[String]) -> Result<String, CliError> {
             chaotic
                 .apply_updates(&[(idx.clone(), value)])
                 .map_err(|e| CliError::Query(format!("chaos update failed: {e}")))?;
-            reference
+            let derived = reference
                 .apply_updates(&[(idx, value)])
                 .map_err(|e| CliError::Query(format!("reference update failed: {e}")))?;
+            reference = derived.engine;
             applied += 1;
         }
     }

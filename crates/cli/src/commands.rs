@@ -32,6 +32,11 @@ commands:
   chaos    --cube FILE [--queries N] [--updates U] [--seed S] [--error-rate PM] [--panic-rate PM]
            run the workload with seeded fault injection on every engine and
            print a resilience report (failovers, quarantines, contained panics)
+  serve    --cube FILE [--shards N] [--phases P] [--queries N] [--readers R]
+           [--batch B] [--seed S] [--error-rate PM]
+           boot the sharded snapshot-isolated server, drive concurrent readers
+           against racing update installs, verify every answer is the pre- or
+           post-update oracle, and print the serving report
   info     FILE
 
 queries: per dimension `lo:hi`, a single index, or `all` — e.g. 3:17,all,5";
@@ -59,6 +64,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "metrics" => cmd_metrics(rest),
         "flight-record" => cmd_flight_record(rest),
         "chaos" => crate::chaos_cmd::cmd_chaos(rest),
+        "serve" => crate::serve_cmd::cmd_serve(rest),
         "repl" => {
             let stdin = std::io::stdin();
             let mut input = stdin.lock();
@@ -294,7 +300,7 @@ fn explain_sum_via_index(
                 olap_engine::PrefixChoice::Blocked(bp.block_size()),
             )?)
         };
-    let mut router = AdaptiveRouter::new()
+    let router = AdaptiveRouter::new()
         .with_engine(Box::new(NaiveEngine::new(a)))
         .with_engine(indexed);
     let e = router
@@ -323,7 +329,7 @@ fn cmd_explain(args: &[String]) -> Result<String, CliError> {
         .map_err(|_| usage("--tree needs a fanout"))?;
     let a = storage::read_dense_i64(&mut open_reader(cube_path)?)?;
     let q = crate::args::parse_range_query(query, a.shape().dims())?;
-    let mut router = AdaptiveRouter::new()
+    let router = AdaptiveRouter::new()
         .with_engine(Box::new(NaiveEngine::new(a.clone())))
         .with_engine(Box::new(prefix_engine(
             &a,

@@ -22,6 +22,7 @@ mod chaos_cmd;
 pub mod commands;
 pub mod csv;
 pub mod repl;
+mod serve_cmd;
 #[cfg(feature = "telemetry")]
 mod telemetry_cmd;
 

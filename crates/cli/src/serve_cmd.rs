@@ -1,0 +1,186 @@
+//! The `serve` command: boot a sharded [`CubeServer`] over a stored
+//! cube, drive the seeded concurrent load driver against it, and print a
+//! serving report — per-shard slab extents, snapshot epochs, reclamation
+//! lag, queue depths, and the oracle verdict. Every driver answer must be
+//! bit-identical to the pre- or post-update sequential oracle; any torn
+//! read fails the command with a non-zero exit, so it doubles as the CI
+//! smoke leg for the snapshot-isolation contract.
+
+use crate::args::{split_args, usage, CliError};
+use crate::chaos_cmd::mix;
+use olap_engine::FaultPlan;
+use olap_server::{drive_load, CubeServer, LoadSpec, ServeConfig};
+use olap_storage as storage;
+
+fn parse_usize(
+    args: &crate::args::ParsedArgs,
+    flag: &str,
+    default: usize,
+) -> Result<usize, CliError> {
+    match args.get(flag) {
+        Some(s) => s
+            .parse()
+            .map_err(|_| usage(format!("{flag} must be a non-negative integer"))),
+        None => Ok(default),
+    }
+}
+
+/// `serve`: sharded snapshot-isolated serving drill. See the module docs.
+pub(crate) fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let p = split_args(args)?;
+    let cube_path = p.require("--cube")?;
+    let shards = parse_usize(&p, "--shards", 4)?;
+    let phases = parse_usize(&p, "--phases", 8)?;
+    let queries = parse_usize(&p, "--queries", 48)?;
+    let readers = parse_usize(&p, "--readers", 4)?;
+    let batch = parse_usize(&p, "--batch", 3)?;
+    let seed: u64 = p
+        .get("--seed")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| usage("--seed must be an integer"))?;
+    let error_pm: u16 = match p.get("--error-rate") {
+        Some(s) => s
+            .parse()
+            .map_err(|_| usage("--error-rate must be a per-mille rate (0..=1000)"))?,
+        None => 0,
+    };
+
+    let a = storage::read_dense_i64(&mut crate::commands::open_reader(cube_path)?)?;
+    let faults = (error_pm > 0).then(|| FaultPlan::seeded(mix(seed)).errors(error_pm));
+    let server = CubeServer::build(
+        &a,
+        ServeConfig {
+            shards,
+            faults,
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| CliError::Query(e.to_string()))?;
+    let spec = LoadSpec {
+        phases,
+        queries_per_phase: queries,
+        readers,
+        batch,
+        seed,
+    };
+    let report = drive_load(&server, &a, &spec).map_err(|e| CliError::Query(e.to_string()))?;
+
+    let mut out = Vec::new();
+    out.push(format!(
+        "serve: {} shard workers over a {:?} cube (seed {seed}{})",
+        server.shards(),
+        a.shape().dims(),
+        if error_pm > 0 {
+            format!(", error {error_pm}\u{2030} on precomputed engines")
+        } else {
+            String::new()
+        }
+    ));
+    out.push(String::from("shard  rows          epoch  live  lag  queue"));
+    for s in server.shard_stats() {
+        out.push(format!(
+            "{:>5}  {:>4}..{:<6} {:>6} {:>5} {:>4} {:>6}",
+            s.shard,
+            s.rows.0,
+            s.rows.1,
+            s.epochs.epoch,
+            s.epochs.live_snapshots,
+            s.epochs.reclamation_lag,
+            s.queue_depth,
+        ));
+    }
+    out.push(format!(
+        "load: {} phases x {} queries across {} readers, {} update installs",
+        report.phases, queries, report.readers, report.updates
+    ));
+    out.push(format!(
+        "answers: {}/{} bit-identical to a pre- or post-update oracle, {} mismatches",
+        report.answers - report.mismatches,
+        report.answers,
+        report.mismatches
+    ));
+    let verdict = if report.passed() { "OK" } else { "FAIL" };
+    out.push(format!("snapshot isolation: {verdict}"));
+    let text = out.join("\n");
+    if report.passed() {
+        Ok(text)
+    } else {
+        Err(CliError::Query(format!(
+            "snapshot-isolation contract violated\n{text}"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olap_array::Shape;
+    use olap_workload::uniform_cube;
+
+    fn cube_file(seed: u64) -> std::path::PathBuf {
+        let a = uniform_cube(Shape::new(&[24, 10]).unwrap(), 500, seed);
+        let path = std::env::temp_dir().join(format!("olap-serve-test-{seed}.olap"));
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+        storage::write_dense_i64(&mut f, &a).unwrap();
+        path
+    }
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        cmd_serve(&owned)
+    }
+
+    #[test]
+    fn serve_report_passes_on_a_clean_run() {
+        let path = cube_file(71);
+        let out = run(&[
+            "--cube",
+            path.to_str().unwrap(),
+            "--shards",
+            "4",
+            "--phases",
+            "4",
+            "--queries",
+            "24",
+            "--readers",
+            "3",
+            "--seed",
+            "9",
+        ])
+        .unwrap();
+        assert!(out.contains("serve: 4 shard workers"), "{out}");
+        assert!(out.contains("0 mismatches"), "{out}");
+        assert!(out.contains("snapshot isolation: OK"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn chaos_serve_report_survives_injected_errors() {
+        let path = cube_file(73);
+        let out = run(&[
+            "--cube",
+            path.to_str().unwrap(),
+            "--shards",
+            "3",
+            "--phases",
+            "3",
+            "--queries",
+            "18",
+            "--readers",
+            "2",
+            "--seed",
+            "5",
+            "--error-rate",
+            "150",
+        ])
+        .unwrap();
+        assert!(out.contains("snapshot isolation: OK"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn serve_requires_a_cube() {
+        assert!(run(&["--shards", "4"]).is_err());
+    }
+}

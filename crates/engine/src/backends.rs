@@ -6,7 +6,7 @@
 //! are self-contained) so the whole backend travels as one
 //! `Box<dyn RangeEngine<V>>`.
 
-use crate::range_engine::{Capabilities, RangeEngine};
+use crate::range_engine::{Capabilities, Derived, RangeEngine};
 use crate::EngineError;
 use olap_aggregate::{NaturalOrder, NumericValue, ReverseOrder, SumOp, TotalOrder};
 use olap_array::{DenseArray, Region, Shape};
@@ -35,9 +35,35 @@ impl<T> NaiveEngine<T> {
     }
 }
 
-impl<T> RangeEngine<T> for NaiveEngine<T>
+impl<T> NaiveEngine<T>
 where
     T: NumericValue + PartialOrd,
+{
+    /// Applies absolute-value updates in place — the single-owner
+    /// primitive the copy-on-write [`RangeEngine::apply_updates`] builds
+    /// on.
+    ///
+    /// # Errors
+    /// Index validation.
+    pub fn apply_updates_in_place(
+        &mut self,
+        updates: &[(Vec<usize>, T)],
+    ) -> Result<AccessStats, EngineError> {
+        for (idx, _) in updates {
+            self.a.shape().check_index(idx)?;
+        }
+        let mut stats = AccessStats::new();
+        for (idx, v) in updates {
+            *self.a.get_mut(idx) = v.clone();
+            stats.read_a(1);
+        }
+        Ok(stats)
+    }
+}
+
+impl<T> RangeEngine<T> for NaiveEngine<T>
+where
+    T: NumericValue + PartialOrd + Send + Sync + 'static,
     NaturalOrder<T>: TotalOrder<Value = T>,
 {
     fn label(&self) -> String {
@@ -101,21 +127,13 @@ where
         )
     }
 
-    fn apply_updates(&mut self, updates: &[(Vec<usize>, T)]) -> Result<AccessStats, EngineError> {
+    fn apply_updates(&self, updates: &[(Vec<usize>, T)]) -> Result<Derived<T>, EngineError> {
         let obs = crate::telemetry::UpdateObservation::start();
-        let result = (|| {
-            for (idx, _) in updates {
-                self.a.shape().check_index(idx)?;
-            }
-            let mut stats = AccessStats::new();
-            for (idx, v) in updates {
-                *self.a.get_mut(idx) = v.clone();
-                stats.read_a(1);
-            }
-            Ok(stats)
-        })();
+        let mut next = self.clone();
+        let result = NaiveEngine::apply_updates_in_place(&mut next, updates);
         obs.finish(|| self.label(), updates.len(), &result);
-        result
+        let stats = result?;
+        Ok(Derived::new(Box::new(next), stats))
     }
 }
 
@@ -142,11 +160,34 @@ impl<T: NumericValue + PartialOrd> SumTreeEngine<T> {
     pub fn fanout(&self) -> usize {
         self.tree.fanout()
     }
+
+    /// Applies absolute-value updates in place, rebuilding the tree — the
+    /// single-owner primitive the copy-on-write
+    /// [`RangeEngine::apply_updates`] builds on.
+    ///
+    /// # Errors
+    /// Index validation.
+    pub fn apply_updates_in_place(
+        &mut self,
+        updates: &[(Vec<usize>, T)],
+    ) -> Result<AccessStats, EngineError> {
+        for (idx, _) in updates {
+            self.a.shape().check_index(idx)?;
+        }
+        let mut stats = AccessStats::new();
+        for (idx, v) in updates {
+            *self.a.get_mut(idx) = v.clone();
+            stats.read_a(1);
+        }
+        self.tree = SumTreeCube::build(&self.a, self.tree.fanout())?;
+        stats.visit_nodes(self.tree.node_count() as u64);
+        Ok(stats)
+    }
 }
 
 impl<T> RangeEngine<T> for SumTreeEngine<T>
 where
-    T: NumericValue + PartialOrd,
+    T: NumericValue + PartialOrd + Send + Sync + 'static,
 {
     fn label(&self) -> String {
         format!("tree-sum(b={})", self.tree.fanout())
@@ -190,23 +231,13 @@ where
         )
     }
 
-    fn apply_updates(&mut self, updates: &[(Vec<usize>, T)]) -> Result<AccessStats, EngineError> {
+    fn apply_updates(&self, updates: &[(Vec<usize>, T)]) -> Result<Derived<T>, EngineError> {
         let obs = crate::telemetry::UpdateObservation::start();
-        let result = (|| {
-            for (idx, _) in updates {
-                self.a.shape().check_index(idx)?;
-            }
-            let mut stats = AccessStats::new();
-            for (idx, v) in updates {
-                *self.a.get_mut(idx) = v.clone();
-                stats.read_a(1);
-            }
-            self.tree = SumTreeCube::build(&self.a, self.tree.fanout())?;
-            stats.visit_nodes(self.tree.node_count() as u64);
-            Ok(stats)
-        })();
+        let mut next = self.clone();
+        let result = SumTreeEngine::apply_updates_in_place(&mut next, updates);
         obs.finish(|| self.label(), updates.len(), &result);
-        result
+        let stats = result?;
+        Ok(Derived::new(Box::new(next), stats))
     }
 }
 
@@ -242,9 +273,33 @@ impl<T: NumericValue> SparseSumEngine<T> {
     pub fn inner(&self) -> &SparseRangeSum<SumOp<T>> {
         &self.inner
     }
+
+    /// Applies absolute-value updates in place — the single-owner
+    /// primitive the copy-on-write [`RangeEngine::apply_updates`] builds
+    /// on. The inner engine speaks deltas (value-to-add); this converts
+    /// one update at a time against the current state so duplicate
+    /// updates to a cell compose correctly.
+    ///
+    /// # Errors
+    /// Index validation.
+    pub fn apply_updates_in_place(
+        &mut self,
+        updates: &[(Vec<usize>, T)],
+    ) -> Result<AccessStats, EngineError> {
+        let mut stats = AccessStats::new();
+        for (idx, new_v) in updates {
+            let point = Region::point(idx)?;
+            let (old, s) = self.inner.range_sum_with_stats(&point)?;
+            stats += s;
+            self.inner
+                .apply_updates(&[(idx.clone(), new_v.clone() - old)])?;
+            stats.read_a(1);
+        }
+        Ok(stats)
+    }
 }
 
-impl<T: NumericValue> RangeEngine<T> for SparseSumEngine<T> {
+impl<T: NumericValue + Send + Sync + 'static> RangeEngine<T> for SparseSumEngine<T> {
     fn label(&self) -> String {
         "sparse-sum".to_string()
     }
@@ -288,25 +343,13 @@ impl<T: NumericValue> RangeEngine<T> for SparseSumEngine<T> {
         )
     }
 
-    fn apply_updates(&mut self, updates: &[(Vec<usize>, T)]) -> Result<AccessStats, EngineError> {
+    fn apply_updates(&self, updates: &[(Vec<usize>, T)]) -> Result<Derived<T>, EngineError> {
         let obs = crate::telemetry::UpdateObservation::start();
-        // The inner engine speaks deltas (value-to-add); the trait speaks
-        // absolute values. Convert one update at a time against the
-        // current state so duplicate updates to a cell compose correctly.
-        let result = (|| {
-            let mut stats = AccessStats::new();
-            for (idx, new_v) in updates {
-                let point = Region::point(idx)?;
-                let (old, s) = self.inner.range_sum_with_stats(&point)?;
-                stats += s;
-                self.inner
-                    .apply_updates(&[(idx.clone(), new_v.clone() - old)])?;
-                stats.read_a(1);
-            }
-            Ok(stats)
-        })();
+        let mut next = self.clone();
+        let result = SparseSumEngine::apply_updates_in_place(&mut next, updates);
         obs.finish(|| self.label(), updates.len(), &result);
-        result
+        let stats = result?;
+        Ok(Derived::new(Box::new(next), stats))
     }
 }
 
@@ -348,7 +391,7 @@ where
 impl<T> RangeEngine<T> for SparseMaxEngine<T>
 where
     NaturalOrder<T>: TotalOrder<Value = T>,
-    T: Clone,
+    T: Clone + Send + Sync + 'static,
 {
     fn label(&self) -> String {
         "sparse-max".to_string()
@@ -434,7 +477,7 @@ mod tests {
         let emin = a.fold_region(&region, i64::MAX, |m, &x| m.min(x));
         assert_eq!(e.range_min(&query).unwrap().value(), Some(&emin));
         assert_eq!(e.estimate(&query), region.volume() as f64);
-        e.apply_updates(&[(vec![3, 3], 999)]).unwrap();
+        e.apply_updates_in_place(&[(vec![3, 3], 999)]).unwrap();
         assert_eq!(e.range_max(&query).unwrap().value(), Some(&999));
     }
 
@@ -453,7 +496,7 @@ mod tests {
             e.range_max(&query),
             Err(EngineError::Unsupported { .. })
         ));
-        e.apply_updates(&[(vec![0, 1], 40), (vec![0, 1], 50)])
+        e.apply_updates_in_place(&[(vec![0, 1], 40), (vec![0, 1], 50)])
             .unwrap();
         let mut shadow = a.clone();
         *shadow.get_mut(&[0, 1]) = 50;
@@ -471,7 +514,7 @@ mod tests {
         assert_eq!(e.range_sum(&query).unwrap().value(), Some(&total));
         // Absolute semantics: set a cell twice; the last value wins and
         // the delta conversion must not double-count.
-        e.apply_updates(&[(vec![2, 2], 100), (vec![2, 2], 7)])
+        e.apply_updates_in_place(&[(vec![2, 2], 100), (vec![2, 2], 7)])
             .unwrap();
         let old = *a.get(&[2, 2]);
         let expected = total - old + 7;

@@ -143,7 +143,11 @@ impl<G: AbelianGroup> ExtendedCube<G> {
     }
 }
 
-impl<G: AbelianGroup> RangeEngine<G::Value> for ExtendedCube<G> {
+impl<G> RangeEngine<G::Value> for ExtendedCube<G>
+where
+    G: AbelianGroup + Send + Sync,
+    G::Value: Send + Sync,
+{
     fn label(&self) -> String {
         "extended-cube".to_string()
     }

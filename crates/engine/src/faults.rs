@@ -17,9 +17,10 @@
 //! mutually consistent or equivalence checks would compare different
 //! cubes rather than different failure handling.
 
+use crate::range_engine::Derived;
 use crate::{Capabilities, EngineError, RangeEngine};
 use olap_array::{BudgetMeter, Shape};
-use olap_query::{AccessStats, QueryOutcome, RangeQuery};
+use olap_query::{QueryOutcome, RangeQuery};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -130,7 +131,7 @@ pub struct FaultyEngine<V> {
     calls: AtomicU64,
 }
 
-impl<V> FaultyEngine<V> {
+impl<V: 'static> FaultyEngine<V> {
     /// Wraps `inner` with the given fault plan.
     pub fn new(inner: Box<dyn RangeEngine<V>>, plan: FaultPlan) -> Self {
         FaultyEngine {
@@ -190,7 +191,7 @@ impl<V> FaultyEngine<V> {
     }
 }
 
-impl<V> RangeEngine<V> for FaultyEngine<V> {
+impl<V: 'static> RangeEngine<V> for FaultyEngine<V> {
     fn label(&self) -> String {
         format!("faulty({})", self.inner.label())
     }
@@ -237,9 +238,22 @@ impl<V> RangeEngine<V> for FaultyEngine<V> {
         self.inner.range_sum_budgeted(query, meter)
     }
 
-    fn apply_updates(&mut self, updates: &[(Vec<usize>, V)]) -> Result<AccessStats, EngineError> {
+    fn apply_updates(&self, updates: &[(Vec<usize>, V)]) -> Result<Derived<V>, EngineError> {
         // Never injected: replicas must stay consistent (module docs).
-        self.inner.apply_updates(updates)
+        // The derived snapshot keeps the same plan and carries the call
+        // count forward so the fault schedule continues across installs.
+        let derived = self.inner.apply_updates(updates)?;
+        Ok(Derived::new(
+            Box::new(FaultyEngine {
+                inner: derived.engine,
+                plan: self.plan,
+                // ordering: Relaxed — a point-in-time carry of the call
+                // counter into the successor snapshot; the schedule only
+                // needs per-call uniqueness, not cross-thread ordering.
+                calls: AtomicU64::new(self.calls.load(Ordering::Relaxed)),
+            }),
+            derived.stats,
+        ))
     }
 }
 
@@ -295,16 +309,20 @@ mod tests {
 
     #[test]
     fn updates_and_estimates_are_never_injected() {
-        let mut e = FaultyEngine::new(
+        let e = FaultyEngine::new(
             Box::new(NaiveEngine::new(cube())),
             // Every query call fails, but updates must pass through.
             FaultPlan::seeded(1).errors(1000).lie_cheapest(),
         );
         assert_eq!(e.estimate(&query()), 0.0);
-        assert!(e.apply_updates(&[(vec![0, 0], 99)]).is_ok());
+        let derived = e.apply_updates(&[(vec![0, 0], 99)]).unwrap();
         assert_eq!(e.calls(), 0, "updates and estimates are not query calls");
         assert!(e.range_sum(&query()).is_err());
         assert_eq!(e.calls(), 1);
+        // The derived snapshot carries the plan forward: its queries are
+        // injected on the same schedule, continuing from the call count
+        // at derivation time (0 here).
+        assert!(derived.engine.range_sum(&query()).is_err());
     }
 
     #[test]

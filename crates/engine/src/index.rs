@@ -2,7 +2,7 @@
 //! one query interface.
 
 use crate::error::EngineError;
-use crate::range_engine::{Capabilities, RangeEngine};
+use crate::range_engine::{Capabilities, Derived, RangeEngine};
 use olap_aggregate::ReverseOrder;
 use olap_aggregate::{NaturalOrder, NumericValue, SumOp, TotalOrder};
 use olap_array::{BudgetMeter, DenseArray, Parallelism, QueryBudget, Region, Shape};
@@ -11,6 +11,7 @@ use olap_prefix_sum::{batch, BlockedPrefixCube, BoundaryPolicy, PrefixSumCube};
 use olap_query::{AccessStats, EngineKind, QueryOutcome, RangeQuery};
 use olap_range_max::{MaxTree, NaturalMaxTree, PointUpdate};
 use olap_tree_sum::SumTreeCube;
+use std::sync::Arc;
 
 /// Which prefix-sum structure to maintain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -83,7 +84,7 @@ impl Default for IndexConfig {
 /// assert!(stats.p_cells <= 4); // Theorem 1: at most 2^d lookups
 /// let (_, max, _) = index.range_max(&q).unwrap();
 /// assert_eq!(max, 46);
-/// index.apply_updates(&[(vec![0, 0], 100)]).unwrap();
+/// index.apply_updates_in_place(&[(vec![0, 0], 100)]).unwrap();
 /// assert_eq!(index.range_max(&q).unwrap().1, 46); // [0,0] outside q
 /// # let _ = sum;
 /// ```
@@ -93,13 +94,18 @@ where
     T: NumericValue + PartialOrd,
     NaturalOrder<T>: TotalOrder<Value = T>,
 {
-    a: DenseArray<T>,
+    // Every structure sits behind an `Arc` so a clone of the index is a
+    // handful of reference bumps: the copy-on-write snapshot derivation in
+    // the trait-level `apply_updates` clones the index, then deep-copies
+    // (via `Arc::make_mut`) only the structures the batch actually
+    // touches.
+    a: Arc<DenseArray<T>>,
     config: IndexConfig,
-    prefix: Option<PrefixSumCube<T>>,
-    blocked: Option<BlockedPrefixCube<T>>,
-    max_tree: Option<NaturalMaxTree<T>>,
-    min_tree: Option<MaxTree<ReverseOrder<NaturalOrder<T>>>>,
-    sum_tree: Option<SumTreeCube<T>>,
+    prefix: Option<Arc<PrefixSumCube<T>>>,
+    blocked: Option<Arc<BlockedPrefixCube<T>>>,
+    max_tree: Option<Arc<NaturalMaxTree<T>>>,
+    min_tree: Option<Arc<MaxTree<ReverseOrder<NaturalOrder<T>>>>>,
+    sum_tree: Option<Arc<SumTreeCube<T>>>,
 }
 
 impl<T> CubeIndex<T>
@@ -117,32 +123,32 @@ where
     pub fn build(a: DenseArray<T>, config: IndexConfig) -> Result<Self, EngineError> {
         let par = config.parallelism;
         let prefix = match config.prefix {
-            PrefixChoice::Basic => Some(PrefixSumCube::build_with(&a, par)),
+            PrefixChoice::Basic => Some(Arc::new(PrefixSumCube::build_with(&a, par))),
             _ => None,
         };
         let blocked = match config.prefix {
-            PrefixChoice::Blocked(b) => Some(BlockedPrefixCube::build_with(&a, b, par)?),
+            PrefixChoice::Blocked(b) => Some(Arc::new(BlockedPrefixCube::build_with(&a, b, par)?)),
             _ => None,
         };
         let max_tree = match config.max_tree_fanout {
-            Some(b) => Some(NaturalMaxTree::for_values_with(&a, b, par)?),
+            Some(b) => Some(Arc::new(NaturalMaxTree::for_values_with(&a, b, par)?)),
             None => None,
         };
         let min_tree = match config.min_tree_fanout {
-            Some(b) => Some(MaxTree::build_with(
+            Some(b) => Some(Arc::new(MaxTree::build_with(
                 &a,
                 b,
                 ReverseOrder::new(NaturalOrder::<T>::new()),
                 par,
-            )?),
+            )?)),
             None => None,
         };
         let sum_tree = match config.sum_tree_fanout {
-            Some(b) => Some(SumTreeCube::build(&a, b)?),
+            Some(b) => Some(Arc::new(SumTreeCube::build(&a, b)?)),
             None => None,
         };
         Ok(CubeIndex {
-            a,
+            a: Arc::new(a),
             config,
             prefix,
             blocked,
@@ -306,7 +312,7 @@ where
     ///
     /// # Errors
     /// Validates every index.
-    pub fn apply_updates(
+    pub fn apply_updates_in_place(
         &mut self,
         updates: &[(Vec<usize>, T)],
     ) -> Result<AccessStats, EngineError> {
@@ -329,11 +335,14 @@ where
                 running.insert(idx.clone(), new_v.clone());
             }
             let par = self.config.parallelism;
+            // `Arc::make_mut` is the copy-on-write boundary: a structure
+            // shared with a live snapshot is deep-copied exactly once
+            // here; an unshared one is mutated in place.
             if let Some(ps) = &mut self.prefix {
-                batch::apply_batch_par(ps, &deltas, par)?;
+                batch::apply_batch_par(Arc::make_mut(ps), &deltas, par)?;
             }
             if let Some(bp) = &mut self.blocked {
-                batch::apply_batch_blocked_par(bp, &deltas, par)?;
+                batch::apply_batch_blocked_par(Arc::make_mut(bp), &deltas, par)?;
             }
         }
         let pts: Vec<PointUpdate<T>> = updates
@@ -343,19 +352,20 @@ where
         // The min tree sees the pre-update cube (batch_update applies the
         // writes itself, so only the first tree may mutate `a`).
         if let Some(t) = &mut self.min_tree {
-            let mut shadow = self.a.clone();
-            stats += t.batch_update(&mut shadow, &pts)?;
+            let mut shadow = self.a.as_ref().clone();
+            stats += Arc::make_mut(t).batch_update(&mut shadow, &pts)?;
         }
         // The max tree updates A itself; otherwise apply manually.
         if let Some(t) = &mut self.max_tree {
-            stats += t.batch_update(&mut self.a, &pts)?;
+            stats += Arc::make_mut(t).batch_update(Arc::make_mut(&mut self.a), &pts)?;
         } else {
+            let a = Arc::make_mut(&mut self.a);
             for (idx, v) in updates {
-                *self.a.get_mut(idx) = v.clone();
+                *a.get_mut(idx) = v.clone();
             }
         }
         if let Some(st) = &mut self.sum_tree {
-            *st = SumTreeCube::build(&self.a, st.fanout())?;
+            *st = Arc::new(SumTreeCube::build(&self.a, st.fanout())?);
         }
         Ok(stats)
     }
@@ -363,7 +373,7 @@ where
 
 impl<T> RangeEngine<T> for CubeIndex<T>
 where
-    T: NumericValue + PartialOrd + Send + Sync,
+    T: NumericValue + PartialOrd + Send + Sync + 'static,
     NaturalOrder<T>: TotalOrder<Value = T>,
 {
     fn label(&self) -> String {
@@ -488,11 +498,16 @@ where
         )
     }
 
-    fn apply_updates(&mut self, updates: &[(Vec<usize>, T)]) -> Result<AccessStats, EngineError> {
+    fn apply_updates(&self, updates: &[(Vec<usize>, T)]) -> Result<Derived<T>, EngineError> {
         let obs = crate::telemetry::UpdateObservation::start();
-        let result = CubeIndex::apply_updates(self, updates);
+        // Copy-on-write derivation: the clone is a handful of `Arc`
+        // bumps, and the in-place kernel deep-copies (via
+        // `Arc::make_mut`) only the structures the batch touches.
+        let mut next = self.clone();
+        let result = CubeIndex::apply_updates_in_place(&mut next, updates);
         obs.finish(|| RangeEngine::label(self), updates.len(), &result);
-        result
+        let stats = result?;
+        Ok(Derived::new(Box::new(next), stats))
     }
 }
 
@@ -594,7 +609,7 @@ mod tests {
             ..IndexConfig::default()
         };
         let mut idx = CubeIndex::build(a, cfg).unwrap();
-        idx.apply_updates(&[
+        idx.apply_updates_in_place(&[
             (vec![0, 0], 100),
             (vec![11, 9], -50),
             (vec![5, 5], 7),
@@ -629,7 +644,7 @@ mod tests {
             ..IndexConfig::default()
         };
         let mut idx = CubeIndex::build(a, cfg).unwrap();
-        idx.apply_updates(&[(vec![3, 3], 77), (vec![8, 1], -4)])
+        idx.apply_updates_in_place(&[(vec![3, 3], 77), (vec![8, 1], -4)])
             .unwrap();
         let q = Region::from_bounds(&[(0, 11), (0, 9)]).unwrap();
         let (s, _) = idx.range_sum(&q).unwrap();
@@ -639,7 +654,7 @@ mod tests {
     #[test]
     fn rejects_invalid_updates() {
         let mut idx = CubeIndex::build(cube(), IndexConfig::default()).unwrap();
-        assert!(idx.apply_updates(&[(vec![12, 0], 1)]).is_err());
+        assert!(idx.apply_updates_in_place(&[(vec![12, 0], 1)]).is_err());
     }
 
     #[test]
@@ -672,7 +687,7 @@ mod tests {
         assert_eq!(v, naive_min);
         assert!(q.contains(&at));
         // Updates keep the min tree consistent.
-        idx.apply_updates(&[(vec![5, 5], -999)]).unwrap();
+        idx.apply_updates_in_place(&[(vec![5, 5], -999)]).unwrap();
         assert_eq!(idx.range_min(&q).unwrap().1, -999);
         assert_eq!(idx.range_max(&q).unwrap().1, {
             let mut shadow = a.clone();

@@ -45,6 +45,7 @@ mod range_engine;
 pub mod rolling;
 mod router;
 mod telemetry;
+mod version;
 
 pub use backends::{NaiveEngine, SparseMaxEngine, SparseSumEngine, SumTreeEngine};
 pub use error::EngineError;
@@ -53,8 +54,9 @@ pub use faults::{FaultPlan, FaultyEngine};
 pub use index::{CubeIndex, IndexConfig, PrefixChoice};
 pub use olap_array::{BudgetMeter, CancellationToken, Interrupt, Parallelism, QueryBudget};
 pub use planned::PlannedIndex;
-pub use range_engine::{Capabilities, EngineOp, RangeEngine};
+pub use range_engine::{Capabilities, Derived, EngineOp, RangeEngine};
 pub use router::{
     AdaptiveRouter, Candidate, EngineHealth, EngineStatus, Explain, FaultStats, ReplayRecord,
     DEFAULT_ALPHA, QUARANTINE_COOLDOWN_TICKS, QUARANTINE_THRESHOLD,
 };
+pub use version::{EngineVersion, EpochStats, VersionCell};

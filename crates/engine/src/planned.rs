@@ -203,7 +203,7 @@ impl<T: NumericValue + PartialOrd> PlannedIndex<T> {
     }
 }
 
-impl<T: NumericValue + PartialOrd> RangeEngine<T> for PlannedIndex<T> {
+impl<T: NumericValue + PartialOrd + Send + Sync + 'static> RangeEngine<T> for PlannedIndex<T> {
     fn label(&self) -> String {
         format!("planned-index({} structures)", self.structures.len())
     }

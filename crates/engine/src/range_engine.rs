@@ -89,13 +89,55 @@ impl Capabilities {
     }
 }
 
+/// The successor snapshot produced by a copy-on-write update: the derived
+/// engine plus the access statistics of deriving it.
+///
+/// [`RangeEngine::apply_updates`] never mutates the receiver — it returns
+/// one of these, and the caller (a [`crate::VersionCell`], the
+/// [`crate::AdaptiveRouter`], or a server shard) installs the successor
+/// atomically while in-flight readers finish on the old snapshot.
+pub struct Derived<V> {
+    /// The updated engine. The receiver is untouched and keeps answering
+    /// queries until the last reference to it drops.
+    pub engine: Box<dyn RangeEngine<V>>,
+    /// Cost of applying the batch, in the paper's element-access unit.
+    pub stats: AccessStats,
+}
+
+impl<V> Derived<V> {
+    /// Pairs a derived engine with its derivation cost.
+    pub fn new(engine: Box<dyn RangeEngine<V>>, stats: AccessStats) -> Self {
+        Derived { engine, stats }
+    }
+}
+
+impl<V> fmt::Debug for Derived<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Derived")
+            .field("engine", &self.engine.label())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
 /// A queryable cube backend: the lingua franca between structures, the
 /// adaptive router, benches, and the CLI.
 ///
 /// The trait is object safe; routers hold `Box<dyn RangeEngine<V>>`.
 /// Operations outside an engine's [`Capabilities`] default to
 /// [`EngineError::Unsupported`].
-pub trait RangeEngine<V> {
+///
+/// # Snapshot semantics
+///
+/// Engines are **immutable snapshots**: every query takes `&self` and the
+/// trait is `Send + Sync`, so one snapshot can serve any number of
+/// threads. Updates never mutate in place — [`RangeEngine::apply_updates`]
+/// *derives* a successor engine ([`Derived`]) from copy-on-write clones of
+/// the internal structures, and version cells install the successor
+/// atomically ([`crate::VersionCell`]). Concrete types additionally keep
+/// an inherent `&mut self` `apply_updates` for single-owner callers that
+/// do not need snapshot isolation.
+pub trait RangeEngine<V>: Send + Sync {
     /// A short human-readable label naming the engine and its tuning
     /// (e.g. `cube-index(blocked b=8)`), used by `explain` output.
     fn label(&self) -> String;
@@ -166,13 +208,19 @@ pub trait RangeEngine<V> {
         Ok(outcome)
     }
 
-    /// Applies a batch of **absolute-value** updates `(index, new value)`,
-    /// keeping every internal structure consistent. Later updates to the
-    /// same cell win.
+    /// Derives a successor engine with a batch of **absolute-value**
+    /// updates `(index, new value)` applied, leaving the receiver
+    /// untouched as a live snapshot for in-flight readers. Later updates
+    /// to the same cell win.
+    ///
+    /// Implementations clone `Arc`-shared internals and apply the paper's
+    /// incremental maintenance (the Theorem 2 batched region update, the
+    /// §7 tag protocol) into the clone, so only structures the batch
+    /// touches are deep-copied.
     ///
     /// # Errors
     /// Index validation, or [`EngineError::Unsupported`].
-    fn apply_updates(&mut self, updates: &[(Vec<usize>, V)]) -> Result<AccessStats, EngineError> {
+    fn apply_updates(&self, updates: &[(Vec<usize>, V)]) -> Result<Derived<V>, EngineError> {
         let _ = updates;
         Err(EngineError::unsupported(self.label(), "apply_updates"))
     }

@@ -14,6 +14,34 @@
 //! candidate's raw and calibrated prediction, the chosen route, and the
 //! observed cost after execution.
 //!
+//! # Shareability and snapshot isolation
+//!
+//! The router is `Send + Sync`: every method takes `&self`, so one
+//! router can serve queries from many threads at once. The engine set
+//! lives in an epoch-stamped immutable snapshot (`EngineSet` behind
+//! `RwLock<Arc<_>>`, the same discipline as [`crate::VersionCell`]):
+//!
+//! - **readers** pin the current snapshot with one brief read-lock clone
+//!   and execute against it; an update installing a successor mid-query
+//!   never tears or blocks them,
+//! - **updates** ([`AdaptiveRouter::apply_updates`]) serialise on a
+//!   writer mutex, derive a copy-on-write successor of *every* engine
+//!   via [`RangeEngine::apply_updates`] with no lock held on the read
+//!   path, then install the whole set in one pointer swap — a concurrent
+//!   query always sees an all-pre-batch or all-post-batch candidate set,
+//!   never a mix,
+//! - mutable routing state (EWMA ratios, the decision cache, breaker
+//!   state, fault counters, the budget) sits in one internal mutex held
+//!   only for bookkeeping, never across a dispatched query.
+//!
+//! The decision cache is keyed on the **snapshot epoch** plus a
+//! calibration generation: installing a new engine set bumps the epoch,
+//! so stale decisions die with the snapshot they were computed against,
+//! and a moved EWMA ratio bumps the generation.
+//!
+//! Lock order is `writer` → `engines` → `state`; no path acquires them
+//! in any other order.
+//!
 //! # Fault tolerance
 //!
 //! The router guarantees **a correct answer or one typed error — never a
@@ -35,17 +63,24 @@
 //! - validation errors return immediately: they would fail identically
 //!   on every engine.
 //!
+//! Breaker state outlives snapshots deliberately: a derived successor of
+//! a flaky engine inherits its streak (the flakiness is in the engine's
+//! code, not one snapshot's data), and a poisoned engine is never even
+//! re-derived — updates carry its last good snapshot forward untouched.
+//!
 //! [`AdaptiveRouter::fault_stats`] and [`AdaptiveRouter::health`] expose
 //! the resilience counters and per-engine breaker state; with the
 //! `telemetry` feature the same events reach the metric registry and the
 //! flight recorder.
 
 use crate::range_engine::{EngineOp, RangeEngine};
-use crate::EngineError;
+use crate::version::{EpochGuard, EpochTracker};
+use crate::{EngineError, EpochStats};
 use olap_array::{BudgetMeter, CancellationToken, QueryBudget};
 use olap_query::{AccessStats, QueryLog, QueryOutcome, RangeQuery};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Default EWMA smoothing factor: recent queries dominate after ~10
 /// observations, but a single outlier cannot swing the ratio.
@@ -265,35 +300,47 @@ struct Prediction {
     eligible: bool,
 }
 
-/// One memoised routing decision. Valid as long as the router's
-/// `version` is unchanged — i.e. no EWMA ratio moved and the engine set
-/// was not touched — so consecutive identical queries (and the
-/// candidates-then-execute pair inside one `explain`) cost a single
-/// [`RangeEngine::estimate`] pass.
+/// One memoised routing decision. Valid as long as the engine-set epoch
+/// and the calibration generation both stand — i.e. no update installed
+/// a new snapshot and no EWMA ratio moved — so consecutive identical
+/// queries (and the candidates-then-execute pair inside one `explain`)
+/// cost a single [`RangeEngine::estimate`] pass.
 struct CachedDecision {
     query: RangeQuery,
     op: EngineOp,
-    version: u64,
+    /// `EngineSet::epoch` the decision was computed against.
+    epoch: u64,
+    /// `RouterState::calibration_gen` at decision time.
+    calibration_gen: u64,
     predictions: Vec<Prediction>,
     chosen: Option<usize>,
 }
 
-/// Routes each query to the cheapest capable engine under the calibrated
-/// §8/§9 cost model. See the module docs.
-pub struct AdaptiveRouter<V> {
-    engines: Vec<Box<dyn RangeEngine<V>>>,
+/// An immutable, epoch-stamped snapshot of the candidate engine set.
+/// Queries pin one and run against it; updates install a successor.
+struct EngineSet<V> {
+    epoch: u64,
+    engines: Vec<Arc<dyn RangeEngine<V>>>,
+    /// Keeps the epoch marked live (for the snapshot gauges) until the
+    /// last pin of this set drops.
+    _guard: EpochGuard,
+}
+
+/// The router's mutable bookkeeping, guarded by one mutex held only for
+/// short decision/feedback sections — never across a dispatched query.
+struct RouterState {
     /// Per-engine EWMA of observed/predicted; starts at 1.0 (trust the
     /// analytic model until evidence arrives).
     ratios: Vec<f64>,
+    /// EWMA smoothing factor.
     alpha: f64,
-    /// Bumped whenever anything a decision depends on changes: an EWMA
-    /// ratio actually moving, an engine joining, or updates flowing to
-    /// the engines (estimates may depend on engine contents).
-    version: u64,
+    /// Bumped whenever an EWMA ratio actually moves; half of the
+    /// decision cache's key (the other half is the engine-set epoch).
+    calibration_gen: u64,
     cache: Option<CachedDecision>,
-    /// Per-engine circuit breakers, parallel to `engines`. Breaker state
-    /// does not affect prediction caching — it filters candidates at
-    /// dispatch time.
+    /// Per-engine circuit breakers, parallel to the engine set. Breaker
+    /// state does not affect prediction caching — it filters candidates
+    /// at dispatch time.
     healths: Vec<Health>,
     /// Routing decisions taken; the breaker cooldown clock.
     ticks: u64,
@@ -304,190 +351,22 @@ pub struct AdaptiveRouter<V> {
     faults: FaultStats,
 }
 
-impl<V> AdaptiveRouter<V> {
-    /// An empty router with the default smoothing factor.
-    pub fn new() -> Self {
-        AdaptiveRouter::with_alpha(DEFAULT_ALPHA)
-    }
-
-    /// An empty router with smoothing factor `alpha` in `(0, 1]`; higher
-    /// values chase recent observations harder.
-    pub fn with_alpha(alpha: f64) -> Self {
-        AdaptiveRouter {
-            engines: Vec::new(),
-            ratios: Vec::new(),
-            alpha: alpha.clamp(f64::MIN_POSITIVE, 1.0),
-            version: 0,
-            cache: None,
-            healths: Vec::new(),
-            ticks: 0,
-            budget: QueryBudget::unlimited(),
-            token: None,
-            faults: FaultStats::default(),
-        }
-    }
-
-    /// Adds an engine to the candidate set.
-    pub fn push(&mut self, engine: Box<dyn RangeEngine<V>>) {
-        self.engines.push(engine);
-        self.ratios.push(1.0);
-        self.healths.push(Health::default());
-        self.version = self.version.wrapping_add(1);
-    }
-
-    /// Sets the per-query [`QueryBudget`] every routed query runs under.
-    /// The deadline spans failover attempts: retries never extend a
-    /// query's time allowance.
-    pub fn set_budget(&mut self, budget: QueryBudget) {
-        self.budget = budget;
-    }
-
-    /// Builder-style [`AdaptiveRouter::set_budget`].
-    #[must_use]
-    pub fn with_budget(mut self, budget: QueryBudget) -> Self {
-        self.set_budget(budget);
-        self
-    }
-
-    /// The budget applied to routed queries.
-    pub fn budget(&self) -> QueryBudget {
-        self.budget
-    }
-
-    /// Installs (or clears) a [`CancellationToken`] checked by every
-    /// subsequent routed query; cancel it from any thread to interrupt
-    /// in-flight work at the next kernel checkpoint.
-    pub fn set_cancellation_token(&mut self, token: Option<CancellationToken>) {
-        self.token = token;
-    }
-
-    /// Resilience counters accumulated since construction.
-    pub fn fault_stats(&self) -> FaultStats {
-        self.faults
-    }
-
-    /// Per-engine circuit-breaker state, in routing order.
-    pub fn health(&self) -> Vec<EngineHealth> {
-        self.engines
-            .iter()
-            .zip(&self.healths)
-            .map(|(e, h)| EngineHealth {
-                label: e.label(),
-                status: h.public_status(),
-                consecutive_faults: h.consecutive_faults,
-            })
-            .collect()
-    }
-
-    /// Builder-style [`AdaptiveRouter::push`].
-    #[must_use]
-    pub fn with_engine(mut self, engine: Box<dyn RangeEngine<V>>) -> Self {
-        self.push(engine);
-        self
-    }
-
-    /// Number of candidate engines.
-    pub fn len(&self) -> usize {
-        self.engines.len()
-    }
-
-    /// Whether the router has no engines.
-    pub fn is_empty(&self) -> bool {
-        self.engines.is_empty()
-    }
-
-    /// The candidate engines' labels, in routing order.
-    pub fn labels(&self) -> Vec<String> {
-        self.engines.iter().map(|e| e.label()).collect()
-    }
-
-    /// The current EWMA observed/predicted ratios, parallel to
-    /// [`AdaptiveRouter::labels`].
-    pub fn calibration(&self) -> &[f64] {
-        &self.ratios
-    }
-
-    /// Borrows engine `i`.
-    pub fn engine(&self, i: usize) -> &dyn RangeEngine<V> {
-        self.engines[i].as_ref()
-    }
-
-    /// The label-free estimate sweep: raw estimate, current ratio,
-    /// calibrated prediction, and eligibility per engine.
-    fn predictions(&self, query: &RangeQuery, op: EngineOp) -> Vec<Prediction> {
-        self.engines
-            .iter()
-            .enumerate()
-            .map(|(index, e)| {
-                let eligible = e.capabilities().supports(op);
-                let raw = if eligible {
-                    e.estimate(query)
-                } else {
-                    f64::INFINITY
-                };
-                let ratio = self.ratios[index];
-                Prediction {
-                    raw,
-                    ratio,
-                    calibrated: raw * ratio,
-                    eligible,
-                }
-            })
-            .collect()
-    }
-
-    /// The full candidate table for `query`/`op`: raw estimate, current
-    /// ratio, calibrated prediction, and eligibility per engine. A fresh
-    /// estimate sweep — routing itself goes through the decision cache.
-    pub fn candidates(&self, query: &RangeQuery, op: EngineOp) -> Vec<Candidate> {
-        self.label_predictions(&self.predictions(query, op))
-    }
-
-    /// Attaches engine labels to a prediction sweep, turning it into the
-    /// public [`Candidate`] table.
-    fn label_predictions(&self, predictions: &[Prediction]) -> Vec<Candidate> {
-        predictions
-            .iter()
-            .enumerate()
-            .map(|(index, p)| Candidate {
-                index,
-                label: self.engines[index].label(),
-                raw: p.raw,
-                ratio: p.ratio,
-                calibrated: p.calibrated,
-                eligible: p.eligible,
-                status: self.healths[index].public_status(),
-            })
-            .collect()
-    }
-
-    /// Argmin of the calibrated predictions among eligible candidates.
-    /// Strict `<` keeps the first index on ties, so routing is
-    /// deterministic for a fixed engine order, and rejects NaN, so a
-    /// poisoned estimate can never displace an incumbent.
-    fn choose(predictions: &[Prediction]) -> Option<usize> {
-        let mut best: Option<(usize, f64)> = None;
-        for (i, p) in predictions.iter().enumerate() {
-            if !p.eligible {
-                continue;
-            }
-            let better = match best {
-                None => true,
-                Some((_, b)) => p.calibrated < b,
-            };
-            if better {
-                best = Some((i, p.calibrated));
-            }
-        }
-        best.map(|(i, _)| i)
-    }
-
-    /// Ensures the cache holds the decision for `query`/`op` (one
-    /// estimate sweep on a miss, none on a hit) and returns the chosen
-    /// engine index. The predictions stay in `self.cache`.
-    fn ensure_decision(&mut self, query: &RangeQuery, op: EngineOp) -> Option<usize> {
+impl RouterState {
+    /// Ensures the cache holds the decision for `query`/`op` against
+    /// `set` (one estimate sweep on a miss, none on a hit) and returns
+    /// the chosen engine index. The predictions stay in `self.cache`.
+    fn ensure_decision<V>(
+        &mut self,
+        set: &EngineSet<V>,
+        query: &RangeQuery,
+        op: EngineOp,
+    ) -> Option<usize> {
         if let Some(c) = &self.cache {
-            if c.version == self.version && c.op == op && c.query == *query {
+            if c.epoch == set.epoch
+                && c.calibration_gen == self.calibration_gen
+                && c.op == op
+                && c.query == *query
+            {
                 #[cfg(feature = "telemetry")]
                 if let Some(ctx) = olap_telemetry::current() {
                     ctx.registry()
@@ -497,12 +376,13 @@ impl<V> AdaptiveRouter<V> {
                 return c.chosen;
             }
         }
-        let predictions = self.predictions(query, op);
-        let chosen = Self::choose(&predictions);
+        let predictions = predictions(set, &self.ratios, query, op);
+        let chosen = choose(&predictions);
         self.cache = Some(CachedDecision {
             query: query.clone(),
             op,
-            version: self.version,
+            epoch: set.epoch,
+            calibration_gen: self.calibration_gen,
             predictions,
             chosen,
         });
@@ -524,71 +404,8 @@ impl<V> AdaptiveRouter<V> {
         let next = (1.0 - self.alpha) * self.ratios[i] + self.alpha * sample;
         if next.to_bits() != self.ratios[i].to_bits() {
             self.ratios[i] = next;
-            self.version = self.version.wrapping_add(1);
+            self.calibration_gen = self.calibration_gen.wrapping_add(1);
         }
-    }
-
-    /// The cost-ranked dispatch order: the cache's argmin first, then the
-    /// remaining eligible candidates by ascending calibrated cost (stable
-    /// on ties, so routing order stays deterministic for a fixed engine
-    /// set). Breaker state is *not* applied here — admissibility is
-    /// checked per attempt, so a quarantined argmin falls through to the
-    /// next-best automatically.
-    fn ranked_candidates(predictions: &[Prediction], first: usize) -> Vec<usize> {
-        let mut rest: Vec<usize> = (0..predictions.len())
-            .filter(|&i| i != first && predictions[i].eligible)
-            .collect();
-        rest.sort_by(|&a, &b| {
-            predictions[a]
-                .calibrated
-                .partial_cmp(&predictions[b].calibrated)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
-        let mut order = Vec::with_capacity(rest.len() + 1);
-        order.push(first);
-        order.extend(rest);
-        order
-    }
-
-    /// Dispatches one attempt to engine `i` with the panic boundary: a
-    /// panicking engine surfaces as [`EngineError::EnginePanicked`]
-    /// instead of unwinding through the router.
-    ///
-    /// `AssertUnwindSafe` is sound here because the closure only touches
-    /// `&self.engines[i]` and the meter: the caller poisons the engine on
-    /// panic, so any state it tore mid-unwind is never observed again.
-    fn dispatch(
-        &self,
-        i: usize,
-        query: &RangeQuery,
-        op: EngineOp,
-        meter: &BudgetMeter,
-    ) -> Result<QueryOutcome<V>, EngineError> {
-        let engine = &self.engines[i];
-        let result = catch_unwind(AssertUnwindSafe(|| match op {
-            EngineOp::Sum => engine.range_sum_budgeted(query, meter),
-            EngineOp::Max => {
-                meter.check()?;
-                let o = engine.range_max(query)?;
-                meter.charge(o.cost())?;
-                Ok(o)
-            }
-            EngineOp::Min => {
-                meter.check()?;
-                let o = engine.range_min(query)?;
-                meter.charge(o.cost())?;
-                Ok(o)
-            }
-            // analyzer: allow(panic-site, reason = "dispatch is only called with Sum/Max/Min; updates route through apply_updates, and the catch_unwind above contains a violation")
-            EngineOp::Update => unreachable!("updates go through apply_updates"),
-        }));
-        result.unwrap_or_else(|payload| {
-            Err(EngineError::EnginePanicked {
-                engine: engine.label(),
-                message: panic_message(payload.as_ref()),
-            })
-        })
     }
 
     /// Success closes the breaker and clears the fault streak.
@@ -617,72 +434,442 @@ impl<V> AdaptiveRouter<V> {
             }
         }
     }
+}
+
+/// The label-free estimate sweep against one engine-set snapshot: raw
+/// estimate, current ratio, calibrated prediction, and eligibility per
+/// engine.
+fn predictions<V>(
+    set: &EngineSet<V>,
+    ratios: &[f64],
+    query: &RangeQuery,
+    op: EngineOp,
+) -> Vec<Prediction> {
+    set.engines
+        .iter()
+        .enumerate()
+        .map(|(index, e)| {
+            let eligible = e.capabilities().supports(op);
+            let raw = if eligible {
+                e.estimate(query)
+            } else {
+                f64::INFINITY
+            };
+            // analyzer: allow(panic-site, reason = "index comes from enumerating the engine set; ratios is kept parallel by push()")
+            let ratio = ratios[index];
+            Prediction {
+                raw,
+                ratio,
+                calibrated: raw * ratio,
+                eligible,
+            }
+        })
+        .collect()
+}
+
+/// Argmin of the calibrated predictions among eligible candidates.
+/// Strict `<` keeps the first index on ties, so routing is
+/// deterministic for a fixed engine order, and rejects NaN, so a
+/// poisoned estimate can never displace an incumbent.
+fn choose(predictions: &[Prediction]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, p) in predictions.iter().enumerate() {
+        if !p.eligible {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((_, b)) => p.calibrated < b,
+        };
+        if better {
+            best = Some((i, p.calibrated));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Attaches engine labels and breaker status to a prediction sweep,
+/// turning it into the public [`Candidate`] table.
+fn label_predictions<V>(
+    set: &EngineSet<V>,
+    predictions: &[Prediction],
+    healths: &[Health],
+) -> Vec<Candidate> {
+    predictions
+        .iter()
+        .enumerate()
+        .map(|(index, p)| Candidate {
+            index,
+            // analyzer: allow(panic-site, reason = "index comes from enumerating the predictions of this very set")
+            label: set.engines[index].label(),
+            raw: p.raw,
+            ratio: p.ratio,
+            calibrated: p.calibrated,
+            eligible: p.eligible,
+            status: healths
+                .get(index)
+                .map(Health::public_status)
+                .unwrap_or_default(),
+        })
+        .collect()
+}
+
+/// Routes each query to the cheapest capable engine under the calibrated
+/// §8/§9 cost model. Shareable across threads: see the module docs for
+/// the snapshot-isolation and locking discipline.
+pub struct AdaptiveRouter<V> {
+    /// The current engine-set snapshot. Readers hold the read side only
+    /// long enough to clone the `Arc`; the single writer holds the write
+    /// side only for the install swap.
+    engines: RwLock<Arc<EngineSet<V>>>,
+    /// Serialises derive+install cycles (updates, pushes) so successors
+    /// derive from the latest snapshot. Acquired before `engines`.
+    writer: Mutex<()>,
+    /// Routing bookkeeping; acquired after `engines`, never held across
+    /// a dispatched query.
+    state: Mutex<RouterState>,
+    /// Liveness of engine-set snapshots, for the snapshot gauges.
+    tracker: Arc<EpochTracker>,
+}
+
+impl<V> AdaptiveRouter<V> {
+    /// An empty router with the default smoothing factor.
+    pub fn new() -> Self {
+        AdaptiveRouter::with_alpha(DEFAULT_ALPHA)
+    }
+
+    /// An empty router named `label` in the exported snapshot gauges
+    /// (`olap_snapshot_live{cell="…"}` — e.g. `shard-3` in a sharded
+    /// server).
+    pub fn labeled(label: &str) -> Self {
+        AdaptiveRouter::with_alpha_labeled(DEFAULT_ALPHA, label)
+    }
+
+    /// An empty router with smoothing factor `alpha` in `(0, 1]`; higher
+    /// values chase recent observations harder.
+    pub fn with_alpha(alpha: f64) -> Self {
+        AdaptiveRouter::with_alpha_labeled(alpha, "router")
+    }
+
+    fn with_alpha_labeled(alpha: f64, label: &str) -> Self {
+        let tracker = Arc::new(EpochTracker::new(label.to_string()));
+        tracker.register(0);
+        AdaptiveRouter {
+            engines: RwLock::new(Arc::new(EngineSet {
+                epoch: 0,
+                engines: Vec::new(),
+                _guard: EpochGuard {
+                    epoch: 0,
+                    tracker: Arc::clone(&tracker),
+                },
+            })),
+            writer: Mutex::new(()),
+            tracker,
+            state: Mutex::new(RouterState {
+                ratios: Vec::new(),
+                alpha: alpha.clamp(f64::MIN_POSITIVE, 1.0),
+                calibration_gen: 0,
+                cache: None,
+                healths: Vec::new(),
+                ticks: 0,
+                budget: QueryBudget::unlimited(),
+                token: None,
+                faults: FaultStats::default(),
+            }),
+        }
+    }
+
+    /// Pins the current engine-set snapshot.
+    fn load(&self) -> Arc<EngineSet<V>> {
+        Arc::clone(&self.engines.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, RouterState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Publishes `engines` as the next snapshot epoch. Caller holds the
+    /// `writer` mutex.
+    fn install(&self, engines: Vec<Arc<dyn RangeEngine<V>>>) {
+        let epoch = self.load().epoch + 1;
+        self.tracker.register(epoch);
+        let next = Arc::new(EngineSet {
+            epoch,
+            engines,
+            _guard: EpochGuard {
+                epoch,
+                tracker: Arc::clone(&self.tracker),
+            },
+        });
+        *self.engines.write().unwrap_or_else(|e| e.into_inner()) = next;
+    }
+
+    /// Adds an engine to the candidate set. Installs a new snapshot, so
+    /// concurrent queries finish on the set they pinned.
+    pub fn push(&self, engine: Box<dyn RangeEngine<V>>) {
+        let _writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let cur = self.load();
+        let mut engines: Vec<Arc<dyn RangeEngine<V>>> =
+            cur.engines.iter().map(Arc::clone).collect();
+        engines.push(Arc::from(engine));
+        self.install(engines);
+        let mut st = self.lock_state();
+        st.ratios.push(1.0);
+        st.healths.push(Health::default());
+    }
+
+    /// Sets the per-query [`QueryBudget`] every routed query runs under.
+    /// The deadline spans failover attempts: retries never extend a
+    /// query's time allowance.
+    pub fn set_budget(&self, budget: QueryBudget) {
+        self.lock_state().budget = budget;
+    }
+
+    /// Builder-style [`AdaptiveRouter::set_budget`].
+    #[must_use]
+    pub fn with_budget(self, budget: QueryBudget) -> Self {
+        self.set_budget(budget);
+        self
+    }
+
+    /// The budget applied to routed queries.
+    pub fn budget(&self) -> QueryBudget {
+        self.lock_state().budget
+    }
+
+    /// Installs (or clears) a [`CancellationToken`] checked by every
+    /// subsequent routed query; cancel it from any thread to interrupt
+    /// in-flight work at the next kernel checkpoint.
+    pub fn set_cancellation_token(&self, token: Option<CancellationToken>) {
+        self.lock_state().token = token;
+    }
+
+    /// Resilience counters accumulated since construction.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.lock_state().faults
+    }
+
+    /// Per-engine circuit-breaker state, in routing order.
+    pub fn health(&self) -> Vec<EngineHealth> {
+        let set = self.load();
+        let st = self.lock_state();
+        set.engines
+            .iter()
+            .zip(&st.healths)
+            .map(|(e, h)| EngineHealth {
+                label: e.label(),
+                status: h.public_status(),
+                consecutive_faults: h.consecutive_faults,
+            })
+            .collect()
+    }
+
+    /// Builder-style [`AdaptiveRouter::push`].
+    #[must_use]
+    pub fn with_engine(self, engine: Box<dyn RangeEngine<V>>) -> Self {
+        self.push(engine);
+        self
+    }
+
+    /// Number of candidate engines.
+    pub fn len(&self) -> usize {
+        self.load().engines.len()
+    }
+
+    /// Whether the router has no engines.
+    pub fn is_empty(&self) -> bool {
+        self.load().engines.is_empty()
+    }
+
+    /// The candidate engines' labels, in routing order.
+    pub fn labels(&self) -> Vec<String> {
+        self.load().engines.iter().map(|e| e.label()).collect()
+    }
+
+    /// The current engine-set snapshot epoch: 0 at construction, +1 per
+    /// engine push and per installed update batch.
+    pub fn epoch(&self) -> u64 {
+        self.load().epoch
+    }
+
+    /// Snapshot-liveness bookkeeping: current epoch, engine sets still
+    /// pinned by in-flight queries, and the reclamation lag (how many
+    /// installs behind the slowest pinned snapshot is).
+    pub fn epoch_stats(&self) -> EpochStats {
+        self.tracker.stats()
+    }
+
+    /// The current EWMA observed/predicted ratios, parallel to
+    /// [`AdaptiveRouter::labels`].
+    pub fn calibration(&self) -> Vec<f64> {
+        self.lock_state().ratios.clone()
+    }
+
+    /// A pinned handle to engine `i` in the current snapshot.
+    pub fn engine(&self, i: usize) -> Arc<dyn RangeEngine<V>> {
+        Arc::clone(&self.load().engines[i])
+    }
+
+    /// The full candidate table for `query`/`op`: raw estimate, current
+    /// ratio, calibrated prediction, and eligibility per engine. A fresh
+    /// estimate sweep — routing itself goes through the decision cache.
+    pub fn candidates(&self, query: &RangeQuery, op: EngineOp) -> Vec<Candidate> {
+        let set = self.load();
+        let st = self.lock_state();
+        let preds = predictions(&set, &st.ratios, query, op);
+        label_predictions(&set, &preds, &st.healths)
+    }
+
+    /// Dispatches one attempt to engine `i` of the pinned set with the
+    /// panic boundary: a panicking engine surfaces as
+    /// [`EngineError::EnginePanicked`] instead of unwinding through the
+    /// router.
+    ///
+    /// `AssertUnwindSafe` is sound here because the closure only touches
+    /// the pinned snapshot's engine and the meter: the caller poisons the
+    /// engine on panic, so any state it tore mid-unwind is never
+    /// observed again.
+    fn dispatch(
+        set: &EngineSet<V>,
+        i: usize,
+        query: &RangeQuery,
+        op: EngineOp,
+        meter: &BudgetMeter,
+    ) -> Result<QueryOutcome<V>, EngineError> {
+        // analyzer: allow(panic-site, reason = "i is a ranked-candidate index derived from enumerating this pinned set")
+        let engine = &set.engines[i];
+        let result = catch_unwind(AssertUnwindSafe(|| match op {
+            EngineOp::Sum => engine.range_sum_budgeted(query, meter),
+            EngineOp::Max => {
+                meter.check()?;
+                let o = engine.range_max(query)?;
+                meter.charge(o.cost())?;
+                Ok(o)
+            }
+            EngineOp::Min => {
+                meter.check()?;
+                let o = engine.range_min(query)?;
+                meter.charge(o.cost())?;
+                Ok(o)
+            }
+            // analyzer: allow(panic-site, reason = "dispatch is only called with Sum/Max/Min; updates route through apply_updates, and the catch_unwind above contains a violation")
+            EngineOp::Update => unreachable!("updates go through apply_updates"),
+        }));
+        result.unwrap_or_else(|payload| {
+            Err(EngineError::EnginePanicked {
+                engine: engine.label(),
+                message: panic_message(payload.as_ref()),
+            })
+        })
+    }
+
+    /// The cost-ranked dispatch order: the cache's argmin first, then the
+    /// remaining eligible candidates by ascending calibrated cost (stable
+    /// on ties, so routing order stays deterministic for a fixed engine
+    /// set). Breaker state is *not* applied here — admissibility is
+    /// checked per attempt, so a quarantined argmin falls through to the
+    /// next-best automatically.
+    fn ranked_candidates(predictions: &[Prediction], first: usize) -> Vec<usize> {
+        let mut rest: Vec<usize> = (0..predictions.len())
+            .filter(|&i| i != first && predictions[i].eligible)
+            .collect();
+        rest.sort_by(|&a, &b| {
+            predictions[a]
+                .calibrated
+                .partial_cmp(&predictions[b].calibrated)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut order = Vec::with_capacity(rest.len() + 1);
+        order.push(first);
+        order.extend(rest);
+        order
+    }
 
     fn execute(
-        &mut self,
+        &self,
         query: &RangeQuery,
         op: EngineOp,
     ) -> Result<(usize, f64, QueryOutcome<V>), EngineError> {
-        self.ticks += 1;
-        let tick = self.ticks;
-        // One meter for the whole query: the deadline spans failover
-        // attempts, so retries never extend the time allowance. An
-        // already-expired budget (a zero deadline, a fired cancellation
-        // token) kills the query with its interrupt *before* any routing
-        // work — even when no candidate would have been admissible.
-        let meter = self.budget.start(self.token.clone());
-        if let Err(interrupt) = meter.check() {
-            self.faults.budget_kills += 1;
-            return Err(interrupt.into());
-        }
-        let chosen = self.ensure_decision(query, op);
-        let first = chosen.ok_or(EngineError::NoCandidate { op: op.name() })?;
-        // `ensure_decision` just populated the cache; a missing table is a
-        // routing bug, reported as the typed no-candidate error rather
-        // than a panic.
-        let predictions = match self.cache.as_ref() {
-            Some(cache) => cache.predictions.clone(),
-            None => return Err(EngineError::NoCandidate { op: op.name() }),
+        // Pin the snapshot first: the whole query — decision, dispatch,
+        // failover — runs against this one consistent engine set even if
+        // an update installs a successor mid-flight.
+        let set = self.load();
+        let (tick, meter, predictions, order) = {
+            let mut st = self.lock_state();
+            st.ticks += 1;
+            let tick = st.ticks;
+            // One meter for the whole query: the deadline spans failover
+            // attempts, so retries never extend the time allowance. An
+            // already-expired budget (a zero deadline, a fired
+            // cancellation token) kills the query with its interrupt
+            // *before* any routing work — even when no candidate would
+            // have been admissible.
+            let meter = st.budget.start(st.token.clone());
+            if let Err(interrupt) = meter.check() {
+                st.faults.budget_kills += 1;
+                return Err(interrupt.into());
+            }
+            let chosen = st.ensure_decision(&set, query, op);
+            let first = chosen.ok_or(EngineError::NoCandidate { op: op.name() })?;
+            // `ensure_decision` just populated the cache; a missing table
+            // is a routing bug, reported as the typed no-candidate error
+            // rather than a panic.
+            let predictions = match st.cache.as_ref() {
+                Some(cache) => cache.predictions.clone(),
+                None => return Err(EngineError::NoCandidate { op: op.name() }),
+            };
+            let order = Self::ranked_candidates(&predictions, first);
+            (tick, meter, predictions, order)
         };
-        let order = Self::ranked_candidates(&predictions, first);
         let mut last_fault: Option<EngineError> = None;
         for &i in &order {
-            if !self.healths[i].admissible(tick) {
-                continue;
-            }
-            if self.healths[i].is_probe() {
-                self.faults.probes += 1;
-                self.record_fault_event("probe", i, op);
-            }
-            if last_fault.is_some() {
-                self.faults.failovers += 1;
-                self.record_fault_event("failover", i, op);
+            {
+                let mut st = self.lock_state();
+                // analyzer: allow(panic-site, reason = "healths is kept parallel to the engine set by push(); i enumerates that set")
+                if !st.healths[i].admissible(tick) {
+                    continue;
+                }
+                // analyzer: allow(panic-site, reason = "healths is kept parallel to the engine set by push(); i enumerates that set")
+                if st.healths[i].is_probe() {
+                    st.faults.probes += 1;
+                    record_fault_event(&set, "probe", i, op);
+                }
+                if last_fault.is_some() {
+                    st.faults.failovers += 1;
+                    record_fault_event(&set, "failover", i, op);
+                }
             }
             let p = predictions[i];
             #[cfg(feature = "telemetry")]
             let observing = olap_telemetry::current().map(|ctx| (ctx, std::time::Instant::now()));
-            match self.dispatch(i, query, op, &meter) {
+            // Dispatch with no router lock held: concurrent queries on
+            // other threads proceed while this engine works.
+            match Self::dispatch(&set, i, query, op, &meter) {
                 Ok(outcome) => {
-                    self.note_success(i);
-                    self.observe(i, p.raw, outcome.cost());
+                    let mut st = self.lock_state();
+                    st.note_success(i);
+                    st.observe(i, p.raw, outcome.cost());
                     #[cfg(feature = "telemetry")]
                     if let Some((ctx, start)) = observing {
-                        self.record_route(&ctx, start, i, op, p, &outcome);
+                        // analyzer: allow(panic-site, reason = "ratios is kept parallel to the engine set by push(); i enumerates that set")
+                        record_route(&ctx, start, &set, i, op, p, st.ratios[i], &outcome);
                     }
                     return Ok((i, p.calibrated, outcome));
                 }
                 Err(e) if e.is_interrupt() => {
                     // The engine obeyed its budget: healthy, no failover
                     // (a retry would re-run the same doomed query).
-                    self.note_success(i);
-                    self.faults.budget_kills += 1;
-                    self.record_fault_event("budget_kill", i, op);
+                    let mut st = self.lock_state();
+                    st.note_success(i);
+                    st.faults.budget_kills += 1;
+                    record_fault_event(&set, "budget_kill", i, op);
                     return Err(e);
                 }
                 Err(e) if e.is_engine_fault() => {
                     let panicked = matches!(e, EngineError::EnginePanicked { .. });
-                    self.note_fault(i, tick, panicked);
-                    self.record_fault_event(if panicked { "panic" } else { "fault" }, i, op);
+                    self.lock_state().note_fault(i, tick, panicked);
+                    record_fault_event(&set, if panicked { "panic" } else { "fault" }, i, op);
                     last_fault = Some(e);
                 }
                 // Validation errors fail identically everywhere: return
@@ -693,74 +880,13 @@ impl<V> AdaptiveRouter<V> {
         Err(last_fault.unwrap_or(EngineError::NoCandidate { op: op.name() }))
     }
 
-    /// Counts one fault-tolerance event in the telemetry registry (no-op
-    /// without the `telemetry` feature; the [`FaultStats`] counters are
-    /// maintained unconditionally by the caller).
-    #[allow(unused_variables)]
-    fn record_fault_event(&self, event: &'static str, i: usize, op: EngineOp) {
-        #[cfg(feature = "telemetry")]
-        if let Some(ctx) = olap_telemetry::current() {
-            let label = self.engines[i].label();
-            ctx.registry()
-                .counter(
-                    "olap_router_fault_events_total",
-                    &[("event", event), ("engine", &label), ("op", op.name())],
-                )
-                .inc(1);
-        }
-    }
-
-    /// Records one routed execution: route-choice counter, the chosen
-    /// engine's post-observation EWMA ratio, the calibration drift, and a
-    /// flight record.
-    #[cfg(feature = "telemetry")]
-    fn record_route(
-        &self,
-        ctx: &olap_telemetry::Telemetry,
-        start: std::time::Instant,
-        i: usize,
-        op: EngineOp,
-        p: Prediction,
-        outcome: &QueryOutcome<V>,
-    ) {
-        let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-        let label = self.engines[i].label();
-        let observed = outcome.cost();
-        let reg = ctx.registry();
-        reg.counter(
-            "olap_router_route_total",
-            &[("engine", &label), ("op", op.name())],
-        )
-        .inc(1);
-        reg.gauge("olap_router_ratio", &[("engine", &label)])
-            .set(self.ratios[i]);
-        if p.calibrated.is_finite() && p.calibrated > 0.0 {
-            let drift = ((observed as f64 / p.calibrated) - 1.0).abs() * 1000.0;
-            reg.histogram("olap_router_drift_permille", &[("engine", &label)])
-                .observe(drift.min(u64::MAX as f64) as u64);
-        }
-        ctx.recorder().record(olap_telemetry::FlightRecord {
-            seq: 0,
-            op: op.name(),
-            engine: label,
-            kind: outcome.answered_by.to_string(),
-            raw: p.raw,
-            predicted: p.calibrated,
-            observed,
-            a_cells: outcome.stats.a_cells,
-            p_cells: outcome.stats.p_cells,
-            tree_nodes: outcome.stats.tree_nodes,
-            latency_ns: nanos,
-        });
-    }
-
     /// Routes and answers a range-sum query, feeding the observed cost back
     /// into the chosen engine's calibration.
     ///
     /// # Errors
     /// [`EngineError::NoCandidate`] if no engine supports sums; otherwise
     /// whatever the chosen engine reports.
-    pub fn range_sum(&mut self, query: &RangeQuery) -> Result<QueryOutcome<V>, EngineError> {
+    pub fn range_sum(&self, query: &RangeQuery) -> Result<QueryOutcome<V>, EngineError> {
         self.execute(query, EngineOp::Sum).map(|(_, _, o)| o)
     }
 
@@ -768,7 +894,7 @@ impl<V> AdaptiveRouter<V> {
     ///
     /// # Errors
     /// [`EngineError::NoCandidate`] or the chosen engine's error.
-    pub fn range_max(&mut self, query: &RangeQuery) -> Result<QueryOutcome<V>, EngineError> {
+    pub fn range_max(&self, query: &RangeQuery) -> Result<QueryOutcome<V>, EngineError> {
         self.execute(query, EngineOp::Max).map(|(_, _, o)| o)
     }
 
@@ -776,60 +902,94 @@ impl<V> AdaptiveRouter<V> {
     ///
     /// # Errors
     /// [`EngineError::NoCandidate`] or the chosen engine's error.
-    pub fn range_min(&mut self, query: &RangeQuery) -> Result<QueryOutcome<V>, EngineError> {
+    pub fn range_min(&self, query: &RangeQuery) -> Result<QueryOutcome<V>, EngineError> {
         self.execute(query, EngineOp::Min).map(|(_, _, o)| o)
     }
 
-    /// Applies absolute-value updates to **every** engine, keeping the
-    /// whole candidate set consistent (any of them may answer the next
-    /// query).
+    /// Applies absolute-value updates to **every** engine by deriving a
+    /// copy-on-write successor of each ([`RangeEngine::apply_updates`])
+    /// and installing the whole set as one new snapshot. Concurrent
+    /// queries are never blocked and never see a half-updated candidate
+    /// set: they finish on the snapshot they pinned, or start on the
+    /// fully-installed successor.
+    ///
+    /// A poisoned engine is never re-derived — its last good snapshot is
+    /// carried forward untouched. An engine whose derive fails or panics
+    /// also keeps its pre-batch snapshot (and a panic poisons it); the
+    /// first such failure is reported after the rest of the set has been
+    /// derived, so healthy engines stay mutually consistent.
     ///
     /// # Errors
     /// [`EngineError::Unsupported`] naming the first engine that cannot
-    /// take updates (checked before any engine is mutated), or the first
-    /// engine failure.
-    pub fn apply_updates(&mut self, updates: &[(Vec<usize>, V)]) -> Result<AccessStats, EngineError>
-    where
-        V: Clone,
-    {
-        if let Some(e) = self
+    /// take updates (checked before any engine is derived), or the first
+    /// derive failure.
+    pub fn apply_updates(&self, updates: &[(Vec<usize>, V)]) -> Result<AccessStats, EngineError> {
+        let _writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let cur = self.load();
+        if let Some(e) = cur
             .engines
             .iter()
             .find(|e| !e.capabilities().supports(EngineOp::Update))
         {
             return Err(EngineError::unsupported(e.label(), "apply_updates"));
         }
+        let poisoned: Vec<bool> = {
+            let st = self.lock_state();
+            (0..cur.engines.len())
+                .map(|i| {
+                    st.healths
+                        .get(i)
+                        .is_some_and(|h| h.status == Status::Poisoned)
+                })
+                .collect()
+        };
         let mut stats = AccessStats::new();
         let mut first_err: Option<EngineError> = None;
-        for i in 0..self.engines.len() {
-            // A poisoned engine is never re-entered, not even for updates.
-            if self.healths[i].status == Status::Poisoned {
+        let mut next: Vec<Arc<dyn RangeEngine<V>>> = Vec::with_capacity(cur.engines.len());
+        let mut newly_poisoned: Vec<usize> = Vec::new();
+        for (i, engine) in cur.engines.iter().enumerate() {
+            // A poisoned engine is never re-entered, not even to derive.
+            // analyzer: allow(panic-site, reason = "poisoned was built by mapping 0..engines.len() just above")
+            if poisoned[i] {
+                next.push(Arc::clone(engine));
                 continue;
             }
-            let engine = &mut self.engines[i];
             match catch_unwind(AssertUnwindSafe(|| engine.apply_updates(updates))) {
-                Ok(Ok(s)) => stats += s,
-                // Keep applying to the remaining engines so the healthy
+                Ok(Ok(derived)) => {
+                    stats += derived.stats;
+                    next.push(Arc::from(derived.engine));
+                }
+                // Keep deriving the remaining engines so the healthy
                 // candidate set stays mutually consistent; the first
                 // failure is still reported to the caller.
                 Ok(Err(e)) => {
                     first_err.get_or_insert(e);
+                    next.push(Arc::clone(engine));
                 }
                 Err(payload) => {
-                    let label = self.engines[i].label();
-                    self.healths[i].status = Status::Poisoned;
-                    self.faults.panics_contained += 1;
-                    self.faults.quarantines += 1;
+                    newly_poisoned.push(i);
                     first_err.get_or_insert(EngineError::EnginePanicked {
-                        engine: label,
+                        engine: engine.label(),
                         message: panic_message(payload.as_ref()),
                     });
+                    next.push(Arc::clone(engine));
                 }
             }
         }
-        // Engine contents changed, so analytic estimates may have too
-        // (e.g. the sparse engines' region counts): drop cached decisions.
-        self.version = self.version.wrapping_add(1);
+        // One atomic install; the epoch bump retires cached decisions
+        // computed against the pre-batch snapshot (estimates may depend
+        // on engine contents, e.g. the sparse engines' region counts).
+        self.install(next);
+        let mut st = self.lock_state();
+        for i in newly_poisoned {
+            st.faults.panics_contained += 1;
+            // analyzer: allow(panic-site, reason = "newly_poisoned holds indices enumerated from the engine set; healths is kept parallel by push()")
+            if st.healths[i].status != Status::Poisoned {
+                // analyzer: allow(panic-site, reason = "same parallel-array invariant as the check above")
+                st.healths[i].status = Status::Poisoned;
+                st.faults.quarantines += 1;
+            }
+        }
         match first_err {
             Some(e) => Err(e),
             None => Ok(stats),
@@ -842,7 +1002,7 @@ impl<V> AdaptiveRouter<V> {
     ///
     /// # Errors
     /// [`EngineError::NoCandidate`] or the chosen engine's error.
-    pub fn explain(&mut self, query: &RangeQuery) -> Result<Explain<V>, EngineError> {
+    pub fn explain(&self, query: &RangeQuery) -> Result<Explain<V>, EngineError> {
         self.explain_op(query, EngineOp::Sum)
     }
 
@@ -851,24 +1011,24 @@ impl<V> AdaptiveRouter<V> {
     /// # Errors
     /// [`EngineError::NoCandidate`], or `op == Update` (not a query), or
     /// the chosen engine's error.
-    pub fn explain_op(
-        &mut self,
-        query: &RangeQuery,
-        op: EngineOp,
-    ) -> Result<Explain<V>, EngineError> {
+    pub fn explain_op(&self, query: &RangeQuery, op: EngineOp) -> Result<Explain<V>, EngineError> {
         if op == EngineOp::Update {
             return Err(EngineError::NoCandidate {
                 op: "explain(update)",
             });
         }
+        let set = self.load();
         // `ensure_decision` memoises, so this candidate table and the
         // routing pass inside `execute` share one estimate() sweep; the
         // labels only get formatted here, never on the plain query path.
-        self.ensure_decision(query, op);
-        let Some(cache) = self.cache.as_ref() else {
-            return Err(EngineError::NoCandidate { op: op.name() });
+        let candidates = {
+            let mut st = self.lock_state();
+            st.ensure_decision(&set, query, op);
+            let Some(cache) = st.cache.as_ref() else {
+                return Err(EngineError::NoCandidate { op: op.name() });
+            };
+            label_predictions(&set, &cache.predictions, &st.healths)
         };
-        let candidates = self.label_predictions(&cache.predictions);
         let (chosen, _, outcome) = self.execute(query, op)?;
         Ok(Explain {
             op,
@@ -885,18 +1045,83 @@ impl<V> AdaptiveRouter<V> {
     ///
     /// # Errors
     /// The first routing or engine error.
-    pub fn replay(&mut self, log: &QueryLog) -> Result<Vec<ReplayRecord>, EngineError> {
+    pub fn replay(&self, log: &QueryLog) -> Result<Vec<ReplayRecord>, EngineError> {
         let mut records = Vec::with_capacity(log.len());
         for q in log.queries() {
             let (i, predicted, outcome) = self.execute(q, EngineOp::Sum)?;
             records.push(ReplayRecord {
-                engine: self.engines[i].label(),
+                engine: self.engine(i).label(),
                 predicted,
                 observed: outcome.cost(),
             });
         }
         Ok(records)
     }
+}
+
+/// Counts one fault-tolerance event in the telemetry registry (no-op
+/// without the `telemetry` feature; the [`FaultStats`] counters are
+/// maintained unconditionally by the caller).
+#[allow(unused_variables)]
+fn record_fault_event<V>(set: &EngineSet<V>, event: &'static str, i: usize, op: EngineOp) {
+    #[cfg(feature = "telemetry")]
+    if let Some(ctx) = olap_telemetry::current() {
+        // analyzer: allow(panic-site, reason = "i enumerates the pinned engine set")
+        let label = set.engines[i].label();
+        ctx.registry()
+            .counter(
+                "olap_router_fault_events_total",
+                &[("event", event), ("engine", &label), ("op", op.name())],
+            )
+            .inc(1);
+    }
+}
+
+/// Records one routed execution: route-choice counter, the chosen
+/// engine's post-observation EWMA ratio, the calibration drift, and a
+/// flight record.
+#[cfg(feature = "telemetry")]
+#[allow(clippy::too_many_arguments)]
+fn record_route<V>(
+    ctx: &olap_telemetry::Telemetry,
+    start: std::time::Instant,
+    set: &EngineSet<V>,
+    i: usize,
+    op: EngineOp,
+    p: Prediction,
+    ratio_after: f64,
+    outcome: &QueryOutcome<V>,
+) {
+    let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    // analyzer: allow(panic-site, reason = "i enumerates the pinned engine set")
+    let label = set.engines[i].label();
+    let observed = outcome.cost();
+    let reg = ctx.registry();
+    reg.counter(
+        "olap_router_route_total",
+        &[("engine", &label), ("op", op.name())],
+    )
+    .inc(1);
+    reg.gauge("olap_router_ratio", &[("engine", &label)])
+        .set(ratio_after);
+    if p.calibrated.is_finite() && p.calibrated > 0.0 {
+        let drift = ((observed as f64 / p.calibrated) - 1.0).abs() * 1000.0;
+        reg.histogram("olap_router_drift_permille", &[("engine", &label)])
+            .observe(drift.min(u64::MAX as f64) as u64);
+    }
+    ctx.recorder().record(olap_telemetry::FlightRecord {
+        seq: 0,
+        op: op.name(),
+        engine: label,
+        kind: outcome.answered_by.to_string(),
+        raw: p.raw,
+        predicted: p.calibrated,
+        observed,
+        a_cells: outcome.stats.a_cells,
+        p_cells: outcome.stats.p_cells,
+        tree_nodes: outcome.stats.tree_nodes,
+        latency_ns: nanos,
+    });
 }
 
 /// Renders a contained panic payload as a human-readable message for
@@ -921,10 +1146,16 @@ impl<V> Default for AdaptiveRouter<V> {
 
 impl<V> fmt::Debug for AdaptiveRouter<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let set = self.load();
+        let st = self.lock_state();
         f.debug_struct("AdaptiveRouter")
-            .field("engines", &self.labels())
-            .field("ratios", &self.ratios)
-            .field("alpha", &self.alpha)
+            .field("epoch", &set.epoch)
+            .field(
+                "engines",
+                &set.engines.iter().map(|e| e.label()).collect::<Vec<_>>(),
+            )
+            .field("ratios", &st.ratios)
+            .field("alpha", &st.alpha)
             .finish()
     }
 }
@@ -933,6 +1164,7 @@ impl<V> fmt::Debug for AdaptiveRouter<V> {
 mod tests {
     use super::*;
     use crate::backends::{NaiveEngine, SumTreeEngine};
+    use crate::range_engine::Derived;
     use crate::{CubeIndex, IndexConfig};
     use olap_array::{DenseArray, Region, Shape};
 
@@ -956,9 +1188,16 @@ mod tests {
             .with_engine(Box::new(SumTreeEngine::build(a, 4).unwrap()))
     }
 
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn router_is_shareable_across_threads() {
+        assert_send_sync::<AdaptiveRouter<i64>>();
+    }
+
     #[test]
     fn routes_to_cheapest_and_answers_correctly() {
-        let mut r = router();
+        let r = router();
         let a = cube();
         // Large query: prefix sum (2^d = 4) must beat naive (volume) and
         // the tree.
@@ -978,7 +1217,7 @@ mod tests {
 
     #[test]
     fn tiny_queries_route_to_naive() {
-        let mut r = router();
+        let r = router();
         // A 1-cell query: naive costs 1, prefix costs 2^d = 4.
         let tiny = q(&[(5, 5), (9, 9)]);
         let e = r.explain(&tiny).unwrap();
@@ -989,13 +1228,13 @@ mod tests {
 
     #[test]
     fn calibration_moves_toward_observed() {
-        let mut r = router();
+        let r = router();
         assert!(r.calibration().iter().all(|&x| x == 1.0));
         let query = q(&[(0, 63), (0, 31)]);
         let out = r.range_sum(&query).unwrap();
         let cands = r.candidates(&query, EngineOp::Sum);
-        let chosen: Vec<_> = r
-            .calibration()
+        let calibration = r.calibration();
+        let chosen: Vec<_> = calibration
             .iter()
             .enumerate()
             .filter(|&(_, &x)| x != 1.0)
@@ -1009,7 +1248,7 @@ mod tests {
 
     #[test]
     fn updates_reach_every_engine() {
-        let mut r = router();
+        let r = router();
         r.apply_updates(&[(vec![3, 4], 1000)]).unwrap();
         let probe = q(&[(3, 3), (4, 4)]);
         // Every engine must see the new value, whichever is routed to.
@@ -1020,9 +1259,32 @@ mod tests {
     }
 
     #[test]
+    fn updates_bump_the_snapshot_epoch() {
+        let r = router();
+        let e0 = r.epoch();
+        r.apply_updates(&[(vec![0, 0], 1)]).unwrap();
+        assert_eq!(r.epoch(), e0 + 1);
+        r.apply_updates(&[(vec![1, 1], 2)]).unwrap();
+        assert_eq!(r.epoch(), e0 + 2);
+    }
+
+    #[test]
+    fn queries_pinned_before_an_update_install_still_answer() {
+        // An engine handle pinned before an update keeps answering with
+        // its snapshot's values even after the install.
+        let r = router();
+        let pinned = r.engine(0);
+        let probe = q(&[(3, 3), (4, 4)]);
+        let old = *pinned.range_sum(&probe).unwrap().value().unwrap();
+        r.apply_updates(&[(vec![3, 4], 1000)]).unwrap();
+        assert_eq!(pinned.range_sum(&probe).unwrap().value(), Some(&old));
+        assert_eq!(r.engine(0).range_sum(&probe).unwrap().value(), Some(&1000));
+    }
+
+    #[test]
     fn no_candidate_for_unsupported_op() {
         let a = cube();
-        let mut r: AdaptiveRouter<i64> =
+        let r: AdaptiveRouter<i64> =
             AdaptiveRouter::new().with_engine(Box::new(SumTreeEngine::build(a, 4).unwrap()));
         let err = r.range_max(&q(&[(0, 5), (0, 5)])).unwrap_err();
         assert!(matches!(err, EngineError::NoCandidate { op: "range_max" }));
@@ -1030,7 +1292,7 @@ mod tests {
 
     #[test]
     fn explain_display_lists_all_candidates() {
-        let mut r = router();
+        let r = router();
         let e = r.explain(&q(&[(0, 31), (0, 31)])).unwrap();
         let text = e.to_string();
         for label in r.labels() {
@@ -1071,10 +1333,18 @@ mod tests {
             self.inner.range_min(query)
         }
         fn apply_updates(
-            &mut self,
+            &self,
             updates: &[(Vec<usize>, i64)],
-        ) -> Result<AccessStats, EngineError> {
-            self.inner.apply_updates(updates)
+        ) -> Result<Derived<i64>, EngineError> {
+            let mut inner = self.inner.clone();
+            let stats = inner.apply_updates_in_place(updates)?;
+            Ok(Derived::new(
+                Box::new(CountingEngine {
+                    inner,
+                    estimates: self.estimates.clone(),
+                }),
+                stats,
+            ))
         }
     }
 
@@ -1097,7 +1367,7 @@ mod tests {
 
     #[test]
     fn consecutive_explains_reuse_one_estimate_pass() {
-        let (mut r, estimates) = counting_router();
+        let (r, estimates) = counting_router();
         // A 1-cell query routes to naive with observed == predicted == 1,
         // the EWMA fixed point, so nothing a decision depends on moves.
         let tiny = q(&[(5, 5), (9, 9)]);
@@ -1118,8 +1388,8 @@ mod tests {
     }
 
     #[test]
-    fn cache_invalidated_by_calibration_and_updates() {
-        let (mut r, estimates) = counting_router();
+    fn cache_invalidated_by_calibration_and_snapshot_epoch() {
+        let (r, estimates) = counting_router();
         let ord = std::sync::atomic::Ordering::Relaxed;
         // A big query moves the chosen engine's EWMA ratio, so the next
         // decision must re-estimate.
@@ -1131,17 +1401,20 @@ mod tests {
         assert!(n2 > n1, "ratio moved, decision must be recomputed");
         // Once calibration settles (sample == ratio is skipped as the EWMA
         // fixed point may never hit exactly), a *tiny* query at its fixed
-        // point caches; an update then invalidates it.
+        // point caches; an update — which installs a new snapshot epoch —
+        // then invalidates it.
         let tiny = q(&[(5, 5), (9, 9)]);
         r.range_sum(&tiny).unwrap();
         let n3 = estimates.load(ord);
         r.range_sum(&tiny).unwrap();
         assert_eq!(estimates.load(ord), n3, "fixed-point query must cache");
+        let epoch_before = r.epoch();
         r.apply_updates(&[(vec![0, 0], 5)]).unwrap();
+        assert_eq!(r.epoch(), epoch_before + 1);
         r.range_sum(&tiny).unwrap();
         assert!(
             estimates.load(ord) > n3,
-            "updates must invalidate the cache"
+            "a new snapshot epoch must invalidate the cache"
         );
     }
 
@@ -1151,7 +1424,7 @@ mod tests {
         use std::sync::Arc;
         let ctx = Arc::new(olap_telemetry::Telemetry::new());
         olap_telemetry::with_scope(&ctx, || {
-            let mut r = router();
+            let r = router();
             r.range_sum(&q(&[(0, 60), (0, 60)])).unwrap();
             r.range_sum(&q(&[(2, 2), (3, 3)])).unwrap();
             r.range_max(&q(&[(0, 10), (0, 10)])).unwrap();
@@ -1190,7 +1463,7 @@ mod tests {
             let lo = k * 3;
             log.push(q(&[(lo, lo + 20), (0, 40)]));
         }
-        let mut r = router();
+        let r = router();
         let records = r.replay(&log).unwrap();
         assert_eq!(records.len(), 10);
         assert!(records.iter().all(|rec| rec.predicted.is_finite()));
@@ -1224,7 +1497,7 @@ mod tests {
     fn failover_answers_from_the_next_best_engine() {
         // The first-ranked engine fails every call; the router must still
         // return the correct answer, silently, via the runner-up.
-        let mut r = faulty_router(FaultPlan::seeded(1).errors(1000).lie_cheapest());
+        let r = faulty_router(FaultPlan::seeded(1).errors(1000).lie_cheapest());
         let a = cube();
         let query = q(&[(0, 31), (0, 31)]);
         let out = r.range_sum(&query).unwrap();
@@ -1264,10 +1537,19 @@ mod tests {
             self.inner.range_sum(query)
         }
         fn apply_updates(
-            &mut self,
+            &self,
             updates: &[(Vec<usize>, i64)],
-        ) -> Result<AccessStats, EngineError> {
-            self.inner.apply_updates(updates)
+        ) -> Result<Derived<i64>, EngineError> {
+            let mut inner = self.inner.clone();
+            let stats = inner.apply_updates_in_place(updates)?;
+            Ok(Derived::new(
+                Box::new(FlakyEngine {
+                    inner,
+                    fail_first: self.fail_first,
+                    calls: self.calls.clone(),
+                }),
+                stats,
+            ))
         }
     }
 
@@ -1289,7 +1571,7 @@ mod tests {
     #[test]
     fn quarantine_opens_after_threshold_and_probe_recovers() {
         let threshold = QUARANTINE_THRESHOLD as usize;
-        let (mut r, calls) = flaky_router(threshold);
+        let (r, calls) = flaky_router(threshold);
         let query = q(&[(0, 15), (0, 15)]);
         // Three consecutive faults: each query fails over and succeeds,
         // and the third trips the breaker.
@@ -1325,7 +1607,7 @@ mod tests {
     fn failed_probe_reopens_the_quarantine_immediately() {
         let threshold = QUARANTINE_THRESHOLD as usize;
         // One more failure than the threshold: the probe itself fails.
-        let (mut r, calls) = flaky_router(threshold + 1);
+        let (r, calls) = flaky_router(threshold + 1);
         let query = q(&[(0, 15), (0, 15)]);
         for _ in 0..threshold {
             r.range_sum(&query).unwrap();
@@ -1351,7 +1633,7 @@ mod tests {
 
     #[test]
     fn panics_are_contained_and_the_engine_poisoned_forever() {
-        let mut r = faulty_router(FaultPlan::seeded(2).panics(1000).lie_cheapest());
+        let r = faulty_router(FaultPlan::seeded(2).panics(1000).lie_cheapest());
         let a = cube();
         let query = q(&[(0, 20), (0, 20)]);
         // The panic is contained; the caller sees a correct answer.
@@ -1375,7 +1657,7 @@ mod tests {
 
     #[test]
     fn budget_interrupts_return_typed_errors_without_failover() {
-        let mut r = router().with_budget(QueryBudget::with_deadline(Duration::ZERO));
+        let r = router().with_budget(QueryBudget::with_deadline(Duration::ZERO));
         let query = q(&[(0, 40), (0, 40)]);
         let err = r.range_sum(&query).unwrap_err();
         assert!(matches!(err, EngineError::DeadlineExceeded { .. }), "{err}");
@@ -1395,7 +1677,7 @@ mod tests {
     fn access_budget_kills_scans_mid_flight() {
         // A naive-only router must scan all 64*64 = 4096 cells; a
         // 100-access cap interrupts the scan mid-flight.
-        let mut r: AdaptiveRouter<i64> = AdaptiveRouter::new()
+        let r: AdaptiveRouter<i64> = AdaptiveRouter::new()
             .with_engine(Box::new(NaiveEngine::new(cube())))
             .with_budget(QueryBudget::with_max_accesses(100));
         let err = r.range_sum(&q(&[(0, 63), (0, 63)])).unwrap_err();
@@ -1406,7 +1688,7 @@ mod tests {
     #[test]
     fn cancellation_token_kills_routed_queries() {
         let token = CancellationToken::new();
-        let mut r = router();
+        let r = router();
         r.set_cancellation_token(Some(token.clone()));
         r.range_sum(&q(&[(0, 10), (0, 10)])).unwrap();
         token.cancel();
@@ -1420,11 +1702,48 @@ mod tests {
 
     #[test]
     fn validation_errors_do_not_trip_the_breaker() {
-        let mut r = router();
+        let r = router();
         // Out of bounds for the 64x64 cube: a caller error, not an engine
         // fault — no failover, no breaker movement.
         assert!(r.range_sum(&q(&[(0, 100), (0, 100)])).is_err());
         assert_eq!(r.fault_stats(), FaultStats::default());
         assert!(r.health().iter().all(|h| h.status == EngineStatus::Healthy));
+    }
+
+    #[test]
+    fn concurrent_queries_and_updates_never_tear() {
+        // Readers hammering the shared router while a writer installs
+        // update batches must only ever see a full pre- or post-batch
+        // snapshot of the whole candidate set.
+        let r = Arc::new(router());
+        let probe = q(&[(0, 63), (0, 63)]);
+        let a = cube();
+        let region = probe.to_region(a.shape()).unwrap();
+        let base = a.fold_region(&region, 0i64, |s, &x| s + x);
+        // Batch k sets cell [0,0] to k*100; valid totals step by 100.
+        let cell0 = a.fold_region(
+            &Region::from_bounds(&[(0, 0), (0, 0)]).unwrap(),
+            0i64,
+            |s, &x| s + x,
+        );
+        let valid: Vec<i64> = (0..=8).map(|k| base - cell0 + k * 100).collect();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let r = Arc::clone(&r);
+            let probe = probe.clone();
+            let valid = valid.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let got = *r.range_sum(&probe).unwrap().value().unwrap();
+                    assert!(valid.contains(&got), "torn read: {got} not in {valid:?}");
+                }
+            }));
+        }
+        for k in 1..=8i64 {
+            r.apply_updates(&[(vec![0, 0], k * 100)]).unwrap();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

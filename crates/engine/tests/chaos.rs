@@ -129,7 +129,7 @@ fn chaos_zero_deadline_kills_before_kernel_work() {
     }
     // Router level: the same budget on the router kills the routed query
     // and the injector underneath is never even dispatched.
-    let mut r = chaotic_router(FaultPlan::benign(), Parallelism::Sequential)
+    let r = chaotic_router(FaultPlan::benign(), Parallelism::Sequential)
         .with_budget(QueryBudget::with_deadline(Duration::ZERO));
     let err = r.range_sum(&workload()[0]).unwrap_err();
     assert!(matches!(err, EngineError::DeadlineExceeded { .. }), "{err}");
@@ -138,7 +138,7 @@ fn chaos_zero_deadline_kills_before_kernel_work() {
     // Worst case: every candidate already poisoned AND a dead deadline —
     // the expired budget still wins over `NoCandidate`, because the meter
     // is checked before any routing work.
-    let mut dead = AdaptiveRouter::new()
+    let dead = AdaptiveRouter::new()
         .with_engine(Box::new(FaultyEngine::new(
             Box::new(NaiveEngine::new(cube())),
             FaultPlan::benign().panic_call(0).lie_cheapest(),
@@ -175,7 +175,7 @@ fn chaos_heavy_fault_mix_never_panics_or_wedges() {
 fn chaos_updates_stay_consistent_across_failover() {
     // Updates reach every non-poisoned engine, so whichever engine a
     // later query fails over to sees the same cube.
-    let mut r = chaotic_router(FaultPlan::benign().panic_call(0), Parallelism::Sequential);
+    let r = chaotic_router(FaultPlan::benign().panic_call(0), Parallelism::Sequential);
     let probe = RangeQuery::from_region(&Region::from_bounds(&[(2, 2), (3, 3)]).unwrap());
     // Poison the injector with its one panic.
     let _ = r.range_sum(&probe).unwrap();

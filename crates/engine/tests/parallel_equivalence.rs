@@ -178,8 +178,8 @@ proptest! {
             .iter()
             .map(|(i, v)| (i.clone(), *v as f64 * 0.5))
             .collect();
-        seq_idx.apply_updates(&batch).unwrap();
-        par_idx.apply_updates(&batch).unwrap();
+        seq_idx.apply_updates_in_place(&batch).unwrap();
+        par_idx.apply_updates_in_place(&batch).unwrap();
         let (sv, ss) = seq_idx.range_sum(&q).unwrap();
         let (pv, ps) = par_idx.range_sum(&q).unwrap();
         prop_assert_eq!(sv.to_bits(), pv.to_bits());
@@ -218,8 +218,8 @@ proptest! {
                 .with_engine(Box::new(CubeIndex::build(a.clone(), cfg).unwrap()))
                 .with_engine(Box::new(SumTreeEngine::build(a.clone(), 2).unwrap()))
         };
-        let mut seq = router_for(Parallelism::Sequential);
-        let mut par = router_for(Parallelism::Threads(threads));
+        let seq = router_for(Parallelism::Sequential);
+        let par = router_for(Parallelism::Threads(threads));
         for q in &qs {
             let query = RangeQuery::from_region(q);
             let se = seq.explain(&query).unwrap();
@@ -313,7 +313,7 @@ mod telemetry_equivalence {
                     parallelism: par,
                     ..IndexConfig::default()
                 };
-                let mut router = AdaptiveRouter::new()
+                let router = AdaptiveRouter::new()
                     .with_engine(Box::new(NaiveEngine::new(a.clone())))
                     .with_engine(Box::new(CubeIndex::build(a.clone(), cfg).unwrap()))
                     .with_engine(Box::new(SumTreeEngine::build(a.clone(), 2).unwrap()));

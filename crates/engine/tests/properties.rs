@@ -59,7 +59,7 @@ proptest! {
             let mut shadow = a.clone();
             let batch: Vec<(Vec<usize>, i64)> =
                 updates.iter().map(|(i, v)| (i.clone(), *v)).collect();
-            idx.apply_updates(&batch).unwrap();
+            idx.apply_updates_in_place(&batch).unwrap();
             for (i, v) in &batch {
                 *shadow.get_mut(i) = *v;
             }

@@ -88,7 +88,7 @@ fn out_of_domain_singletons_error() {
 
 #[test]
 fn unsupported_operations_are_typed_not_panics() {
-    for mut e in all_engines() {
+    for e in all_engines() {
         let caps = e.capabilities();
         let q = RangeQuery::all(2).unwrap();
         if !caps.supports(EngineOp::Max) {
@@ -121,7 +121,7 @@ fn unsupported_operations_are_typed_not_panics() {
 
 #[test]
 fn out_of_bounds_updates_error_without_corrupting_state() {
-    for mut e in all_engines() {
+    for e in all_engines() {
         if !e.capabilities().supports(EngineOp::Update) {
             continue;
         }
@@ -225,7 +225,7 @@ proptest! {
         idx in prop::collection::vec(0usize..16, 0..=3),
         v in -1000i64..1000,
     ) {
-        for mut e in all_engines() {
+        for e in all_engines() {
             let _ = e.apply_updates(&[(idx.clone(), v)]);
         }
     }

@@ -43,7 +43,7 @@ fn stats_survive_router_dispatch() {
     let region = q.to_region(a.shape()).unwrap();
     let (_, direct_stats) = idx.range_sum(&region).unwrap();
 
-    let mut router = AdaptiveRouter::new().with_engine(Box::new(idx) as Box<dyn RangeEngine<i64>>);
+    let router = AdaptiveRouter::new().with_engine(Box::new(idx) as Box<dyn RangeEngine<i64>>);
     let outcome = router.range_sum(&q).unwrap();
     assert_eq!(
         outcome.stats, direct_stats,

@@ -1,0 +1,31 @@
+//! The sharded, snapshot-isolated serving layer over the engine crate.
+//!
+//! [`CubeServer`] partitions a dense cube into contiguous slabs along the
+//! leading dimension and gives each slab to a worker thread with its own
+//! [`olap_engine::AdaptiveRouter`] — the PR-4 failover/circuit-breaker
+//! machinery, now shareable because every router method takes `&self`.
+//! Queries fan out to the shards their region overlaps and the partial
+//! answers recombine (sums add; argmax/argmin map back to global
+//! coordinates). Batched updates derive copy-on-write successor snapshots
+//! per shard and install them atomically, so in-flight queries finish on
+//! the snapshot they pinned — readers are never blocked by a writer.
+//!
+//! [`drive_load`] is the seeded mixed-workload driver behind
+//! `olap-cli serve`: phases of concurrent readers racing one single-shard
+//! update batch, every answer asserted bit-identical to the pre- or
+//! post-update sequential oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Library code reports failures as typed errors; panicking escape
+// hatches are denied outside test builds (tests may unwrap). See the
+// matching attribute in olap-engine.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod driver;
+mod error;
+mod server;
+
+pub use driver::{drive_load, LoadReport, LoadSpec};
+pub use error::ServerError;
+pub use server::{CubeServer, ServeConfig, ServerAnswer, ShardStats};

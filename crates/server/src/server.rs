@@ -1,0 +1,496 @@
+//! [`CubeServer`]: slab-sharded serving over per-shard adaptive routers.
+//!
+//! # Partitioning
+//!
+//! The cube is split along the leading dimension into `shards` contiguous
+//! slabs of near-equal row count (shard `i` owns rows
+//! `⌊i·n₀/k⌋ .. ⌊(i+1)·n₀/k⌋`). Row-major layout makes every slab a
+//! contiguous run of the base array, so shard engines build over a plain
+//! sub-cube with the same trailing dimensions and queries translate by an
+//! offset on axis 0 only.
+//!
+//! # Threads and queues
+//!
+//! Each shard owns one worker thread draining an mpsc queue. A fanned-out
+//! query enqueues one job per overlapping shard and collects the partial
+//! answers; the per-shard queue depth is tracked in an atomic (exported
+//! as the `olap_shard_queue_depth` gauge with the `telemetry` feature).
+//! Workers execute through the shard's [`AdaptiveRouter`] — cost-ranked
+//! routing, failover, circuit breakers, and budget admission all apply
+//! per shard, and every update installs an immutable snapshot, so worker
+//! reads are never blocked by a writer.
+//!
+//! # Updates
+//!
+//! [`CubeServer::apply_updates`] validates the whole batch up front,
+//! splits it by owning shard, and installs each shard's successor
+//! snapshot atomically under one server-wide writer mutex. A batch is
+//! atomic *per shard*, not across shards: a concurrent fanned-out query
+//! may combine pre-batch rows from one shard with post-batch rows from
+//! another. Single-shard batches (any single-cell update is one) are
+//! globally atomic — the discipline the load driver uses to assert
+//! pre-or-post-oracle answers.
+
+use crate::ServerError;
+use olap_array::{DenseArray, QueryBudget, Region, Shape};
+use olap_engine::{
+    AdaptiveRouter, CubeIndex, EngineError, EngineOp, EpochStats, FaultPlan, FaultyEngine,
+    IndexConfig, NaiveEngine, RangeEngine, SumTreeEngine,
+};
+use olap_query::{AccessStats, Answer, QueryOutcome, RangeQuery};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// How a [`CubeServer`] is assembled.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker shard count; clamped to the leading dimension's extent.
+    pub shards: usize,
+    /// Per-query budget every shard router admits queries under.
+    pub budget: QueryBudget,
+    /// Optional fault injection: wraps each shard's precomputed engines
+    /// (never the naive fallback) so chaos drills can prove failover and
+    /// snapshot installs keep answers exact.
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            budget: QueryBudget::unlimited(),
+            faults: None,
+        }
+    }
+}
+
+/// A recombined answer from a fanned-out query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerAnswer {
+    /// The aggregate or extremal value.
+    pub value: i64,
+    /// For max/min: where the extremum is attained, in *global*
+    /// coordinates.
+    pub at: Option<Vec<usize>>,
+    /// Total elements accessed across every answering shard (the §8 cost
+    /// proxy, summed).
+    pub cost: u64,
+    /// How many shards contributed.
+    pub shards: usize,
+}
+
+/// One shard's serving statistics, for operators and tests.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Global rows `[lo, hi]` of the slab on the leading dimension.
+    pub rows: (usize, usize),
+    /// Snapshot-liveness bookkeeping of the shard's router.
+    pub epochs: EpochStats,
+    /// Jobs currently enqueued (or in flight) on the shard's worker.
+    pub queue_depth: i64,
+}
+
+/// One enqueued unit of work: a shard-local query plus the reply slot.
+struct Job {
+    shard: usize,
+    op: EngineOp,
+    query: RangeQuery,
+    reply: mpsc::Sender<(usize, Result<QueryOutcome<i64>, EngineError>)>,
+}
+
+/// One slab of the cube: its row range, router, and worker queue.
+struct Shard {
+    /// First global row of the slab.
+    lo: usize,
+    /// Rows in the slab.
+    len: usize,
+    router: Arc<AdaptiveRouter<i64>>,
+    /// `None` once the server is shutting down.
+    tx: Option<mpsc::Sender<Job>>,
+    depth: Arc<AtomicI64>,
+    label: String,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Shard {
+    fn submit(&self, job: Job) -> Result<(), ServerError> {
+        let shard = job.shard;
+        let tx = self
+            .tx
+            .as_ref()
+            .ok_or(ServerError::ShardUnavailable { shard })?;
+        // ordering: AcqRel — the depth counter pairs increments here with
+        // the worker's decrement so observers never see a negative depth.
+        self.depth.fetch_add(1, Ordering::AcqRel);
+        publish_depth(&self.label, &self.depth);
+        tx.send(job).map_err(|_| {
+            // ordering: AcqRel — roll back the optimistic increment when
+            // the worker is gone and the send bounced.
+            self.depth.fetch_sub(1, Ordering::AcqRel);
+            ServerError::ShardUnavailable { shard }
+        })
+    }
+}
+
+/// Pushes a shard's queue depth to the metric registry (no-op without
+/// the `telemetry` feature or an active context).
+#[allow(unused_variables)]
+fn publish_depth(label: &str, depth: &AtomicI64) {
+    #[cfg(feature = "telemetry")]
+    if let Some(ctx) = olap_telemetry::current() {
+        ctx.registry()
+            .gauge("olap_shard_queue_depth", &[("shard", label)])
+            // ordering: Relaxed — reporting read; queue correctness is
+            // carried by the channel, not this gauge.
+            .set(depth.load(Ordering::Relaxed) as f64);
+    }
+}
+
+/// The worker loop: drain jobs, answer through the shard router.
+fn shard_worker(
+    rx: mpsc::Receiver<Job>,
+    router: Arc<AdaptiveRouter<i64>>,
+    depth: Arc<AtomicI64>,
+    label: String,
+) {
+    while let Ok(job) = rx.recv() {
+        // ordering: AcqRel — pairs with `Shard::submit`'s increment.
+        depth.fetch_sub(1, Ordering::AcqRel);
+        publish_depth(&label, &depth);
+        let out = match job.op {
+            EngineOp::Sum => router.range_sum(&job.query),
+            EngineOp::Max => router.range_max(&job.query),
+            EngineOp::Min => router.range_min(&job.query),
+            EngineOp::Update => Err(EngineError::unsupported(
+                "shard-worker",
+                EngineOp::Update.name(),
+            )),
+        };
+        // A dropped reply receiver means the query already failed on
+        // another shard; nothing to do with this partial answer.
+        let _ = job.reply.send((job.shard, out));
+    }
+}
+
+/// A sharded, snapshot-isolated server over one dense `i64` cube.
+///
+/// Shareable across threads (`&self` everywhere); see the module docs
+/// for the partitioning and atomicity contract.
+pub struct CubeServer {
+    shape: Shape,
+    shards: Vec<Shard>,
+    /// Serialises cross-shard update batches so per-shard installs from
+    /// different batches cannot interleave.
+    writer: Mutex<()>,
+}
+
+impl CubeServer {
+    /// Partitions `cube` and boots one worker thread per shard.
+    ///
+    /// # Errors
+    /// [`ServerError::Config`] when the cube or shard count is unusable.
+    pub fn build(cube: &DenseArray<i64>, config: ServeConfig) -> Result<Self, ServerError> {
+        let shape = cube.shape().clone();
+        if shape.ndim() == 0 || shape.is_empty() {
+            return Err(ServerError::Config("cannot serve an empty cube".into()));
+        }
+        let n0 = shape.dim(0);
+        if config.shards == 0 {
+            return Err(ServerError::Config("shard count must be at least 1".into()));
+        }
+        let k = config.shards.min(n0);
+        let mut shards = Vec::with_capacity(k);
+        for i in 0..k {
+            let lo = i * n0 / k;
+            let hi = (i + 1) * n0 / k;
+            let shard = build_shard(cube, i, lo, hi, &config)?;
+            shards.push(shard);
+        }
+        Ok(CubeServer {
+            shape,
+            shards,
+            writer: Mutex::new(()),
+        })
+    }
+
+    /// The served cube's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard serving statistics: slab extents, snapshot liveness,
+    /// queue depths.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardStats {
+                shard: i,
+                rows: (s.lo, s.lo + s.len - 1),
+                epochs: s.router.epoch_stats(),
+                // ordering: Relaxed — reporting read.
+                queue_depth: s.depth.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Range sum over the global cube: fans out to every overlapping
+    /// shard and adds the partial sums.
+    ///
+    /// # Errors
+    /// Validation failures, shard router errors, dead shards.
+    pub fn range_sum(&self, query: &RangeQuery) -> Result<ServerAnswer, ServerError> {
+        let parts = self.fan_out(query, EngineOp::Sum)?;
+        let mut value = 0i64;
+        let mut cost = 0u64;
+        let shards = parts.len();
+        for (_, out) in &parts {
+            value += out.value().copied().unwrap_or(0);
+            cost += out.cost();
+        }
+        Ok(ServerAnswer {
+            value,
+            at: None,
+            cost,
+            shards,
+        })
+    }
+
+    /// Range max with global argmax.
+    ///
+    /// # Errors
+    /// Validation failures, shard router errors, dead shards.
+    pub fn range_max(&self, query: &RangeQuery) -> Result<ServerAnswer, ServerError> {
+        self.extremum(query, EngineOp::Max)
+    }
+
+    /// Range min with global argmin.
+    ///
+    /// # Errors
+    /// Validation failures, shard router errors, dead shards.
+    pub fn range_min(&self, query: &RangeQuery) -> Result<ServerAnswer, ServerError> {
+        self.extremum(query, EngineOp::Min)
+    }
+
+    fn extremum(&self, query: &RangeQuery, op: EngineOp) -> Result<ServerAnswer, ServerError> {
+        let parts = self.fan_out(query, op)?;
+        let shards = parts.len();
+        let mut best: Option<(i64, Vec<usize>)> = None;
+        let mut cost = 0u64;
+        for (shard, out) in parts {
+            cost += out.cost();
+            let Answer::Extremum { mut at, value } = out.answer else {
+                continue; // empty slab intersection contributes nothing
+            };
+            if let Some(first) = at.first_mut() {
+                *first += self.shard_row(shard);
+            }
+            let better = match (&best, op) {
+                (None, _) => true,
+                (Some((b, _)), EngineOp::Max) => value > *b,
+                (Some((b, _)), _) => value < *b,
+            };
+            if better {
+                best = Some((value, at));
+            }
+        }
+        let (value, at) =
+            best.ok_or_else(|| ServerError::Config("no shard produced an extremum".into()))?;
+        Ok(ServerAnswer {
+            value,
+            at: Some(at),
+            cost,
+            shards,
+        })
+    }
+
+    /// First global row of shard `i` (0 for an unknown index — callers
+    /// only pass indices they received from a fan-out).
+    fn shard_row(&self, i: usize) -> usize {
+        self.shards.get(i).map(|s| s.lo).unwrap_or(0)
+    }
+
+    /// Applies one batch of absolute-value cell updates. Validates the
+    /// whole batch first, then installs each touched shard's successor
+    /// snapshot — per-shard atomic, cross-shard see the module docs.
+    ///
+    /// # Errors
+    /// Validation failures (nothing applied), shard derive failures (the
+    /// failing shard and later ones keep their current snapshot).
+    pub fn apply_updates(&self, updates: &[(Vec<usize>, i64)]) -> Result<AccessStats, ServerError> {
+        let _writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let mut batches: Vec<Vec<(Vec<usize>, i64)>> = vec![Vec::new(); self.shards.len()];
+        for (idx, v) in updates {
+            self.shape.check_index(idx)?;
+            let row = idx.first().copied().unwrap_or(0);
+            let (shard, lo) = self.owning_shard(row)?;
+            let mut local = idx.clone();
+            if let Some(first) = local.first_mut() {
+                *first -= lo;
+            }
+            if let Some(batch) = batches.get_mut(shard) {
+                batch.push((local, *v));
+            }
+        }
+        let mut stats = AccessStats::new();
+        for (shard, batch) in batches.iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let s = self
+                .shards
+                .get(shard)
+                .ok_or(ServerError::ShardUnavailable { shard })?;
+            stats.merge(&s.router.apply_updates(batch)?);
+        }
+        Ok(stats)
+    }
+
+    /// The shard owning global row `row`, with its slab offset.
+    fn owning_shard(&self, row: usize) -> Result<(usize, usize), ServerError> {
+        self.shards
+            .iter()
+            .enumerate()
+            .find(|(_, s)| row >= s.lo && row < s.lo + s.len)
+            .map(|(i, s)| (i, s.lo))
+            .ok_or_else(|| ServerError::Config(format!("row {row} is outside every shard")))
+    }
+
+    /// Fans `query` out to every shard whose slab the region overlaps and
+    /// collects the per-shard outcomes, ordered by shard index.
+    fn fan_out(
+        &self,
+        query: &RangeQuery,
+        op: EngineOp,
+    ) -> Result<Vec<(usize, QueryOutcome<i64>)>, ServerError> {
+        let region = query.to_region(&self.shape)?;
+        let r0 = region.range(0);
+        let (reply, replies) = mpsc::channel();
+        let mut expected = 0usize;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let (slab_lo, slab_hi) = (shard.lo, shard.lo + shard.len - 1);
+            if r0.lo() > slab_hi || r0.hi() < slab_lo {
+                continue;
+            }
+            let mut bounds: Vec<(usize, usize)> =
+                region.ranges().iter().map(|r| (r.lo(), r.hi())).collect();
+            if let Some(first) = bounds.first_mut() {
+                *first = (
+                    r0.lo().max(slab_lo) - shard.lo,
+                    r0.hi().min(slab_hi) - shard.lo,
+                );
+            }
+            let local = Region::from_bounds(&bounds)?;
+            shard.submit(Job {
+                shard: i,
+                op,
+                query: RangeQuery::from_region(&local),
+                reply: reply.clone(),
+            })?;
+            expected += 1;
+        }
+        drop(reply);
+        let mut parts = Vec::with_capacity(expected);
+        for _ in 0..expected {
+            let (shard, out) = replies
+                .recv()
+                .map_err(|_| ServerError::ShardUnavailable { shard: usize::MAX })?;
+            parts.push((shard, out?));
+        }
+        parts.sort_by_key(|(i, _)| *i);
+        Ok(parts)
+    }
+}
+
+impl Drop for CubeServer {
+    fn drop(&mut self) {
+        // Closing every queue ends the worker loops; then reap them.
+        for s in &mut self.shards {
+            s.tx = None;
+        }
+        for s in &mut self.shards {
+            if let Some(h) = s.worker.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for CubeServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CubeServer")
+            .field("shape", &self.shape)
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+/// Builds one shard: slab sub-cube, engines, router, worker thread.
+fn build_shard(
+    cube: &DenseArray<i64>,
+    i: usize,
+    lo: usize,
+    hi: usize,
+    config: &ServeConfig,
+) -> Result<Shard, ServerError> {
+    let shape = cube.shape();
+    let mut dims = shape.dims().to_vec();
+    if let Some(first) = dims.first_mut() {
+        *first = hi - lo;
+    }
+    let local_shape = Shape::new(&dims)?;
+    // Row-major layout: the slab is one contiguous run of the base array.
+    let stride = shape.strides().first().copied().unwrap_or(1);
+    let slab = cube
+        .as_slice()
+        .get(lo * stride..hi * stride)
+        .ok_or_else(|| ServerError::Config(format!("slab {lo}..{hi} out of range")))?;
+    let sub = DenseArray::from_vec(local_shape, slab.to_vec())?;
+
+    let precomputed: Vec<Box<dyn RangeEngine<i64>>> = vec![
+        Box::new(CubeIndex::build(sub.clone(), IndexConfig::default())?),
+        Box::new(SumTreeEngine::build(sub.clone(), 4)?),
+    ];
+    let label = format!("shard-{i}");
+    let router = AdaptiveRouter::labeled(&label);
+    for engine in precomputed {
+        match &config.faults {
+            Some(plan) => router.push(Box::new(FaultyEngine::new(engine, *plan))),
+            None => router.push(engine),
+        }
+    }
+    // The naive scan is never fault-wrapped: it is the shard's last-resort
+    // failover target, so chaos drills stay answerable.
+    router.push(Box::new(NaiveEngine::new(sub)));
+    router.set_budget(config.budget);
+    let router = Arc::new(router);
+
+    let depth = Arc::new(AtomicI64::new(0));
+    let (tx, rx) = mpsc::channel();
+    let worker = std::thread::Builder::new()
+        .name(format!("olap-{label}"))
+        .spawn({
+            let router = Arc::clone(&router);
+            let depth = Arc::clone(&depth);
+            let label = label.clone();
+            move || shard_worker(rx, router, depth, label)
+        })
+        .map_err(|e| ServerError::Config(format!("spawning shard worker {i}: {e}")))?;
+    Ok(Shard {
+        lo,
+        len: hi - lo,
+        router,
+        tx: Some(tx),
+        depth,
+        label,
+        worker: Some(worker),
+    })
+}

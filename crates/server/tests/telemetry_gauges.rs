@@ -1,0 +1,63 @@
+//! The serving gauges are real, not decorative: with a telemetry scope
+//! active, building a server, answering queries, and installing updates
+//! must publish per-shard snapshot and queue metrics into the registry.
+
+#![cfg(feature = "telemetry")]
+
+use olap_array::Shape;
+use olap_query::RangeQuery;
+use olap_server::{CubeServer, ServeConfig};
+use olap_telemetry::{MetricValue, Telemetry};
+use olap_workload::{uniform_cube, uniform_regions};
+use std::sync::Arc;
+
+#[test]
+fn serving_publishes_snapshot_and_queue_gauges() {
+    let a = uniform_cube(Shape::new(&[16, 8]).unwrap(), 300, 61);
+    let ctx = Arc::new(Telemetry::new());
+    // The registry is read while the server is still alive: dropping it
+    // releases every epoch and the live gauges legitimately fall to zero.
+    let snap = olap_telemetry::with_scope(&ctx, || {
+        let srv = CubeServer::build(
+            &a,
+            ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        for r in uniform_regions(a.shape(), 5, 67) {
+            srv.range_sum(&RangeQuery::from_region(&r)).unwrap();
+        }
+        srv.apply_updates(&[(vec![3, 3], 9), (vec![12, 1], -2)])
+            .unwrap();
+        ctx.registry().snapshot()
+    });
+    let gauge = |name: &str, key: &str, label: &str| -> Option<f64> {
+        snap.iter().find_map(|m| {
+            let matches = m.name == name && m.labels.iter().any(|(k, v)| k == key && v == label);
+            match (&m.value, matches) {
+                (MetricValue::Gauge(v), true) => Some(*v),
+                _ => None,
+            }
+        })
+    };
+
+    // Exact values are timing-dependent (a worker thread may still pin
+    // the superseded snapshot, and releases on scope-less workers do not
+    // publish), so the assertions are presence plus tight ranges.
+    for shard in ["shard-0", "shard-1"] {
+        let live = gauge("olap_snapshot_live", "cell", shard)
+            .unwrap_or_else(|| panic!("no olap_snapshot_live for {shard}"));
+        assert!(
+            (1.0..=2.0).contains(&live),
+            "{shard}: live snapshots {live}"
+        );
+        let lag = gauge("olap_snapshot_epoch_lag", "cell", shard)
+            .unwrap_or_else(|| panic!("no olap_snapshot_epoch_lag for {shard}"));
+        assert!((0.0..=1.0).contains(&lag), "{shard}: lag {lag}");
+        let depth = gauge("olap_shard_queue_depth", "shard", shard)
+            .unwrap_or_else(|| panic!("no olap_shard_queue_depth for {shard}"));
+        assert!((0.0..=1.0).contains(&depth), "{shard}: depth {depth}");
+    }
+}

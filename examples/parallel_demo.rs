@@ -62,8 +62,8 @@ fn main() {
     // Batched updates route through the same executor: both indexes stay
     // identical after a §5 batch is applied under each strategy.
     let updates = [(vec![10usize, 10], 500i64), (vec![40, 3], -7)];
-    seq.apply_updates(&updates).expect("valid updates");
-    par.apply_updates(&updates).expect("valid updates");
+    seq.apply_updates_in_place(&updates).expect("valid updates");
+    par.apply_updates_in_place(&updates).expect("valid updates");
     let all = seq.shape().full_region();
     let (t0, _) = seq.range_sum(&all).expect("valid query");
     let (t1, _) = par.range_sum(&all).expect("valid query");

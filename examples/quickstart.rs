@@ -36,7 +36,7 @@ fn main() {
 
     // Batched updates keep every structure consistent (§5, §7).
     index
-        .apply_updates(&[(vec![0, 0], 10), (vec![2, 5], 0)])
+        .apply_updates_in_place(&[(vec![0, 0], 10), (vec![2, 5], 0)])
         .expect("valid updates");
     let all = index.shape().full_region();
     let (total, _) = index.range_sum(&all).expect("valid query");

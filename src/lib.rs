@@ -18,6 +18,7 @@
 //! | [`sparse`] | R*-tree, B+-tree, dense-region finder, sparse engines | §10 |
 //! | [`workload`] | seeded cube and query generators | evaluation |
 //! | [`engine`] | unified engines, planned indexes, naive baselines | all |
+//! | [`server`] | sharded snapshot-isolated serving, load driver | deployment |
 //! | [`storage`] | binary persistence for cubes and structures | deployment |
 //!
 //! ## Quickstart
@@ -46,6 +47,7 @@ pub use olap_planner as planner;
 pub use olap_prefix_sum as prefix_sum;
 pub use olap_query as query;
 pub use olap_range_max as range_max;
+pub use olap_server as server;
 pub use olap_sparse as sparse;
 pub use olap_storage as storage;
 pub use olap_tree_sum as tree_sum;

@@ -175,7 +175,8 @@ fn updates_flow_through_the_trait() {
         *shadow.get_mut(idx) = *v;
     }
     for e in &mut engines {
-        e.apply_updates(&updates).unwrap();
+        let derived = e.apply_updates(&updates).unwrap();
+        *e = derived.engine;
     }
     for region in uniform_regions(&shape, 30, 9) {
         let q = RangeQuery::from_region(&region);

@@ -156,7 +156,7 @@ fn many_duplicate_updates_last_wins() {
     )
     .unwrap();
     let updates: Vec<(Vec<usize>, i64)> = (0..20).map(|k| (vec![1, 1], k as i64)).collect();
-    idx.apply_updates(&updates).unwrap();
+    idx.apply_updates_in_place(&updates).unwrap();
     assert_eq!(*idx.cube().get(&[1, 1]), 19);
     let q = idx.shape().full_region();
     assert_eq!(idx.range_sum(&q).unwrap().0, 19);

@@ -72,7 +72,7 @@ fn router_tracks_best_static_choice_on_mixed_workload() {
     let best_static = static_totals.iter().map(|&(_, t)| t).min().unwrap();
 
     // The router over the same engine set.
-    let mut router = AdaptiveRouter::new();
+    let router = AdaptiveRouter::new();
     for e in engines(&a) {
         router.push(e);
     }
@@ -109,7 +109,7 @@ fn replay_tightens_predicted_vs_observed() {
     let a = uniform_cube(shape.clone(), 100, 30);
     // One engine whose analytic model has systematic error the EWMA must
     // learn: the §8 tree cost formula is an average-case surface bound.
-    let mut router: AdaptiveRouter<i64> =
+    let router: AdaptiveRouter<i64> =
         AdaptiveRouter::new().with_engine(Box::new(SumTreeEngine::build(a, 4).unwrap()));
 
     // An OLAP dashboard's steady state: the same handful of report
@@ -142,7 +142,7 @@ fn replay_tightens_predicted_vs_observed() {
 fn explain_candidates_match_direct_estimates() {
     let shape = Shape::new(&[64, 64]).unwrap();
     let a = uniform_cube(shape.clone(), 100, 40);
-    let mut router = AdaptiveRouter::new();
+    let router = AdaptiveRouter::new();
     for e in engines(&a) {
         router.push(e);
     }

@@ -1,5 +1,9 @@
 //! Long-running interleavings of queries and batched updates across every
 //! maintained structure — the §5/§7 OLAP day/night cycle, hammered.
+//!
+//! The `concurrent_*` property tests at the bottom drive real threads
+//! against the snapshot-isolation machinery (`VersionCell`, the sharded
+//! `CubeServer`) and belong to the ThreadSanitizer CI leg.
 
 use olap_cube::array::Shape;
 use olap_cube::engine::{CubeIndex, IndexConfig, PrefixChoice};
@@ -57,7 +61,7 @@ fn twenty_rounds_of_mixed_queries_and_updates() {
             let first = batch[0].0.clone();
             batch.push((first, rng.random_range(-500i64..500)));
         }
-        index.apply_updates(&batch).unwrap();
+        index.apply_updates_in_place(&batch).unwrap();
         for (idx, v) in &batch {
             *shadow.get_mut(idx) = *v;
         }
@@ -90,13 +94,169 @@ fn blocked_index_update_cycle() {
                 )
             })
             .collect();
-        index.apply_updates(&batch).unwrap();
+        index.apply_updates_in_place(&batch).unwrap();
         for (idx, v) in &batch {
             *shadow.get_mut(idx) = *v;
         }
         for q in uniform_regions(&shape, 8, 2000 + round) {
             let (s, _) = index.range_sum(&q).unwrap();
             assert_eq!(s, naive_sum(&shadow, &q), "round {round} {q}");
+        }
+    }
+}
+
+mod concurrent {
+    //! Threads hammering snapshot installs: any answer observed while an
+    //! update batch is in flight must be bit-identical to the pre- or
+    //! post-update sequential oracle — never a mix.
+
+    use super::naive_sum;
+    use olap_cube::array::{Region, Shape};
+    use olap_cube::engine::{CubeIndex, IndexConfig, RangeEngine, VersionCell};
+    use olap_cube::query::RangeQuery;
+    use olap_cube::server::{CubeServer, ServeConfig};
+    use olap_cube::workload::{uniform_cube, uniform_regions};
+    use proptest::prelude::*;
+    use std::sync::Mutex;
+
+    /// Cube dims, an update batch inside them, and a region seed.
+    type UpdateCase = (Vec<usize>, Vec<(Vec<usize>, i64)>, u64);
+
+    fn arb_case() -> impl Strategy<Value = UpdateCase> {
+        prop::collection::vec(3usize..9, 2..=3).prop_flat_map(|dims| {
+            let cell: Vec<_> = dims.iter().map(|&n| 0..n).collect();
+            let batch = prop::collection::vec((cell, -900i64..900), 1..6);
+            (Just(dims), batch, any::<u64>())
+        })
+    }
+
+    fn sum_through(engine: &dyn RangeEngine<i64>, r: &Region) -> i64 {
+        let out = engine.range_sum(&RangeQuery::from_region(r)).unwrap();
+        *out.answer.value().expect("sum answers carry a value")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Readers loading live snapshots from a [`VersionCell`] while a
+        /// writer installs a successor: every observed sum is the pre- or
+        /// post-update oracle, a snapshot pinned before the install keeps
+        /// answering pre exactly, and the install is visible afterwards.
+        #[test]
+        fn concurrent_snapshot_readers_see_pre_or_post_values(
+            (dims, batch, seed) in arb_case(),
+            readers in 2usize..4,
+        ) {
+            let shape = Shape::new(&dims).unwrap();
+            let pre = uniform_cube(shape.clone(), 700, seed);
+            let mut post = pre.clone();
+            for (idx, v) in &batch {
+                *post.get_mut(idx) = *v;
+            }
+            let index = CubeIndex::build(pre.clone(), IndexConfig::default()).unwrap();
+            let cell = VersionCell::new(Box::new(index));
+            let pinned = cell.load();
+            let regions = uniform_regions(&shape, 12, seed ^ 0x5eed);
+            let observed: Mutex<Vec<(usize, i64)>> = Mutex::new(Vec::new());
+
+            std::thread::scope(|scope| {
+                for r in 0..readers {
+                    let cell = &cell;
+                    let regions = &regions;
+                    let observed = &observed;
+                    scope.spawn(move || {
+                        for (i, region) in
+                            regions.iter().enumerate().skip(r).step_by(readers)
+                        {
+                            let got = sum_through(cell.load().engine(), region);
+                            observed.lock().unwrap().push((i, got));
+                        }
+                    });
+                }
+                scope.spawn(|| {
+                    cell.update(&batch).unwrap();
+                });
+            });
+
+            for (i, got) in observed.into_inner().unwrap() {
+                let (a, b) = (naive_sum(&pre, &regions[i]), naive_sum(&post, &regions[i]));
+                prop_assert!(got == a || got == b, "region {i}: {got} ∉ {{{a}, {b}}}");
+            }
+            // Snapshot isolation proper: the pinned pre-install version is
+            // untouched by the concurrent install.
+            for region in &regions {
+                prop_assert_eq!(sum_through(pinned.engine(), region), naive_sum(&pre, region));
+            }
+            prop_assert_eq!(cell.epoch(), 1);
+            for region in &regions {
+                prop_assert_eq!(
+                    sum_through(cell.load().engine(), region),
+                    naive_sum(&post, region)
+                );
+            }
+        }
+
+        /// The sharded server under a mid-flight single-shard batch (one
+        /// snapshot swap ⇒ globally atomic): concurrent readers never see
+        /// a torn sum.
+        #[test]
+        fn concurrent_sharded_server_updates_never_tear_answers(
+            (dims, mut batch, seed) in arb_case(),
+            shards in 2usize..5,
+            readers in 2usize..4,
+        ) {
+            let shape = Shape::new(&dims).unwrap();
+            let pre = uniform_cube(shape.clone(), 700, seed);
+            // Confine the batch to one row of axis 0 so it lands in a
+            // single shard and the install is one atomic swap.
+            let row = batch[0].0[0];
+            for (idx, _) in &mut batch {
+                idx[0] = row;
+            }
+            let mut post = pre.clone();
+            for (idx, v) in &batch {
+                *post.get_mut(idx) = *v;
+            }
+            let srv = CubeServer::build(
+                &pre,
+                ServeConfig { shards, ..ServeConfig::default() },
+            )
+            .unwrap();
+            let regions = uniform_regions(&shape, 12, seed ^ 0xca11);
+            let observed: Mutex<Vec<(usize, i64)>> = Mutex::new(Vec::new());
+
+            std::thread::scope(|scope| {
+                for r in 0..readers {
+                    let srv = &srv;
+                    let regions = &regions;
+                    let observed = &observed;
+                    scope.spawn(move || {
+                        for (i, region) in
+                            regions.iter().enumerate().skip(r).step_by(readers)
+                        {
+                            let got = srv
+                                .range_sum(&RangeQuery::from_region(region))
+                                .unwrap()
+                                .value;
+                            observed.lock().unwrap().push((i, got));
+                        }
+                    });
+                }
+                scope.spawn(|| {
+                    srv.apply_updates(&batch).unwrap();
+                });
+            });
+
+            for (i, got) in observed.into_inner().unwrap() {
+                let (a, b) = (naive_sum(&pre, &regions[i]), naive_sum(&post, &regions[i]));
+                prop_assert!(got == a || got == b, "region {i}: {got} ∉ {{{a}, {b}}}");
+            }
+            for region in &regions {
+                prop_assert_eq!(
+                    srv.range_sum(&RangeQuery::from_region(region)).unwrap().value,
+                    naive_sum(&post, region)
+                );
+            }
         }
     }
 }
