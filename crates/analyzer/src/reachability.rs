@@ -40,8 +40,9 @@ pub const ENGINE_METHODS: &[&str] = &[
 
 /// Serving-layer types whose inherent methods are reachability roots:
 /// their entry points run on the query path (shard fan-out, snapshot
-/// loads and installs) without being named like a trait method.
-pub const SERVING_TYPES: &[&str] = &["CubeServer", "VersionCell"];
+/// loads and installs, semantic-cache lookups and invalidation sweeps)
+/// without being named like a trait method.
+pub const SERVING_TYPES: &[&str] = &["CubeServer", "VersionCell", "SemanticCache"];
 
 /// One function in the cross-file graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -215,6 +216,7 @@ mod tests {
             "crates/server/src/s.rs",
             "impl CubeServer {\n  pub fn fan_out(&self) { merge(); }\n}\n\
              impl<V> VersionCell<V> {\n  fn swap_in(&self) {}\n}\n\
+             impl<V, B> SemanticCache<V, B> {\n  fn plan(&self) {}\n}\n\
              fn merge() {}\nfn unrelated() {}\n",
         )]);
         let r = compute(&model);
@@ -228,6 +230,7 @@ mod tests {
         }
         assert!(flat.contains(&"fan_out"), "{flat:?}");
         assert!(flat.contains(&"swap_in"), "{flat:?}");
+        assert!(flat.contains(&"plan"), "{flat:?}");
         assert!(flat.contains(&"merge"), "{flat:?}");
         assert!(!flat.contains(&"unrelated"), "{flat:?}");
     }

@@ -11,13 +11,17 @@
 //! The pass is token-level and deliberately over-approximate:
 //!
 //! - **lock identities** are field/static names whose declared type
-//!   mentions `Mutex`, `RwLock`, or `VersionCell` (from the outline);
+//!   mentions `Mutex`, `RwLock`, `VersionCell`, or `SemanticCache`
+//!   (from the outline);
 //! - an **acquisition** is `name.lock(` / `name.read(` / `name.write(`
-//!   on a `Mutex`/`RwLock` identity, or `name.load(` / `name.update(` /
+//!   on a `Mutex`/`RwLock` identity; `name.load(` / `name.update(` /
 //!   `name.install(` / `name.swap_in(` on a `VersionCell` identity —
 //!   every entry point of the snapshot swap path enters the cell's
 //!   internal `writer`/`current` locks, so a call through the cell is an
-//!   acquisition of the cell's own identity;
+//!   acquisition of the cell's own identity; or `name.range_sum(` /
+//!   `name.prime(` / `name.apply_updates(` / `name.clear(` /
+//!   `name.stats(` / `name.len(` on a `SemanticCache` identity, whose
+//!   entry points enter the cache's `update_lock`/`inner` mutexes;
 //! - a guard bound with `let` is held to the end of its enclosing block,
 //!   a temporary to the end of its statement;
 //! - acquiring `b` while `a` is held adds the edge `a → b`.
@@ -188,6 +192,17 @@ fn acquisitions(toks: &[Token], a: usize, b: usize, locks: &[(String, LockKind)]
                             LockKind::Cell => {
                                 matches!(m.text.as_str(), "load" | "update" | "install" | "swap_in")
                             }
+                            LockKind::Cache => {
+                                matches!(
+                                    m.text.as_str(),
+                                    "range_sum"
+                                        | "prime"
+                                        | "apply_updates"
+                                        | "clear"
+                                        | "stats"
+                                        | "len"
+                                )
+                            }
                         }
                 })
             });
@@ -350,6 +365,20 @@ mod tests {
         let f = check(&Model::from_sources(&[("crates/x/src/c.rs", src)]));
         assert_eq!(f.len(), 1, "{f:?}");
         assert!(f[0].message.contains("cell"), "{f:?}");
+    }
+
+    #[test]
+    fn semantic_cache_calls_join_the_acquisition_graph() {
+        // Holding `m` while driving an install through the cache in one
+        // function, and holding the cache's locks (via a lookup) while
+        // taking `m` in another, is the opposite-order cycle — visible
+        // under the cache's own identity.
+        let src = "struct S { m: Mutex<u8>, cache: Arc<SemanticCache<i64, R>> }\n\
+                   fn f(s: &S) {\n  let g = s.m.lock();\n  s.cache.apply_updates(&[]);\n}\n\
+                   fn g(s: &S) {\n  let v = s.cache.range_sum(&q);\n  s.m.lock().unwrap();\n}\n";
+        let f = check(&Model::from_sources(&[("crates/x/src/c.rs", src)]));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("cache"), "{f:?}");
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Does the semantic cache pay for itself? Two workloads through the
+//! same tree-served router, cached versus uncached:
+//!
+//! - `zipf_*`: a Zipf-skewed repeat-heavy stream — the cache's reason to
+//!   exist. The acceptance gate is a ≥2× median improvement at a ≥60%
+//!   hit rate (`bench_guard --ratio … zipf_cached zipf_uncached 0.5`);
+//!   the hit-rate half is asserted right here.
+//! - `zero_locality_*`: a uniform stream cycling through many more
+//!   distinct regions than the cache can hold, so ~every lookup misses,
+//!   inserts, and evicts. This is the worst case for the cache, and the
+//!   CI ratio gate holds it to ≤1.05× of the uncached router
+//!   (`bench_guard --ratio … zero_locality_cached zero_locality_uncached
+//!   1.05`).
+//!
+//! The backend deliberately has no prefix-sum structure: a healthy §3
+//! index answers any sum in `2^d` accesses, which outprices every cache
+//! assembly and leaves exact hits as the only (small) win. Tree + naive
+//! is the degraded-shard serving mix where semantic caching earns real
+//! latency back.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use olap_array::{DenseArray, Shape};
+use olap_engine::{AdaptiveRouter, NaiveEngine, SemanticCache, SumTreeEngine};
+use olap_query::RangeQuery;
+use olap_workload::{uniform_cube, uniform_regions, zipf_regions};
+use std::hint::black_box;
+
+fn router(a: &DenseArray<i64>) -> AdaptiveRouter<i64> {
+    AdaptiveRouter::new()
+        .with_engine(Box::new(SumTreeEngine::build(a.clone(), 4).unwrap()))
+        .with_engine(Box::new(NaiveEngine::new(a.clone())))
+}
+
+fn cache_hit_rate(c: &mut Criterion) {
+    let a = uniform_cube(Shape::new(&[256, 256]).unwrap(), 1000, 17);
+    let zipf: Vec<RangeQuery> = zipf_regions(a.shape(), 256, 16, 1.1, 23)
+        .iter()
+        .map(RangeQuery::from_region)
+        .collect();
+    // 16× more distinct regions than cache capacity: the LRU can never
+    // retain a working set, so the stream stays miss-dominated.
+    let cold: Vec<RangeQuery> = uniform_regions(a.shape(), 4096, 29)
+        .iter()
+        .map(RangeQuery::from_region)
+        .collect();
+
+    let mut group = c.benchmark_group("cache_hit_rate");
+    group.sample_size(20);
+
+    let cached = SemanticCache::new(router(&a), 256);
+    group.bench_function("zipf_cached", |bch| {
+        bch.iter(|| {
+            for q in &zipf {
+                black_box(cached.range_sum(q).unwrap());
+            }
+        })
+    });
+    // The ≥2× latency gate only means something at a skew-high hit rate;
+    // fail loudly if the workload stops exercising the cache.
+    let stats = cached.stats();
+    assert!(
+        stats.hit_rate() >= 0.6,
+        "zipf workload hit rate fell to {:.2}: {stats:?}",
+        stats.hit_rate()
+    );
+
+    let uncached = SemanticCache::new(router(&a), 0);
+    group.bench_function("zipf_uncached", |bch| {
+        bch.iter(|| {
+            for q in &zipf {
+                black_box(uncached.range_sum(q).unwrap());
+            }
+        })
+    });
+
+    let cold_cached = SemanticCache::new(router(&a), 256);
+    let mut cursor = 0usize;
+    group.bench_function("zero_locality_cached", |bch| {
+        bch.iter(|| {
+            for _ in 0..256 {
+                let q = &cold[cursor % cold.len()];
+                cursor += 1;
+                black_box(cold_cached.range_sum(q).unwrap());
+            }
+        })
+    });
+
+    let cold_uncached = SemanticCache::new(router(&a), 0);
+    let mut cursor = 0usize;
+    group.bench_function("zero_locality_uncached", |bch| {
+        bch.iter(|| {
+            for _ in 0..256 {
+                let q = &cold[cursor % cold.len()];
+                cursor += 1;
+                black_box(cold_uncached.range_sum(q).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, cache_hit_rate);
+criterion_main!(benches);

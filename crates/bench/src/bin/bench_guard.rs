@@ -18,6 +18,18 @@
 //! benchmark and therefore the mean. Per-benchmark ratios are printed for
 //! diagnosis. Exit status 1 when the mean ratio exceeds the limit, so CI
 //! can gate on it.
+//!
+//! A second mode gates two benchmarks of the **same** dump against each
+//! other — immune to machine speed, so the limit can be tight:
+//!
+//! ```text
+//! cargo run -p olap-bench --bin bench_guard -- --ratio /tmp/current.json \
+//!     cache_hit_rate/zero_locality_cached cache_hit_rate/zero_locality_uncached 1.05
+//! ```
+//!
+//! passes iff `min(bench_a) / min(bench_b) ≤ limit`. Limits below 1
+//! demand a *speedup*: `… zipf_cached zipf_uncached 0.5` is the "caching
+//! halves skewed-workload latency" acceptance gate.
 
 use std::process::ExitCode;
 
@@ -114,8 +126,58 @@ fn run(baseline_path: &str, current_path: &str, max_ratio: f64) -> Result<bool, 
     Ok(ok)
 }
 
+/// `--ratio` mode: within one dump, gate `bench_a`'s min time against
+/// `bench_b`'s.
+fn run_ratio(dump: &str, bench_a: &str, bench_b: &str, limit: f64) -> Result<bool, String> {
+    let text = std::fs::read_to_string(dump).map_err(|e| format!("{dump}: {e}"))?;
+    let records = parse_baseline(&text)?;
+    let find = |name: &str| -> Result<f64, String> {
+        records
+            .iter()
+            .find(|r| r.benchmark == name)
+            .map(|r| r.min_s)
+            .ok_or_else(|| format!("benchmark {name} not in {dump}"))
+    };
+    let a = find(bench_a)?;
+    let b = find(bench_b)?;
+    if !(a > 0.0 && b > 0.0) {
+        return Err(format!("non-positive min times: {a} / {b}"));
+    }
+    let ratio = a / b;
+    let ok = ratio.is_finite() && ratio <= limit;
+    println!(
+        "{bench_a} ({:.3}µs) / {bench_b} ({:.3}µs) = {ratio:.3} (limit {limit:.2}): {}",
+        a * 1e6,
+        b * 1e6,
+        if ok { "ok" } else { "VIOLATION" }
+    );
+    Ok(ok)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--ratio") {
+        let (Some(dump), Some(a), Some(b)) = (args.get(1), args.get(2), args.get(3)) else {
+            eprintln!("usage: bench_guard --ratio DUMP.json BENCH_A BENCH_B [LIMIT=1.05]");
+            return ExitCode::FAILURE;
+        };
+        let limit: f64 = match args.get(4).map(|s| s.parse()) {
+            None => 1.05,
+            Some(Ok(l)) => l,
+            Some(Err(_)) => {
+                eprintln!("LIMIT must be a number, e.g. 1.05");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match run_ratio(dump, a, b, limit) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("bench_guard: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let (baseline, current) = match (args.first(), args.get(1)) {
         (Some(b), Some(c)) => (b.as_str(), c.as_str()),
         _ => {
@@ -170,6 +232,21 @@ mod tests {
         let records = parse_baseline(&text).unwrap();
         assert_eq!(records.len(), 6);
         assert!(records.iter().all(|r| r.min_s > 0.0 && r.min_s <= r.max_s));
+    }
+
+    #[test]
+    fn ratio_mode_gates_one_benchmark_against_another() {
+        let dir = std::env::temp_dir().join("bench-guard-ratio-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dump = dir.join("dump.json");
+        std::fs::write(&dump, SAMPLE).unwrap();
+        let d = dump.to_str().unwrap();
+        let a = "router_overhead/direct_prefix/4"; // 1.2µs
+        let b = "router_overhead/routed/4"; // 5.6µs
+                                            // a/b ≈ 0.214: inside a 0.5 speedup gate; b/a ≈ 4.67: outside 1.05.
+        assert!(run_ratio(d, a, b, 0.5).unwrap());
+        assert!(!run_ratio(d, b, a, 1.05).unwrap());
+        assert!(run_ratio(d, "no/such/bench", b, 1.0).is_err());
     }
 
     #[test]

@@ -25,18 +25,23 @@ commands:
   explain  --cube FILE --query Q [--blocked B] [--tree B]       routed query + cost table
   repl     --cube FILE [--index FILE…]                          interactive session
   plan     --dims N,N[,N…] --log FILE --budget CELLS            §9 physical design
-  metrics  --cube FILE [--queries N] [--updates U] [--seed S] [--format prom|json]
-           run a seeded mixed workload through the router, dump the metric registry
+  metrics  --cube FILE [--queries N] [--updates U] [--seed S] [--cache-size N]
+           [--format prom|json]
+           run a seeded mixed workload through a semantic cache in front of
+           the router, dump the metric registry (cache counters included)
   flight-record --cube FILE [--queries N] [--seed S] [--capacity N]
            same workload, dump the last-N per-query flight records as JSON
   chaos    --cube FILE [--queries N] [--updates U] [--seed S] [--error-rate PM] [--panic-rate PM]
            run the workload with seeded fault injection on every engine and
            print a resilience report (failovers, quarantines, contained panics)
   serve    --cube FILE [--shards N] [--phases P] [--queries N] [--readers R]
-           [--batch B] [--seed S] [--error-rate PM]
+           [--batch B] [--seed S] [--error-rate PM] [--cache-size N]
+           [--zipf-pool N]
            boot the sharded snapshot-isolated server, drive concurrent readers
            against racing update installs, verify every answer is the pre- or
-           post-update oracle, and print the serving report
+           post-update oracle, and print the serving report (per-shard
+           semantic caches answer repeat sums; --cache-size 0 disables,
+           --zipf-pool N draws queries Zipf-skewed from a pool of N regions)
   info     FILE
 
 queries: per dimension `lo:hi`, a single index, or `all` — e.g. 3:17,all,5";
@@ -817,6 +822,10 @@ mod tests {
         assert!(out.contains("olap_engine_accesses"), "{out}");
         assert!(out.contains("olap_router_route_total"), "{out}");
         assert!(out.contains("olap_batch_regions_total"), "{out}");
+        // The semantic cache in front of the router surfaces its
+        // counters and entry gauge.
+        assert!(out.contains("olap_cache_misses_total"), "{out}");
+        assert!(out.contains("olap_cache_entries"), "{out}");
         // The ISSUE acceptance criterion: over a 1000-query mixed
         // workload, each prefix-sum engine's mean observed accesses stays
         // within 2× of its mean analytic estimate.

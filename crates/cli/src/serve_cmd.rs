@@ -5,6 +5,12 @@
 //! bit-identical to the pre- or post-update sequential oracle; any torn
 //! read fails the command with a non-zero exit, so it doubles as the CI
 //! smoke leg for the snapshot-isolation contract.
+//!
+//! `--cache-size N` sizes the per-shard semantic result caches (0
+//! disables them) and `--zipf-pool N` switches the driver to the
+//! Zipf-skewed repeat-heavy workload those caches exploit; the report
+//! gains a cache line (exact hits, ±-assemblies, hit rate, region-wise
+//! invalidations).
 
 use crate::args::{split_args, usage, CliError};
 use crate::chaos_cmd::mix;
@@ -34,6 +40,8 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let queries = parse_usize(&p, "--queries", 48)?;
     let readers = parse_usize(&p, "--readers", 4)?;
     let batch = parse_usize(&p, "--batch", 3)?;
+    let cache_size = parse_usize(&p, "--cache-size", 256)?;
+    let zipf_pool = parse_usize(&p, "--zipf-pool", 0)?;
     let seed: u64 = p
         .get("--seed")
         .unwrap_or("0")
@@ -53,6 +61,7 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         ServeConfig {
             shards,
             faults,
+            cache_size,
             ..ServeConfig::default()
         },
     )
@@ -63,6 +72,7 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         readers,
         batch,
         seed,
+        zipf_pool,
     };
     let report = drive_load(&server, &a, &spec).map_err(|e| CliError::Query(e.to_string()))?;
 
@@ -100,6 +110,21 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         report.answers,
         report.mismatches
     ));
+    if cache_size == 0 {
+        out.push(String::from("cache: disabled (--cache-size 0)"));
+    } else {
+        let c = report.cache;
+        out.push(format!(
+            "cache: {} exact hits + {} assemblies / {} sum lookups ({:.1}% hit rate), \
+             {} invalidations, {} entries live",
+            c.hits,
+            c.assemblies,
+            c.lookups(),
+            c.hit_rate() * 100.0,
+            c.invalidations,
+            c.entries
+        ));
+    }
     let verdict = if report.passed() { "OK" } else { "FAIL" };
     out.push(format!("snapshot isolation: {verdict}"));
     let text = out.join("\n");
@@ -175,6 +200,55 @@ mod tests {
             "150",
         ])
         .unwrap();
+        assert!(out.contains("snapshot isolation: OK"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn zipf_workload_reports_cache_hits() {
+        let path = cube_file(79);
+        let out = run(&[
+            "--cube",
+            path.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--phases",
+            "4",
+            "--queries",
+            "32",
+            "--readers",
+            "2",
+            "--seed",
+            "11",
+            "--zipf-pool",
+            "8",
+        ])
+        .unwrap();
+        assert!(out.contains("snapshot isolation: OK"), "{out}");
+        assert!(out.contains("% hit rate"), "{out}");
+        // A pool of 8 regions over 4×32 queries repeats heavily; the
+        // caches must convert some of that into hits.
+        assert!(!out.contains("(0.0% hit rate)"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn cache_size_zero_disables_the_cache() {
+        let path = cube_file(83);
+        let out = run(&[
+            "--cube",
+            path.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--phases",
+            "2",
+            "--queries",
+            "12",
+            "--cache-size",
+            "0",
+        ])
+        .unwrap();
+        assert!(out.contains("cache: disabled"), "{out}");
         assert!(out.contains("snapshot isolation: OK"), "{out}");
         std::fs::remove_file(path).ok();
     }

@@ -6,7 +6,10 @@
 //! small fixed-side boxes, and point lookups — plus a few batched updates,
 //! so every engine in the candidate set gets traffic and the registry ends
 //! up holding per-engine access histograms, route-choice counters, and
-//! batch-update metrics. `metrics` renders the registry (Prometheus-style
+//! batch-update metrics. For `metrics` the stream runs through a
+//! [`SemanticCache`] in front of the router (sized by `--cache-size`,
+//! default 256), so the registry also carries the
+//! `olap_cache_*_total` counters and `olap_cache_entries` gauge. `metrics` renders the registry (Prometheus-style
 //! text or JSON) and, in text form, appends a §8 cost-model check
 //! comparing each engine's mean observed accesses against the mean
 //! analytic `estimate()` over the queries actually routed to it.
@@ -17,7 +20,7 @@ use crate::args::{split_args, usage, CliError, ParsedArgs};
 use crate::chaos_cmd::{mix, mixed_queries};
 use crate::commands::{open_reader, prefix_engine};
 use olap_array::{DenseArray, Shape};
-use olap_engine::{AdaptiveRouter, NaiveEngine, PrefixChoice, SumTreeEngine};
+use olap_engine::{AdaptiveRouter, NaiveEngine, PrefixChoice, SemanticCache, SumTreeEngine};
 use olap_storage as storage;
 use olap_telemetry::Telemetry;
 use std::collections::BTreeMap;
@@ -30,6 +33,8 @@ struct Workload {
     seed: u64,
     blocked: usize,
     tree: usize,
+    /// Semantic-cache capacity in front of the router; 0 = passthrough.
+    cache_size: usize,
 }
 
 fn parse_usize(p: &ParsedArgs, flag: &str, default: usize) -> Result<usize, CliError> {
@@ -41,7 +46,7 @@ fn parse_usize(p: &ParsedArgs, flag: &str, default: usize) -> Result<usize, CliE
     }
 }
 
-fn parse_workload(p: &ParsedArgs) -> Result<Workload, CliError> {
+fn parse_workload(p: &ParsedArgs, default_cache: usize) -> Result<Workload, CliError> {
     Ok(Workload {
         queries: parse_usize(p, "--queries", 1000)?,
         updates: parse_usize(p, "--updates", 4)?,
@@ -52,6 +57,7 @@ fn parse_workload(p: &ParsedArgs) -> Result<Workload, CliError> {
             .map_err(|_| usage("--seed must be an integer"))?,
         blocked: parse_usize(p, "--blocked", 16)?,
         tree: parse_usize(p, "--tree", 4)?,
+        cache_size: parse_usize(p, "--cache-size", default_cache)?,
     })
 }
 
@@ -71,9 +77,10 @@ fn build_router(a: &DenseArray<i64>, w: &Workload) -> Result<AdaptiveRouter<i64>
 }
 
 /// Runs the workload: `queries` routed range sums with `updates` batched
-/// point updates spread evenly through the stream.
+/// point updates spread evenly through the stream, everything through the
+/// semantic cache (a 0-capacity cache is a pure router passthrough).
 fn run_workload(
-    router: &mut AdaptiveRouter<i64>,
+    cache: &SemanticCache<i64, AdaptiveRouter<i64>>,
     shape: &Shape,
     w: &Workload,
 ) -> Result<(), CliError> {
@@ -85,7 +92,7 @@ fn run_workload(
     };
     let mut applied = 0usize;
     for (i, q) in queries.iter().enumerate() {
-        router
+        cache
             .range_sum(q)
             .map_err(|e| CliError::Query(e.to_string()))?;
         if applied < w.updates && (i + 1) % every == 0 {
@@ -97,7 +104,7 @@ fn run_workload(
                 .map(|(d, &n)| (mix(r ^ d as u64) as usize) % n)
                 .collect();
             let value = (r % 2000) as i64 - 1000;
-            router
+            cache
                 .apply_updates(&[(idx, value)])
                 .map_err(|e| CliError::Query(e.to_string()))?;
             applied += 1;
@@ -144,17 +151,17 @@ fn cost_model_report(ctx: &Telemetry) -> String {
 pub(crate) fn cmd_metrics(args: &[String]) -> Result<String, CliError> {
     let p = split_args(args)?;
     let cube_path = p.require("--cube")?;
-    let w = parse_workload(&p)?;
+    let w = parse_workload(&p, 256)?;
     let format = p.get("--format").unwrap_or("prom");
     if format != "prom" && format != "json" {
         return Err(usage("--format must be prom or json"));
     }
     let a = storage::read_dense_i64(&mut open_reader(cube_path)?)?;
-    let mut router = build_router(&a, &w)?;
+    let cache = SemanticCache::new(build_router(&a, &w)?, w.cache_size);
     // Flight capacity covers the whole workload so the cost-model check
     // sees every routed query, not just the newest window.
     let ctx = Arc::new(Telemetry::with_flight_capacity(w.queries.max(1)));
-    olap_telemetry::with_scope(&ctx, || run_workload(&mut router, a.shape(), &w))?;
+    olap_telemetry::with_scope(&ctx, || run_workload(&cache, a.shape(), &w))?;
     if format == "json" {
         return Ok(ctx.registry().render_json());
     }
@@ -168,11 +175,13 @@ pub(crate) fn cmd_metrics(args: &[String]) -> Result<String, CliError> {
 pub(crate) fn cmd_flight_record(args: &[String]) -> Result<String, CliError> {
     let p = split_args(args)?;
     let cube_path = p.require("--cube")?;
-    let w = parse_workload(&p)?;
+    // The recorder's subject is router decisions, so the cache defaults
+    // off here (cache hits never reach the router).
+    let w = parse_workload(&p, 0)?;
     let capacity = parse_usize(&p, "--capacity", olap_telemetry::DEFAULT_FLIGHT_CAPACITY)?;
     let a = storage::read_dense_i64(&mut open_reader(cube_path)?)?;
-    let mut router = build_router(&a, &w)?;
+    let cache = SemanticCache::new(build_router(&a, &w)?, w.cache_size);
     let ctx = Arc::new(Telemetry::with_flight_capacity(capacity));
-    olap_telemetry::with_scope(&ctx, || run_workload(&mut router, a.shape(), &w))?;
+    olap_telemetry::with_scope(&ctx, || run_workload(&cache, a.shape(), &w))?;
     Ok(ctx.recorder().to_json())
 }

@@ -19,6 +19,9 @@
 //!   tree baseline and the §10 sparse engines behind the trait,
 //! - [`AdaptiveRouter`]: cost-based routing over any set of the above,
 //!   with an [`AdaptiveRouter::explain`] view of every decision,
+//! - [`SemanticCache`]: a subsumption-aware result cache in front of a
+//!   router or version cell, answering by ±-combination of stored sums
+//!   and invalidating region-wise on snapshot installs,
 //! - [`rolling`]: ROLLING SUM / ROLLING AVERAGE, which §1 notes are
 //!   special cases of range-sum and range-average.
 //!
@@ -44,6 +47,7 @@ mod planned;
 mod range_engine;
 pub mod rolling;
 mod router;
+mod semantic_cache;
 mod telemetry;
 mod version;
 
@@ -59,4 +63,5 @@ pub use router::{
     AdaptiveRouter, Candidate, EngineHealth, EngineStatus, Explain, FaultStats, ReplayRecord,
     DEFAULT_ALPHA, QUARANTINE_COOLDOWN_TICKS, QUARANTINE_THRESHOLD,
 };
+pub use semantic_cache::{CacheBackend, CacheStats, SemanticCache};
 pub use version::{EngineVersion, EpochStats, VersionCell};

@@ -706,7 +706,12 @@ impl<V> AdaptiveRouter<V> {
     }
 
     /// A pinned handle to engine `i` in the current snapshot.
+    ///
+    /// # Panics
+    /// When `i` is not a registered engine index (see
+    /// [`AdaptiveRouter::len`]).
     pub fn engine(&self, i: usize) -> Arc<dyn RangeEngine<V>> {
+        // analyzer: allow(panic-site, reason = "pub accessor indexed by a caller-supplied engine id; out of range is a call-site programming error, documented under # Panics")
         Arc::clone(&self.load().engines[i])
     }
 

@@ -1,0 +1,306 @@
+//! Region algebra: the containment/overlap/difference vocabulary a
+//! subsumption-aware cache needs.
+//!
+//! The paper's §3 corner identity makes range sums **±-combinable**: any
+//! range sum can be assembled from signed combinations of other range
+//! sums. Vassiliadis' cube algebra with comparative operations formalizes
+//! the tests a semantic cache runs between an incoming query and its
+//! stored results — *does a cached region contain this one? overlap it?
+//! what is left over?* — and this module is that algebra over
+//! [`Region`]: predicates ([`contains`], [`overlaps`], [`intersect`]),
+//! the [`difference`] decomposition `A \ B` into at most `2d` disjoint
+//! boxes, and [`subsume`], which turns a containing cached region into a
+//! [`SubsumptionPlan`] — the signed term list
+//! `sum(target) = +sum(cached) − Σ sum(residual_i)`.
+//!
+//! Everything here is pure geometry on inclusive integer boxes; the
+//! engine layer's `SemanticCache` evaluates the plans.
+
+use olap_array::Region;
+use std::fmt;
+
+/// Whether `outer` contains `inner` entirely (componentwise `⊇`).
+///
+/// Regions of different dimensionality never contain one another.
+pub fn contains(outer: &Region, inner: &Region) -> bool {
+    outer.contains_region(inner)
+}
+
+/// Whether the two regions share at least one point.
+pub fn overlaps(a: &Region, b: &Region) -> bool {
+    a.overlaps(b)
+}
+
+/// The common box of two regions, or `None` when they are disjoint (or
+/// of different dimensionality).
+pub fn intersect(a: &Region, b: &Region) -> Option<Region> {
+    a.intersect(b)
+}
+
+/// The set difference `a \ b`, decomposed into **at most `2d` pairwise
+/// disjoint** boxes by axis-ordered slab peeling.
+///
+/// Properties (property-tested against a point-membership oracle in
+/// `tests/algebra.rs`):
+///
+/// - every returned box is contained in `a` and disjoint from `b`,
+/// - the boxes are pairwise disjoint,
+/// - their union is exactly the set of points in `a` but not in `b`,
+/// - at most two boxes are produced per axis.
+///
+/// When `a` and `b` are disjoint the result is `[a]`; when `b ⊇ a` it is
+/// empty.
+pub fn difference(a: &Region, b: &Region) -> Vec<Region> {
+    let parts = a.subtract(b);
+    debug_assert!(parts.len() <= 2 * a.ndim(), "difference exceeded 2d boxes");
+    parts
+}
+
+/// The smallest box containing every input region, or `None` for an
+/// empty (or dimensionally inconsistent) input.
+///
+/// This is the super-region a multi-query batch planner executes once so
+/// that each member can be assembled from it by ±-combination.
+pub fn bounding_union(regions: &[Region]) -> Option<Region> {
+    let (first, rest) = regions.split_first()?;
+    let mut out = first.clone();
+    for r in rest {
+        if r.ndim() != out.ndim() {
+            return None;
+        }
+        out = out.bounding_union(r);
+    }
+    Some(out)
+}
+
+/// The sign of one term in a ±-combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// The term's sum is added.
+    Plus,
+    /// The term's sum is subtracted.
+    Minus,
+}
+
+impl Sign {
+    /// `+1` / `−1`, for folding terms numerically.
+    pub fn factor(self) -> i64 {
+        match self {
+            Sign::Plus => 1,
+            Sign::Minus => -1,
+        }
+    }
+}
+
+impl fmt::Display for Sign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Sign::Plus => "+",
+            Sign::Minus => "−",
+        })
+    }
+}
+
+/// One signed term of a ±-combination: a region whose sum enters the
+/// assembled answer with the given sign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedRegion {
+    /// Whether the term's sum is added or subtracted.
+    pub sign: Sign,
+    /// The region to sum over.
+    pub region: Region,
+}
+
+impl fmt::Display for SignedRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.sign, self.region)
+    }
+}
+
+/// How to assemble `sum(target)` from a cached containing region:
+/// `sum(target) = +sum(cached) − Σ_i sum(residual_i)`.
+///
+/// Built by [`subsume`]; the residual boxes are the [`difference`]
+/// `cached \ target` — pairwise disjoint, at most `2d` of them — so
+/// every cell of `cached` is counted exactly once on the right-hand
+/// side and the identity is exact for any additive aggregate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubsumptionPlan {
+    cached: Region,
+    residual: Vec<Region>,
+}
+
+impl SubsumptionPlan {
+    /// The cached containing region (its sum enters with `+`).
+    pub fn cached(&self) -> &Region {
+        &self.cached
+    }
+
+    /// The residual boxes `cached \ target` (their sums enter with `−`).
+    pub fn residual(&self) -> &[Region] {
+        &self.residual
+    }
+
+    /// Total points in the residual boxes — the work the assembly still
+    /// has to pay an engine for. A cost model compares this against the
+    /// target's own volume to decide cache-assemble vs. direct execution.
+    pub fn residual_volume(&self) -> usize {
+        self.residual
+            .iter()
+            .map(Region::volume)
+            .fold(0usize, usize::saturating_add)
+    }
+
+    /// Whether the cached region *is* the target (no residual work).
+    pub fn is_exact(&self) -> bool {
+        self.residual.is_empty()
+    }
+
+    /// The plan as an explicit signed term list, cached term first.
+    pub fn terms(&self) -> Vec<SignedRegion> {
+        let mut out = Vec::with_capacity(1 + self.residual.len());
+        out.push(SignedRegion {
+            sign: Sign::Plus,
+            region: self.cached.clone(),
+        });
+        for r in &self.residual {
+            out.push(SignedRegion {
+                sign: Sign::Minus,
+                region: r.clone(),
+            });
+        }
+        out
+    }
+}
+
+impl fmt::Display for SubsumptionPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "+{}", self.cached)?;
+        for r in &self.residual {
+            write!(f, " −{r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Plans the ±-assembly of `target` from a cached region, or `None`
+/// when `cached` does not contain `target` (overlap without containment
+/// cannot be assembled from one cached sum alone — sums are invertible,
+/// but the uncovered part of `target` would still need the engine, which
+/// is exactly the direct-execution fallback).
+pub fn subsume(target: &Region, cached: &Region) -> Option<SubsumptionPlan> {
+    if !cached.contains_region(target) {
+        return None;
+    }
+    Some(SubsumptionPlan {
+        cached: cached.clone(),
+        residual: difference(cached, target),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(bounds: &[(usize, usize)]) -> Region {
+        Region::from_bounds(bounds).unwrap()
+    }
+
+    #[test]
+    fn predicates_delegate_componentwise() {
+        let outer = region(&[(0, 9), (0, 9)]);
+        let inner = region(&[(2, 5), (3, 7)]);
+        let apart = region(&[(20, 25), (3, 7)]);
+        assert!(contains(&outer, &inner));
+        assert!(!contains(&inner, &outer));
+        assert!(overlaps(&outer, &inner));
+        assert!(!overlaps(&inner, &apart));
+        assert_eq!(intersect(&outer, &inner), Some(inner.clone()));
+        assert_eq!(intersect(&inner, &apart), None);
+    }
+
+    #[test]
+    fn difference_bounds_and_volume() {
+        let a = region(&[(0, 9), (0, 9)]);
+        let b = region(&[(3, 6), (2, 8)]);
+        let parts = difference(&a, &b);
+        assert!(parts.len() <= 4);
+        let vol: usize = parts.iter().map(Region::volume).sum();
+        assert_eq!(vol, a.volume() - b.volume());
+    }
+
+    #[test]
+    fn bounding_union_covers_all_inputs() {
+        let rs = [
+            region(&[(2, 4), (1, 3)]),
+            region(&[(0, 1), (2, 9)]),
+            region(&[(5, 8), (0, 0)]),
+        ];
+        let u = bounding_union(&rs).unwrap();
+        assert_eq!(u, region(&[(0, 8), (0, 9)]));
+        for r in &rs {
+            assert!(contains(&u, r));
+        }
+        assert_eq!(bounding_union(&[]), None);
+        // Dimension mismatch is not a union.
+        let mixed = [region(&[(0, 1)]), region(&[(0, 1), (0, 1)])];
+        assert_eq!(bounding_union(&mixed), None);
+    }
+
+    #[test]
+    fn subsume_requires_containment() {
+        let target = region(&[(2, 5), (3, 7)]);
+        let cached = region(&[(0, 9), (0, 9)]);
+        let plan = subsume(&target, &cached).unwrap();
+        assert_eq!(plan.cached(), &cached);
+        assert!(!plan.is_exact());
+        assert_eq!(plan.residual_volume(), cached.volume() - target.volume());
+        assert!(subsume(&cached, &target).is_none());
+        let overlap_only = region(&[(4, 12), (3, 7)]);
+        assert!(subsume(&target, &overlap_only).is_none());
+    }
+
+    #[test]
+    fn exact_subsumption_has_no_residual() {
+        let r = region(&[(1, 4), (2, 6)]);
+        let plan = subsume(&r, &r).unwrap();
+        assert!(plan.is_exact());
+        assert_eq!(plan.residual_volume(), 0);
+        assert_eq!(plan.terms().len(), 1);
+    }
+
+    #[test]
+    fn terms_carry_signs_and_evaluate_exactly() {
+        // Evaluate the plan against the volume "aggregate" (sum of 1 per
+        // cell): +V(cached) − Σ V(residual) must equal V(target).
+        let target = region(&[(3, 6), (1, 2)]);
+        let cached = region(&[(0, 9), (0, 4)]);
+        let plan = subsume(&target, &cached).unwrap();
+        let assembled: i64 = plan
+            .terms()
+            .iter()
+            .map(|t| t.sign.factor() * t.region.volume() as i64)
+            .sum();
+        assert_eq!(assembled, target.volume() as i64);
+        assert_eq!(plan.terms()[0].sign, Sign::Plus);
+        assert!(plan.terms()[1..].iter().all(|t| t.sign == Sign::Minus));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let plan = subsume(&region(&[(2, 3)]), &region(&[(0, 9)])).unwrap();
+        let text = plan.to_string();
+        assert!(text.starts_with("+Region(0:9)"), "{text}");
+        assert!(text.contains('−'), "{text}");
+        assert_eq!(
+            SignedRegion {
+                sign: Sign::Minus,
+                region: region(&[(4, 9)])
+            }
+            .to_string(),
+            "−Region(4:9)"
+        );
+        assert_eq!(Sign::Plus.factor(), 1);
+        assert_eq!(Sign::Minus.factor(), -1);
+    }
+}

@@ -11,6 +11,9 @@
 //! This crate provides:
 //!
 //! - [`DimSelection`] / [`RangeQuery`]: the user-facing query model,
+//! - [`algebra`]: the region algebra (containment, overlap, intersection,
+//!   the ≤2d-box difference decomposition, and [`SubsumptionPlan`]) that a
+//!   subsumption-aware semantic cache plans ±-combinations with,
 //! - [`Answer`] / [`QueryOutcome`] / [`EngineKind`]: the unified answer
 //!   vocabulary every engine returns (value + access stats + which
 //!   structure answered),
@@ -24,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod access;
+pub mod algebra;
 mod cuboid;
 mod log;
 mod outcome;
@@ -32,6 +36,7 @@ mod schema;
 mod stats;
 
 pub use access::AccessStats;
+pub use algebra::{Sign, SignedRegion, SubsumptionPlan};
 pub use cuboid::CuboidId;
 pub use log::{CuboidStats, QueryLog};
 pub use outcome::{Answer, EngineKind, QueryOutcome};

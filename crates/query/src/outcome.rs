@@ -32,6 +32,8 @@ pub enum EngineKind {
     SparseSum,
     /// The §10.3 sparse range-max engine (R-tree with cached maxima).
     SparseMax,
+    /// A semantic result cache answering by ±-combination of stored sums.
+    SemanticCache,
 }
 
 impl fmt::Display for EngineKind {
@@ -47,6 +49,7 @@ impl fmt::Display for EngineKind {
             EngineKind::NaiveScan => "naive scan",
             EngineKind::SparseSum => "sparse range-sum (§10.2)",
             EngineKind::SparseMax => "sparse range-max (§10.3)",
+            EngineKind::SemanticCache => "semantic cache (±-combination)",
         };
         f.write_str(name)
     }

@@ -1,0 +1,138 @@
+//! Property tests for the region algebra against a point-membership
+//! oracle: the `difference` decomposition must be pairwise disjoint,
+//! cover exactly `A \ B`, and stay within `2d` boxes, and every
+//! `SubsumptionPlan` must satisfy the ±-combination identity when its
+//! terms are evaluated by brute-force point enumeration.
+
+use olap_array::Region;
+use olap_query::algebra::{bounding_union, contains, difference, intersect, overlaps, subsume};
+use proptest::prelude::*;
+
+/// A random d-dimensional box with per-axis bounds in `0..limit`.
+fn region_strategy(ndim: usize, limit: usize) -> impl Strategy<Value = Region> {
+    prop::collection::vec((0..limit, 0..limit), ndim).prop_map(|axes| {
+        let bounds: Vec<(usize, usize)> = axes
+            .into_iter()
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        Region::from_bounds(&bounds).expect("ordered bounds")
+    })
+}
+
+/// Pair of same-dimension boxes (dimension drawn 1..=3).
+fn region_pair() -> impl Strategy<Value = (Region, Region)> {
+    (1usize..=3).prop_flat_map(|d| (region_strategy(d, 12), region_strategy(d, 12)))
+}
+
+/// Brute-force membership oracle: every point of `space` classified by
+/// direct coordinate comparison.
+fn points_in(r: &Region) -> Vec<Vec<usize>> {
+    r.iter_indices().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// `difference(a, b)` covers exactly the points in `a` but not `b`,
+    /// with pairwise disjoint boxes, each inside `a` and outside `b`,
+    /// and at most `2d` of them.
+    #[test]
+    fn difference_matches_point_membership_oracle((a, b) in region_pair()) {
+        let parts = difference(&a, &b);
+        prop_assert!(parts.len() <= 2 * a.ndim(), "got {} boxes", parts.len());
+        for p in &parts {
+            prop_assert!(contains(&a, p), "part {p} escapes {a}");
+            prop_assert!(!overlaps(p, &b), "part {p} overlaps {b}");
+        }
+        for (i, p) in parts.iter().enumerate() {
+            for q in &parts[i + 1..] {
+                prop_assert!(!overlaps(p, q), "parts {p} and {q} overlap");
+            }
+        }
+        // Exact coverage: each point of `a` is in exactly one part iff it
+        // is outside `b`.
+        for pt in points_in(&a) {
+            let in_b = b.contains(&pt);
+            let covering = parts.iter().filter(|p| p.contains(&pt)).count();
+            prop_assert_eq!(covering, usize::from(!in_b), "point {:?}", pt);
+        }
+        // And no part invents points outside `a` (already checked via
+        // containment, but volume accounting catches degenerate overlap).
+        let vol: usize = parts.iter().map(Region::volume).sum();
+        let b_in_a = intersect(&a, &b).map_or(0, |i| i.volume());
+        prop_assert_eq!(vol, a.volume() - b_in_a);
+    }
+
+    /// Predicates agree with the oracle.
+    #[test]
+    fn predicates_match_point_membership_oracle((a, b) in region_pair()) {
+        let a_pts = points_in(&a);
+        // contains(b, a): every point of a lies in b (a is never empty —
+        // inclusive ranges always hold at least one point).
+        let oracle_contains = a_pts.iter().all(|p| b.contains(p));
+        prop_assert_eq!(contains(&b, &a), oracle_contains);
+        let oracle_overlap = a_pts.iter().any(|p| b.contains(p));
+        prop_assert_eq!(overlaps(&a, &b), oracle_overlap);
+        match intersect(&a, &b) {
+            Some(i) => {
+                for pt in points_in(&i) {
+                    prop_assert!(a.contains(&pt) && b.contains(&pt));
+                }
+                prop_assert_eq!(
+                    i.volume(),
+                    a_pts.iter().filter(|p| b.contains(p)).count()
+                );
+            }
+            None => prop_assert!(!oracle_overlap),
+        }
+    }
+
+    /// The subsumption plan's ±-identity holds under brute-force
+    /// evaluation: summing +1 per cell of the cached region and −1 per
+    /// cell of each residual counts each target cell exactly once.
+    #[test]
+    fn subsumption_plan_is_exact((a, b) in region_pair()) {
+        // Force containment by intersecting: target = a ∩ b (if any),
+        // cached = a.
+        let Some(target) = intersect(&a, &b) else { return Ok(()); };
+        let plan = subsume(&target, &a).expect("a contains a ∩ b");
+        prop_assert_eq!(
+            plan.residual_volume(),
+            a.volume() - target.volume()
+        );
+        // Per-point signed count: must be 1 inside target, 0 elsewhere.
+        for pt in points_in(&a) {
+            let mut signed: i64 = 1; // +cached, and pt ∈ cached by construction
+            for r in plan.residual() {
+                if r.contains(&pt) {
+                    signed -= 1;
+                }
+            }
+            prop_assert_eq!(signed, i64::from(target.contains(&pt)), "point {:?}", pt);
+        }
+        let assembled: i64 = plan
+            .terms()
+            .iter()
+            .map(|t| t.sign.factor() * t.region.volume() as i64)
+            .sum();
+        prop_assert_eq!(assembled, target.volume() as i64);
+    }
+
+    /// `bounding_union` is the minimal enclosing box: it contains every
+    /// input and shrinking any side by one loses some input point.
+    #[test]
+    fn bounding_union_is_tight(
+        rs in (1usize..=3).prop_flat_map(|d| prop::collection::vec(region_strategy(d, 12), 1..5))
+    ) {
+        let u = bounding_union(&rs).expect("non-empty same-dim input");
+        for r in &rs {
+            prop_assert!(contains(&u, r));
+        }
+        for axis in 0..u.ndim() {
+            let lo = u.range(axis).lo();
+            let hi = u.range(axis).hi();
+            prop_assert!(rs.iter().any(|r| r.range(axis).lo() == lo));
+            prop_assert!(rs.iter().any(|r| r.range(axis).hi() == hi));
+        }
+    }
+}

@@ -14,11 +14,21 @@
 //! The driver never blocks readers on the install: writers derive
 //! copy-on-write successors off the serving path, which is the property
 //! the whole snapshot refactor exists to provide.
+//!
+//! With the per-shard semantic caches in the serving path, the same
+//! oracle pair also proves every cached and ±-assembled answer
+//! bit-identical across installs: a cache entry only survives an install
+//! when its region misses the update batch, in which case pre and post
+//! oracles agree on it. Setting [`LoadSpec::zipf_pool`] switches the
+//! query stream from uniform to Zipf-skewed repeats, the locality the
+//! cache exists to exploit; the final [`LoadReport::cache`] counters
+//! record what it did.
 
 use crate::{CubeServer, ServerError};
 use olap_array::{DenseArray, Region};
+use olap_engine::CacheStats;
 use olap_query::RangeQuery;
-use olap_workload::uniform_regions;
+use olap_workload::{uniform_regions, zipf_regions};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Workload parameters for [`drive_load`].
@@ -34,6 +44,10 @@ pub struct LoadSpec {
     pub batch: usize,
     /// Seeds queries, update sites, and values.
     pub seed: u64,
+    /// When nonzero, draw each phase's queries Zipf-skewed from a pool of
+    /// this many distinct regions (exponent 1.1) instead of uniformly —
+    /// the repeat-heavy locality workload the semantic cache exploits.
+    pub zipf_pool: usize,
 }
 
 impl Default for LoadSpec {
@@ -44,6 +58,7 @@ impl Default for LoadSpec {
             readers: 4,
             batch: 3,
             seed: 7,
+            zipf_pool: 0,
         }
     }
 }
@@ -61,6 +76,8 @@ pub struct LoadReport {
     pub phases: usize,
     /// Reader threads per phase.
     pub readers: usize,
+    /// Aggregated semantic-cache counters at the end of the run.
+    pub cache: CacheStats,
 }
 
 impl LoadReport {
@@ -143,11 +160,21 @@ pub fn drive_load(
     let first_error: std::sync::Mutex<Option<ServerError>> = std::sync::Mutex::new(None);
 
     for phase in 0..spec.phases {
-        let regions = uniform_regions(
-            server.shape(),
-            spec.queries_per_phase,
-            mix(spec.seed ^ ((phase as u64) << 40)),
-        );
+        let phase_seed = mix(spec.seed ^ ((phase as u64) << 40));
+        let regions = if spec.zipf_pool > 0 {
+            // Seeded off `seed` alone so the pool — and the hot head of
+            // the distribution — is the same in every phase; what varies
+            // across phases is the op mix and the update batch.
+            zipf_regions(
+                server.shape(),
+                spec.queries_per_phase,
+                spec.zipf_pool,
+                1.1,
+                mix(spec.seed),
+            )
+        } else {
+            uniform_regions(server.shape(), spec.queries_per_phase, phase_seed)
+        };
         let batch = phase_batch(server, spec, phase);
         let mut post = shadow.clone();
         for (idx, v) in &batch {
@@ -219,5 +246,6 @@ pub fn drive_load(
         updates,
         phases: spec.phases,
         readers,
+        cache: server.cache_stats(),
     })
 }

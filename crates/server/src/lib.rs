@@ -10,6 +10,12 @@
 //! per shard and install them atomically, so in-flight queries finish on
 //! the snapshot they pinned — readers are never blocked by a writer.
 //!
+//! Each worker answers sums through a per-shard
+//! [`olap_engine::SemanticCache`] (repeat regions hit, contained regions
+//! assemble by ±-combination, installs invalidate region-wise) and
+//! batch-plans its queue so overlapping queries share one super-region
+//! execution; see the `server` module docs.
+//!
 //! [`drive_load`] is the seeded mixed-workload driver behind
 //! `olap-cli serve`: phases of concurrent readers racing one single-shard
 //! update batch, every answer asserted bit-identical to the pre- or
@@ -28,4 +34,5 @@ mod server;
 
 pub use driver::{drive_load, LoadReport, LoadSpec};
 pub use error::ServerError;
+pub use olap_engine::CacheStats;
 pub use server::{CubeServer, ServeConfig, ServerAnswer, ShardStats};

@@ -20,6 +20,21 @@
 //! per shard, and every update installs an immutable snapshot, so worker
 //! reads are never blocked by a writer.
 //!
+//! # Semantic caching
+//!
+//! Each shard worker answers sums through a per-shard
+//! [`SemanticCache`] wrapping its router: repeated regions hit exactly,
+//! contained regions assemble by ±-combination when the cost model prices
+//! the residuals below direct execution, and everything else falls
+//! through. The worker also batch-plans its queue: jobs already waiting
+//! are drained together, overlapping sum queries are grouped, and when
+//! one execution of the group's bounding super-region is estimated
+//! cheaper than the members' direct executions the super-region is
+//! primed once so members assemble from it. Updates route through the
+//! same cache, which invalidates region-wise — entries in untouched
+//! slabs survive the install. `ServeConfig::cache_size == 0` disables
+//! all of it.
+//!
 //! # Updates
 //!
 //! [`CubeServer::apply_updates`] validates the whole batch up front,
@@ -34,9 +49,10 @@
 use crate::ServerError;
 use olap_array::{DenseArray, QueryBudget, Region, Shape};
 use olap_engine::{
-    AdaptiveRouter, CubeIndex, EngineError, EngineOp, EpochStats, FaultPlan, FaultyEngine,
-    IndexConfig, NaiveEngine, RangeEngine, SumTreeEngine,
+    AdaptiveRouter, CacheBackend, CacheStats, CubeIndex, EngineError, EngineOp, EpochStats,
+    FaultPlan, FaultyEngine, IndexConfig, NaiveEngine, RangeEngine, SemanticCache, SumTreeEngine,
 };
+use olap_query::algebra::{bounding_union, difference};
 use olap_query::{AccessStats, Answer, QueryOutcome, RangeQuery};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -53,6 +69,9 @@ pub struct ServeConfig {
     /// (never the naive fallback) so chaos drills can prove failover and
     /// snapshot installs keep answers exact.
     pub faults: Option<FaultPlan>,
+    /// Per-shard semantic-cache capacity in entries; 0 disables caching
+    /// (every lookup is a pure passthrough to the shard router).
+    pub cache_size: usize,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +80,7 @@ impl Default for ServeConfig {
             shards: 4,
             budget: QueryBudget::unlimited(),
             faults: None,
+            cache_size: 256,
         }
     }
 }
@@ -91,6 +111,8 @@ pub struct ShardStats {
     pub epochs: EpochStats,
     /// Jobs currently enqueued (or in flight) on the shard's worker.
     pub queue_depth: i64,
+    /// The shard's semantic-cache counters.
+    pub cache: CacheStats,
 }
 
 /// One enqueued unit of work: a shard-local query plus the reply slot.
@@ -102,12 +124,22 @@ struct Job {
 }
 
 /// One slab of the cube: its row range, router, and worker queue.
+/// The cache type every shard serves through: a semantic cache in front
+/// of the shard's router.
+type ShardCache = SemanticCache<i64, Arc<AdaptiveRouter<i64>>>;
+
 struct Shard {
     /// First global row of the slab.
     lo: usize,
     /// Rows in the slab.
     len: usize,
     router: Arc<AdaptiveRouter<i64>>,
+    /// Subsumption-aware result cache over `router`; all worker reads
+    /// and all installs go through it so invalidation stays region-wise.
+    /// The type is spelled out (not the `ShardCache` alias) so the
+    /// analyzer's nominal lock-field pass sees `SemanticCache` and keeps
+    /// this field in the lock-order acquisition graph.
+    cache: Arc<SemanticCache<i64, Arc<AdaptiveRouter<i64>>>>,
     /// `None` once the server is shutting down.
     tx: Option<mpsc::Sender<Job>>,
     depth: Arc<AtomicI64>,
@@ -135,6 +167,32 @@ impl Shard {
     }
 }
 
+/// The telemetry scope active on the thread that builds the server,
+/// captured so worker threads can re-enter it — worker-side cache
+/// counters and queue gauges then publish to the same registry as the
+/// builder's.
+#[cfg(feature = "telemetry")]
+type Scope = Option<Arc<olap_telemetry::Telemetry>>;
+
+#[cfg(feature = "telemetry")]
+fn capture_scope() -> Scope {
+    olap_telemetry::current()
+}
+#[cfg(not(feature = "telemetry"))]
+fn capture_scope() {}
+
+#[cfg(feature = "telemetry")]
+fn enter_scope(scope: Scope, f: impl FnOnce()) {
+    match scope {
+        Some(ctx) => olap_telemetry::with_scope(&ctx, f),
+        None => f(),
+    }
+}
+#[cfg(not(feature = "telemetry"))]
+fn enter_scope(_scope: (), f: impl FnOnce()) {
+    f()
+}
+
 /// Pushes a shard's queue depth to the metric registry (no-op without
 /// the `telemetry` feature or an active context).
 #[allow(unused_variables)]
@@ -149,29 +207,118 @@ fn publish_depth(label: &str, depth: &AtomicI64) {
     }
 }
 
-/// The worker loop: drain jobs, answer through the shard router.
+/// Most queued jobs one worker iteration drains and batch-plans together.
+const BATCH_DRAIN_LIMIT: usize = 32;
+
+/// The worker loop: drain every job already queued (up to
+/// [`BATCH_DRAIN_LIMIT`]), batch-plan overlapping sums, then answer each
+/// job through the shard's semantic cache.
 fn shard_worker(
     rx: mpsc::Receiver<Job>,
-    router: Arc<AdaptiveRouter<i64>>,
+    cache: Arc<ShardCache>,
     depth: Arc<AtomicI64>,
     label: String,
 ) {
     while let Ok(job) = rx.recv() {
-        // ordering: AcqRel — pairs with `Shard::submit`'s increment.
-        depth.fetch_sub(1, Ordering::AcqRel);
+        let mut jobs = vec![job];
+        while jobs.len() < BATCH_DRAIN_LIMIT {
+            match rx.try_recv() {
+                Ok(next) => jobs.push(next),
+                Err(_) => break,
+            }
+        }
+        // ordering: AcqRel — pairs with `Shard::submit`'s increment; the
+        // whole drained batch is now in flight.
+        depth.fetch_sub(jobs.len() as i64, Ordering::AcqRel);
         publish_depth(&label, &depth);
-        let out = match job.op {
-            EngineOp::Sum => router.range_sum(&job.query),
-            EngineOp::Max => router.range_max(&job.query),
-            EngineOp::Min => router.range_min(&job.query),
-            EngineOp::Update => Err(EngineError::unsupported(
-                "shard-worker",
-                EngineOp::Update.name(),
-            )),
-        };
-        // A dropped reply receiver means the query already failed on
-        // another shard; nothing to do with this partial answer.
-        let _ = job.reply.send((job.shard, out));
+        if jobs.len() > 1 {
+            plan_batch(&cache, &jobs);
+        }
+        for job in jobs {
+            let out = match job.op {
+                EngineOp::Sum => cache.range_sum(&job.query),
+                EngineOp::Max => cache.range_max(&job.query),
+                EngineOp::Min => cache.range_min(&job.query),
+                EngineOp::Update => Err(EngineError::unsupported(
+                    "shard-worker",
+                    EngineOp::Update.name(),
+                )),
+            };
+            // A dropped reply receiver means the query already failed on
+            // another shard; nothing to do with this partial answer.
+            let _ = job.reply.send((job.shard, out));
+        }
+    }
+}
+
+/// Scans a drained job batch for overlapping sum queries and primes the
+/// cache with each group's bounding super-region, so the group executes
+/// once and its members answer by exact hit or ±-combination.
+///
+/// Priming is gated on the backend's own estimates: one super-region
+/// execution must price below the members' direct executions. Over a
+/// healthy prefix-sum backend direct costs `2^d` per member and the gate
+/// stays shut; it opens exactly when the shard is degraded to tree or
+/// naive serving, where shared work is worth real accesses.
+fn plan_batch(cache: &ShardCache, jobs: &[Job]) {
+    let shape = match cache.backend().shape() {
+        Some(s) => s,
+        None => return,
+    };
+    let sums: Vec<Region> = jobs
+        .iter()
+        .filter(|j| j.op == EngineOp::Sum)
+        .filter_map(|j| j.query.to_region(&shape).ok())
+        .collect();
+    if sums.len() < 2 {
+        return;
+    }
+    // Greedy overlap grouping: each region joins the first group whose
+    // running bounding box it overlaps, widening that box.
+    let mut groups: Vec<(Region, Vec<Region>)> = Vec::new();
+    for r in sums {
+        match groups.iter_mut().find(|(bbox, _)| bbox.overlaps(&r)) {
+            Some((bbox, members)) => {
+                if let Some(widened) = bounding_union(&[bbox.clone(), r.clone()]) {
+                    *bbox = widened;
+                }
+                members.push(r);
+            }
+            None => groups.push((r.clone(), vec![r])),
+        }
+    }
+    // The §3 combine term: 2^d corner lookups per assembled answer.
+    let combine = (1u64 << shape.ndim().min(62)) as f64;
+    for (bbox, members) in groups {
+        if members.len() < 2 {
+            continue;
+        }
+        let super_cost = cache.backend().estimate(&RangeQuery::from_region(&bbox));
+        if !super_cost.is_finite() {
+            continue;
+        }
+        // Each member's saving: direct execution versus assembling
+        // `+super − Σ residual` out of the primed entry. The member-side
+        // arbitration in the cache makes the same comparison, so a prime
+        // is worth its one super execution exactly when the summed
+        // positive savings exceed it.
+        let savings: f64 = members
+            .iter()
+            .map(|m| {
+                let direct = cache.backend().estimate(&RangeQuery::from_region(m));
+                let assemble = combine
+                    + difference(&bbox, m)
+                        .iter()
+                        .map(|r| cache.backend().estimate(&RangeQuery::from_region(r)))
+                        .sum::<f64>();
+                (direct - assemble).max(0.0)
+            })
+            .sum();
+        if super_cost < savings {
+            // Best-effort: a failed prime just means members fall back to
+            // their own direct executions.
+            let _ = cache.prime(&bbox);
+        }
     }
 }
 
@@ -238,8 +385,25 @@ impl CubeServer {
                 epochs: s.router.epoch_stats(),
                 // ordering: Relaxed — reporting read.
                 queue_depth: s.depth.load(Ordering::Relaxed),
+                cache: s.cache.stats(),
             })
             .collect()
+    }
+
+    /// Semantic-cache counters summed across every shard.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.shards {
+            let st = s.cache.stats();
+            total.hits += st.hits;
+            total.assemblies += st.assemblies;
+            total.misses += st.misses;
+            total.invalidations += st.invalidations;
+            total.insertions += st.insertions;
+            total.evictions += st.evictions;
+            total.entries += st.entries;
+        }
+        total
     }
 
     /// Range sum over the global cube: fans out to every overlapping
@@ -349,7 +513,7 @@ impl CubeServer {
                 .shards
                 .get(shard)
                 .ok_or(ServerError::ShardUnavailable { shard })?;
-            stats.merge(&s.router.apply_updates(batch)?);
+            stats.merge(&s.cache.apply_updates(batch)?);
         }
         Ok(stats)
     }
@@ -472,22 +636,29 @@ fn build_shard(
     router.push(Box::new(NaiveEngine::new(sub)));
     router.set_budget(config.budget);
     let router = Arc::new(router);
+    let cache = Arc::new(SemanticCache::with_label(
+        Arc::clone(&router),
+        config.cache_size,
+        &label,
+    ));
 
     let depth = Arc::new(AtomicI64::new(0));
     let (tx, rx) = mpsc::channel();
+    let scope = capture_scope();
     let worker = std::thread::Builder::new()
         .name(format!("olap-{label}"))
         .spawn({
-            let router = Arc::clone(&router);
+            let cache = Arc::clone(&cache);
             let depth = Arc::clone(&depth);
             let label = label.clone();
-            move || shard_worker(rx, router, depth, label)
+            move || enter_scope(scope, move || shard_worker(rx, cache, depth, label))
         })
         .map_err(|e| ServerError::Config(format!("spawning shard worker {i}: {e}")))?;
     Ok(Shard {
         lo,
         len: hi - lo,
         router,
+        cache,
         tx: Some(tx),
         depth,
         label,

@@ -170,6 +170,7 @@ fn concurrent_load_driver_sees_only_pre_or_post_snapshots() {
             readers: 4,
             batch: 3,
             seed: 99,
+            ..LoadSpec::default()
         },
     )
     .unwrap();
@@ -210,6 +211,122 @@ fn chaos_snapshot_installs_stay_exact_under_injected_faults() {
             readers: 3,
             batch: 2,
             seed: 1234,
+            ..LoadSpec::default()
+        },
+    )
+    .unwrap();
+    assert!(report.passed(), "{report:?}");
+}
+
+#[test]
+fn repeat_sum_queries_hit_the_per_shard_caches() {
+    let a = cube(&[24, 10], 61);
+    let srv = server(&a, 3);
+    let r = Region::from_bounds(&[(2, 20), (1, 8)]).unwrap();
+    let q = RangeQuery::from_region(&r);
+    let first = srv.range_sum(&q).unwrap();
+    let second = srv.range_sum(&q).unwrap();
+    assert_eq!(first.value, second.value);
+    assert_eq!(first.value, naive_sum(&a, &r));
+    let stats = srv.cache_stats();
+    // The repeat fanned out to every overlapping shard and each answered
+    // from its cache.
+    assert!(stats.hits >= 3, "{stats:?}");
+    assert!(stats.entries >= 3, "{stats:?}");
+    // The exact-hit path reports a token cost, far below a real
+    // execution's.
+    assert!(
+        second.cost < first.cost,
+        "{} !< {}",
+        second.cost,
+        first.cost
+    );
+}
+
+#[test]
+fn cache_disabled_server_stays_oracle_exact_with_idle_counters() {
+    let a = cube(&[20, 8], 67);
+    let srv = CubeServer::build(
+        &a,
+        ServeConfig {
+            shards: 3,
+            cache_size: 0,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let report = drive_load(
+        &srv,
+        &a,
+        &LoadSpec {
+            phases: 4,
+            queries_per_phase: 24,
+            readers: 2,
+            zipf_pool: 6,
+            ..LoadSpec::default()
+        },
+    )
+    .unwrap();
+    assert!(report.passed(), "{report:?}");
+    let c = report.cache;
+    assert_eq!((c.hits, c.assemblies, c.misses, c.entries), (0, 0, 0, 0));
+}
+
+#[test]
+fn zipf_load_hits_the_cache_and_stays_oracle_exact_across_installs() {
+    let a = cube(&[32, 12], 71);
+    let srv = server(&a, 4);
+    let report = drive_load(
+        &srv,
+        &a,
+        &LoadSpec {
+            phases: 8,
+            queries_per_phase: 40,
+            readers: 4,
+            batch: 3,
+            seed: 404,
+            zipf_pool: 10,
+        },
+    )
+    .unwrap();
+    assert!(report.passed(), "{report:?}");
+    assert_eq!(report.updates, 8);
+    let c = report.cache;
+    // Half the op mix is sums over a 10-region pool repeated each phase:
+    // the caches must serve a solid fraction of those without a direct
+    // execution, and installs must have invalidated region-wise rather
+    // than flushing (entries survive to the end).
+    assert!(c.hits > 0, "{c:?}");
+    assert!(c.hit_rate() > 0.3, "{c:?}");
+    assert!(c.entries > 0, "{c:?}");
+    assert!(c.invalidations < c.insertions, "{c:?}");
+}
+
+#[test]
+fn chaos_with_caches_and_zipf_locality_stays_oracle_exact() {
+    // Fault injection degrades shards to tree/naive serving — exactly
+    // where cache assembly and batch priming become economical — while
+    // installs race readers. Every answer must still match an oracle.
+    let a = cube(&[24, 10], 73);
+    let srv = CubeServer::build(
+        &a,
+        ServeConfig {
+            shards: 4,
+            faults: Some(FaultPlan::seeded(9).errors(120).panics(15)),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let report = drive_load(
+        &srv,
+        &a,
+        &LoadSpec {
+            phases: 6,
+            queries_per_phase: 30,
+            readers: 3,
+            batch: 2,
+            seed: 777,
+            zipf_pool: 8,
         },
     )
     .unwrap();

@@ -4,7 +4,7 @@
 
 #![cfg(feature = "telemetry")]
 
-use olap_array::Shape;
+use olap_array::{Region, Shape};
 use olap_query::RangeQuery;
 use olap_server::{CubeServer, ServeConfig};
 use olap_telemetry::{MetricValue, Telemetry};
@@ -44,8 +44,8 @@ fn serving_publishes_snapshot_and_queue_gauges() {
     };
 
     // Exact values are timing-dependent (a worker thread may still pin
-    // the superseded snapshot, and releases on scope-less workers do not
-    // publish), so the assertions are presence plus tight ranges.
+    // the superseded snapshot), so the assertions are presence plus
+    // tight ranges.
     for shard in ["shard-0", "shard-1"] {
         let live = gauge("olap_snapshot_live", "cell", shard)
             .unwrap_or_else(|| panic!("no olap_snapshot_live for {shard}"));
@@ -60,4 +60,69 @@ fn serving_publishes_snapshot_and_queue_gauges() {
             .unwrap_or_else(|| panic!("no olap_shard_queue_depth for {shard}"));
         assert!((0.0..=1.0).contains(&depth), "{shard}: depth {depth}");
     }
+}
+
+#[test]
+fn serving_publishes_semantic_cache_counters_and_entry_gauge() {
+    let a = uniform_cube(Shape::new(&[16, 8]).unwrap(), 300, 62);
+    let ctx = Arc::new(Telemetry::new());
+    let snap = olap_telemetry::with_scope(&ctx, || {
+        let srv = CubeServer::build(
+            &a,
+            ServeConfig {
+                shards: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        // Same full-cube sum twice: one miss + one exact hit per shard
+        // (workers re-enter the builder's telemetry scope, so their cache
+        // counters publish here).
+        let q = RangeQuery::from_region(&Region::from_bounds(&[(0, 15), (0, 7)]).unwrap());
+        srv.range_sum(&q).unwrap();
+        srv.range_sum(&q).unwrap();
+        // An install overlapping shard-0's entry invalidates it region-wise.
+        srv.apply_updates(&[(vec![3, 3], 9)]).unwrap();
+        ctx.registry().snapshot()
+    });
+    let counter = |name: &str, label: &str| -> u64 {
+        snap.iter()
+            .find_map(|m| {
+                let matches =
+                    m.name == name && m.labels.iter().any(|(k, v)| k == "cache" && v == label);
+                match (&m.value, matches) {
+                    (MetricValue::Counter(v), true) => Some(*v),
+                    _ => None,
+                }
+            })
+            .unwrap_or_else(|| panic!("no {name} for {label}"))
+    };
+    for shard in ["shard-0", "shard-1"] {
+        assert_eq!(counter("olap_cache_misses_total", shard), 1, "{shard}");
+        assert_eq!(counter("olap_cache_hits_total", shard), 1, "{shard}");
+        assert_eq!(counter("olap_cache_insertions_total", shard), 1, "{shard}");
+    }
+    // Only the updated shard invalidated, and its entry gauge fell back
+    // to zero while the untouched shard still holds one.
+    assert_eq!(counter("olap_cache_invalidations_total", "shard-0"), 1);
+    assert!(
+        snap.iter()
+            .all(|m| m.name != "olap_cache_invalidations_total"
+                || !m.labels.iter().any(|(k, v)| k == "cache" && v == "shard-1")),
+        "shard-1 must not have invalidated"
+    );
+    let gauge = |label: &str| -> f64 {
+        snap.iter()
+            .find_map(|m| {
+                let matches = m.name == "olap_cache_entries"
+                    && m.labels.iter().any(|(k, v)| k == "cache" && v == label);
+                match (&m.value, matches) {
+                    (MetricValue::Gauge(v), true) => Some(*v),
+                    _ => None,
+                }
+            })
+            .unwrap_or_else(|| panic!("no olap_cache_entries for {label}"))
+    };
+    assert_eq!(gauge("shard-0"), 0.0);
+    assert_eq!(gauge("shard-1"), 1.0);
 }

@@ -3,7 +3,7 @@
 use olap_array::{Range, Region, Shape};
 use olap_query::{DimSelection, QueryLog, RangeQuery};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{RngCore, RngExt, SeedableRng};
 
 /// Uniformly random regions: both endpoints drawn uniformly per dimension.
 pub fn uniform_regions(shape: &Shape, count: usize, seed: u64) -> Vec<Region> {
@@ -22,6 +22,44 @@ pub fn uniform_regions(shape: &Shape, count: usize, seed: u64) -> Vec<Region> {
                     .collect(),
             )
             .expect("d ≥ 1")
+        })
+        .collect()
+}
+
+/// Zipf-skewed regions: a pool of `pool` distinct uniform regions sampled
+/// with frequency ∝ 1/rank^exponent. The repeat-heavy locality workload a
+/// semantic result cache exploits — hot regions recur, the cold tail
+/// misses.
+///
+/// # Panics
+/// Panics when `pool == 0`.
+pub fn zipf_regions(
+    shape: &Shape,
+    count: usize,
+    pool: usize,
+    exponent: f64,
+    seed: u64,
+) -> Vec<Region> {
+    assert!(pool >= 1, "pool must hold at least one region");
+    let candidates = uniform_regions(shape, pool, seed ^ 0x9e37_79b9_7f4a_7c15);
+    let weights: Vec<f64> = (0..pool)
+        .map(|rank| 1.0 / ((rank + 1) as f64).powf(exponent))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            // Inverse-CDF walk on a uniform draw in [0, total).
+            let mut x = (rng.next_u64() as f64 / u64::MAX as f64) * total;
+            let mut pick = pool - 1;
+            for (rank, w) in weights.iter().enumerate() {
+                if x < *w {
+                    pick = rank;
+                    break;
+                }
+                x -= w;
+            }
+            candidates[pick].clone()
         })
         .collect()
 }
@@ -142,6 +180,30 @@ mod tests {
             .expect("⟨d1,d2⟩ present");
         assert_eq!(c01.num_queries, 30);
         assert!((c01.avg.side_lengths[0] - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_regions_skew_toward_low_ranks() {
+        let shape = Shape::new(&[60, 60]).unwrap();
+        let regions = zipf_regions(&shape, 400, 16, 1.1, 7);
+        assert_eq!(regions.len(), 400);
+        for r in &regions {
+            assert!(shape.check_region(r).is_ok());
+        }
+        // The pool bounds distinct regions, and repetition dominates: the
+        // most frequent region must beat the uniform share by a wide
+        // margin for the cache to have anything to hit.
+        let mut counts = std::collections::HashMap::new();
+        for r in &regions {
+            *counts.entry(format!("{r}")).or_insert(0usize) += 1;
+        }
+        assert!(counts.len() <= 16);
+        let top = counts.values().copied().max().unwrap();
+        assert!(top * 16 > 2 * 400, "top region repeated only {top}×");
+        assert_eq!(
+            zipf_regions(&shape, 50, 8, 1.1, 3),
+            zipf_regions(&shape, 50, 8, 1.1, 3)
+        );
     }
 
     #[test]
