@@ -40,9 +40,10 @@ pub const ENGINE_METHODS: &[&str] = &[
 
 /// Serving-layer types whose inherent methods are reachability roots:
 /// their entry points run on the query path (shard fan-out, snapshot
-/// loads and installs, semantic-cache lookups and invalidation sweeps)
-/// without being named like a trait method.
-pub const SERVING_TYPES: &[&str] = &["CubeServer", "VersionCell", "SemanticCache"];
+/// loads and installs, semantic-cache lookups and invalidation sweeps,
+/// trace-span records into the sink) without being named like a trait
+/// method.
+pub const SERVING_TYPES: &[&str] = &["CubeServer", "VersionCell", "SemanticCache", "TraceSink"];
 
 /// One function in the cross-file graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -217,6 +218,7 @@ mod tests {
             "impl CubeServer {\n  pub fn fan_out(&self) { merge(); }\n}\n\
              impl<V> VersionCell<V> {\n  fn swap_in(&self) {}\n}\n\
              impl<V, B> SemanticCache<V, B> {\n  fn plan(&self) {}\n}\n\
+             impl TraceSink {\n  fn record(&self) {}\n}\n\
              fn merge() {}\nfn unrelated() {}\n",
         )]);
         let r = compute(&model);
@@ -231,6 +233,7 @@ mod tests {
         assert!(flat.contains(&"fan_out"), "{flat:?}");
         assert!(flat.contains(&"swap_in"), "{flat:?}");
         assert!(flat.contains(&"plan"), "{flat:?}");
+        assert!(flat.contains(&"record"), "{flat:?}");
         assert!(flat.contains(&"merge"), "{flat:?}");
         assert!(!flat.contains(&"unrelated"), "{flat:?}");
     }

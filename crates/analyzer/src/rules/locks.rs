@@ -203,6 +203,20 @@ fn acquisitions(toks: &[Token], a: usize, b: usize, locks: &[(String, LockKind)]
                                         | "len"
                                 )
                             }
+                            LockKind::Sink => {
+                                matches!(
+                                    m.text.as_str(),
+                                    "record"
+                                        | "finish_root"
+                                        | "span_count"
+                                        | "dropped"
+                                        | "records"
+                                        | "slow_traces"
+                                        | "trace_ids"
+                                        | "trace_tree"
+                                        | "to_chrome_json"
+                                )
+                            }
                         }
                 })
             });
@@ -365,6 +379,19 @@ mod tests {
         let f = check(&Model::from_sources(&[("crates/x/src/c.rs", src)]));
         assert_eq!(f.len(), 1, "{f:?}");
         assert!(f[0].message.contains("cell"), "{f:?}");
+    }
+
+    #[test]
+    fn trace_sink_calls_join_the_acquisition_graph() {
+        // Recording a span while holding `m` in one function and taking
+        // `m` while assembling trees from the sink in another is an
+        // opposite-order cycle across the sink's internal store mutex.
+        let src = "struct S { m: Mutex<u8>, sink: Arc<TraceSink> }\n\
+                   fn f(s: &S) {\n  let g = s.m.lock();\n  s.sink.record(rec);\n}\n\
+                   fn g(s: &S) {\n  let t = s.sink.trace_tree(id);\n  s.m.lock().unwrap();\n}\n";
+        let f = check(&Model::from_sources(&[("crates/x/src/c.rs", src)]));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("sink"), "{f:?}");
     }
 
     #[test]

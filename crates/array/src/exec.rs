@@ -161,9 +161,14 @@ where
     }
     // Telemetry scopes are thread-local, so each worker re-enters the
     // spawning thread's context: a scoped workload's counters land in the
-    // scoped registry no matter which thread did the work.
+    // scoped registry no matter which thread did the work. The same goes
+    // for the trace scope — re-entering it parents any span the mapped
+    // closure opens under the span that invoked the fan-out, so a traced
+    // query has one tree regardless of the execution strategy.
     #[cfg(feature = "telemetry")]
     let ctx = olap_telemetry::current();
+    #[cfg(feature = "telemetry")]
+    let trace = olap_telemetry::current_trace();
     let mut out: Vec<R> = Vec::with_capacity(total);
     #[cfg(feature = "telemetry")]
     let mut worker_nanos: Vec<u64> = Vec::with_capacity(workers);
@@ -173,7 +178,11 @@ where
             .map(|(first, part)| {
                 #[cfg(feature = "telemetry")]
                 let ctx = ctx.clone();
+                #[cfg(feature = "telemetry")]
+                let trace = trace.clone();
                 scope.spawn(move || {
+                    #[cfg(feature = "telemetry")]
+                    let _trace_scope = trace.as_ref().map(olap_telemetry::TraceHandle::enter);
                     let run = || {
                         part.into_iter()
                             .enumerate()

@@ -13,6 +13,20 @@
 //! CI gates the geometric mean against
 //! `results/serve_throughput_baseline.json` with the same 10% tolerance
 //! as the router- and failover-overhead gates.
+//!
+//! With the `telemetry` feature two more prices join, isolating the
+//! tracing layer itself (no ambient telemetry scope, so the metrics
+//! instrumentation — priced by its own overhead benches — stays out of
+//! the delta):
+//!
+//! - `traced_range_sum/4`: every query traced — root span, queue-wait
+//!   spans across the shard queues, worker-side cache/exec spans, merge.
+//!   Informational; the honest price of a full per-query span tree on a
+//!   microsecond-scale dispatch-bound query.
+//! - `sampled_trace_range_sum/4`: the production configuration, a 1-in-8
+//!   head sample (`enable_tracing_sampled`). CI gates this at ≤ 1.05×
+//!   `range_sum/4` within the same dump (`bench_guard --ratio`), pinning
+//!   the amortised cost of always-on tracing in serving.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use olap_array::Shape;
@@ -50,6 +64,32 @@ fn serve_throughput(c: &mut Criterion) {
                 })
             },
         );
+    }
+
+    // The same four-shard fan-out with tracing live: every query at
+    // sample 1 (informational), a 1-in-8 head sample at production
+    // settings (gated against `range_sum/4` at 1.05× by
+    // bench_guard --ratio). No telemetry scope: the delta is the tracing
+    // layer alone.
+    #[cfg(feature = "telemetry")]
+    for (label, every) in [("traced_range_sum", 1), ("sampled_trace_range_sum", 8)] {
+        use std::sync::Arc;
+        let mut srv = CubeServer::build(
+            &a,
+            ServeConfig {
+                shards: 4,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        srv.enable_tracing_sampled(Arc::new(olap_telemetry::TraceSink::new()), every);
+        group.bench_with_input(BenchmarkId::new(label, 4), &queries, |bch, qs| {
+            bch.iter(|| {
+                for q in qs {
+                    black_box(srv.range_sum(q).unwrap());
+                }
+            })
+        });
     }
 
     // Install turnover: every iteration derives and publishes one

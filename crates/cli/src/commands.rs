@@ -29,8 +29,15 @@ commands:
            [--format prom|json]
            run a seeded mixed workload through a semantic cache in front of
            the router, dump the metric registry (cache counters included)
-  flight-record --cube FILE [--queries N] [--seed S] [--capacity N]
+  flight-record --cube FILE [--queries N] [--seed S] [--capacity N] [--cache-size N]
            same workload, dump the last-N per-query flight records as JSON
+           (each record carries its cache outcome: exact/assembled/miss/bypass)
+  trace    --out FILE [--cube FILE | --dims N,N[,N…]] [--queries N] [--shards N]
+           [--seed S] [--slow-ms MS]
+           serve a traced seeded workload and export every query's span tree
+           (queue wait, cache lookup, router dispatch, kernel exec, merge) as
+           Chrome trace-event JSON for chrome://tracing or Perfetto;
+           --slow-ms keeps full trees of over-threshold queries in a ring
   chaos    --cube FILE [--queries N] [--updates U] [--seed S] [--error-rate PM] [--panic-rate PM]
            run the workload with seeded fault injection on every engine and
            print a resilience report (failovers, quarantines, contained panics)
@@ -42,6 +49,10 @@ commands:
            post-update oracle, and print the serving report (per-shard
            semantic caches answer repeat sums; --cache-size 0 disables,
            --zipf-pool N draws queries Zipf-skewed from a pool of N regions)
+           [--metrics-addr HOST:PORT [--metrics-hold-ms MS]] [--slo-p99-ms MS]
+           with telemetry: serve /metrics (Prometheus text, per-shard p50/p95/
+           p99 latency gauges) and /metrics.json live during and MS after the
+           drill; --slo-p99-ms fails the command when any shard's p99 exceeds it
   info     FILE
 
 queries: per dimension `lo:hi`, a single index, or `all` — e.g. 3:17,all,5";
@@ -68,6 +79,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "plan" => cmd_plan(rest),
         "metrics" => cmd_metrics(rest),
         "flight-record" => cmd_flight_record(rest),
+        "trace" => cmd_trace(rest),
         "chaos" => crate::chaos_cmd::cmd_chaos(rest),
         "serve" => crate::serve_cmd::cmd_serve(rest),
         "repl" => {
@@ -86,6 +98,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 
 #[cfg(feature = "telemetry")]
 use crate::telemetry_cmd::{cmd_flight_record, cmd_metrics};
+#[cfg(feature = "telemetry")]
+use crate::trace_cmd::cmd_trace;
 
 /// Without the `telemetry` feature the instrumentation sites are compiled
 /// out, so there is nothing to dump — say so instead of printing an empty
@@ -99,6 +113,13 @@ fn cmd_metrics(_args: &[String]) -> Result<String, CliError> {
 
 #[cfg(not(feature = "telemetry"))]
 fn cmd_flight_record(_args: &[String]) -> Result<String, CliError> {
+    Err(usage(
+        "this build has telemetry compiled out; rebuild with --features telemetry",
+    ))
+}
+
+#[cfg(not(feature = "telemetry"))]
+fn cmd_trace(_args: &[String]) -> Result<String, CliError> {
     Err(usage(
         "this build has telemetry compiled out; rebuild with --features telemetry",
     ))
@@ -881,6 +902,21 @@ mod tests {
         // Capacity bounds the dump: exactly 5 records survive of 60.
         assert_eq!(flights.matches("\"seq\":").count(), 5, "{flights}");
         assert!(flights.contains("\"seq\": 59"), "{flights}");
+        // No cache on the default flight-record path: every record says so.
+        assert!(flights.contains("\"cache\": \"bypass\""), "{flights}");
+        assert!(!flights.contains("\"cache\": \"miss\""), "{flights}");
+        // With a cache in front, each record carries its outcome.
+        let cached = run_s(&[
+            "flight-record",
+            "--cube",
+            &cube,
+            "--queries",
+            "40",
+            "--cache-size",
+            "64",
+        ])
+        .unwrap();
+        assert!(cached.contains("\"cache\": \"miss\""), "{cached}");
         // Bad format is a usage error.
         let err = run_s(&["metrics", "--cube", &cube, "--format", "yaml"]).unwrap_err();
         assert!(err.to_string().contains("prom or json"), "{err}");
@@ -892,6 +928,8 @@ mod tests {
         let err = run_s(&["metrics", "--cube", "x"]).unwrap_err();
         assert!(err.to_string().contains("telemetry"), "{err}");
         let err = run_s(&["flight-record", "--cube", "x"]).unwrap_err();
+        assert!(err.to_string().contains("telemetry"), "{err}");
+        let err = run_s(&["trace", "--out", "x.json"]).unwrap_err();
         assert!(err.to_string().contains("telemetry"), "{err}");
     }
 

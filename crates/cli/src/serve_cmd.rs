@@ -11,11 +11,22 @@
 //! Zipf-skewed repeat-heavy workload those caches exploit; the report
 //! gains a cache line (exact hits, ±-assemblies, hit rate, region-wise
 //! invalidations).
+//!
+//! With the `telemetry` feature, `--metrics-addr HOST:PORT` runs the
+//! drill inside a telemetry scope and serves the live registry over
+//! HTTP (`/metrics` Prometheus text with per-shard p50/p95/p99 latency
+//! gauges, `/metrics.json`) during the drill and for
+//! `--metrics-hold-ms` afterwards — long enough for a scraper to
+//! observe a finished run. `--slo-p99-ms MS` declares a per-shard tail
+//! latency objective ([`olap_server::SloSpec`], carried through
+//! [`ServeConfig::slo`]); any shard whose p99 exceeds it fails the
+//! command with the violation report.
 
 use crate::args::{split_args, usage, CliError};
 use crate::chaos_cmd::mix;
+use olap_array::DenseArray;
 use olap_engine::FaultPlan;
-use olap_server::{drive_load, CubeServer, LoadSpec, ServeConfig};
+use olap_server::{drive_load, CubeServer, LoadSpec, ServeConfig, SloSpec};
 use olap_storage as storage;
 
 fn parse_usize(
@@ -31,37 +42,143 @@ fn parse_usize(
     }
 }
 
+/// Everything the serving drill needs, parsed once so the plain and the
+/// telemetry-scoped paths share one entry point.
+struct ServeParams {
+    shards: usize,
+    phases: usize,
+    queries: usize,
+    readers: usize,
+    batch: usize,
+    cache_size: usize,
+    zipf_pool: usize,
+    seed: u64,
+    error_pm: u16,
+    slo: Option<SloSpec>,
+}
+
+fn parse_params(p: &crate::args::ParsedArgs) -> Result<ServeParams, CliError> {
+    let slo = match p.get("--slo-p99-ms") {
+        Some(s) => {
+            let ms: u64 = s
+                .parse()
+                .map_err(|_| usage("--slo-p99-ms must be a millisecond count"))?;
+            Some(SloSpec::p99(std::time::Duration::from_millis(ms)))
+        }
+        None => None,
+    };
+    Ok(ServeParams {
+        shards: parse_usize(p, "--shards", 4)?,
+        phases: parse_usize(p, "--phases", 8)?,
+        queries: parse_usize(p, "--queries", 48)?,
+        readers: parse_usize(p, "--readers", 4)?,
+        batch: parse_usize(p, "--batch", 3)?,
+        cache_size: parse_usize(p, "--cache-size", 256)?,
+        zipf_pool: parse_usize(p, "--zipf-pool", 0)?,
+        seed: p
+            .get("--seed")
+            .unwrap_or("0")
+            .parse()
+            .map_err(|_| usage("--seed must be an integer"))?,
+        error_pm: match p.get("--error-rate") {
+            Some(s) => s
+                .parse()
+                .map_err(|_| usage("--error-rate must be a per-mille rate (0..=1000)"))?,
+            None => 0,
+        },
+        slo,
+    })
+}
+
 /// `serve`: sharded snapshot-isolated serving drill. See the module docs.
 pub(crate) fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let p = split_args(args)?;
     let cube_path = p.require("--cube")?;
-    let shards = parse_usize(&p, "--shards", 4)?;
-    let phases = parse_usize(&p, "--phases", 8)?;
-    let queries = parse_usize(&p, "--queries", 48)?;
-    let readers = parse_usize(&p, "--readers", 4)?;
-    let batch = parse_usize(&p, "--batch", 3)?;
-    let cache_size = parse_usize(&p, "--cache-size", 256)?;
-    let zipf_pool = parse_usize(&p, "--zipf-pool", 0)?;
-    let seed: u64 = p
-        .get("--seed")
-        .unwrap_or("0")
-        .parse()
-        .map_err(|_| usage("--seed must be an integer"))?;
-    let error_pm: u16 = match p.get("--error-rate") {
-        Some(s) => s
-            .parse()
-            .map_err(|_| usage("--error-rate must be a per-mille rate (0..=1000)"))?,
-        None => 0,
-    };
-
+    let params = parse_params(&p)?;
     let a = storage::read_dense_i64(&mut crate::commands::open_reader(cube_path)?)?;
+    #[cfg(feature = "telemetry")]
+    {
+        let metrics_addr = p.get("--metrics-addr");
+        let hold_ms = parse_usize(&p, "--metrics-hold-ms", 0)? as u64;
+        if metrics_addr.is_some() || params.slo.is_some() {
+            return drill_observed(&a, &params, metrics_addr, hold_ms);
+        }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    if p.get("--metrics-addr").is_some() || params.slo.is_some() {
+        return Err(usage(
+            "this build has telemetry compiled out; rebuild with --features telemetry",
+        ));
+    }
+    drill(&a, &params)
+}
+
+/// The drill inside a telemetry scope: optionally serve the registry
+/// over HTTP while (and for `hold_ms` after) the load runs, then
+/// evaluate the declared SLO against the recorded per-shard latency
+/// quantiles.
+#[cfg(feature = "telemetry")]
+fn drill_observed(
+    a: &DenseArray<i64>,
+    params: &ServeParams,
+    metrics_addr: Option<&str>,
+    hold_ms: u64,
+) -> Result<String, CliError> {
+    use olap_server::{publish_latency_quantiles, slo_report, MetricsServer};
+    let ctx = std::sync::Arc::new(olap_telemetry::Telemetry::new());
+    let endpoint = match metrics_addr {
+        Some(addr) => Some(
+            MetricsServer::bind(addr, std::sync::Arc::clone(&ctx))
+                .map_err(|e| usage(format!("--metrics-addr {addr}: {e}")))?,
+        ),
+        None => None,
+    };
+    let mut text = olap_telemetry::with_scope(&ctx, || drill(a, params))?;
+    publish_latency_quantiles(ctx.registry());
+    if let Some(ep) = &endpoint {
+        text.push_str(&format!(
+            "\nmetrics: http://{}/metrics live for another {hold_ms}ms",
+            ep.addr()
+        ));
+        std::thread::sleep(std::time::Duration::from_millis(hold_ms));
+    }
+    if let Some(slo) = &params.slo {
+        let violations = slo_report(ctx.registry(), slo);
+        if violations.is_empty() {
+            text.push_str("\nslo: every shard within objective");
+        } else {
+            let lines: Vec<String> = violations.iter().map(|v| format!("  {v}")).collect();
+            return Err(CliError::Query(format!(
+                "latency SLO violated:\n{}\n{text}",
+                lines.join("\n")
+            )));
+        }
+    }
+    Ok(text)
+}
+
+/// The core drill: boot the server, drive the load, render the report.
+fn drill(a: &DenseArray<i64>, params: &ServeParams) -> Result<String, CliError> {
+    let ServeParams {
+        shards,
+        phases,
+        queries,
+        readers,
+        batch,
+        cache_size,
+        zipf_pool,
+        seed,
+        error_pm,
+        slo,
+    } = *params;
     let faults = (error_pm > 0).then(|| FaultPlan::seeded(mix(seed)).errors(error_pm));
     let server = CubeServer::build(
-        &a,
+        a,
         ServeConfig {
             shards,
             faults,
             cache_size,
+            slo,
             ..ServeConfig::default()
         },
     )
@@ -74,7 +191,7 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         seed,
         zipf_pool,
     };
-    let report = drive_load(&server, &a, &spec).map_err(|e| CliError::Query(e.to_string()))?;
+    let report = drive_load(&server, a, &spec).map_err(|e| CliError::Query(e.to_string()))?;
 
     let mut out = Vec::new();
     out.push(format!(
@@ -256,5 +373,66 @@ mod tests {
     #[test]
     fn serve_requires_a_cube() {
         assert!(run(&["--shards", "4"]).is_err());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn metrics_endpoint_and_lax_slo_pass() {
+        let path = cube_file(89);
+        let out = run(&[
+            "--cube",
+            path.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--phases",
+            "2",
+            "--queries",
+            "12",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--slo-p99-ms",
+            "60000",
+        ])
+        .unwrap();
+        assert!(out.contains("metrics: http://127.0.0.1:"), "{out}");
+        assert!(out.contains("slo: every shard within objective"), "{out}");
+        assert!(out.contains("snapshot isolation: OK"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn impossible_slo_fails_with_the_violation_report() {
+        let path = cube_file(97);
+        let err = run(&[
+            "--cube",
+            path.to_str().unwrap(),
+            "--phases",
+            "2",
+            "--queries",
+            "12",
+            "--slo-p99-ms",
+            "0",
+        ])
+        .unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("latency SLO violated"), "{text}");
+        assert!(text.contains("exceeds SLO"), "{text}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn metrics_flags_without_the_feature_explain_themselves() {
+        let path = cube_file(89);
+        let err = run(&[
+            "--cube",
+            path.to_str().unwrap(),
+            "--metrics-addr",
+            "127.0.0.1:0",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("telemetry"), "{err}");
+        std::fs::remove_file(path).ok();
     }
 }

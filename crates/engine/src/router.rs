@@ -796,6 +796,10 @@ impl<V> AdaptiveRouter<V> {
         query: &RangeQuery,
         op: EngineOp,
     ) -> Result<(usize, f64, QueryOutcome<V>), EngineError> {
+        // Covers decision, dispatch, and failover; inert (one relaxed
+        // atomic load) unless a trace scope is entered on this thread.
+        #[cfg(feature = "telemetry")]
+        let _route_span = olap_telemetry::TraceSpan::start("router_dispatch");
         // Pin the snapshot first: the whole query — decision, dispatch,
         // failover — runs against this one consistent engine set even if
         // an update installs a successor mid-flight.
@@ -850,7 +854,12 @@ impl<V> AdaptiveRouter<V> {
             let observing = olap_telemetry::current().map(|ctx| (ctx, std::time::Instant::now()));
             // Dispatch with no router lock held: concurrent queries on
             // other threads proceed while this engine works.
-            match Self::dispatch(&set, i, query, op, &meter) {
+            let dispatched = {
+                #[cfg(feature = "telemetry")]
+                let _kernel_span = olap_telemetry::TraceSpan::start("kernel_exec");
+                Self::dispatch(&set, i, query, op, &meter)
+            };
+            match dispatched {
                 Ok(outcome) => {
                     let mut st = self.lock_state();
                     st.note_success(i);
@@ -1126,6 +1135,9 @@ fn record_route<V>(
         p_cells: outcome.stats.p_cells,
         tree_nodes: outcome.stats.tree_nodes,
         latency_ns: nanos,
+        // The semantic cache annotates its backend calls on this thread;
+        // no annotation means no cache sat above this dispatch.
+        cache: olap_telemetry::cache_outcome().unwrap_or("bypass"),
     });
 }
 

@@ -468,12 +468,23 @@ where
         let Some(region) = self.resolve(query) else {
             return self.backend.range_sum(query);
         };
+        #[cfg(feature = "telemetry")]
+        let started = std::time::Instant::now();
         let epoch0 = self.backend.epoch();
-        match self.plan(&region, epoch0) {
+        let plan = {
+            #[cfg(feature = "telemetry")]
+            let _lookup_span = olap_telemetry::TraceSpan::start("cache_lookup");
+            self.plan(&region, epoch0)
+        };
+        match plan {
             Plan::Exact(sum) => {
                 self.bump("olap_cache_hits_total", &self.hits, 1);
                 let mut stats = AccessStats::new();
                 stats.step(1);
+                // An exact hit never reaches the router, so it writes its
+                // own flight record (the only place that knows it happened).
+                #[cfg(feature = "telemetry")]
+                self.record_exact_hit(started);
                 Ok(QueryOutcome::aggregate(
                     sum,
                     stats,
@@ -481,7 +492,16 @@ where
                 ))
             }
             Plan::Assemble { base, residual } => {
-                match self.assemble(query, &region, epoch0, base, &residual)? {
+                let assembled = {
+                    #[cfg(feature = "telemetry")]
+                    let _assembly_span = olap_telemetry::TraceSpan::start("cache_assembly");
+                    // Residual backend dispatches below record flight
+                    // records; annotate them as assembly legs.
+                    #[cfg(feature = "telemetry")]
+                    let _outcome = olap_telemetry::CacheOutcomeScope::set("assembled");
+                    self.assemble(query, &region, epoch0, base, &residual)?
+                };
+                match assembled {
                     Some(outcome) => Ok(outcome),
                     None => self.miss(query, &region, epoch0),
                 }
@@ -729,6 +749,10 @@ where
         region: &Region,
         epoch0: u64,
     ) -> Result<QueryOutcome<V>, EngineError> {
+        // The backend dispatch records the flight record; annotate it as
+        // a consulted-but-missed cache path.
+        #[cfg(feature = "telemetry")]
+        let _outcome = olap_telemetry::CacheOutcomeScope::set("miss");
         let out = self.backend.range_sum(query)?;
         self.bump("olap_cache_misses_total", &self.misses, 1);
         if let Answer::Aggregate(v) = &out.answer {
@@ -904,6 +928,29 @@ where
     #[cfg(not(feature = "telemetry"))]
     #[inline(always)]
     fn export_counter(&self, _name: &'static str, _n: u64) {}
+
+    /// Writes the flight record for an exact cache hit — the one serving
+    /// outcome the router never sees.
+    #[cfg(feature = "telemetry")]
+    fn record_exact_hit(&self, started: std::time::Instant) {
+        if let Some(ctx) = olap_telemetry::current() {
+            let nanos = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            ctx.recorder().record(olap_telemetry::FlightRecord {
+                seq: 0,
+                op: "range_sum",
+                engine: self.label.clone(),
+                kind: EngineKind::SemanticCache.to_string(),
+                raw: 1.0,
+                predicted: 1.0,
+                observed: 1,
+                a_cells: 0,
+                p_cells: 0,
+                tree_nodes: 0,
+                latency_ns: nanos,
+                cache: "exact",
+            });
+        }
+    }
 
     #[cfg(feature = "telemetry")]
     fn publish_entries(&self, len: usize) {

@@ -332,3 +332,70 @@ mod telemetry_equivalence {
         }
     }
 }
+
+/// The tracing layer must give `Threads(n)` the *same story* as
+/// `Sequential`: every span a worker opens inside the fan-out lands in
+/// the submitting thread's trace, parented under the span that was
+/// current when the fan-out started, and the resulting tree shape —
+/// fingerprinted as a sorted `(child, parent)` edge set — is identical
+/// for any thread count and across repeat runs. Only timings and worker
+/// thread ids may differ.
+#[cfg(feature = "telemetry")]
+mod trace_equivalence {
+    use super::*;
+    use olap_telemetry::{Telemetry, TraceSink, TraceSpan};
+    use std::sync::Arc;
+
+    /// Distinct static span names per item index, so the edge fingerprint
+    /// tells every item's span apart.
+    const ITEM_SPANS: [&str; 8] = [
+        "item_0", "item_1", "item_2", "item_3", "item_4", "item_5", "item_6", "item_7",
+    ];
+
+    /// Runs a traced fan-out over `items` kernels and returns the
+    /// assembled tree's `(span count, edge fingerprint)`.
+    fn traced_edges(par: Parallelism, items: usize) -> (usize, Vec<(&'static str, &'static str)>) {
+        let ctx = Arc::new(Telemetry::new());
+        let sink = Arc::new(TraceSink::new());
+        olap_telemetry::with_scope(&ctx, || {
+            let root = TraceSpan::root(&sink, "fan_out");
+            let xs: Vec<u64> = (0..items as u64).collect();
+            let doubled = olap_array::exec::run_indexed(par, xs, |i, v| {
+                let _span = TraceSpan::start(ITEM_SPANS.get(i).copied().unwrap_or("item_x"));
+                v * 2
+            });
+            assert!(doubled.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+            drop(root);
+        });
+        let ids = sink.trace_ids();
+        assert_eq!(ids.len(), 1, "all worker spans must share one trace");
+        let tree = sink
+            .trace_tree(*ids.first().expect("one trace id"))
+            .expect("the finished trace assembles into a tree");
+        (tree.span_count(), tree.edge_set())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn worker_spans_join_one_deterministic_tree(
+            items in 1usize..=8,
+            threads in 2usize..6,
+        ) {
+            let (seq_count, seq_edges) = traced_edges(Parallelism::Sequential, items);
+            let (par_count, par_edges) = traced_edges(Parallelism::Threads(threads), items);
+            let (rep_count, rep_edges) = traced_edges(Parallelism::Threads(threads), items);
+
+            // One root plus one span per item, no matter who ran it.
+            prop_assert_eq!(seq_count, items + 1);
+            prop_assert_eq!(par_count, seq_count);
+            prop_assert_eq!(rep_count, seq_count);
+            // Same shape sequentially, threaded, and on a repeat run.
+            prop_assert_eq!(&par_edges, &seq_edges);
+            prop_assert_eq!(&rep_edges, &par_edges);
+            // Every worker span hangs directly off the fan-out span.
+            prop_assert!(par_edges.iter().all(|&(_, parent)| parent == "fan_out"));
+        }
+    }
+}

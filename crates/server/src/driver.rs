@@ -192,31 +192,38 @@ pub fn drive_load(
             })
             .collect();
 
+        // Readers re-enter the driving thread's telemetry scope, so the
+        // per-shard latency histograms the server feeds during fan-out
+        // land in the caller's registry, not nowhere.
+        let telemetry = crate::server::capture_scope();
         std::thread::scope(|scope| {
             for r in 0..readers {
                 let cases = &cases;
                 let answers = &answers;
                 let mismatches = &mismatches;
                 let first_error = &first_error;
+                let telemetry = telemetry.clone();
                 scope.spawn(move || {
-                    for (q, op, pre, after) in cases.iter().skip(r).step_by(readers) {
-                        match served(server, q, *op) {
-                            Ok(got) => {
-                                // ordering: Relaxed — monotonic tallies read
-                                // only after the scope joins every reader.
-                                answers.fetch_add(1, Ordering::Relaxed);
-                                if got != *pre && got != *after {
-                                    // ordering: Relaxed — same tally contract.
-                                    mismatches.fetch_add(1, Ordering::Relaxed);
+                    crate::server::enter_scope(telemetry, move || {
+                        for (q, op, pre, after) in cases.iter().skip(r).step_by(readers) {
+                            match served(server, q, *op) {
+                                Ok(got) => {
+                                    // ordering: Relaxed — monotonic tallies read
+                                    // only after the scope joins every reader.
+                                    answers.fetch_add(1, Ordering::Relaxed);
+                                    if got != *pre && got != *after {
+                                        // ordering: Relaxed — same tally contract.
+                                        mismatches.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                Err(e) => {
+                                    let mut slot =
+                                        first_error.lock().unwrap_or_else(|p| p.into_inner());
+                                    slot.get_or_insert(e);
                                 }
                             }
-                            Err(e) => {
-                                let mut slot =
-                                    first_error.lock().unwrap_or_else(|p| p.into_inner());
-                                slot.get_or_insert(e);
-                            }
                         }
-                    }
+                    })
                 });
             }
             // Install the batch while the readers are mid-flight: the

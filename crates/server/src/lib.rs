@@ -30,9 +30,13 @@
 
 mod driver;
 mod error;
+#[cfg(feature = "telemetry")]
+mod metrics_http;
 mod server;
 
 pub use driver::{drive_load, LoadReport, LoadSpec};
 pub use error::ServerError;
+#[cfg(feature = "telemetry")]
+pub use metrics_http::{publish_latency_quantiles, slo_report, MetricsServer, SloViolation};
 pub use olap_engine::CacheStats;
-pub use server::{CubeServer, ServeConfig, ServerAnswer, ShardStats};
+pub use server::{CubeServer, ServeConfig, ServerAnswer, ShardStats, SloSpec};

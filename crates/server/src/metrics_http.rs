@@ -1,0 +1,354 @@
+//! A live scrape endpoint and SLO evaluation over the telemetry registry.
+//!
+//! [`MetricsServer`] is a deliberately tiny HTTP/1.0 responder on a
+//! std-`TcpListener` — no framework, one thread, connection-per-request —
+//! because a scrape endpoint's whole job is "render the registry and
+//! hang up". It serves:
+//!
+//! - `GET /metrics` — Prometheus text exposition (with `# HELP`/`# TYPE`
+//!   per family). Each scrape first refreshes the derived per-shard
+//!   quantile gauges via [`publish_latency_quantiles`], so
+//!   `olap_serve_latency_p99_ns{shard="shard-0"}` is live at read time.
+//! - `GET /metrics.json` — the same registry as JSON.
+//!
+//! [`slo_report`] evaluates a declarative [`SloSpec`] against the
+//! per-shard latency histograms and returns the violations — the check
+//! `olap-cli serve --slo-p99-ms` prints and exits nonzero on.
+
+use crate::server::SloSpec;
+use olap_telemetry::{MetricValue, Registry, Telemetry};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The per-shard serve-latency histogram family fed by `CubeServer`'s
+/// fan-out collector.
+const LATENCY_FAMILY: &str = "olap_serve_latency_ns";
+
+/// Derives the per-shard latency quantile gauges
+/// (`olap_serve_latency_p{50,95,99}_ns{shard=…}`) from the current
+/// contents of the `olap_serve_latency_ns` histograms. Quantiles are
+/// log2-bucket upper bounds — the resolution the registry's histograms
+/// carry. Called on every `/metrics` scrape; harmless to call anytime.
+pub fn publish_latency_quantiles(registry: &Registry) {
+    for m in registry.snapshot() {
+        if m.name != LATENCY_FAMILY {
+            continue;
+        }
+        let MetricValue::Histogram(h) = &m.value else {
+            continue;
+        };
+        let shard = m.label("shard").unwrap_or("all");
+        for (name, q, _) in quantile_points() {
+            registry
+                .gauge(
+                    &format!("olap_serve_latency_{name}_ns"),
+                    &[("shard", shard)],
+                )
+                .set(h.quantile(q) as f64);
+        }
+    }
+}
+
+/// The quantiles the scrape layer derives, as `(name, q, _)` triples
+/// (the third slot mirrors [`SloSpec::bounds`] so the two stay zippable).
+fn quantile_points() -> [(&'static str, f64, ()); 3] {
+    [("p50", 0.50, ()), ("p95", 0.95, ()), ("p99", 0.99, ())]
+}
+
+/// One quantile bound a shard is currently violating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloViolation {
+    /// The shard label (`shard-0`, …).
+    pub shard: String,
+    /// Which bound (`p50`, `p95`, `p99`).
+    pub quantile: &'static str,
+    /// The observed quantile, nanoseconds (log2-bucket resolution).
+    pub observed_ns: u64,
+    /// The configured limit, nanoseconds.
+    pub limit_ns: u64,
+}
+
+impl std::fmt::Display for SloViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} {}ns exceeds SLO {}ns",
+            self.shard, self.quantile, self.observed_ns, self.limit_ns
+        )
+    }
+}
+
+/// Checks every shard's serve-latency quantiles against `slo` and
+/// returns the violations (empty means the objective holds). Shards with
+/// no recorded samples pass vacuously.
+pub fn slo_report(registry: &Registry, slo: &SloSpec) -> Vec<SloViolation> {
+    let bounds = slo.bounds();
+    let mut violations = Vec::new();
+    for m in registry.snapshot() {
+        if m.name != LATENCY_FAMILY {
+            continue;
+        }
+        let MetricValue::Histogram(h) = &m.value else {
+            continue;
+        };
+        if h.count == 0 {
+            continue;
+        }
+        let shard = m.label("shard").unwrap_or("all");
+        for &(name, q, limit_ns) in &bounds {
+            let observed_ns = h.quantile(q);
+            if observed_ns > limit_ns {
+                violations.push(SloViolation {
+                    shard: shard.to_string(),
+                    quantile: name,
+                    observed_ns,
+                    limit_ns,
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// A one-thread HTTP scrape endpoint over a telemetry context's
+/// registry. Bound with [`MetricsServer::bind`], stopped on drop (or
+/// explicitly via [`MetricsServer::stop`]).
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`, port 0 for ephemeral) and
+    /// starts the responder thread serving `ctx`'s registry.
+    ///
+    /// # Errors
+    /// Propagates bind/spawn failures.
+    pub fn bind(addr: &str, ctx: Arc<Telemetry>) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = std::thread::Builder::new()
+            .name("olap-metrics".into())
+            .spawn({
+                let stop = Arc::clone(&stop);
+                move || serve_loop(&listener, &ctx, &stop)
+            })?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the responder: flags shutdown, wakes the blocking accept
+    /// with a self-connection, and joins the thread. Idempotent.
+    pub fn stop(&mut self) {
+        // ordering: Release — the responder's Acquire load after accept
+        // must see the flag before it decides to serve another request.
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept; if the connect fails the listener is
+        // already gone and the thread is exiting anyway.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .field("running", &self.thread.is_some())
+            .finish()
+    }
+}
+
+fn serve_loop(listener: &TcpListener, ctx: &Arc<Telemetry>, stop: &Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        // ordering: Acquire — pairs with `stop`'s Release store; a woken
+        // accept must observe the shutdown flag.
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        // Per-connection errors (including the wake-up self-connection
+        // hanging up) are dropped: a scraper that misbehaves should not
+        // take the endpoint down.
+        if let Ok(stream) = conn {
+            let _ = handle(stream, ctx);
+        }
+    }
+}
+
+/// Reads one request line, answers, closes. HTTP/1.0 semantics
+/// (`Connection: close`) keep the loop connection-per-request.
+fn handle(stream: TcpStream, ctx: &Arc<Telemetry>) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream);
+    let mut request = String::new();
+    reader.read_line(&mut request)?;
+    let path = request.split_whitespace().nth(1).unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" => {
+            publish_latency_quantiles(ctx.registry());
+            (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                ctx.registry().render_prometheus(),
+            )
+        }
+        "/metrics.json" => ("200 OK", "application/json", ctx.registry().render_json()),
+        _ => (
+            "404 Not Found",
+            "text/plain; version=0.0.4",
+            "not found; try /metrics or /metrics.json\n".to_string(),
+        ),
+    };
+    let mut stream = reader.into_inner();
+    stream.write_all(
+        format!(
+            "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len(),
+        )
+        .as_bytes(),
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn scrape(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+            .expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        response
+    }
+
+    fn seeded_ctx() -> Arc<Telemetry> {
+        let ctx = Arc::new(Telemetry::new());
+        let h = ctx
+            .registry()
+            .histogram(LATENCY_FAMILY, &[("shard", "shard-0")]);
+        for _ in 0..99 {
+            h.observe(1_000);
+        }
+        h.observe(1_000_000);
+        ctx
+    }
+
+    #[test]
+    fn quantile_gauges_derive_from_histograms() {
+        let ctx = seeded_ctx();
+        publish_latency_quantiles(ctx.registry());
+        let p50 = ctx
+            .registry()
+            .gauge("olap_serve_latency_p50_ns", &[("shard", "shard-0")])
+            .get();
+        let p99 = ctx
+            .registry()
+            .gauge("olap_serve_latency_p99_ns", &[("shard", "shard-0")])
+            .get();
+        // log2 bucket bounds: 1_000 lands in (512, 1023]… the bound is
+        // the next power-of-two minus one at or above the sample.
+        assert!((1_000.0..2_048.0).contains(&p50), "p50 = {p50}");
+        assert!(p99 >= 1_000.0, "p99 = {p99}");
+        // The tail sample dominates the max quantile.
+        let p_all = ctx
+            .registry()
+            .snapshot()
+            .iter()
+            .find_map(|m| match (&*m.name, &m.value) {
+                (LATENCY_FAMILY, MetricValue::Histogram(h)) => Some(h.quantile(1.0)),
+                _ => None,
+            })
+            .expect("latency histogram present");
+        assert!(p_all >= 1_000_000);
+    }
+
+    #[test]
+    fn slo_report_flags_only_broken_bounds() {
+        let ctx = seeded_ctx();
+        let lax = SloSpec {
+            p99_ns: Some(u64::MAX),
+            ..SloSpec::default()
+        };
+        assert!(slo_report(ctx.registry(), &lax).is_empty());
+        let strict = SloSpec {
+            p50_ns: Some(u64::MAX),
+            p99_ns: Some(10),
+            ..SloSpec::default()
+        };
+        let violations = slo_report(ctx.registry(), &strict);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        let v = violations.first().expect("one violation");
+        assert_eq!(v.quantile, "p99");
+        assert_eq!(v.shard, "shard-0");
+        assert!(v.observed_ns > v.limit_ns);
+        assert!(v.to_string().contains("exceeds SLO"));
+        // An empty registry passes vacuously.
+        let empty = Arc::new(Telemetry::new());
+        assert!(slo_report(empty.registry(), &strict).is_empty());
+    }
+
+    #[test]
+    fn scrape_endpoint_serves_text_json_and_404() {
+        let ctx = seeded_ctx();
+        ctx.registry().counter("q_total", &[]).inc(3);
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&ctx)).expect("bind");
+        let text = scrape(server.addr(), "/metrics");
+        assert!(text.starts_with("HTTP/1.0 200 OK"), "{text}");
+        assert!(
+            text.contains("# TYPE olap_serve_latency_ns histogram"),
+            "{text}"
+        );
+        assert!(text.contains("# HELP olap_serve_latency_p99_ns"), "{text}");
+        assert!(
+            text.contains("olap_serve_latency_p99_ns{shard=\"shard-0\"}"),
+            "{text}"
+        );
+        assert!(text.contains("q_total 3"), "{text}");
+        let json = scrape(server.addr(), "/metrics.json");
+        assert!(json.contains("application/json"), "{json}");
+        assert!(json.contains("\"q_total\""), "{json}");
+        let missing = scrape(server.addr(), "/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+    }
+
+    #[test]
+    fn stop_is_idempotent_and_rebinds() {
+        let ctx = Arc::new(Telemetry::new());
+        let mut server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&ctx)).expect("bind");
+        let addr = server.addr();
+        server.stop();
+        server.stop();
+        drop(server);
+        // The port is released: we can bind it again.
+        let again = MetricsServer::bind(&addr.to_string(), ctx).expect("rebind");
+        assert_eq!(again.addr(), addr);
+    }
+}

@@ -72,6 +72,11 @@ pub struct ServeConfig {
     /// Per-shard semantic-cache capacity in entries; 0 disables caching
     /// (every lookup is a pure passthrough to the shard router).
     pub cache_size: usize,
+    /// Declarative latency objective the operator holds this server to.
+    /// The server only carries it ([`CubeServer::slo`]); evaluation
+    /// against live quantiles is the scrape layer's job (`slo_report`
+    /// with the `telemetry` feature).
+    pub slo: Option<SloSpec>,
 }
 
 impl Default for ServeConfig {
@@ -81,7 +86,50 @@ impl Default for ServeConfig {
             budget: QueryBudget::unlimited(),
             faults: None,
             cache_size: 256,
+            slo: None,
         }
+    }
+}
+
+/// A declarative per-shard latency SLO: bounds on the serve-latency
+/// quantiles (the `olap_serve_latency_ns` histogram family), each
+/// optional. Plain data — carried by [`ServeConfig`] on every build so
+/// configs stay declarative whether or not telemetry is compiled in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SloSpec {
+    /// Median bound, nanoseconds.
+    pub p50_ns: Option<u64>,
+    /// 95th-percentile bound, nanoseconds.
+    pub p95_ns: Option<u64>,
+    /// 99th-percentile bound, nanoseconds.
+    pub p99_ns: Option<u64>,
+}
+
+impl SloSpec {
+    /// A spec bounding only the tail (p99).
+    pub fn p99(limit: std::time::Duration) -> SloSpec {
+        SloSpec {
+            p99_ns: Some(limit.as_nanos().min(u128::from(u64::MAX)) as u64),
+            ..SloSpec::default()
+        }
+    }
+
+    /// Whether no bound is set.
+    pub fn is_empty(&self) -> bool {
+        self.p50_ns.is_none() && self.p95_ns.is_none() && self.p99_ns.is_none()
+    }
+
+    /// The configured bounds as `(name, quantile, limit_ns)` triples,
+    /// in quantile order.
+    pub fn bounds(&self) -> Vec<(&'static str, f64, u64)> {
+        [
+            ("p50", 0.50, self.p50_ns),
+            ("p95", 0.95, self.p95_ns),
+            ("p99", 0.99, self.p99_ns),
+        ]
+        .into_iter()
+        .filter_map(|(name, q, limit)| limit.map(|l| (name, q, l)))
+        .collect()
     }
 }
 
@@ -121,6 +169,11 @@ struct Job {
     op: EngineOp,
     query: RangeQuery,
     reply: mpsc::Sender<(usize, Result<QueryOutcome<i64>, EngineError>)>,
+    /// Trace carrier across the queue: started on the submitting thread
+    /// under the query's root span, finished by the worker — so the time
+    /// a job sits on the mpsc queue is its own `queue_wait` span.
+    #[cfg(feature = "telemetry")]
+    trace: Option<olap_telemetry::PendingSpan>,
 }
 
 /// One slab of the cube: its row range, router, and worker queue.
@@ -172,24 +225,32 @@ impl Shard {
 /// counters and queue gauges then publish to the same registry as the
 /// builder's.
 #[cfg(feature = "telemetry")]
-type Scope = Option<Arc<olap_telemetry::Telemetry>>;
+pub(crate) type Scope = Option<Arc<olap_telemetry::Telemetry>>;
 
 #[cfg(feature = "telemetry")]
-fn capture_scope() -> Scope {
+pub(crate) fn capture_scope() -> Scope {
     olap_telemetry::current()
 }
+/// Stand-in scope when telemetry is compiled out: same shape for the
+/// capture/enter call sites, nothing to carry.
 #[cfg(not(feature = "telemetry"))]
-fn capture_scope() {}
+#[derive(Clone)]
+pub(crate) struct ScopeStub;
+
+#[cfg(not(feature = "telemetry"))]
+pub(crate) fn capture_scope() -> ScopeStub {
+    ScopeStub
+}
 
 #[cfg(feature = "telemetry")]
-fn enter_scope(scope: Scope, f: impl FnOnce()) {
+pub(crate) fn enter_scope(scope: Scope, f: impl FnOnce()) {
     match scope {
         Some(ctx) => olap_telemetry::with_scope(&ctx, f),
         None => f(),
     }
 }
 #[cfg(not(feature = "telemetry"))]
-fn enter_scope(_scope: (), f: impl FnOnce()) {
+pub(crate) fn enter_scope(_scope: ScopeStub, f: impl FnOnce()) {
     f()
 }
 
@@ -235,18 +296,43 @@ fn shard_worker(
             plan_batch(&cache, &jobs);
         }
         for job in jobs {
-            let out = match job.op {
-                EngineOp::Sum => cache.range_sum(&job.query),
-                EngineOp::Max => cache.range_max(&job.query),
-                EngineOp::Min => cache.range_min(&job.query),
-                EngineOp::Update => Err(EngineError::unsupported(
-                    "shard-worker",
-                    EngineOp::Update.name(),
-                )),
+            let Job {
+                shard,
+                op,
+                query,
+                reply,
+                #[cfg(feature = "telemetry")]
+                trace,
+            } = job;
+            // Re-enter the query's trace, if it carried one: finishing
+            // the pending span records the queue wait, and entering the
+            // returned scope parents the worker-side spans (shard_exec,
+            // the cache's lookup/assembly, the router's dispatch) under
+            // the same root.
+            #[cfg(feature = "telemetry")]
+            let entered = trace.map(olap_telemetry::PendingSpan::finish_and_enter);
+            let out = {
+                #[cfg(feature = "telemetry")]
+                let _exec_span = olap_telemetry::TraceSpan::start("shard_exec");
+                match op {
+                    EngineOp::Sum => cache.range_sum(&query),
+                    EngineOp::Max => cache.range_max(&query),
+                    EngineOp::Min => cache.range_min(&query),
+                    EngineOp::Update => Err(EngineError::unsupported(
+                        "shard-worker",
+                        EngineOp::Update.name(),
+                    )),
+                }
             };
+            // Leave the trace scope *before* replying: every worker-side
+            // span is then closed strictly before the submitter can
+            // observe the reply and close the root, so child spans never
+            // outlive their parent in the assembled tree.
+            #[cfg(feature = "telemetry")]
+            drop(entered);
             // A dropped reply receiver means the query already failed on
             // another shard; nothing to do with this partial answer.
-            let _ = job.reply.send((job.shard, out));
+            let _ = reply.send((shard, out));
         }
     }
 }
@@ -332,6 +418,21 @@ pub struct CubeServer {
     /// Serialises cross-shard update batches so per-shard installs from
     /// different batches cannot interleave.
     writer: Mutex<()>,
+    /// Latency objective carried from [`ServeConfig::slo`].
+    slo: Option<SloSpec>,
+    /// Destination for end-to-end query traces. `None` (the default)
+    /// keeps tracing fully disabled: with no root span ever opened, the
+    /// per-query cost of every instrumentation point downstream is one
+    /// relaxed atomic load.
+    #[cfg(feature = "telemetry")]
+    tracer: Option<Arc<olap_telemetry::TraceSink>>,
+    /// Head-sampling period: trace every `trace_sample`-th query (1 =
+    /// every query). See [`CubeServer::enable_tracing_sampled`].
+    #[cfg(feature = "telemetry")]
+    trace_sample: u64,
+    /// Round-robin query counter driving the head sample.
+    #[cfg(feature = "telemetry")]
+    trace_seq: std::sync::atomic::AtomicU64,
 }
 
 impl CubeServer {
@@ -360,12 +461,79 @@ impl CubeServer {
             shape,
             shards,
             writer: Mutex::new(()),
+            slo: config.slo,
+            #[cfg(feature = "telemetry")]
+            tracer: None,
+            #[cfg(feature = "telemetry")]
+            trace_sample: 1,
+            #[cfg(feature = "telemetry")]
+            trace_seq: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
     /// The served cube's shape.
     pub fn shape(&self) -> &Shape {
         &self.shape
+    }
+
+    /// The latency objective this server was configured with, if any.
+    pub fn slo(&self) -> Option<SloSpec> {
+        self.slo
+    }
+
+    /// Routes every subsequent query's span tree into `sink`: each
+    /// `range_sum`/`range_max`/`range_min` opens a `serve_query` root
+    /// span, fans `queue_wait` spans across the shard queues, and the
+    /// workers' execution spans land in the same tree (see the
+    /// `olap_telemetry::trace` module docs for the tree shape).
+    #[cfg(feature = "telemetry")]
+    pub fn enable_tracing(&mut self, sink: Arc<olap_telemetry::TraceSink>) {
+        self.tracer = Some(sink);
+        self.trace_sample = 1;
+    }
+
+    /// [`CubeServer::enable_tracing`] with head sampling: only every
+    /// `every`-th query (round-robin across all entry points; `0` is
+    /// treated as `1`) opens a root span; the rest run the fully
+    /// disabled path. This is the production configuration — a full
+    /// per-query span tree costs a handful of timestamped records, which
+    /// on a microsecond-scale dispatch-bound query is measurable, while
+    /// a 1-in-N head sample amortises it to noise. The CI bench gate
+    /// (`serve_throughput/sampled_trace_range_sum`) pins that amortised
+    /// cost at ≤ 1.05× the untraced path.
+    ///
+    /// Note the slow-query ring only sees sampled queries: head sampling
+    /// decides before the outcome is known, which is the standard trade
+    /// against the cost of tracing everything.
+    #[cfg(feature = "telemetry")]
+    pub fn enable_tracing_sampled(&mut self, sink: Arc<olap_telemetry::TraceSink>, every: u64) {
+        self.tracer = Some(sink);
+        self.trace_sample = every.max(1);
+    }
+
+    /// The installed trace sink, if any.
+    #[cfg(feature = "telemetry")]
+    pub fn tracer(&self) -> Option<&Arc<olap_telemetry::TraceSink>> {
+        self.tracer.as_ref()
+    }
+
+    /// Opens the per-query root span when tracing is enabled. Held by
+    /// the query entry points across fan-out and merge; inert (`None`)
+    /// without an installed sink.
+    #[cfg(feature = "telemetry")]
+    fn root_span(&self) -> Option<olap_telemetry::TraceSpan> {
+        use std::sync::atomic::Ordering;
+        let sink = self.tracer.as_ref()?;
+        if self.trace_sample > 1 {
+            // ordering: Relaxed — a pure round-robin sample counter; no
+            // other memory hangs off its value, and which queries get
+            // picked under concurrency is sampling noise by definition.
+            let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+            if !seq.is_multiple_of(self.trace_sample) {
+                return None;
+            }
+        }
+        Some(olap_telemetry::TraceSpan::root(sink, "serve_query"))
     }
 
     /// Number of worker shards.
@@ -412,7 +580,11 @@ impl CubeServer {
     /// # Errors
     /// Validation failures, shard router errors, dead shards.
     pub fn range_sum(&self, query: &RangeQuery) -> Result<ServerAnswer, ServerError> {
+        #[cfg(feature = "telemetry")]
+        let _root = self.root_span();
         let parts = self.fan_out(query, EngineOp::Sum)?;
+        #[cfg(feature = "telemetry")]
+        let _merge = olap_telemetry::TraceSpan::start("merge");
         let mut value = 0i64;
         let mut cost = 0u64;
         let shards = parts.len();
@@ -445,7 +617,11 @@ impl CubeServer {
     }
 
     fn extremum(&self, query: &RangeQuery, op: EngineOp) -> Result<ServerAnswer, ServerError> {
+        #[cfg(feature = "telemetry")]
+        let _root = self.root_span();
         let parts = self.fan_out(query, op)?;
+        #[cfg(feature = "telemetry")]
+        let _merge = olap_telemetry::TraceSpan::start("merge");
         let shards = parts.len();
         let mut best: Option<(i64, Vec<usize>)> = None;
         let mut cost = 0u64;
@@ -537,6 +713,8 @@ impl CubeServer {
     ) -> Result<Vec<(usize, QueryOutcome<i64>)>, ServerError> {
         let region = query.to_region(&self.shape)?;
         let r0 = region.range(0);
+        #[cfg(feature = "telemetry")]
+        let started = std::time::Instant::now();
         let (reply, replies) = mpsc::channel();
         let mut expected = 0usize;
         for (i, shard) in self.shards.iter().enumerate() {
@@ -558,6 +736,10 @@ impl CubeServer {
                 op,
                 query: RangeQuery::from_region(&local),
                 reply: reply.clone(),
+                // Inert (`None`) unless the caller holds an open root
+                // span — i.e. tracing is enabled on this server.
+                #[cfg(feature = "telemetry")]
+                trace: olap_telemetry::PendingSpan::start("queue_wait"),
             })?;
             expected += 1;
         }
@@ -567,10 +749,26 @@ impl CubeServer {
             let (shard, out) = replies
                 .recv()
                 .map_err(|_| ServerError::ShardUnavailable { shard: usize::MAX })?;
+            #[cfg(feature = "telemetry")]
+            self.observe_latency(shard, started);
             parts.push((shard, out?));
         }
         parts.sort_by_key(|(i, _)| *i);
         Ok(parts)
+    }
+
+    /// Feeds one shard's reply-arrival latency (submit-to-reply, queue
+    /// wait included) into the per-shard `olap_serve_latency_ns`
+    /// histogram. No-op without an active telemetry context.
+    #[cfg(feature = "telemetry")]
+    fn observe_latency(&self, shard: usize, started: std::time::Instant) {
+        if let Some(ctx) = olap_telemetry::current() {
+            if let Some(s) = self.shards.get(shard) {
+                ctx.registry()
+                    .histogram("olap_serve_latency_ns", &[("shard", &s.label)])
+                    .observe(started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+            }
+        }
     }
 }
 

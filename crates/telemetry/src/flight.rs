@@ -10,6 +10,7 @@
 //! programmatically via [`FlightRecorder::snapshot`].
 
 use crate::json_escape;
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
@@ -42,6 +43,11 @@ pub struct FlightRecord {
     pub tree_nodes: u64,
     /// Wall time of the engine call, in nanoseconds.
     pub latency_ns: u64,
+    /// How the semantic cache was involved: `"exact"` (served from a
+    /// cached entry), `"assembled"` (±-assembled from a super-region),
+    /// `"miss"` (cache consulted, backend answered), or `"bypass"` (no
+    /// cache on the path). See [`CacheOutcomeScope`].
+    pub cache: &'static str,
 }
 
 impl FlightRecord {
@@ -56,12 +62,14 @@ impl FlightRecord {
     fn to_json(&self) -> String {
         format!(
             "{{\"seq\": {}, \"op\": \"{}\", \"engine\": \"{}\", \"kind\": \"{}\", \
+             \"cache\": \"{}\", \
              \"raw\": {}, \"predicted\": {}, \"observed\": {}, \
              \"a_cells\": {}, \"p_cells\": {}, \"tree_nodes\": {}, \"latency_ns\": {}}}",
             self.seq,
             json_escape(self.op),
             json_escape(&self.engine),
             json_escape(&self.kind),
+            json_escape(self.cache),
             json_number(self.raw),
             json_number(self.predicted),
             self.observed,
@@ -70,6 +78,44 @@ impl FlightRecord {
             self.tree_nodes,
             self.latency_ns,
         )
+    }
+}
+
+thread_local! {
+    static CACHE_OUTCOME: Cell<Option<&'static str>> = const { Cell::new(None) };
+}
+
+/// The cache-outcome annotation in effect on the current thread, `None`
+/// outside any [`CacheOutcomeScope`]. Consumers building a
+/// [`FlightRecord`] downstream of a cache (the router) read it with
+/// `cache_outcome().unwrap_or("bypass")`.
+pub fn cache_outcome() -> Option<&'static str> {
+    CACHE_OUTCOME.with(Cell::get)
+}
+
+/// Annotates the current thread with a cache outcome for the duration of
+/// a backend call, so a [`FlightRecord`] built *under* the cache (by the
+/// router, several frames down) can say how the cache was involved.
+/// Nestable — the innermost scope wins and the previous annotation is
+/// restored on drop (panic-safe).
+#[derive(Debug)]
+pub struct CacheOutcomeScope {
+    prev: Option<&'static str>,
+}
+
+impl CacheOutcomeScope {
+    /// Installs `outcome` (`"exact"`, `"assembled"`, `"miss"`, …) as the
+    /// thread's annotation until the guard drops.
+    pub fn set(outcome: &'static str) -> CacheOutcomeScope {
+        CacheOutcomeScope {
+            prev: CACHE_OUTCOME.with(|c| c.replace(Some(outcome))),
+        }
+    }
+}
+
+impl Drop for CacheOutcomeScope {
+    fn drop(&mut self) {
+        CACHE_OUTCOME.with(|c| c.set(self.prev));
     }
 }
 
@@ -191,6 +237,7 @@ mod tests {
             p_cells: 4,
             tree_nodes: 0,
             latency_ns: 1200,
+            cache: "bypass",
         }
     }
 
@@ -233,7 +280,30 @@ mod tests {
         assert!(json.contains("\"raw\": null"), "{json}");
         assert!(json.contains("\"observed\": 4"), "{json}");
         assert!(json.contains("\"seq\": 1"), "{json}");
+        assert!(json.contains("\"cache\": \"bypass\""), "{json}");
         assert!(json.trim_end().ends_with(']'), "{json}");
+    }
+
+    #[test]
+    fn cache_outcome_scope_nests_and_restores() {
+        assert_eq!(cache_outcome(), None);
+        {
+            let _miss = CacheOutcomeScope::set("miss");
+            assert_eq!(cache_outcome(), Some("miss"));
+            {
+                let _assembled = CacheOutcomeScope::set("assembled");
+                assert_eq!(cache_outcome(), Some("assembled"));
+            }
+            assert_eq!(cache_outcome(), Some("miss"));
+        }
+        assert_eq!(cache_outcome(), None);
+        // Restored even when the scope unwinds.
+        let r = std::panic::catch_unwind(|| {
+            let _g = CacheOutcomeScope::set("exact");
+            panic!("boom");
+        });
+        assert!(r.is_err());
+        assert_eq!(cache_outcome(), None);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   sections with static fields,
 //! - [`FlightRecorder`]: a fixed-capacity ring buffer of the last N query
 //!   outcomes + route decisions ([`FlightRecord`]), dumpable as JSON,
+//! - [`TraceSpan`] / [`TraceSink`]: end-to-end per-query tracing — span
+//!   trees propagated by value across queues and threads, exportable as
+//!   Chrome trace-event JSON (see the `trace` module docs),
 //! - [`Telemetry`] + the dispatch layer ([`current`], [`with_scope`],
 //!   [`enable_global`]): instrumented call sites ask for the current
 //!   telemetry context; when none is installed anywhere the check is a
@@ -50,15 +53,23 @@ mod dispatch;
 mod flight;
 mod registry;
 mod span;
+mod trace;
 
 pub use dispatch::{
     current, disable_global, enable_global, enabled, global, with_scope, Telemetry,
 };
-pub use flight::{FlightRecord, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+pub use flight::{
+    cache_outcome, CacheOutcomeScope, FlightRecord, FlightRecorder, DEFAULT_FLIGHT_CAPACITY,
+};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, MetricValue, Registry,
 };
 pub use span::{CollectingSubscriber, SpanTimer, Subscriber};
+pub use trace::{
+    current_trace, tracing_active, EnteredTrace, PendingSpan, SlowTrace, SpanId, SpanRecord,
+    SpanTree, TraceContext, TraceHandle, TraceId, TraceSink, TraceSpan, DEFAULT_SLOW_RING_CAPACITY,
+    DEFAULT_TRACE_CAPACITY,
+};
 
 /// Escapes a string for inclusion in a JSON string literal.
 pub(crate) fn json_escape(s: &str) -> String {

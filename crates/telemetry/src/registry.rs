@@ -169,6 +169,28 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The smallest bucket upper bound covering quantile `q` (clamped to
+    /// `[0, 1]`): the first bound whose cumulative sample count reaches
+    /// `⌈q·count⌉`. Resolution is the log2 bucket width — the true
+    /// quantile lies somewhere inside the returned bucket. 0 with no
+    /// samples.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for &(le, n) in &self.buckets {
+            cumulative = cumulative.saturating_add(n);
+            if cumulative >= rank {
+                return le;
+            }
+        }
+        // A racing observe can make `count` run ahead of the bucket
+        // cells; answer with the largest populated bound.
+        self.buckets.last().map_or(0, |&(le, _)| le)
+    }
 }
 
 /// A metric's current value in a [`MetricSnapshot`].
@@ -328,10 +350,23 @@ impl Registry {
             .collect()
     }
 
-    /// Renders the registry in Prometheus text exposition style.
+    /// Renders the registry in Prometheus text exposition style, with a
+    /// `# HELP` / `# TYPE` comment pair per metric family (snapshots are
+    /// name-sorted, so each family renders contiguously).
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
+        let mut family = String::new();
         for m in self.snapshot() {
+            if m.name != family {
+                family.clone_from(&m.name);
+                let kind = match &m.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!("# HELP {} {}\n", m.name, metric_help(&m.name)));
+                out.push_str(&format!("# TYPE {} {kind}\n", m.name));
+            }
             match &m.value {
                 MetricValue::Counter(v) => {
                     out.push_str(&format!("{}{} {v}\n", m.name, prom_labels(&m.labels, &[])));
@@ -426,6 +461,34 @@ impl Registry {
     }
 }
 
+/// One-line `# HELP` text per metric family. The workspace's well-known
+/// families get real descriptions; anything else a generic line, so the
+/// exposition stays spec-shaped for names registered at runtime.
+fn metric_help(name: &str) -> &'static str {
+    match name {
+        "olap_span_nanos" => "Wall time per completed span, by span name, in nanoseconds.",
+        "olap_serve_latency_ns" => "End-to-end query latency observed at fan-out, per shard.",
+        "olap_serve_latency_p50_ns" => {
+            "Per-shard p50 latency extracted from olap_serve_latency_ns."
+        }
+        "olap_serve_latency_p95_ns" => {
+            "Per-shard p95 latency extracted from olap_serve_latency_ns."
+        }
+        "olap_serve_latency_p99_ns" => {
+            "Per-shard p99 latency extracted from olap_serve_latency_ns."
+        }
+        "olap_shard_queue_depth" => "Jobs queued to a shard worker and not yet answered.",
+        "olap_snapshot_live" => "Live engine snapshot versions not yet reclaimed.",
+        "olap_snapshot_epoch_lag" => "Oldest pinned epoch's distance behind the newest install.",
+        "olap_cache_hits_total" => "Semantic-cache exact hits.",
+        "olap_cache_misses_total" => "Semantic-cache misses answered by the backend.",
+        "olap_cache_assemblies_total" => "Semantic-cache answers assembled from a super-region.",
+        "olap_cache_invalidations_total" => "Semantic-cache entries invalidated by updates.",
+        "olap_cache_entries" => "Semantic-cache entries currently resident.",
+        _ => "OLAP workspace metric.",
+    }
+}
+
 fn prom_labels(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
     if labels.is_empty() && extra.is_empty() {
         return String::new();
@@ -512,6 +575,49 @@ mod tests {
         assert!(text.contains("lat_bucket{le=\"+Inf\"} 1"), "{text}");
         assert!(text.contains("lat_sum 3"), "{text}");
         assert!(text.contains("lat_count 1"), "{text}");
+        // One HELP/TYPE pair per family, ahead of its samples.
+        assert!(text.contains("# HELP q_total "), "{text}");
+        assert!(text.contains("# TYPE q_total counter"), "{text}");
+        assert!(text.contains("# TYPE ratio gauge"), "{text}");
+        assert!(text.contains("# TYPE lat histogram"), "{text}");
+        let type_line = text.find("# TYPE lat histogram").expect("type line");
+        let first_sample = text.find("lat_bucket").expect("sample line");
+        assert!(type_line < first_sample, "comments precede samples: {text}");
+    }
+
+    #[test]
+    fn help_and_type_emitted_once_per_family() {
+        let r = Registry::new();
+        r.counter("q_total", &[("engine", "naive")]).inc(1);
+        r.counter("q_total", &[("engine", "prefix")]).inc(1);
+        r.counter("olap_cache_hits_total", &[]).inc(1);
+        let text = r.render_prometheus();
+        assert_eq!(text.matches("# TYPE q_total counter").count(), 1, "{text}");
+        assert_eq!(text.matches("# HELP q_total ").count(), 1, "{text}");
+        // Well-known families get real help text, not the fallback.
+        assert!(
+            text.contains("# HELP olap_cache_hits_total Semantic-cache exact hits."),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn histogram_quantiles_at_log2_resolution() {
+        let r = Registry::new();
+        let h = r.histogram("lat", &[]);
+        for _ in 0..98 {
+            h.observe(100); // bucket le=127
+        }
+        h.observe(5_000); // bucket le=8191
+        h.observe(70_000); // bucket le=131071
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.5), 127);
+        assert_eq!(snap.quantile(0.98), 127);
+        assert_eq!(snap.quantile(0.99), 8_191);
+        assert_eq!(snap.quantile(1.0), 131_071);
+        assert_eq!(snap.quantile(0.0), 127, "rank clamps to the first sample");
+        let empty = r.histogram("none", &[]).snapshot();
+        assert_eq!(empty.quantile(0.99), 0);
     }
 
     #[test]
