@@ -43,7 +43,13 @@ pub const ENGINE_METHODS: &[&str] = &[
 /// loads and installs, semantic-cache lookups and invalidation sweeps,
 /// trace-span records into the sink) without being named like a trait
 /// method.
-pub const SERVING_TYPES: &[&str] = &["CubeServer", "VersionCell", "SemanticCache", "TraceSink"];
+pub const SERVING_TYPES: &[&str] = &[
+    "CubeServer",
+    "VersionCell",
+    "SemanticCache",
+    "TraceSink",
+    "ApproxEngine",
+];
 
 /// One function in the cross-file graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]

@@ -100,8 +100,30 @@ impl CancellationToken {
     }
 }
 
+/// What a serving layer should do when a query trips its budget
+/// ([`Interrupt::DeadlineExceeded`] / [`Interrupt::BudgetExhausted`]) or
+/// finds no healthy exact engine.
+///
+/// The policy rides on the [`QueryBudget`] spec because the two are one
+/// contract: the budget says when a query is cut off, the policy says
+/// what the caller gets instead. Budget *enforcement* (this crate's
+/// meters and kernels) never looks at it — degradation is resolved by
+/// the layers that own an approximate tier (the adaptive router, the
+/// cube server). Cancellation is deliberately not degradable: a caller
+/// who cancelled wants no answer at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DegradePolicy {
+    /// Exhaustion surfaces as the typed interrupt error (the default).
+    #[default]
+    Fail,
+    /// Exhaustion falls back to a bounded-error approximate answer when
+    /// an approximate tier is available.
+    Degrade,
+}
+
 /// The declarative budget spec: a wall-clock allowance measured from
-/// [`QueryBudget::start`] and/or a cap on charged element accesses.
+/// [`QueryBudget::start`] and/or a cap on charged element accesses,
+/// plus the [`DegradePolicy`] applied when the allowance is spent.
 /// `Copy`, so it can ride inside configuration structs; the default is
 /// unlimited on both axes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -111,6 +133,9 @@ pub struct QueryBudget {
     pub deadline: Option<Duration>,
     /// Element-access allowance; `None` = unlimited.
     pub max_accesses: Option<u64>,
+    /// What exhaustion turns into: a typed error ([`DegradePolicy::Fail`],
+    /// the default) or a degraded approximate answer.
+    pub on_exhaustion: DegradePolicy,
 }
 
 impl QueryBudget {
@@ -123,15 +148,15 @@ impl QueryBudget {
     pub fn with_deadline(deadline: Duration) -> Self {
         QueryBudget {
             deadline: Some(deadline),
-            max_accesses: None,
+            ..QueryBudget::default()
         }
     }
 
     /// A budget with only an element-access allowance.
     pub fn with_max_accesses(max: u64) -> Self {
         QueryBudget {
-            deadline: None,
             max_accesses: Some(max),
+            ..QueryBudget::default()
         }
     }
 
@@ -147,6 +172,19 @@ impl QueryBudget {
     pub fn max_accesses(mut self, max: u64) -> Self {
         self.max_accesses = Some(max);
         self
+    }
+
+    /// Builder-style [`DegradePolicy`].
+    #[must_use]
+    pub fn on_exhaustion(mut self, policy: DegradePolicy) -> Self {
+        self.on_exhaustion = policy;
+        self
+    }
+
+    /// Builder-style shorthand for `on_exhaustion(DegradePolicy::Degrade)`.
+    #[must_use]
+    pub fn degrade(self) -> Self {
+        self.on_exhaustion(DegradePolicy::Degrade)
     }
 
     /// Whether this budget can never interrupt anything.
@@ -371,6 +409,21 @@ mod tests {
         assert!(!b.is_unlimited());
         let m = b.start(None);
         assert!(m.charge(8).is_err());
+    }
+
+    #[test]
+    fn degrade_policy_rides_the_spec_without_touching_enforcement() {
+        assert_eq!(QueryBudget::default().on_exhaustion, DegradePolicy::Fail);
+        let b = QueryBudget::with_max_accesses(5).degrade();
+        assert_eq!(b.on_exhaustion, DegradePolicy::Degrade);
+        assert_eq!(b.max_accesses, Some(5));
+        // The meter enforces identically under either policy: degradation
+        // is the caller's business, not the kernel's.
+        let m = b.start(None);
+        assert!(m.charge(6).is_err());
+        let b = QueryBudget::unlimited().on_exhaustion(DegradePolicy::Degrade);
+        assert!(b.is_unlimited(), "policy alone never arms the meter");
+        assert!(!b.start(None).is_armed());
     }
 
     #[test]

@@ -46,7 +46,7 @@ mod range;
 mod region;
 mod shape;
 
-pub use budget::{BudgetMeter, CancellationToken, Interrupt, QueryBudget};
+pub use budget::{BudgetMeter, CancellationToken, DegradePolicy, Interrupt, QueryBudget};
 pub use dense::DenseArray;
 pub use error::ArrayError;
 pub use exec::Parallelism;

@@ -177,7 +177,7 @@ pub(crate) struct ParsedArgs {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["--prefix", "--stats", "--bounds", "--explain"];
+const BOOL_FLAGS: &[&str] = &["--prefix", "--stats", "--bounds", "--explain", "--degrade"];
 
 pub(crate) fn split_args(args: &[String]) -> Result<ParsedArgs, CliError> {
     let mut flags = Vec::new();

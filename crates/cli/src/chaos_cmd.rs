@@ -5,13 +5,18 @@
 //! query hangs**. The command prints a resilience report (per-engine
 //! health, fault-event counters, answer verification) and fails with a
 //! non-zero exit if the contract is violated, so it doubles as a CI leg.
+//!
+//! `--degrade` registers the approximate tier and strengthens the
+//! zero-deadline drill: instead of proving the deadline kills queries
+//! with a typed error, it proves every zero-deadline query still gets a
+//! bounded-error estimate whose interval contains the fault-free oracle.
 
 use crate::args::{split_args, usage, CliError, ParsedArgs};
 use crate::commands::{open_reader, prefix_engine};
 use olap_array::{DenseArray, Shape};
 use olap_engine::{
-    AdaptiveRouter, CubeIndex, EngineError, FaultPlan, FaultyEngine, IndexConfig, NaiveEngine,
-    PrefixChoice, QueryBudget, RangeEngine, SumTreeEngine,
+    AdaptiveRouter, ApproxEngine, CubeIndex, EngineError, EngineOp, FaultPlan, FaultyEngine,
+    IndexConfig, NaiveEngine, PrefixChoice, QueryBudget, RangeEngine, Routed, SumTreeEngine,
 };
 use olap_query::RangeQuery;
 use olap_storage as storage;
@@ -123,9 +128,15 @@ pub(crate) fn cmd_chaos(args: &[String]) -> Result<String, CliError> {
         .map_err(|_| usage("--seed must be an integer"))?;
     let error_pm = parse_u16(&p, "--error-rate", 100)?;
     let panic_pm = parse_u16(&p, "--panic-rate", 10)?;
+    let degrade = p.has("--degrade");
     let a = storage::read_dense_i64(&mut open_reader(cube_path)?)?;
 
     let chaotic = chaotic_router(&a, seed, error_pm, panic_pm)?;
+    if degrade {
+        chaotic.set_degrade_tier(std::sync::Arc::new(
+            ApproxEngine::build(a.clone(), 8).map_err(|e| CliError::Query(e.to_string()))?,
+        ));
+    }
     // The fault-free oracle: a plain prefix-sum index over the same cube.
     let reference = CubeIndex::build(a.clone(), IndexConfig::default())
         .map_err(|e| CliError::Query(e.to_string()))?;
@@ -197,19 +208,51 @@ pub(crate) fn cmd_chaos(args: &[String]) -> Result<String, CliError> {
         }
     }
 
-    // Deadline drill: a zero allowance must kill the very next query with
-    // a typed interrupt before any kernel work.
-    chaotic.set_budget(QueryBudget::with_deadline(Duration::ZERO));
-    let drill = match chaotic.range_sum(&stream[0]) {
-        Err(EngineError::DeadlineExceeded {
-            elapsed_ns,
-            limit_ns,
-        }) => format!(
-            "deadline drill: DeadlineExceeded after {elapsed_ns} ns of a {limit_ns} ns allowance, before kernel work"
-        ),
-        other => format!("deadline drill FAILED: expected DeadlineExceeded, got {other:?}"),
+    // Deadline drill. Without `--degrade`, a zero allowance must kill the
+    // very next query with a typed interrupt before any kernel work. With
+    // it, the same impossible deadline must *still answer* — every query
+    // degrades to a bounded estimate whose guaranteed interval contains
+    // the fault-free oracle's exact sum.
+    let (drill, drill_ok) = if degrade {
+        chaotic.set_budget(QueryBudget::with_deadline(Duration::ZERO).degrade());
+        let sample = stream.len().min(32);
+        let (mut estimates, mut contained) = (0usize, 0usize);
+        for q in &stream[..sample] {
+            let truth = reference
+                .range_sum(q)
+                .map_err(|e| CliError::Query(format!("reference engine failed: {e}")))?
+                .value()
+                .copied()
+                .unwrap_or(0);
+            if let Ok(Routed::Degraded { estimate, .. }) = chaotic.answer(q, EngineOp::Sum) {
+                estimates += 1;
+                if estimate.lower <= truth
+                    && truth <= estimate.upper
+                    && estimate.error_bound < i64::MAX
+                {
+                    contained += 1;
+                }
+            }
+        }
+        let line = format!(
+            "deadline drill: {estimates}/{sample} zero-deadline queries degraded to bounded \
+             estimates, {contained}/{sample} intervals contain the oracle"
+        );
+        (line, estimates == sample && contained == sample)
+    } else {
+        chaotic.set_budget(QueryBudget::with_deadline(Duration::ZERO));
+        let line = match chaotic.range_sum(&stream[0]) {
+            Err(EngineError::DeadlineExceeded {
+                elapsed_ns,
+                limit_ns,
+            }) => format!(
+                "deadline drill: DeadlineExceeded after {elapsed_ns} ns of a {limit_ns} ns allowance, before kernel work"
+            ),
+            other => format!("deadline drill FAILED: expected DeadlineExceeded, got {other:?}"),
+        };
+        let ok = line.starts_with("deadline drill: DeadlineExceeded");
+        (line, ok)
     };
-    let drill_ok = drill.starts_with("deadline drill: DeadlineExceeded");
     chaotic.set_budget(QueryBudget::unlimited());
 
     let stats = chaotic.fault_stats();
@@ -291,6 +334,29 @@ mod tests {
         assert!(out.contains("0 escaped panics"), "{out}");
         assert!(out.contains("deadline drill: DeadlineExceeded"), "{out}");
         assert!(out.contains("failovers"), "{out}");
+    }
+
+    #[test]
+    fn zero_deadline_drill_degrades_under_degrade_flag() {
+        let cube = tmp("chaos3.olap");
+        run_s(&["gen", "--dims", "20,20", "--seed", "3", "--out", &cube]).unwrap();
+        let out = run_s(&[
+            "chaos",
+            "--cube",
+            &cube,
+            "--queries",
+            "60",
+            "--seed",
+            "9",
+            "--degrade",
+        ])
+        .unwrap();
+        assert!(out.contains("resilience: PASS"), "{out}");
+        assert!(
+            out.contains("32/32 zero-deadline queries degraded to bounded estimates"),
+            "{out}"
+        );
+        assert!(out.contains("32/32 intervals contain the oracle"), "{out}");
     }
 
     #[test]

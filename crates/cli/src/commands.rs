@@ -22,6 +22,10 @@ commands:
   max      --cube FILE --index FILE --query Q [--stats]
   min      --cube FILE --index FILE --query Q [--stats]
   update   --cube FILE [--index FILE…] --set i,j,…=v [--set …]
+  estimate --cube FILE --query Q [--op sum|max|min] [--block B] [--stats]
+           bounded-error approximate answer from the anchor grid alone: a
+           point estimate plus a guaranteed [lower, upper] interval that
+           always contains the exact answer (the serve --degrade tier)
   explain  --cube FILE --query Q [--blocked B] [--tree B]       routed query + cost table
   repl     --cube FILE [--index FILE…]                          interactive session
   plan     --dims N,N[,N…] --log FILE --budget CELLS            §9 physical design
@@ -39,16 +43,21 @@ commands:
            Chrome trace-event JSON for chrome://tracing or Perfetto;
            --slow-ms keeps full trees of over-threshold queries in a ring
   chaos    --cube FILE [--queries N] [--updates U] [--seed S] [--error-rate PM] [--panic-rate PM]
+           [--degrade]
            run the workload with seeded fault injection on every engine and
-           print a resilience report (failovers, quarantines, contained panics)
+           print a resilience report (failovers, quarantines, contained panics);
+           --degrade arms the approximate tier so the zero-deadline drill
+           returns bounded estimates instead of typed errors
   serve    --cube FILE [--shards N] [--phases P] [--queries N] [--readers R]
            [--batch B] [--seed S] [--error-rate PM] [--cache-size N]
-           [--zipf-pool N]
+           [--zipf-pool N] [--degrade] [--max-accesses N]
            boot the sharded snapshot-isolated server, drive concurrent readers
            against racing update installs, verify every answer is the pre- or
            post-update oracle, and print the serving report (per-shard
            semantic caches answer repeat sums; --cache-size 0 disables,
-           --zipf-pool N draws queries Zipf-skewed from a pool of N regions)
+           --zipf-pool N draws queries Zipf-skewed from a pool of N regions;
+           --degrade serves budget-tripped queries as bounded-error estimates
+           checked against the oracle pair — pressure via --max-accesses N)
            [--metrics-addr HOST:PORT [--metrics-hold-ms MS]] [--slo-p99-ms MS]
            with telemetry: serve /metrics (Prometheus text, per-shard p50/p95/
            p99 latency gauges) and /metrics.json live during and MS after the
@@ -74,6 +83,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "max" => cmd_max(rest),
         "min" => cmd_min(rest),
         "update" => cmd_update(rest),
+        "estimate" => cmd_estimate(rest),
         "explain" => cmd_explain(rest),
         "info" => cmd_info(rest),
         "plan" => cmd_plan(rest),
@@ -333,6 +343,69 @@ fn explain_sum_via_index(
         .explain(&q)
         .map_err(|e| CliError::Query(e.to_string()))?;
     Ok(e.to_string())
+}
+
+/// `estimate`: answer from the blocked anchor grid alone — the degrade
+/// tier's output, surfaced directly so operators can inspect what a
+/// budget-pressured `serve --degrade` would return for a query.
+fn cmd_estimate(args: &[String]) -> Result<String, CliError> {
+    use olap_engine::{ApproxEngine, EngineOp};
+    let p = split_args(args)?;
+    let cube_path = p.require("--cube")?;
+    let query = p.require("--query")?;
+    let op = match p.get("--op").unwrap_or("sum") {
+        "sum" => EngineOp::Sum,
+        "max" => EngineOp::Max,
+        "min" => EngineOp::Min,
+        other => {
+            return Err(usage(format!(
+                "--op must be sum, max, or min, not {other:?}"
+            )))
+        }
+    };
+    let block: usize = p
+        .get("--block")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|_| usage("--block needs a positive block size"))?;
+    if block == 0 {
+        return Err(usage("--block must be at least 1"));
+    }
+    let a = storage::read_dense_i64(&mut open_reader(cube_path)?)?;
+    let region = parse_query(query, a.shape().dims())?;
+    let q = olap_query::RangeQuery::from_region(&region);
+    let engine = ApproxEngine::build(a, block).map_err(|e| CliError::Query(e.to_string()))?;
+    let (est, stats) = match op {
+        EngineOp::Sum => engine.estimate_sum(&q),
+        _ => engine.estimate_extremum(&q, op),
+    }
+    .map_err(|e| CliError::Query(e.to_string()))?;
+    let op_word = match op {
+        EngineOp::Max => "max",
+        EngineOp::Min => "min",
+        _ => "sum",
+    };
+    let mut out = format!(
+        "estimate {} = {} in [{}, {}] (±{}, {:.1}% of cells exact)",
+        op_word,
+        est.value,
+        est.lower,
+        est.upper,
+        est.error_bound,
+        est.fraction_exact * 100.0
+    );
+    if est.is_exact() {
+        out.push_str("\nthe interval is tight: this estimate is exact");
+    }
+    if p.has("--stats") {
+        out.push_str(&format!(
+            "\naccesses: {} anchor cells + {} cube cells (query volume {}, b = {block})",
+            stats.p_cells,
+            stats.a_cells,
+            region.volume()
+        ));
+    }
+    Ok(out)
 }
 
 /// `explain`: build a candidate set over the raw cube (naive scan, basic
@@ -741,6 +814,65 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("max = 999"), "{out}");
+    }
+
+    #[test]
+    fn estimate_command_brackets_the_exact_answer() {
+        let cube = tmp("t12.olap");
+        run_s(&["gen", "--dims", "20,12", "--seed", "6", "--out", &cube]).unwrap();
+        let a = storage::read_dense_i64(&mut open_reader(&cube).unwrap()).unwrap();
+        let region = parse_query("3:17,2:9", a.shape().dims()).unwrap();
+        let truth = a.fold_region(&region, 0i64, |s, &x| s + x);
+        let out = run_s(&[
+            "estimate", "--cube", &cube, "--query", "3:17,2:9", "--stats",
+        ])
+        .unwrap();
+        assert!(out.starts_with("estimate sum = "), "{out}");
+        assert!(out.contains("anchor cells"), "{out}");
+        // The printed interval must contain the sequential oracle.
+        let (lo, hi) = {
+            let inner = out
+                .split('[')
+                .nth(1)
+                .and_then(|s| s.split(']').next())
+                .unwrap_or_else(|| panic!("no interval in {out}"));
+            let mut parts = inner.split(',');
+            let lo: i64 = parts.next().unwrap().trim().parse().unwrap();
+            let hi: i64 = parts.next().unwrap().trim().parse().unwrap();
+            (lo, hi)
+        };
+        assert!(lo <= truth && truth <= hi, "{truth} outside [{lo}, {hi}]");
+        // An anchor-aligned query is exact — and says so.
+        let exact = run_s(&[
+            "estimate", "--cube", &cube, "--query", "all,all", "--block", "4",
+        ])
+        .unwrap();
+        assert!(exact.contains("this estimate is exact"), "{exact}");
+        let total: i64 = a.as_slice().iter().sum();
+        assert!(exact.contains(&format!("= {total} in")), "{exact}");
+        // Extrema degrade too.
+        let max = run_s(&[
+            "estimate",
+            "--cube",
+            &cube,
+            "--query",
+            "1:18,0:11",
+            "--op",
+            "max",
+        ])
+        .unwrap();
+        assert!(max.starts_with("estimate max = "), "{max}");
+        // Bad op and bad block are usage errors.
+        let err = run_s(&[
+            "estimate", "--cube", &cube, "--query", "all,all", "--op", "avg",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("--op"), "{err}");
+        let err = run_s(&[
+            "estimate", "--cube", &cube, "--query", "all,all", "--block", "0",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("--block"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,592 @@
+//! Anchor-only approximate answering: the graceful-degradation tier.
+//!
+//! [`ApproxEngine`] answers range queries from **precomputed aggregates
+//! alone** — the §4 blocked prefix-sum anchor grid plus cached per-block
+//! extrema — never touching enough base cells to matter. Every part of a
+//! query that is block-aligned is answered *exactly* from `2^d` anchor
+//! reads (Theorem 1 over the blocked `P`); each partially covered
+//! boundary superblock is interpolated uniformly from its exact block
+//! total, and the cached per-block MIN/MAX tighten a **guaranteed
+//! interval** around the true answer:
+//!
+//! For a part covering `v` of a superblock's `V` cells with exact total
+//! `T`, per-cell minimum `mn` and maximum `mx` (both attained within the
+//! superblock),
+//!
+//! ```text
+//! lower = max(v·mn, T − (V−v)·mx)
+//! upper = min(v·mx, T − (V−v)·mn)
+//! estimate = clamp(T·v/V, lower, upper)
+//! ```
+//!
+//! Both halves of each bound are sound for *signed* data: the part's sum
+//! is at least `v` cells of at least `mn` each, and at most `T` minus the
+//! uncovered `V−v` cells' least attainable mass `(V−v)·mn` — so the true
+//! sum always lies in `[lower, upper]`, and the interval degenerates to a
+//! point exactly when the part is aligned (`v = V`). Bounds add across
+//! parts, and across shards in the serving layer.
+//!
+//! The engine exists for one reason: it can **always** answer, in
+//! microseconds, regardless of budgets, deadlines, open circuit
+//! breakers, or queue depth — so [`crate::AdaptiveRouter`] registers it
+//! as the cheapest serving tier and falls back to it (policy-gated by
+//! [`olap_array::DegradePolicy::Degrade`]) instead of surfacing
+//! exhaustion errors. Its answers are [`Estimate`]s, statically distinct
+//! from exact [`olap_query::QueryOutcome`]s, so degraded values can never
+//! be mistaken for — or cached as — exact ones.
+
+use crate::range_engine::EngineOp;
+use crate::EngineError;
+use olap_aggregate::NumericValue;
+use olap_array::{ArrayError, DenseArray, Region, Shape};
+use olap_prefix_sum::BlockedPrefixCube;
+use olap_query::{AccessStats, Estimate, RangeQuery};
+use std::sync::Arc;
+
+/// Values the anchor-only estimator can interpolate: group arithmetic
+/// (via [`NumericValue`]), a total order for interval bounds, and
+/// widened-intermediate block interpolation that cannot overflow or
+/// panic on a query path.
+pub trait ApproxValue: NumericValue + Copy + Ord + Send + Sync {
+    /// The least representable value (identity for cached block maxima).
+    const MIN_VALUE: Self;
+    /// The greatest representable value (identity for cached minima).
+    const MAX_VALUE: Self;
+
+    /// Lossy conversion for telemetry ratios (relative error bounds).
+    fn to_f64(self) -> f64;
+
+    /// Point estimate and guaranteed bounds for a partially covered
+    /// block: `covered` of `volume` cells, exact block total `total`,
+    /// per-cell extrema `mn ≤ mx` attained within the block. Returns
+    /// `(estimate, lower, upper)` with `lower ≤ estimate ≤ upper`;
+    /// implementations use widened intermediates and saturate instead of
+    /// overflowing.
+    fn partial_block(
+        total: Self,
+        covered: u64,
+        volume: u64,
+        mn: Self,
+        mx: Self,
+    ) -> (Self, Self, Self);
+}
+
+impl ApproxValue for i64 {
+    const MIN_VALUE: i64 = i64::MIN;
+    const MAX_VALUE: i64 = i64::MAX;
+
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    fn partial_block(total: i64, covered: u64, volume: u64, mn: i64, mx: i64) -> (i64, i64, i64) {
+        let sat = |x: i128| x.clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+        let (t, v) = (total as i128, covered as i128);
+        let volume = volume.max(covered).max(1);
+        let rem = volume as i128 - v;
+        let lower = (mn as i128 * v).max(t - mx as i128 * rem);
+        let upper = (mx as i128 * v).min(t - mn as i128 * rem);
+        // Uniform interpolation T·v/V, rounded toward zero, clamped into
+        // the guaranteed interval.
+        let est = (t * v / volume as i128).clamp(lower, upper);
+        (sat(est), sat(lower), sat(upper))
+    }
+}
+
+/// An engine-agnostic handle to an approximate tier, held by the router
+/// as a trait object (the same erasure discipline as
+/// [`crate::RangeEngine`], so the router stays bound-free over `V`).
+pub trait DegradeTier<V>: Send + Sync {
+    /// Human-readable label for reports and telemetry.
+    fn label(&self) -> String;
+
+    /// Whether the tier can estimate answers for `op`.
+    fn supports(&self, op: EngineOp) -> bool;
+
+    /// Honest predicted cost of estimating `query`, in the paper's
+    /// element-access unit — anchors and cached extrema only, so this is
+    /// the cheapest tier's model, not a lie.
+    fn estimate_cost(&self, query: &RangeQuery) -> f64;
+
+    /// The interval half-width of `est` relative to its point value —
+    /// the quantity the `olap_approx_relative_bound` histogram observes
+    /// (in per-mille).
+    fn relative_bound(&self, est: &Estimate<V>) -> f64;
+
+    /// Answers `query` approximately with a guaranteed enclosing
+    /// interval.
+    ///
+    /// # Errors
+    /// Query validation, or [`EngineError::Unsupported`] for an
+    /// unsupported `op`. Never a budget interrupt: the whole point of
+    /// this tier is that it answers when budgets cannot.
+    fn degraded(
+        &self,
+        query: &RangeQuery,
+        op: EngineOp,
+    ) -> Result<(Estimate<V>, AccessStats), EngineError>;
+
+    /// Derives a successor tier with a batch of absolute-value updates
+    /// applied, copy-on-write like [`crate::RangeEngine::apply_updates`].
+    ///
+    /// # Errors
+    /// Index validation.
+    fn derive_updated(
+        &self,
+        updates: &[(Vec<usize>, V)],
+    ) -> Result<Arc<dyn DegradeTier<V>>, EngineError>;
+}
+
+/// The §4-anchor approximate engine: a blocked prefix-sum grid for exact
+/// aligned sums plus contracted per-block MIN/MAX grids for interval
+/// bounds. See the module docs for the estimator math.
+#[derive(Debug, Clone)]
+pub struct ApproxEngine<V: NumericValue> {
+    a: DenseArray<V>,
+    anchors: BlockedPrefixCube<V>,
+    mins: DenseArray<V>,
+    maxs: DenseArray<V>,
+    b: usize,
+}
+
+impl<V: ApproxValue + 'static> ApproxEngine<V> {
+    /// Builds the anchor grid and the cached per-block extrema from
+    /// `cube` with block size `b` on every dimension.
+    ///
+    /// # Errors
+    /// [`ArrayError::ZeroBlock`] when `b = 0`.
+    pub fn build(cube: DenseArray<V>, b: usize) -> Result<Self, EngineError> {
+        let anchors = BlockedPrefixCube::build(&cube, b)?;
+        let mins = cube.contract_blocks(b, V::MAX_VALUE, |acc, x, _| (*acc).min(*x))?;
+        let maxs = cube.contract_blocks(b, V::MIN_VALUE, |acc, x, _| (*acc).max(*x))?;
+        Ok(ApproxEngine {
+            a: cube,
+            anchors,
+            mins,
+            maxs,
+            b,
+        })
+    }
+
+    /// The block size the anchor grid was built with.
+    pub fn block_size(&self) -> usize {
+        self.b
+    }
+
+    /// The shape of the cube the engine answers over.
+    pub fn shape(&self) -> &Shape {
+        self.a.shape()
+    }
+
+    /// Anchor-only range-sum estimate with a guaranteed interval: exact
+    /// (zero-width) on block-aligned queries, interpolated with
+    /// min/max-tightened bounds on boundary superblocks.
+    ///
+    /// # Errors
+    /// Query validation against the engine's shape.
+    pub fn estimate_sum(
+        &self,
+        query: &RangeQuery,
+    ) -> Result<(Estimate<V>, AccessStats), EngineError> {
+        let region = query.to_region(self.a.shape())?;
+        let mut stats = AccessStats::new();
+        let mut value = V::zero();
+        let mut lower = V::zero();
+        let mut upper = V::zero();
+        let mut exact_cells: u64 = 0;
+        for part in self.anchors.decompose(&region)? {
+            let vol = part.region.volume() as u64;
+            if part.internal || part.region == part.superblock {
+                // Aligned: Theorem 1 over the blocked P, exact from 2^d
+                // anchor reads.
+                let t = self.anchors.block_aligned_sum(&part.region, &mut stats)?;
+                value = value + t;
+                lower = lower + t;
+                upper = upper + t;
+                exact_cells = exact_cells.saturating_add(vol);
+            } else {
+                let t = self
+                    .anchors
+                    .block_aligned_sum(&part.superblock, &mut stats)?;
+                let (mn, mx) = self.superblock_extrema(&part.superblock, &mut stats)?;
+                let (est, low, high) =
+                    V::partial_block(t, vol, part.superblock.volume() as u64, mn, mx);
+                value = value + est;
+                lower = lower + low;
+                upper = upper + high;
+            }
+        }
+        let fraction = exact_cells as f64 / region.volume().max(1) as f64;
+        Ok((Estimate::new(value, lower, upper, fraction), stats))
+    }
+
+    /// Anchor-only extremum estimate: the cached per-block extrema bound
+    /// the true value from above (every covering block's max) and below
+    /// (every *fully covered* block's max is attained inside the query,
+    /// as is the one probed corner cell). Symmetric for `min`.
+    ///
+    /// # Errors
+    /// Query validation against the engine's shape.
+    pub fn estimate_extremum(
+        &self,
+        query: &RangeQuery,
+        op: EngineOp,
+    ) -> Result<(Estimate<V>, AccessStats), EngineError> {
+        let is_max = match op {
+            EngineOp::Max => true,
+            EngineOp::Min => false,
+            _ => return Err(EngineError::unsupported(self.label_text(), op.name())),
+        };
+        let region = query.to_region(self.a.shape())?;
+        let mut stats = AccessStats::new();
+        let cover = self.cover_blocks(&region)?;
+        let interior = self.interior_blocks(&region)?;
+        // The loose side: no cell in any covering block exceeds its
+        // cached block max (resp. falls below its block min).
+        let grid = if is_max { &self.maxs } else { &self.mins };
+        let loose = grid.fold_region(&cover, None::<V>, |acc, x| {
+            Some(acc.map_or(*x, |a| if is_max { a.max(*x) } else { a.min(*x) }))
+        });
+        stats.read_p(cover.volume() as u64);
+        // The attained side: the probed corner cell is inside the query,
+        // and every fully covered block's extremum is attained inside it.
+        let corner: Vec<usize> = region.ranges().iter().map(|r| r.lo()).collect();
+        let mut attained = *self.a.get(&corner);
+        stats.read_a(1);
+        let mut exact_cells: u64 = 0;
+        if let Some(ref int) = interior {
+            let tight = grid.fold_region(int, attained, |acc, x| {
+                if is_max {
+                    acc.max(*x)
+                } else {
+                    acc.min(*x)
+                }
+            });
+            stats.read_p(int.volume() as u64);
+            attained = tight;
+            exact_cells = self.interior_cell_count(&region);
+        }
+        let loose = loose.unwrap_or(attained);
+        let (lower, upper) = if is_max {
+            (attained, loose.max(attained))
+        } else {
+            (loose.min(attained), attained)
+        };
+        let value = if is_max { upper } else { lower };
+        let fraction = exact_cells as f64 / region.volume().max(1) as f64;
+        Ok((Estimate::new(value, lower, upper, fraction), stats))
+    }
+
+    /// Derives a successor engine with absolute-value updates applied.
+    /// The anchor and extrema grids are rebuilt from the updated cube —
+    /// one pass over `A`, the same order as construction.
+    ///
+    /// # Errors
+    /// Index validation.
+    pub fn apply_updates(&self, updates: &[(Vec<usize>, V)]) -> Result<Self, EngineError> {
+        let shape = self.a.shape().clone();
+        for (idx, _) in updates {
+            if idx.len() != shape.ndim() {
+                return Err(EngineError::from(ArrayError::DimMismatch {
+                    expected: shape.ndim(),
+                    actual: idx.len(),
+                }));
+            }
+            for (axis, (&i, extent)) in idx.iter().zip(shape.dims().iter().copied()).enumerate() {
+                if i >= extent {
+                    return Err(EngineError::from(ArrayError::OutOfBounds {
+                        axis,
+                        index: i,
+                        extent,
+                    }));
+                }
+            }
+        }
+        let mut a = self.a.clone();
+        for (idx, v) in updates {
+            *a.get_mut(idx) = *v;
+        }
+        ApproxEngine::build(a, self.b)
+    }
+
+    fn label_text(&self) -> String {
+        format!("approx(anchors b={})", self.b)
+    }
+
+    /// Min and max over every block of an aligned superblock, from the
+    /// cached contracted extrema grids.
+    fn superblock_extrema(
+        &self,
+        superblock: &Region,
+        stats: &mut AccessStats,
+    ) -> Result<(V, V), EngineError> {
+        let bounds: Vec<(usize, usize)> = superblock
+            .ranges()
+            .iter()
+            .map(|r| (r.lo() / self.b, r.hi() / self.b))
+            .collect();
+        let creg = Region::from_bounds(&bounds)?;
+        let mn = self
+            .mins
+            .fold_region(&creg, V::MAX_VALUE, |acc, x| acc.min(*x));
+        let mx = self
+            .maxs
+            .fold_region(&creg, V::MIN_VALUE, |acc, x| acc.max(*x));
+        stats.read_p(2 * creg.volume() as u64);
+        Ok((mn, mx))
+    }
+
+    /// The contracted region of every block overlapping `region`.
+    fn cover_blocks(&self, region: &Region) -> Result<Region, EngineError> {
+        let bounds: Vec<(usize, usize)> = region
+            .ranges()
+            .iter()
+            .map(|r| (r.lo() / self.b, r.hi() / self.b))
+            .collect();
+        Ok(Region::from_bounds(&bounds)?)
+    }
+
+    /// The contracted region of blocks fully inside `region`, or `None`
+    /// when some axis has no fully covered block.
+    fn interior_blocks(&self, region: &Region) -> Result<Option<Region>, EngineError> {
+        let mut bounds = Vec::with_capacity(region.ndim());
+        for (axis, r) in region.ranges().iter().enumerate() {
+            let n = self.a.shape().dim(axis);
+            let lo = r.lo().div_ceil(self.b);
+            let hi = if r.hi() == n - 1 {
+                (n - 1) / self.b
+            } else {
+                match ((r.hi() + 1) / self.b).checked_sub(1) {
+                    Some(h) => h,
+                    None => return Ok(None),
+                }
+            };
+            if lo > hi {
+                return Ok(None);
+            }
+            bounds.push((lo, hi));
+        }
+        Ok(Some(Region::from_bounds(&bounds)?))
+    }
+
+    /// Number of base cells inside fully covered blocks of `region`.
+    fn interior_cell_count(&self, region: &Region) -> u64 {
+        let mut cells: u64 = 1;
+        for (axis, r) in region.ranges().iter().enumerate() {
+            let n = self.a.shape().dim(axis);
+            let lo = r.lo().div_ceil(self.b);
+            let hi = if r.hi() == n - 1 {
+                (n - 1) / self.b
+            } else {
+                match ((r.hi() + 1) / self.b).checked_sub(1) {
+                    Some(h) => h,
+                    None => return 0,
+                }
+            };
+            if lo > hi {
+                return 0;
+            }
+            let span = hi
+                .saturating_add(1)
+                .saturating_mul(self.b)
+                .min(n)
+                .saturating_sub(lo.saturating_mul(self.b));
+            cells = cells.saturating_mul(span as u64);
+        }
+        cells
+    }
+}
+
+impl<V: ApproxValue + 'static> DegradeTier<V> for ApproxEngine<V> {
+    fn label(&self) -> String {
+        self.label_text()
+    }
+
+    fn supports(&self, op: EngineOp) -> bool {
+        matches!(op, EngineOp::Sum | EngineOp::Max | EngineOp::Min)
+    }
+
+    fn relative_bound(&self, est: &Estimate<V>) -> f64 {
+        est.error_bound.to_f64() / est.value.to_f64().abs().max(1.0)
+    }
+
+    fn estimate_cost(&self, query: &RangeQuery) -> f64 {
+        let Ok(region) = query.to_region(self.a.shape()) else {
+            return f64::INFINITY;
+        };
+        let corner = (1u64 << region.ndim().min(63)) as f64;
+        match self.anchors.decompose(&region) {
+            Ok(parts) => parts
+                .iter()
+                .map(|p| {
+                    if p.internal || p.region == p.superblock {
+                        corner
+                    } else {
+                        // Anchor corners + two extrema reads per block of
+                        // the superblock.
+                        let blocks = (p.superblock.volume()
+                            / self.b.pow(region.ndim() as u32).max(1))
+                        .max(1) as f64;
+                        corner + 2.0 * blocks
+                    }
+                })
+                .sum(),
+            Err(_) => f64::INFINITY,
+        }
+    }
+
+    fn degraded(
+        &self,
+        query: &RangeQuery,
+        op: EngineOp,
+    ) -> Result<(Estimate<V>, AccessStats), EngineError> {
+        match op {
+            EngineOp::Sum => self.estimate_sum(query),
+            EngineOp::Max | EngineOp::Min => self.estimate_extremum(query, op),
+            EngineOp::Update => Err(EngineError::unsupported(self.label_text(), op.name())),
+        }
+    }
+
+    fn derive_updated(
+        &self,
+        updates: &[(Vec<usize>, V)],
+    ) -> Result<Arc<dyn DegradeTier<V>>, EngineError> {
+        Ok(Arc::new(self.apply_updates(updates)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use olap_array::Shape;
+
+    fn cube() -> DenseArray<i64> {
+        DenseArray::from_fn(Shape::new(&[13, 9]).unwrap(), |i| {
+            (i[0] * 31 + i[1] * 17) as i64 % 97 - 48
+        })
+    }
+
+    fn q(bounds: &[(usize, usize)]) -> RangeQuery {
+        RangeQuery::from_region(&Region::from_bounds(bounds).unwrap())
+    }
+
+    fn oracle_sum(a: &DenseArray<i64>, bounds: &[(usize, usize)]) -> i64 {
+        let r = Region::from_bounds(bounds).unwrap();
+        a.fold_region(&r, 0i64, |s, &x| s + x)
+    }
+
+    #[test]
+    fn every_interval_contains_the_oracle_sum() {
+        let a = cube();
+        for b in [1usize, 2, 3, 4, 8] {
+            let e = ApproxEngine::build(a.clone(), b).unwrap();
+            for l0 in 0..13 {
+                for h0 in l0..13 {
+                    for (l1, h1) in [(0, 8), (2, 5), (4, 4), (1, 7)] {
+                        let bounds = [(l0, h0), (l1, h1)];
+                        let (est, stats) = e.estimate_sum(&q(&bounds)).unwrap();
+                        let truth = oracle_sum(&a, &bounds);
+                        assert!(
+                            est.contains(truth),
+                            "b={b} {bounds:?}: {truth} outside {est}"
+                        );
+                        assert_eq!(stats.a_cells, 0, "sums never read base cells");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_queries_are_exact_with_zero_error_bound() {
+        let a = cube();
+        let e = ApproxEngine::build(a.clone(), 4).unwrap();
+        // Block-aligned, including the clipped last blocks (13 and 9 are
+        // not multiples of 4).
+        for bounds in [
+            [(0, 12), (0, 8)],
+            [(4, 11), (0, 3)],
+            [(0, 3), (4, 8)],
+            [(8, 12), (4, 7)],
+        ] {
+            let (est, _) = e.estimate_sum(&q(&bounds)).unwrap();
+            assert_eq!(est.error_bound, 0, "{bounds:?}");
+            assert!(est.is_exact());
+            assert_eq!(est.value, oracle_sum(&a, &bounds));
+            assert_eq!(est.fraction_exact, 1.0);
+        }
+    }
+
+    #[test]
+    fn block_size_one_degenerates_to_exact_everywhere() {
+        let a = cube();
+        let e = ApproxEngine::build(a.clone(), 1).unwrap();
+        for bounds in [[(0, 12), (0, 8)], [(3, 7), (2, 6)], [(5, 5), (3, 3)]] {
+            let (est, _) = e.estimate_sum(&q(&bounds)).unwrap();
+            assert!(est.is_exact(), "{bounds:?}: {est}");
+            assert_eq!(est.value, oracle_sum(&a, &bounds));
+        }
+    }
+
+    #[test]
+    fn extremum_intervals_contain_the_oracle() {
+        let a = cube();
+        for b in [1usize, 3, 4] {
+            let e = ApproxEngine::build(a.clone(), b).unwrap();
+            for bounds in [[(0, 12), (0, 8)], [(3, 7), (2, 6)], [(5, 6), (3, 3)]] {
+                let r = Region::from_bounds(&bounds).unwrap();
+                let t_max = a.fold_region(&r, i64::MIN, |s, &x| s.max(x));
+                let t_min = a.fold_region(&r, i64::MAX, |s, &x| s.min(x));
+                let (emax, _) = e.estimate_extremum(&q(&bounds), EngineOp::Max).unwrap();
+                let (emin, _) = e.estimate_extremum(&q(&bounds), EngineOp::Min).unwrap();
+                assert!(emax.contains(t_max), "b={b} {bounds:?} max {t_max} {emax}");
+                assert!(emin.contains(t_min), "b={b} {bounds:?} min {t_min} {emin}");
+                if b == 1 {
+                    assert!(emax.is_exact() && emin.is_exact());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn updates_rebuild_anchors_and_extrema() {
+        let a = cube();
+        let e = ApproxEngine::build(a.clone(), 4).unwrap();
+        let e2 = e
+            .apply_updates(&[(vec![3, 4], 5000), (vec![12, 8], -5000)])
+            .unwrap();
+        let mut shadow = a.clone();
+        *shadow.get_mut(&[3, 4]) = 5000;
+        *shadow.get_mut(&[12, 8]) = -5000;
+        for bounds in [[(0, 12), (0, 8)], [(2, 5), (3, 6)], [(10, 12), (6, 8)]] {
+            let r = Region::from_bounds(&bounds).unwrap();
+            let truth = shadow.fold_region(&r, 0i64, |s, &x| s + x);
+            let (est, _) = e2.estimate_sum(&q(&bounds)).unwrap();
+            assert!(est.contains(truth), "{bounds:?}: {truth} outside {est}");
+        }
+        // The original is an untouched snapshot: its interval still
+        // brackets the pre-update cell, not the 5000 written above.
+        let (old, _) = e.estimate_sum(&q(&[(3, 3), (4, 4)])).unwrap();
+        assert!(old.contains(*a.get(&[3, 4])));
+        assert!(!old.contains(5000));
+        // Bad indices are typed errors, not panics.
+        assert!(e.apply_updates(&[(vec![99, 0], 1)]).is_err());
+        assert!(e.apply_updates(&[(vec![0], 1)]).is_err());
+    }
+
+    #[test]
+    fn degrade_tier_contract() {
+        let e = ApproxEngine::build(cube(), 4).unwrap();
+        let tier: &dyn DegradeTier<i64> = &e;
+        assert!(tier.supports(EngineOp::Sum) && tier.supports(EngineOp::Max));
+        assert!(!tier.supports(EngineOp::Update));
+        assert!(tier.label().contains("approx"));
+        let query = q(&[(1, 11), (1, 7)]);
+        let cost = tier.estimate_cost(&query);
+        assert!(cost.is_finite() && cost > 0.0);
+        let (est, stats) = tier.degraded(&query, EngineOp::Sum).unwrap();
+        assert!(est.lower <= est.value && est.value <= est.upper);
+        assert!(stats.total_accesses() > 0);
+        assert!(tier.degraded(&query, EngineOp::Update).is_err());
+    }
+}

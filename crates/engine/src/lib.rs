@@ -22,6 +22,9 @@
 //! - [`SemanticCache`]: a subsumption-aware result cache in front of a
 //!   router or version cell, answering by ±-combination of stored sums
 //!   and invalidating region-wise on snapshot installs,
+//! - [`ApproxEngine`]: the anchor-only bounded-error tier the router
+//!   degrades to (policy-gated) when budgets, breakers, or queues make
+//!   exact answering impossible,
 //! - [`rolling`]: ROLLING SUM / ROLLING AVERAGE, which §1 notes are
 //!   special cases of range-sum and range-average.
 //!
@@ -36,6 +39,7 @@
 // index arithmetic on query paths (see crates/analyzer).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod approx;
 mod backends;
 pub mod cuboid;
 mod error;
@@ -51,17 +55,20 @@ mod semantic_cache;
 mod telemetry;
 mod version;
 
+pub use approx::{ApproxEngine, ApproxValue, DegradeTier};
 pub use backends::{NaiveEngine, SparseMaxEngine, SparseSumEngine, SumTreeEngine};
 pub use error::EngineError;
 pub use extended::ExtendedCube;
 pub use faults::{FaultPlan, FaultyEngine};
 pub use index::{CubeIndex, IndexConfig, PrefixChoice};
-pub use olap_array::{BudgetMeter, CancellationToken, Interrupt, Parallelism, QueryBudget};
+pub use olap_array::{
+    BudgetMeter, CancellationToken, DegradePolicy, Interrupt, Parallelism, QueryBudget,
+};
 pub use planned::PlannedIndex;
 pub use range_engine::{Capabilities, Derived, EngineOp, RangeEngine};
 pub use router::{
-    AdaptiveRouter, Candidate, EngineHealth, EngineStatus, Explain, FaultStats, ReplayRecord,
-    DEFAULT_ALPHA, QUARANTINE_COOLDOWN_TICKS, QUARANTINE_THRESHOLD,
+    AdaptiveRouter, Candidate, DegradeReason, EngineHealth, EngineStatus, Explain, FaultStats,
+    ReplayRecord, Routed, DEFAULT_ALPHA, QUARANTINE_COOLDOWN_TICKS, QUARANTINE_THRESHOLD,
 };
 pub use semantic_cache::{CacheBackend, CacheStats, SemanticCache};
 pub use version::{EngineVersion, EpochStats, VersionCell};

@@ -73,11 +73,12 @@
 //! `telemetry` feature the same events reach the metric registry and the
 //! flight recorder.
 
+use crate::approx::DegradeTier;
 use crate::range_engine::{EngineOp, RangeEngine};
 use crate::version::{EpochGuard, EpochTracker};
 use crate::{EngineError, EpochStats};
-use olap_array::{BudgetMeter, CancellationToken, QueryBudget};
-use olap_query::{AccessStats, QueryLog, QueryOutcome, RangeQuery};
+use olap_array::{BudgetMeter, CancellationToken, DegradePolicy, QueryBudget};
+use olap_query::{AccessStats, Estimate, QueryLog, QueryOutcome, RangeQuery};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, RwLock};
@@ -321,6 +322,10 @@ struct CachedDecision {
 struct EngineSet<V> {
     epoch: u64,
     engines: Vec<Arc<dyn RangeEngine<V>>>,
+    /// The degradation tier, snapshot-consistent with the exact engines:
+    /// an update batch derives it together with them, so a degraded
+    /// answer never mixes pre- and post-batch data.
+    approx: Option<Arc<dyn DegradeTier<V>>>,
     /// Keeps the epoch marked live (for the snapshot gauges) until the
     /// last pin of this set drops.
     _guard: EpochGuard,
@@ -514,6 +519,69 @@ fn label_predictions<V>(
         .collect()
 }
 
+/// Why a query was answered by the degradation tier instead of exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegradeReason {
+    /// The wall-clock deadline elapsed before an exact engine finished.
+    DeadlineExceeded,
+    /// The cell-access budget ran out mid-query.
+    BudgetExhausted,
+    /// Every admissible exact engine faulted, failover included.
+    EngineFaults,
+    /// No exact candidate was admissible: every breaker open or engine
+    /// poisoned, or no engine supports the operation.
+    NoCandidate,
+    /// The serving layer shed the query before dispatch because its
+    /// shard queue was over the configured depth threshold.
+    QueueDepth,
+}
+
+impl DegradeReason {
+    /// Stable label for telemetry and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DegradeReason::DeadlineExceeded => "deadline_exceeded",
+            DegradeReason::BudgetExhausted => "budget_exhausted",
+            DegradeReason::EngineFaults => "engine_faults",
+            DegradeReason::NoCandidate => "no_candidate",
+            DegradeReason::QueueDepth => "queue_depth",
+        }
+    }
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A routed answer that is allowed to degrade: either a normal exact
+/// [`QueryOutcome`], or a bounded-error [`Estimate`] from the
+/// degradation tier. The two are different types all the way down — a
+/// degraded value cannot be mistaken for, or cached as, an exact one.
+#[derive(Debug, Clone)]
+pub enum Routed<V> {
+    /// An exact answer from an exact engine.
+    Exact(QueryOutcome<V>),
+    /// A bounded-error estimate from the degradation tier.
+    Degraded {
+        /// The estimate, with its guaranteed enclosing interval.
+        estimate: Estimate<V>,
+        /// Accesses the degraded path performed (anchors and cached
+        /// extrema).
+        stats: AccessStats,
+        /// What forced the degradation.
+        reason: DegradeReason,
+    },
+}
+
+impl<V> Routed<V> {
+    /// Whether this answer came from the degradation tier.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Routed::Degraded { .. })
+    }
+}
+
 /// Routes each query to the cheapest capable engine under the calibrated
 /// §8/§9 cost model. Shareable across threads: see the module docs for
 /// the snapshot-isolation and locking discipline.
@@ -558,6 +626,7 @@ impl<V> AdaptiveRouter<V> {
             engines: RwLock::new(Arc::new(EngineSet {
                 epoch: 0,
                 engines: Vec::new(),
+                approx: None,
                 _guard: EpochGuard {
                     epoch: 0,
                     tracker: Arc::clone(&tracker),
@@ -590,12 +659,17 @@ impl<V> AdaptiveRouter<V> {
 
     /// Publishes `engines` as the next snapshot epoch. Caller holds the
     /// `writer` mutex.
-    fn install(&self, engines: Vec<Arc<dyn RangeEngine<V>>>) {
+    fn install(
+        &self,
+        engines: Vec<Arc<dyn RangeEngine<V>>>,
+        approx: Option<Arc<dyn DegradeTier<V>>>,
+    ) {
         let epoch = self.load().epoch + 1;
         self.tracker.register(epoch);
         let next = Arc::new(EngineSet {
             epoch,
             engines,
+            approx,
             _guard: EpochGuard {
                 epoch,
                 tracker: Arc::clone(&self.tracker),
@@ -612,10 +686,48 @@ impl<V> AdaptiveRouter<V> {
         let mut engines: Vec<Arc<dyn RangeEngine<V>>> =
             cur.engines.iter().map(Arc::clone).collect();
         engines.push(Arc::from(engine));
-        self.install(engines);
+        self.install(engines, cur.approx.clone());
         let mut st = self.lock_state();
         st.ratios.push(1.0);
         st.healths.push(Health::default());
+    }
+
+    /// Registers the degradation tier — the cheapest serving tier, e.g.
+    /// an [`crate::ApproxEngine`] answering from anchors and cached
+    /// extrema alone ([`DegradeTier::estimate_cost`] is its honest cost
+    /// model). It is **not** a routing candidate: exact answering always
+    /// wins when any exact engine can deliver within budget. It answers
+    /// only through [`AdaptiveRouter::answer`] under
+    /// [`DegradePolicy::Degrade`], or an explicit
+    /// [`AdaptiveRouter::degrade`] call — and its answers are
+    /// [`Estimate`]s, statically distinct from exact outcomes.
+    ///
+    /// Installs a new snapshot; subsequent update batches derive the tier
+    /// together with the exact engines.
+    pub fn set_degrade_tier(&self, tier: Arc<dyn DegradeTier<V>>) {
+        let _writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let cur = self.load();
+        let engines: Vec<Arc<dyn RangeEngine<V>>> = cur.engines.iter().map(Arc::clone).collect();
+        self.install(engines, Some(tier));
+    }
+
+    /// Builder-style [`AdaptiveRouter::set_degrade_tier`].
+    #[must_use]
+    pub fn with_degrade_tier(self, tier: Arc<dyn DegradeTier<V>>) -> Self {
+        self.set_degrade_tier(tier);
+        self
+    }
+
+    /// The degradation tier's label, when one is registered.
+    pub fn degrade_tier_label(&self) -> Option<String> {
+        self.load().approx.as_ref().map(|t| t.label())
+    }
+
+    /// The degradation tier's honest predicted cost for `query`, in the
+    /// paper's element-access unit — the cheapest tier's row in any
+    /// explain view. `None` when no tier is registered.
+    pub fn degrade_cost(&self, query: &RangeQuery) -> Option<f64> {
+        self.load().approx.as_ref().map(|t| t.estimate_cost(query))
     }
 
     /// Sets the per-query [`QueryBudget`] every routed query runs under.
@@ -920,6 +1032,92 @@ impl<V> AdaptiveRouter<V> {
         self.execute(query, EngineOp::Min).map(|(_, _, o)| o)
     }
 
+    /// Routes `query` exactly like [`AdaptiveRouter::range_sum`] /
+    /// [`AdaptiveRouter::range_max`] / [`AdaptiveRouter::range_min`] —
+    /// but when the budget's policy is [`DegradePolicy::Degrade`] and
+    /// exact answering is exhausted (deadline, access budget, every
+    /// engine faulted or quarantined), the registered degradation tier
+    /// answers instead with a bounded-error [`Routed::Degraded`]
+    /// estimate.
+    ///
+    /// Cancellation ([`EngineError::Cancelled`]) never degrades — the
+    /// caller asked the query to stop, not to get a cheaper answer — and
+    /// neither do validation errors, which would fail identically on the
+    /// degraded path. Under [`DegradePolicy::Fail`] (the default) this
+    /// is exactly the plain routed call.
+    ///
+    /// # Errors
+    /// Whatever exact routing reported, when the policy forbids
+    /// degradation, the reason is ineligible, or no tier is registered.
+    pub fn answer(&self, query: &RangeQuery, op: EngineOp) -> Result<Routed<V>, EngineError> {
+        let exact_err = match self.execute(query, op) {
+            Ok((_, _, outcome)) => return Ok(Routed::Exact(outcome)),
+            Err(e) => e,
+        };
+        if self.lock_state().budget.on_exhaustion != DegradePolicy::Degrade {
+            return Err(exact_err);
+        }
+        let reason = match &exact_err {
+            EngineError::DeadlineExceeded { .. } => DegradeReason::DeadlineExceeded,
+            EngineError::BudgetExhausted { .. } => DegradeReason::BudgetExhausted,
+            EngineError::NoCandidate { .. } => DegradeReason::NoCandidate,
+            e if e.is_engine_fault() => DegradeReason::EngineFaults,
+            // Cancellation is the caller's own abort; validation errors
+            // fail identically everywhere.
+            _ => return Err(exact_err),
+        };
+        match self.degrade(query, op, reason) {
+            Ok((estimate, stats)) => Ok(Routed::Degraded {
+                estimate,
+                stats,
+                reason,
+            }),
+            // No tier registered, or the tier cannot answer this op: the
+            // exact failure is the story to tell.
+            Err(_) => Err(exact_err),
+        }
+    }
+
+    /// Forces a degraded answer from the registered tier, bypassing
+    /// exact routing entirely. Serving layers call this when shedding
+    /// load *before* dispatch — a shard queue over its depth threshold,
+    /// every breaker open — with the `reason` they observed.
+    ///
+    /// # Errors
+    /// [`EngineError::NoCandidate`] when no tier is registered;
+    /// otherwise the tier's validation error.
+    pub fn degrade(
+        &self,
+        query: &RangeQuery,
+        op: EngineOp,
+        reason: DegradeReason,
+    ) -> Result<(Estimate<V>, AccessStats), EngineError> {
+        let set = self.load();
+        let tier = set
+            .approx
+            .as_ref()
+            .ok_or(EngineError::NoCandidate { op: op.name() })?;
+        #[cfg(feature = "telemetry")]
+        let _degrade_span = olap_telemetry::TraceSpan::start("degrade");
+        let (estimate, stats) = tier.degraded(query, op)?;
+        #[cfg(feature = "telemetry")]
+        if let Some(ctx) = olap_telemetry::current() {
+            ctx.registry()
+                .counter(
+                    "olap_approx_answers_total",
+                    &[("reason", reason.as_str()), ("op", op.name())],
+                )
+                .inc(1);
+            let permille = (tier.relative_bound(&estimate) * 1000.0).round();
+            ctx.registry()
+                .histogram("olap_approx_relative_bound", &[])
+                .observe(permille.clamp(0.0, u64::MAX as f64) as u64);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = reason;
+        Ok((estimate, stats))
+    }
+
     /// Applies absolute-value updates to **every** engine by deriving a
     /// copy-on-write successor of each ([`RangeEngine::apply_updates`])
     /// and installing the whole set as one new snapshot. Concurrent
@@ -990,10 +1188,30 @@ impl<V> AdaptiveRouter<V> {
                 }
             }
         }
+        // The degradation tier derives with the same batch, so degraded
+        // answers stay snapshot-consistent with the exact engines; on a
+        // derive failure or panic it keeps its pre-batch snapshot like
+        // any exact engine.
+        let next_approx = cur.approx.as_ref().map(|tier| {
+            match catch_unwind(AssertUnwindSafe(|| tier.derive_updated(updates))) {
+                Ok(Ok(derived)) => derived,
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(e);
+                    Arc::clone(tier)
+                }
+                Err(payload) => {
+                    first_err.get_or_insert(EngineError::EnginePanicked {
+                        engine: tier.label(),
+                        message: panic_message(payload.as_ref()),
+                    });
+                    Arc::clone(tier)
+                }
+            }
+        });
         // One atomic install; the epoch bump retires cached decisions
         // computed against the pre-batch snapshot (estimates may depend
         // on engine contents, e.g. the sparse engines' region counts).
-        self.install(next);
+        self.install(next, next_approx);
         let mut st = self.lock_state();
         for i in newly_poisoned {
             st.faults.panics_contained += 1;
@@ -1762,5 +1980,161 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Graceful degradation: the bounded-error approximate tier.
+    // ------------------------------------------------------------------
+
+    use crate::approx::ApproxEngine;
+
+    fn degrading_router(budget: QueryBudget) -> AdaptiveRouter<i64> {
+        let a = cube();
+        router()
+            .with_degrade_tier(Arc::new(ApproxEngine::build(a, 8).unwrap()))
+            .with_budget(budget)
+    }
+
+    #[test]
+    fn degrade_policy_off_still_fails_hard() {
+        // Tiny access budget, default Fail policy: exhaustion surfaces.
+        let r = degrading_router(QueryBudget::with_max_accesses(2));
+        let err = r
+            .answer(&q(&[(3, 61), (5, 57)]), EngineOp::Sum)
+            .unwrap_err();
+        assert!(err.is_interrupt(), "{err:?}");
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_to_a_sound_estimate() {
+        let a = cube();
+        let r = degrading_router(QueryBudget::with_max_accesses(2).degrade());
+        let bounds = [(3, 61), (5, 57)];
+        let routed = r.answer(&q(&bounds), EngineOp::Sum).unwrap();
+        let Routed::Degraded {
+            estimate,
+            stats,
+            reason,
+        } = routed
+        else {
+            panic!("a 2-access budget cannot answer a 59×53 sum exactly");
+        };
+        assert_eq!(reason, DegradeReason::BudgetExhausted);
+        let region = Region::from_bounds(&bounds).unwrap();
+        let truth = a.fold_region(&region, 0i64, |s, &x| s + x);
+        assert!(estimate.contains(truth), "{truth} outside {estimate}");
+        assert!(estimate.fraction_exact > 0.0);
+        assert!(stats.a_cells == 0, "degraded sums never touch base cells");
+        // Extremum ops degrade too.
+        for op in [EngineOp::Max, EngineOp::Min] {
+            let routed = r.answer(&q(&bounds), op).unwrap();
+            assert!(routed.is_degraded());
+        }
+    }
+
+    #[test]
+    fn within_budget_answers_stay_exact_and_bit_identical() {
+        let a = cube();
+        let r = degrading_router(QueryBudget::unlimited().degrade());
+        let bounds = [(3, 61), (5, 57)];
+        let routed = r.answer(&q(&bounds), EngineOp::Sum).unwrap();
+        let Routed::Exact(out) = routed else {
+            panic!("an unlimited budget must answer exactly");
+        };
+        let region = Region::from_bounds(&bounds).unwrap();
+        let truth = a.fold_region(&region, 0i64, |s, &x| s + x);
+        assert_eq!(out.value(), Some(&truth));
+    }
+
+    #[test]
+    fn cancellation_never_degrades() {
+        let r = degrading_router(QueryBudget::unlimited().degrade());
+        let token = CancellationToken::new();
+        token.cancel();
+        r.set_cancellation_token(Some(token));
+        let err = r
+            .answer(&q(&[(3, 61), (5, 57)]), EngineOp::Sum)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Cancelled), "{err:?}");
+    }
+
+    #[test]
+    fn degrade_without_tier_returns_the_exact_failure() {
+        let r = router().with_budget(QueryBudget::with_max_accesses(2).degrade());
+        let err = r
+            .answer(&q(&[(3, 61), (5, 57)]), EngineOp::Sum)
+            .unwrap_err();
+        assert!(err.is_interrupt(), "{err:?}");
+        assert!(r.degrade_tier_label().is_none());
+    }
+
+    #[test]
+    fn explicit_degrade_and_honest_cost_model() {
+        let r = degrading_router(QueryBudget::unlimited());
+        let query = q(&[(1, 62), (1, 62)]);
+        // Pre-dispatch shedding path: the serving layer's queue-depth cut.
+        let (estimate, _) = r
+            .degrade(&query, EngineOp::Sum, DegradeReason::QueueDepth)
+            .unwrap();
+        let a = cube();
+        let region = query.to_region(a.shape()).unwrap();
+        let truth = a.fold_region(&region, 0i64, |s, &x| s + x);
+        assert!(estimate.contains(truth));
+        // The tier's honest model: a handful of anchor/extrema reads,
+        // orders of magnitude under naive's volume estimate.
+        let cost = r.degrade_cost(&query).unwrap();
+        assert!(cost.is_finite() && cost < region.volume() as f64 / 10.0);
+        assert!(r.degrade_tier_label().unwrap().contains("approx"));
+    }
+
+    #[test]
+    fn updates_derive_the_degrade_tier_with_the_snapshot() {
+        let r = degrading_router(QueryBudget::with_max_accesses(2).degrade());
+        // Aligned to the tier's b=8 grid, so the degraded answer is an
+        // exact estimate — any staleness would be visible exactly.
+        let bounds = [(0, 7), (0, 7)];
+        r.apply_updates(&[(vec![0, 0], 9999)]).unwrap();
+        let mut shadow = cube();
+        *shadow.get_mut(&[0, 0]) = 9999;
+        let region = Region::from_bounds(&bounds).unwrap();
+        let truth = shadow.fold_region(&region, 0i64, |s, &x| s + x);
+        let routed = r.answer(&q(&bounds), EngineOp::Sum).unwrap();
+        match routed {
+            Routed::Degraded { estimate, .. } => {
+                assert!(estimate.is_exact(), "aligned query: {estimate}");
+                assert_eq!(estimate.value, truth);
+            }
+            Routed::Exact(out) => assert_eq!(out.value(), Some(&truth)),
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn degraded_answers_reach_the_registry() {
+        let ctx = Arc::new(olap_telemetry::Telemetry::new());
+        olap_telemetry::with_scope(&ctx, || {
+            let r = degrading_router(QueryBudget::with_max_accesses(2).degrade());
+            let routed = r.answer(&q(&[(3, 61), (5, 57)]), EngineOp::Sum).unwrap();
+            assert!(routed.is_degraded());
+        });
+        let snap = ctx.registry().snapshot();
+        let degraded: u64 = snap
+            .iter()
+            .filter(|m| m.name == "olap_approx_answers_total")
+            .map(|m| match m.value {
+                olap_telemetry::MetricValue::Counter(n) => n,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(degraded, 1);
+        assert!(
+            snap.iter().any(|m| m.name == "olap_approx_answers_total"
+                && m.label("reason") == Some("budget_exhausted")),
+            "missing reason label in {snap:?}"
+        );
+        assert!(
+            snap.iter().any(|m| m.name == "olap_approx_relative_bound"),
+            "missing relative-bound histogram in {snap:?}"
+        );
     }
 }

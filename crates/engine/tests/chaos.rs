@@ -9,10 +9,11 @@
 
 use olap_array::{DenseArray, Parallelism, Region, Shape};
 use olap_engine::{
-    AdaptiveRouter, CubeIndex, EngineError, EngineStatus, FaultPlan, FaultyEngine, IndexConfig,
-    NaiveEngine, QueryBudget, RangeEngine, SumTreeEngine,
+    AdaptiveRouter, ApproxEngine, CubeIndex, EngineError, EngineOp, EngineStatus, FaultPlan,
+    FaultyEngine, IndexConfig, NaiveEngine, QueryBudget, RangeEngine, Routed, SumTreeEngine,
 };
 use olap_query::RangeQuery;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn cube() -> DenseArray<i64> {
@@ -168,6 +169,171 @@ fn chaos_heavy_fault_mix_never_panics_or_wedges() {
             baseline,
             "seed {seed}: a fault leaked into an answer"
         );
+    }
+}
+
+/// The sequential oracle for one query of the shared workload.
+fn oracle(a: &DenseArray<i64>, q: &RangeQuery) -> i64 {
+    let region = q.to_region(a.shape()).unwrap();
+    a.fold_region(&region, 0i64, |s, &x| s + x)
+}
+
+/// A router where **every** exact engine is a fault injector, with the
+/// anchor-only tier registered for degradation. With every candidate
+/// able to fault on the same call, exhaustion is reachable — and under
+/// `DegradePolicy::Degrade` it must turn into a bounded estimate, never
+/// an error.
+fn fully_chaotic_router(plans: [FaultPlan; 3], par: Parallelism) -> AdaptiveRouter<i64> {
+    let a = cube();
+    let config = IndexConfig {
+        parallelism: par,
+        ..IndexConfig::default()
+    };
+    let [p0, p1, p2] = plans;
+    AdaptiveRouter::new()
+        .with_engine(Box::new(FaultyEngine::new(
+            Box::new(NaiveEngine::new(a.clone())),
+            p0,
+        )))
+        .with_engine(Box::new(FaultyEngine::new(
+            Box::new(CubeIndex::build(a.clone(), config).unwrap()),
+            p1,
+        )))
+        .with_engine(Box::new(FaultyEngine::new(
+            Box::new(SumTreeEngine::build(a.clone(), 4).unwrap()),
+            p2,
+        )))
+        .with_degrade_tier(Arc::new(ApproxEngine::build(a, 8).unwrap()))
+}
+
+/// The degradation contract, checked for one routed answer: an exact
+/// answer must be bit-identical to the sequential oracle, a degraded one
+/// must carry an interval containing it. An error fails the test.
+fn assert_exact_or_sound(a: &DenseArray<i64>, q: &RangeQuery, routed: &Routed<i64>) {
+    let truth = oracle(a, q);
+    match routed {
+        Routed::Exact(out) => assert_eq!(out.value(), Some(&truth), "wrong exact answer"),
+        Routed::Degraded { estimate, .. } => assert!(
+            estimate.contains(truth),
+            "degraded interval excludes the oracle: {truth} outside {estimate}"
+        ),
+    }
+}
+
+#[test]
+fn chaos_degrade_under_fault_storm_never_errs_and_never_lies() {
+    let a = cube();
+    for par in [Parallelism::Sequential, Parallelism::Threads(4)] {
+        let mut degraded = 0usize;
+        for seed in 0..6u64 {
+            let plans = [
+                FaultPlan::seeded(seed).errors(700),
+                FaultPlan::seeded(seed.wrapping_add(101)).errors(700),
+                FaultPlan::seeded(seed.wrapping_add(202)).errors(700),
+            ];
+            let r =
+                fully_chaotic_router(plans, par).with_budget(QueryBudget::unlimited().degrade());
+            for q in workload() {
+                let routed = r
+                    .answer(&q, EngineOp::Sum)
+                    .expect("Degrade policy must never surface an error for a fault storm");
+                if routed.is_degraded() {
+                    degraded += 1;
+                }
+                assert_exact_or_sound(&a, &q, &routed);
+            }
+        }
+        assert!(
+            degraded > 0,
+            "a 70% per-engine fault rate never exhausted all candidates under {par:?}"
+        );
+    }
+}
+
+#[test]
+fn chaos_degrade_survives_total_poisoning() {
+    // Every engine panics on its first dispatch; once all are poisoned,
+    // every exact route is inadmissible (`NoCandidate`) — and every
+    // subsequent query must still get a sound estimate.
+    let a = cube();
+    for par in [Parallelism::Sequential, Parallelism::Threads(4)] {
+        let plans = [
+            FaultPlan::benign().panic_call(0).lie_cheapest(),
+            FaultPlan::benign().panic_call(0),
+            FaultPlan::benign().panic_call(0),
+        ];
+        let r = fully_chaotic_router(plans, par).with_budget(QueryBudget::unlimited().degrade());
+        let mut late_degraded = 0usize;
+        for (k, q) in workload().iter().enumerate() {
+            let routed = r.answer(q, EngineOp::Sum).expect("never an error");
+            assert_exact_or_sound(&a, q, &routed);
+            if k >= 3 {
+                // By now at most three dispatches can have happened
+                // without exhausting the set; once all three engines are
+                // poisoned every answer is degraded.
+                if routed.is_degraded() {
+                    late_degraded += 1;
+                }
+            }
+        }
+        assert!(late_degraded > 0, "poisoning never forced degradation");
+        assert!(r
+            .health()
+            .iter()
+            .all(|h| h.status == EngineStatus::Poisoned));
+    }
+}
+
+#[test]
+fn chaos_degrade_with_delays_and_deadline_stays_sound() {
+    // Every engine injects a 5ms stall; the router deadline is 1ms. The
+    // timing of *when* the interrupt fires is scheduler-dependent, but
+    // the contract is timing-independent: every answer is either exact
+    // and bit-identical or a sound estimate — never an error.
+    let a = cube();
+    let plans = [
+        FaultPlan::seeded(1).delays(1000, Duration::from_millis(5)),
+        FaultPlan::seeded(2).delays(1000, Duration::from_millis(5)),
+        FaultPlan::seeded(3).delays(1000, Duration::from_millis(5)),
+    ];
+    let r = fully_chaotic_router(plans, Parallelism::Sequential)
+        .with_budget(QueryBudget::with_deadline(Duration::from_millis(1)).degrade());
+    for q in workload() {
+        let routed = r.answer(&q, EngineOp::Sum).expect("never an error");
+        assert_exact_or_sound(&a, &q, &routed);
+    }
+}
+
+#[test]
+fn chaos_zero_deadline_with_degrade_answers_everything_approximately() {
+    // The zero-deadline drill: exact answering is impossible (the meter
+    // kills before any routing work), so under `Degrade` *every* query —
+    // sums and extrema — returns an estimate with finite bounds.
+    let a = cube();
+    let r = fully_chaotic_router(
+        [
+            FaultPlan::benign(),
+            FaultPlan::benign(),
+            FaultPlan::benign(),
+        ],
+        Parallelism::Sequential,
+    )
+    .with_budget(QueryBudget::with_deadline(Duration::ZERO).degrade());
+    for q in workload() {
+        for op in [EngineOp::Sum, EngineOp::Max, EngineOp::Min] {
+            let routed = r.answer(&q, op).expect("never an error");
+            let Routed::Degraded {
+                estimate, reason, ..
+            } = routed
+            else {
+                panic!("a zero deadline cannot be answered exactly");
+            };
+            assert_eq!(reason, olap_engine::DegradeReason::DeadlineExceeded);
+            assert!(estimate.lower <= estimate.upper);
+            if op == EngineOp::Sum {
+                assert!(estimate.contains(oracle(&a, &q)));
+            }
+        }
     }
 }
 

@@ -3,7 +3,7 @@
 //! planned index answers every query shape correctly.
 
 use olap_array::{DenseArray, Region, Shape};
-use olap_engine::{CubeIndex, IndexConfig, PlannedIndex, PrefixChoice};
+use olap_engine::{ApproxEngine, CubeIndex, EngineOp, IndexConfig, PlannedIndex, PrefixChoice};
 use olap_planner::PrefixSumChoice;
 use olap_query::{CuboidId, DimSelection, RangeQuery};
 use proptest::prelude::*;
@@ -109,5 +109,75 @@ proptest! {
         // Some structure always applies (the full cube is an ancestor of
         // every cuboid).
         prop_assert!(idx.route(&q).is_some());
+    }
+
+    /// The degradation tier's core soundness property: for any cube, any
+    /// region, and any block size, the estimate's interval contains the
+    /// sequential oracle — for sums and both extrema — and `b = 1` makes
+    /// every query exact.
+    #[test]
+    fn approx_estimates_always_bracket_the_oracle(
+        (a, q) in arb_cube().prop_flat_map(|a| {
+            let q = arb_region(a.shape());
+            (Just(a), q)
+        }),
+        b in 1usize..5,
+    ) {
+        let e = ApproxEngine::build(a.clone(), b).unwrap();
+        let query = RangeQuery::from_region(&q);
+        let truth = a.fold_region(&q, 0i64, |s, &x| s + x);
+        let (est, stats) = e.estimate_sum(&query).unwrap();
+        prop_assert!(est.contains(truth), "{} outside {}", truth, est);
+        prop_assert!(est.lower <= est.value && est.value <= est.upper);
+        prop_assert_eq!(stats.a_cells, 0, "sums answer from anchors alone");
+        if b == 1 {
+            prop_assert!(est.is_exact());
+            prop_assert_eq!(est.value, truth);
+            prop_assert_eq!(est.fraction_exact, 1.0);
+        }
+        let t_max = a.fold_region(&q, i64::MIN, |s, &x| s.max(x));
+        let t_min = a.fold_region(&q, i64::MAX, |s, &x| s.min(x));
+        let (emax, _) = e.estimate_extremum(&query, EngineOp::Max).unwrap();
+        let (emin, _) = e.estimate_extremum(&query, EngineOp::Min).unwrap();
+        prop_assert!(emax.contains(t_max), "max {} outside {}", t_max, emax);
+        prop_assert!(emin.contains(t_min), "min {} outside {}", t_min, emin);
+        if b == 1 {
+            prop_assert!(emax.is_exact() && emin.is_exact());
+        }
+    }
+
+    /// Block-anchor-aligned queries degrade losslessly: zero error bound
+    /// and a value bit-identical to the exact blocked `CubeIndex`.
+    #[test]
+    fn aligned_approx_answers_are_exact_and_bit_identical(
+        (a, q) in arb_cube().prop_flat_map(|a| {
+            let q = arb_region(a.shape());
+            (Just(a), q)
+        }),
+        b in 1usize..5,
+    ) {
+        // Snap the arbitrary region outward to the anchor grid.
+        let bounds: Vec<(usize, usize)> = q
+            .ranges()
+            .iter()
+            .enumerate()
+            .map(|(j, r)| {
+                let n = a.shape().dim(j);
+                ((r.lo() / b) * b, (((r.hi() / b) + 1) * b - 1).min(n - 1))
+            })
+            .collect();
+        let aligned = Region::from_bounds(&bounds).unwrap();
+        let e = ApproxEngine::build(a.clone(), b).unwrap();
+        let (est, _) = e.estimate_sum(&RangeQuery::from_region(&aligned)).unwrap();
+        prop_assert_eq!(est.error_bound, 0);
+        prop_assert!(est.is_exact());
+        prop_assert_eq!(est.fraction_exact, 1.0);
+        let cfg = IndexConfig {
+            prefix: PrefixChoice::Blocked(b),
+            ..IndexConfig::default()
+        };
+        let idx = CubeIndex::build(a.clone(), cfg).unwrap();
+        let (exact, _) = idx.range_sum(&aligned).unwrap();
+        prop_assert_eq!(est.value, exact, "aligned estimate must be bit-identical");
     }
 }

@@ -364,6 +364,51 @@ impl<G: AbelianGroup> BlockedPrefixSum<G> {
         acc
     }
 
+    /// Theorem-1 query over the blocked `P` for a **block-aligned**
+    /// region, answered from anchors alone (`2^d` reads of `P`, no access
+    /// to `A`). This is the exact-tier primitive of anchor-only
+    /// approximate answering: any region whose bounds sit on block
+    /// boundaries (or the clipped array edge) has an exact sum without
+    /// touching base cells.
+    ///
+    /// # Errors
+    /// [`ArrayError`] when the region's dimensionality does not match, a
+    /// bound exceeds the shape, or a bound is not block-aligned (`ℓ_j`
+    /// a multiple of `b` and `h_j + 1` a multiple of `b` or `h_j` the
+    /// last index of axis `j`).
+    pub fn block_aligned_sum(
+        &self,
+        region: &Region,
+        stats: &mut AccessStats,
+    ) -> Result<G::Value, ArrayError> {
+        if region.ndim() != self.shape.ndim() {
+            return Err(ArrayError::DimMismatch {
+                expected: self.shape.ndim(),
+                actual: region.ndim(),
+            });
+        }
+        for (axis, r) in region.ranges().iter().enumerate() {
+            let n = self.shape.dim(axis);
+            if r.hi() >= n {
+                return Err(ArrayError::OutOfBounds {
+                    axis,
+                    index: r.hi(),
+                    extent: n,
+                });
+            }
+            let aligned = r.lo().is_multiple_of(self.b)
+                && ((r.hi() + 1).is_multiple_of(self.b) || r.hi() == n - 1);
+            if !aligned {
+                return Err(ArrayError::OutOfBounds {
+                    axis,
+                    index: r.lo(),
+                    extent: n,
+                });
+            }
+        }
+        Ok(self.aligned_sum(region, stats))
+    }
+
     /// Answers a range query with the blocked algorithm (§4.2).
     ///
     /// # Errors
@@ -729,6 +774,33 @@ mod tests {
             err,
             ArrayError::Interrupted(Interrupt::DeadlineExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn block_aligned_sum_answers_from_anchors_only() {
+        let a = DenseArray::from_fn(Shape::new(&[7, 9]).unwrap(), |i| {
+            (i[0] * 13 + i[1] * 31) as i64 % 23 - 11
+        });
+        for b in [1usize, 2, 3, 4] {
+            let bp = BlockedPrefixCube::build(&a, b).unwrap();
+            for q in [
+                Region::from_bounds(&[(0, 6), (0, 8)]).unwrap(),
+                Region::from_bounds(&[(0, b.min(7) - 1), (0, 8)]).unwrap(),
+            ] {
+                let mut stats = AccessStats::new();
+                let v = bp.block_aligned_sum(&q, &mut stats).unwrap();
+                assert_eq!(v, a.fold_region(&q, 0i64, |s, &x| s + x), "b={b} {q}");
+                assert_eq!(stats.a_cells, 0, "no base-cell reads");
+                assert!(stats.p_cells <= 4, "2^d anchor reads at most");
+            }
+        }
+        // Unaligned bounds are rejected, as are out-of-shape regions.
+        let bp = BlockedPrefixCube::build(&a, 2).unwrap();
+        let mut stats = AccessStats::new();
+        let unaligned = Region::from_bounds(&[(1, 6), (0, 8)]).unwrap();
+        assert!(bp.block_aligned_sum(&unaligned, &mut stats).is_err());
+        let tall = Region::from_bounds(&[(0, 8), (0, 8)]).unwrap();
+        assert!(bp.block_aligned_sum(&tall, &mut stats).is_err());
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Bounded-error approximate answers, statically distinct from exact
+//! [`crate::QueryOutcome`]s.
+//!
+//! An [`Estimate`] is what a degraded serving tier returns when a query's
+//! budget is exhausted or no healthy exact engine remains: a point value
+//! plus a **guaranteed interval** `[lower, upper]` containing the true
+//! answer, derived from precomputed aggregates alone (block anchor sums
+//! and cached per-block extrema — see `olap_engine`'s `ApproxEngine`).
+//! Because the type is distinct from `QueryOutcome`, an estimate can
+//! never be mistaken for (or cached as) an exact answer anywhere in the
+//! serving stack — the compiler enforces the degradation boundary.
+
+use std::fmt;
+use std::ops::Sub;
+
+/// A bounded-error approximate answer: a point estimate together with a
+/// guaranteed enclosing interval and the fraction of the query volume
+/// that was answered exactly.
+///
+/// Invariant (maintained by [`Estimate::new`]): `lower ≤ value ≤ upper`,
+/// and the true answer lies in `[lower, upper]`. `error_bound` is the
+/// worst-case absolute error, `max(value − lower, upper − value)`; it is
+/// zero exactly when the interval is a point, i.e. the answer is in fact
+/// exact (every contributing part was anchor-aligned).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate<V> {
+    /// The point estimate, always inside `[lower, upper]`.
+    pub value: V,
+    /// Worst-case absolute error: `max(value − lower, upper − value)`.
+    pub error_bound: V,
+    /// Guaranteed lower bound on the true answer.
+    pub lower: V,
+    /// Guaranteed upper bound on the true answer.
+    pub upper: V,
+    /// Fraction of the query volume answered exactly (from aligned
+    /// anchors), in `[0, 1]`. `1.0` means the estimate is exact.
+    pub fraction_exact: f64,
+}
+
+impl<V: Copy + Ord + Sub<Output = V>> Estimate<V> {
+    /// Builds an estimate, clamping `value` into `[lower, upper]` and
+    /// computing the worst-case `error_bound`. `fraction_exact` is
+    /// clamped into `[0, 1]`.
+    pub fn new(value: V, lower: V, upper: V, fraction_exact: f64) -> Self {
+        let (lower, upper) = (lower.min(upper), lower.max(upper));
+        let value = value.clamp(lower, upper);
+        let error_bound = (value - lower).max(upper - value);
+        Estimate {
+            value,
+            error_bound,
+            lower,
+            upper,
+            fraction_exact: fraction_exact.clamp(0.0, 1.0),
+        }
+    }
+
+    /// An exact answer wearing the estimate type: a point interval with
+    /// zero error bound and `fraction_exact == 1`.
+    pub fn exact(value: V) -> Self {
+        Estimate::new(value, value, value, 1.0)
+    }
+
+    /// Whether the guaranteed interval contains `truth`.
+    pub fn contains(&self, truth: V) -> bool {
+        self.lower <= truth && truth <= self.upper
+    }
+
+    /// Whether the interval is a single point (the answer is exact).
+    pub fn is_exact(&self) -> bool {
+        self.lower == self.upper
+    }
+}
+
+impl Estimate<i64> {
+    /// The interval half-width relative to the point value,
+    /// `error_bound / max(1, |value|)` — the quantity the
+    /// `olap_approx_relative_bound` histogram observes (in per-mille).
+    pub fn relative_bound(&self) -> f64 {
+        self.error_bound as f64 / (self.value.abs().max(1)) as f64
+    }
+}
+
+impl<V: fmt::Display> fmt::Display for Estimate<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "≈{} ∈ [{}, {}] (±{}, {:.1}% exact)",
+            self.value,
+            self.lower,
+            self.upper,
+            self.error_bound,
+            self.fraction_exact * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalises_and_bounds() {
+        let e = Estimate::new(10i64, 4, 20, 0.5);
+        assert_eq!(e.error_bound, 10, "max distance to either end");
+        assert!(e.contains(4) && e.contains(20) && e.contains(10));
+        assert!(!e.contains(3) && !e.contains(21));
+        assert!(!e.is_exact());
+        // Value outside the interval is clamped in; swapped bounds are
+        // reordered; fraction is clamped.
+        let e = Estimate::new(100i64, 20, 4, 7.0);
+        assert_eq!((e.lower, e.upper, e.value), (4, 20, 20));
+        assert_eq!(e.fraction_exact, 1.0);
+    }
+
+    #[test]
+    fn exact_is_a_point_interval() {
+        let e = Estimate::exact(-3i64);
+        assert!(e.is_exact());
+        assert_eq!(e.error_bound, 0);
+        assert_eq!(e.fraction_exact, 1.0);
+        assert!(e.contains(-3) && !e.contains(-2));
+        assert_eq!(e.relative_bound(), 0.0);
+    }
+
+    #[test]
+    fn displays_interval_and_exact_fraction() {
+        let e = Estimate::new(10i64, 4, 20, 0.25);
+        let s = e.to_string();
+        assert!(s.contains("[4, 20]") && s.contains("25.0% exact"), "{s}");
+    }
+}

@@ -17,6 +17,9 @@
 //! - [`Answer`] / [`QueryOutcome`] / [`EngineKind`]: the unified answer
 //!   vocabulary every engine returns (value + access stats + which
 //!   structure answered),
+//! - [`Estimate`]: the bounded-error approximate answer a degraded
+//!   serving tier returns — statically distinct from exact outcomes,
+//!   carrying a guaranteed interval around the true value,
 //! - [`CuboidId`]: a bitmask identifying a cuboid (a subset of dimensions),
 //! - [`QueryStats`] and [`CuboidStats`]: Table-1 statistics for a single
 //!   query and averaged over a log,
@@ -29,6 +32,7 @@
 mod access;
 pub mod algebra;
 mod cuboid;
+mod estimate;
 mod log;
 mod outcome;
 mod query;
@@ -38,6 +42,7 @@ mod stats;
 pub use access::AccessStats;
 pub use algebra::{Sign, SignedRegion, SubsumptionPlan};
 pub use cuboid::CuboidId;
+pub use estimate::Estimate;
 pub use log::{CuboidStats, QueryLog};
 pub use outcome::{Answer, EngineKind, QueryOutcome};
 pub use query::{DimSelection, RangeQuery};

@@ -37,6 +37,9 @@ mod server;
 pub use driver::{drive_load, LoadReport, LoadSpec};
 pub use error::ServerError;
 #[cfg(feature = "telemetry")]
-pub use metrics_http::{publish_latency_quantiles, slo_report, MetricsServer, SloViolation};
+pub use metrics_http::{
+    degraded_fraction_report, publish_latency_quantiles, slo_report, DegradedFractionViolation,
+    MetricsServer, SloViolation,
+};
 pub use olap_engine::CacheStats;
-pub use server::{CubeServer, ServeConfig, ServerAnswer, ShardStats, SloSpec};
+pub use server::{CubeServer, ServeConfig, ServedEstimate, ServerAnswer, ShardStats, SloSpec};

@@ -114,6 +114,66 @@ pub fn slo_report(registry: &Registry, slo: &SloSpec) -> Vec<SloViolation> {
     violations
 }
 
+/// The serve-level answer counters behind the degraded-fraction check.
+const ANSWERS_TOTAL: &str = "olap_serve_answers_total";
+const DEGRADED_TOTAL: &str = "olap_serve_degraded_total";
+
+/// The server is degrading more of its answers than the SLO tolerates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedFractionViolation {
+    /// Degraded answers observed since the registry was created.
+    pub degraded: u64,
+    /// Total answers observed.
+    pub total: u64,
+    /// The observed degraded fraction, permille.
+    pub observed_per_mille: u64,
+    /// The configured [`SloSpec::max_degraded_per_mille`] bound.
+    pub limit_per_mille: u64,
+}
+
+impl std::fmt::Display for DegradedFractionViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "degraded answers {}/{} = {}‰ exceeds SLO {}‰",
+            self.degraded, self.total, self.observed_per_mille, self.limit_per_mille
+        )
+    }
+}
+
+/// Checks the degraded-answer fraction (`olap_serve_degraded_total` over
+/// `olap_serve_answers_total`) against
+/// [`SloSpec::max_degraded_per_mille`]. `None` when the bound holds, the
+/// spec sets no bound, or no answers have been recorded (vacuous pass,
+/// matching [`slo_report`]'s empty-histogram convention).
+pub fn degraded_fraction_report(
+    registry: &Registry,
+    slo: &SloSpec,
+) -> Option<DegradedFractionViolation> {
+    let limit_per_mille = slo.max_degraded_per_mille?;
+    let mut total = 0u64;
+    let mut degraded = 0u64;
+    for m in registry.snapshot() {
+        if let MetricValue::Counter(c) = m.value {
+            match &*m.name {
+                ANSWERS_TOTAL => total += c,
+                DEGRADED_TOTAL => degraded += c,
+                _ => {}
+            }
+        }
+    }
+    if total == 0 {
+        return None;
+    }
+    let observed_per_mille = degraded.saturating_mul(1000) / total;
+    (observed_per_mille > limit_per_mille).then_some(DegradedFractionViolation {
+        degraded,
+        total,
+        observed_per_mille,
+        limit_per_mille,
+    })
+}
+
 /// A one-thread HTTP scrape endpoint over a telemetry context's
 /// registry. Bound with [`MetricsServer::bind`], stopped on drop (or
 /// explicitly via [`MetricsServer::stop`]).
@@ -313,6 +373,32 @@ mod tests {
         // An empty registry passes vacuously.
         let empty = Arc::new(Telemetry::new());
         assert!(slo_report(empty.registry(), &strict).is_empty());
+    }
+
+    #[test]
+    fn degraded_fraction_report_fires_only_over_the_bound() {
+        let ctx = Arc::new(Telemetry::new());
+        let spec = SloSpec::max_degraded_fraction(0.05);
+        assert_eq!(spec.max_degraded_per_mille, Some(50));
+        assert!(!spec.is_empty());
+        // No answers yet: vacuous pass.
+        assert_eq!(degraded_fraction_report(ctx.registry(), &spec), None);
+        ctx.registry().counter(ANSWERS_TOTAL, &[]).inc(100);
+        ctx.registry().counter(DEGRADED_TOTAL, &[]).inc(4);
+        // 40‰ ≤ 50‰ holds.
+        assert_eq!(degraded_fraction_report(ctx.registry(), &spec), None);
+        ctx.registry().counter(DEGRADED_TOTAL, &[]).inc(8);
+        let v = degraded_fraction_report(ctx.registry(), &spec).expect("violation");
+        assert_eq!(v.degraded, 12);
+        assert_eq!(v.total, 100);
+        assert_eq!(v.observed_per_mille, 120);
+        assert_eq!(v.limit_per_mille, 50);
+        assert!(v.to_string().contains("exceeds SLO"));
+        // A spec without the bound never fires.
+        assert_eq!(
+            degraded_fraction_report(ctx.registry(), &SloSpec::default()),
+            None
+        );
     }
 
     #[test]

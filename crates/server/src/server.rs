@@ -47,13 +47,14 @@
 //! pre-or-post-oracle answers.
 
 use crate::ServerError;
-use olap_array::{DenseArray, QueryBudget, Region, Shape};
+use olap_array::{DegradePolicy, DenseArray, QueryBudget, Region, Shape};
 use olap_engine::{
-    AdaptiveRouter, CacheBackend, CacheStats, CubeIndex, EngineError, EngineOp, EpochStats,
-    FaultPlan, FaultyEngine, IndexConfig, NaiveEngine, RangeEngine, SemanticCache, SumTreeEngine,
+    AdaptiveRouter, ApproxEngine, CacheBackend, CacheStats, CubeIndex, DegradeReason, EngineError,
+    EngineOp, EpochStats, FaultPlan, FaultyEngine, IndexConfig, NaiveEngine, RangeEngine,
+    SemanticCache, SumTreeEngine,
 };
 use olap_query::algebra::{bounding_union, difference};
-use olap_query::{AccessStats, Answer, QueryOutcome, RangeQuery};
+use olap_query::{AccessStats, Answer, Estimate, QueryOutcome, RangeQuery};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -77,6 +78,19 @@ pub struct ServeConfig {
     /// against live quantiles is the scrape layer's job (`slo_report`
     /// with the `telemetry` feature).
     pub slo: Option<SloSpec>,
+    /// Queue-depth threshold above which a fanned-out query is shed to
+    /// the shard's degradation tier instead of enqueued (the
+    /// [`DegradeReason::QueueDepth`] path). `None` never sheds.
+    pub queue_depth_limit: Option<i64>,
+}
+
+impl ServeConfig {
+    /// Whether this configuration arms the degradation tier: either the
+    /// budget policy opts into falling back on exhaustion, or a queue
+    /// depth limit asks for pre-dispatch shedding.
+    pub fn degrade_enabled(&self) -> bool {
+        self.budget.on_exhaustion == DegradePolicy::Degrade || self.queue_depth_limit.is_some()
+    }
 }
 
 impl Default for ServeConfig {
@@ -87,6 +101,7 @@ impl Default for ServeConfig {
             faults: None,
             cache_size: 256,
             slo: None,
+            queue_depth_limit: None,
         }
     }
 }
@@ -103,6 +118,13 @@ pub struct SloSpec {
     pub p95_ns: Option<u64>,
     /// 99th-percentile bound, nanoseconds.
     pub p99_ns: Option<u64>,
+    /// Bound on the fraction of served answers that were degraded to the
+    /// approximate tier, in permille (‰) so the spec stays `Eq`-able
+    /// plain data. `Some(50)` = at most 5 % of answers may be estimates.
+    /// Evaluated against the `olap_serve_answers_total` /
+    /// `olap_serve_degraded_total` counters by `degraded_fraction_report`
+    /// (the `telemetry` feature).
+    pub max_degraded_per_mille: Option<u64>,
 }
 
 impl SloSpec {
@@ -114,9 +136,21 @@ impl SloSpec {
         }
     }
 
+    /// A spec bounding only the degraded-answer fraction. `fraction` is
+    /// clamped into `[0, 1]` and stored in permille.
+    pub fn max_degraded_fraction(fraction: f64) -> SloSpec {
+        SloSpec {
+            max_degraded_per_mille: Some((fraction.clamp(0.0, 1.0) * 1000.0).round() as u64),
+            ..SloSpec::default()
+        }
+    }
+
     /// Whether no bound is set.
     pub fn is_empty(&self) -> bool {
-        self.p50_ns.is_none() && self.p95_ns.is_none() && self.p99_ns.is_none()
+        self.p50_ns.is_none()
+            && self.p95_ns.is_none()
+            && self.p99_ns.is_none()
+            && self.max_degraded_per_mille.is_none()
     }
 
     /// The configured bounds as `(name, quantile, limit_ns)` triples,
@@ -136,16 +170,102 @@ impl SloSpec {
 /// A recombined answer from a fanned-out query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerAnswer {
-    /// The aggregate or extremal value.
+    /// The aggregate or extremal value. Exact (bit-identical to the
+    /// sequential oracle) when `estimate` is `None`; otherwise the point
+    /// estimate, guaranteed inside `[estimate.lower, estimate.upper]`.
     pub value: i64,
     /// For max/min: where the extremum is attained, in *global*
-    /// coordinates.
+    /// coordinates. `None` whenever any shard degraded — an interpolated
+    /// extremum has no attained cell.
     pub at: Option<Vec<usize>>,
     /// Total elements accessed across every answering shard (the §8 cost
     /// proxy, summed).
     pub cost: u64,
     /// How many shards contributed.
     pub shards: usize,
+    /// Degradation metadata when at least one shard answered from its
+    /// approximate tier; `None` means every shard answered exactly.
+    pub estimate: Option<ServedEstimate>,
+}
+
+impl ServerAnswer {
+    /// Whether any contributing shard degraded to its approximate tier.
+    pub fn is_degraded(&self) -> bool {
+        self.estimate.is_some()
+    }
+
+    /// Whether this answer is consistent with `truth`: bit-identical when
+    /// exact, interval containment when degraded. This is the oracle
+    /// check the load driver and chaos drills assert on every answer.
+    pub fn contains(&self, truth: i64) -> bool {
+        match &self.estimate {
+            Some(e) => e.lower <= truth && truth <= e.upper,
+            None => self.value == truth,
+        }
+    }
+}
+
+/// Cross-shard degradation metadata on a [`ServerAnswer`]: the merged
+/// guaranteed interval (shard bounds add for sums, fold for extrema) and
+/// how much of the answer was exact. Plain `Eq`-able data, mirroring
+/// [`olap_query::Estimate`] at the serving boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServedEstimate {
+    /// Guaranteed lower bound on the true answer.
+    pub lower: i64,
+    /// Guaranteed upper bound on the true answer.
+    pub upper: i64,
+    /// Worst-case absolute error of `ServerAnswer::value`:
+    /// `max(value − lower, upper − value)`.
+    pub error_bound: i64,
+    /// How many of the contributing shards degraded.
+    pub degraded_shards: usize,
+    /// Why the first degraded shard fell back.
+    pub reason: DegradeReason,
+    /// Query cells answered exactly (aligned anchors plus fully exact
+    /// shards), across all shards.
+    pub exact_cells: u64,
+    /// Total query cells across all contributing shards.
+    pub total_cells: u64,
+}
+
+impl ServedEstimate {
+    /// Fraction of the query volume answered exactly, in `[0, 1]`.
+    pub fn fraction_exact(&self) -> f64 {
+        if self.total_cells == 0 {
+            1.0
+        } else {
+            self.exact_cells as f64 / self.total_cells as f64
+        }
+    }
+}
+
+/// One shard's reply: exact through the semantic cache, or a degraded
+/// estimate from the shard router's approximate tier.
+enum ShardOutcome {
+    Exact(QueryOutcome<i64>),
+    Degraded {
+        estimate: Estimate<i64>,
+        stats: AccessStats,
+        reason: DegradeReason,
+    },
+}
+
+impl ShardOutcome {
+    fn cost(&self) -> u64 {
+        match self {
+            ShardOutcome::Exact(o) => o.cost(),
+            ShardOutcome::Degraded { stats, .. } => stats.total_accesses(),
+        }
+    }
+}
+
+/// One fanned-out partial answer: the shard, its local query volume (for
+/// exact-cell accounting in the merge), and the outcome.
+struct ShardPart {
+    shard: usize,
+    volume: u64,
+    out: ShardOutcome,
 }
 
 /// One shard's serving statistics, for operators and tests.
@@ -168,7 +288,7 @@ struct Job {
     shard: usize,
     op: EngineOp,
     query: RangeQuery,
-    reply: mpsc::Sender<(usize, Result<QueryOutcome<i64>, EngineError>)>,
+    reply: mpsc::Sender<(usize, Result<ShardOutcome, EngineError>)>,
     /// Trace carrier across the queue: started on the submitting thread
     /// under the query's root span, finished by the worker — so the time
     /// a job sits on the mpsc queue is its own `queue_wait` span.
@@ -271,6 +391,9 @@ fn publish_depth(label: &str, depth: &AtomicI64) {
 /// Most queued jobs one worker iteration drains and batch-plans together.
 const BATCH_DRAIN_LIMIT: usize = 32;
 
+/// Anchor-grid block size of every shard's degradation tier.
+const DEGRADE_BLOCK: usize = 8;
+
 /// The worker loop: drain every job already queued (up to
 /// [`BATCH_DRAIN_LIMIT`]), batch-plan overlapping sums, then answer each
 /// job through the shard's semantic cache.
@@ -314,7 +437,7 @@ fn shard_worker(
             let out = {
                 #[cfg(feature = "telemetry")]
                 let _exec_span = olap_telemetry::TraceSpan::start("shard_exec");
-                match op {
+                let exact = match op {
                     EngineOp::Sum => cache.range_sum(&query),
                     EngineOp::Max => cache.range_max(&query),
                     EngineOp::Min => cache.range_min(&query),
@@ -322,6 +445,10 @@ fn shard_worker(
                         "shard-worker",
                         EngineOp::Update.name(),
                     )),
+                };
+                match exact {
+                    Ok(o) => Ok(ShardOutcome::Exact(o)),
+                    Err(e) => degrade_fallback(&cache, &query, op, e),
                 }
             };
             // Leave the trace scope *before* replying: every worker-side
@@ -333,6 +460,96 @@ fn shard_worker(
             // A dropped reply receiver means the query already failed on
             // another shard; nothing to do with this partial answer.
             let _ = reply.send((shard, out));
+        }
+    }
+}
+
+/// The worker-side degradation gate: when the shard's budget policy is
+/// [`DegradePolicy::Degrade`] and the exact failure is an eligible
+/// exhaustion (deadline, access budget, every engine faulted), the shard
+/// router's approximate tier answers instead. Cancellation and
+/// validation errors pass through — same eligibility matrix as
+/// [`AdaptiveRouter::answer`]. A tier failure (none registered,
+/// unsupported op) reports the original exact error.
+fn degrade_fallback(
+    cache: &ShardCache,
+    query: &RangeQuery,
+    op: EngineOp,
+    exact_err: EngineError,
+) -> Result<ShardOutcome, EngineError> {
+    let router = cache.backend();
+    if router.budget().on_exhaustion != DegradePolicy::Degrade {
+        return Err(exact_err);
+    }
+    let reason = match &exact_err {
+        EngineError::DeadlineExceeded { .. } => DegradeReason::DeadlineExceeded,
+        EngineError::BudgetExhausted { .. } => DegradeReason::BudgetExhausted,
+        EngineError::NoCandidate { .. } => DegradeReason::NoCandidate,
+        e if e.is_engine_fault() => DegradeReason::EngineFaults,
+        _ => return Err(exact_err),
+    };
+    match router.degrade(query, op, reason) {
+        Ok((estimate, stats)) => Ok(ShardOutcome::Degraded {
+            estimate,
+            stats,
+            reason,
+        }),
+        Err(_) => Err(exact_err),
+    }
+}
+
+/// Accumulates cross-shard degradation metadata while a merge folds the
+/// partial answers; [`DegradeMerge::finish`] yields the
+/// [`ServedEstimate`] (or `None` for a fully exact merge).
+#[derive(Default)]
+struct DegradeMerge {
+    degraded_shards: usize,
+    reason: Option<DegradeReason>,
+    exact_cells: u64,
+    total_cells: u64,
+}
+
+impl DegradeMerge {
+    fn note_exact(&mut self, volume: u64) {
+        self.exact_cells += volume;
+        self.total_cells += volume;
+    }
+
+    fn note_degraded(&mut self, volume: u64, estimate: &Estimate<i64>, reason: DegradeReason) {
+        self.degraded_shards += 1;
+        self.reason.get_or_insert(reason);
+        self.exact_cells += (estimate.fraction_exact * volume as f64).round() as u64;
+        self.total_cells += volume;
+    }
+
+    fn finish(self, value: i64, lower: i64, upper: i64) -> Option<ServedEstimate> {
+        let reason = self.reason?;
+        Some(ServedEstimate {
+            lower,
+            upper,
+            error_bound: value.saturating_sub(lower).max(upper.saturating_sub(value)),
+            degraded_shards: self.degraded_shards,
+            reason,
+            exact_cells: self.exact_cells.min(self.total_cells),
+            total_cells: self.total_cells,
+        })
+    }
+}
+
+/// Bumps the serve-level answer counters behind the degraded-fraction
+/// SLO check (`olap_serve_answers_total` / `olap_serve_degraded_total`).
+/// No-op without the `telemetry` feature or an active context.
+#[allow(unused_variables)]
+fn record_served(degraded: bool) {
+    #[cfg(feature = "telemetry")]
+    if let Some(ctx) = olap_telemetry::current() {
+        ctx.registry()
+            .counter("olap_serve_answers_total", &[])
+            .inc(1);
+        if degraded {
+            ctx.registry()
+                .counter("olap_serve_degraded_total", &[])
+                .inc(1);
         }
     }
 }
@@ -420,6 +637,8 @@ pub struct CubeServer {
     writer: Mutex<()>,
     /// Latency objective carried from [`ServeConfig::slo`].
     slo: Option<SloSpec>,
+    /// Queue-depth shed threshold from [`ServeConfig::queue_depth_limit`].
+    queue_limit: Option<i64>,
     /// Destination for end-to-end query traces. `None` (the default)
     /// keeps tracing fully disabled: with no root span ever opened, the
     /// per-query cost of every instrumentation point downstream is one
@@ -462,6 +681,7 @@ impl CubeServer {
             shards,
             writer: Mutex::new(()),
             slo: config.slo,
+            queue_limit: config.queue_depth_limit,
             #[cfg(feature = "telemetry")]
             tracer: None,
             #[cfg(feature = "telemetry")]
@@ -575,7 +795,9 @@ impl CubeServer {
     }
 
     /// Range sum over the global cube: fans out to every overlapping
-    /// shard and adds the partial sums.
+    /// shard and adds the partial sums. Degraded shard answers merge by
+    /// adding their guaranteed bounds — the result interval still
+    /// contains the true global sum.
     ///
     /// # Errors
     /// Validation failures, shard router errors, dead shards.
@@ -585,18 +807,40 @@ impl CubeServer {
         let parts = self.fan_out(query, EngineOp::Sum)?;
         #[cfg(feature = "telemetry")]
         let _merge = olap_telemetry::TraceSpan::start("merge");
-        let mut value = 0i64;
-        let mut cost = 0u64;
         let shards = parts.len();
-        for (_, out) in &parts {
-            value += out.value().copied().unwrap_or(0);
-            cost += out.cost();
+        let mut value = 0i64;
+        let mut lower = 0i64;
+        let mut upper = 0i64;
+        let mut cost = 0u64;
+        let mut merge = DegradeMerge::default();
+        for part in &parts {
+            cost += part.out.cost();
+            match &part.out {
+                ShardOutcome::Exact(o) => {
+                    let v = o.value().copied().unwrap_or(0);
+                    value += v;
+                    lower += v;
+                    upper += v;
+                    merge.note_exact(part.volume);
+                }
+                ShardOutcome::Degraded {
+                    estimate, reason, ..
+                } => {
+                    value += estimate.value;
+                    lower += estimate.lower;
+                    upper += estimate.upper;
+                    merge.note_degraded(part.volume, estimate, *reason);
+                }
+            }
         }
+        let estimate = merge.finish(value, lower, upper);
+        record_served(estimate.is_some());
         Ok(ServerAnswer {
             value,
             at: None,
             cost,
             shards,
+            estimate,
         })
     }
 
@@ -625,30 +869,65 @@ impl CubeServer {
         let shards = parts.len();
         let mut best: Option<(i64, Vec<usize>)> = None;
         let mut cost = 0u64;
-        for (shard, out) in parts {
-            cost += out.cost();
-            let Answer::Extremum { mut at, value } = out.answer else {
-                continue; // empty slab intersection contributes nothing
+        // Folded `(value, lower, upper)` across parts: exact parts are
+        // point intervals, degraded parts contribute their guaranteed
+        // interval — folding each component by max (resp. min) keeps the
+        // global extremum inside `[lower, upper]`.
+        let mut folded: Option<(i64, i64, i64)> = None;
+        let mut merge = DegradeMerge::default();
+        for part in parts {
+            cost += part.out.cost();
+            let (v, lo, hi) = match part.out {
+                ShardOutcome::Exact(o) => {
+                    let Answer::Extremum { mut at, value } = o.answer else {
+                        continue; // empty slab intersection contributes nothing
+                    };
+                    if let Some(first) = at.first_mut() {
+                        *first += self.shard_row(part.shard);
+                    }
+                    let better = match (&best, op) {
+                        (None, _) => true,
+                        (Some((b, _)), EngineOp::Max) => value > *b,
+                        (Some((b, _)), _) => value < *b,
+                    };
+                    if better {
+                        best = Some((value, at));
+                    }
+                    merge.note_exact(part.volume);
+                    (value, value, value)
+                }
+                ShardOutcome::Degraded {
+                    estimate, reason, ..
+                } => {
+                    merge.note_degraded(part.volume, &estimate, reason);
+                    (estimate.value, estimate.lower, estimate.upper)
+                }
             };
-            if let Some(first) = at.first_mut() {
-                *first += self.shard_row(shard);
-            }
-            let better = match (&best, op) {
-                (None, _) => true,
-                (Some((b, _)), EngineOp::Max) => value > *b,
-                (Some((b, _)), _) => value < *b,
-            };
-            if better {
-                best = Some((value, at));
-            }
+            folded = Some(match folded {
+                None => (v, lo, hi),
+                Some((fv, fl, fh)) => match op {
+                    EngineOp::Max => (fv.max(v), fl.max(lo), fh.max(hi)),
+                    _ => (fv.min(v), fl.min(lo), fh.min(hi)),
+                },
+            });
         }
-        let (value, at) =
-            best.ok_or_else(|| ServerError::Config("no shard produced an extremum".into()))?;
+        let (value, lower, upper) =
+            folded.ok_or_else(|| ServerError::Config("no shard produced an extremum".into()))?;
+        let estimate = merge.finish(value, lower, upper);
+        // An interpolated extremum has no attained cell: `at` only
+        // survives a fully exact merge.
+        let at = if estimate.is_none() {
+            best.map(|(_, at)| at)
+        } else {
+            None
+        };
+        record_served(estimate.is_some());
         Ok(ServerAnswer {
             value,
-            at: Some(at),
+            at,
             cost,
             shards,
+            estimate,
         })
     }
 
@@ -706,17 +985,22 @@ impl CubeServer {
 
     /// Fans `query` out to every shard whose slab the region overlaps and
     /// collects the per-shard outcomes, ordered by shard index.
-    fn fan_out(
-        &self,
-        query: &RangeQuery,
-        op: EngineOp,
-    ) -> Result<Vec<(usize, QueryOutcome<i64>)>, ServerError> {
+    ///
+    /// When a shard's queue is over [`ServeConfig::queue_depth_limit`]
+    /// and its router has a degradation tier, the shard's part is shed:
+    /// answered synchronously from the tier on the calling thread
+    /// ([`DegradeReason::QueueDepth`]) instead of joining the queue. A
+    /// shard without a tier is enqueued normally — shedding never turns
+    /// an answerable query into an error.
+    fn fan_out(&self, query: &RangeQuery, op: EngineOp) -> Result<Vec<ShardPart>, ServerError> {
         let region = query.to_region(&self.shape)?;
         let r0 = region.range(0);
         #[cfg(feature = "telemetry")]
         let started = std::time::Instant::now();
         let (reply, replies) = mpsc::channel();
         let mut expected = 0usize;
+        let mut parts: Vec<ShardPart> = Vec::new();
+        let mut volumes: Vec<(usize, u64)> = Vec::new();
         for (i, shard) in self.shards.iter().enumerate() {
             let (slab_lo, slab_hi) = (shard.lo, shard.lo + shard.len - 1);
             if r0.lo() > slab_hi || r0.hi() < slab_lo {
@@ -731,29 +1015,63 @@ impl CubeServer {
                 );
             }
             let local = Region::from_bounds(&bounds)?;
+            let volume = local.volume() as u64;
+            let local_query = RangeQuery::from_region(&local);
+            if let Some(limit) = self.queue_limit {
+                // ordering: Relaxed — an advisory load-shedding read; a
+                // racing drain only shifts which path answers, and both
+                // paths are sound.
+                if shard.depth.load(Ordering::Relaxed) > limit {
+                    if let Ok((estimate, stats)) =
+                        shard
+                            .router
+                            .degrade(&local_query, op, DegradeReason::QueueDepth)
+                    {
+                        parts.push(ShardPart {
+                            shard: i,
+                            volume,
+                            out: ShardOutcome::Degraded {
+                                estimate,
+                                stats,
+                                reason: DegradeReason::QueueDepth,
+                            },
+                        });
+                        continue;
+                    }
+                }
+            }
             shard.submit(Job {
                 shard: i,
                 op,
-                query: RangeQuery::from_region(&local),
+                query: local_query,
                 reply: reply.clone(),
                 // Inert (`None`) unless the caller holds an open root
                 // span — i.e. tracing is enabled on this server.
                 #[cfg(feature = "telemetry")]
                 trace: olap_telemetry::PendingSpan::start("queue_wait"),
             })?;
+            volumes.push((i, volume));
             expected += 1;
         }
         drop(reply);
-        let mut parts = Vec::with_capacity(expected);
         for _ in 0..expected {
             let (shard, out) = replies
                 .recv()
                 .map_err(|_| ServerError::ShardUnavailable { shard: usize::MAX })?;
             #[cfg(feature = "telemetry")]
             self.observe_latency(shard, started);
-            parts.push((shard, out?));
+            let volume = volumes
+                .iter()
+                .find(|(i, _)| *i == shard)
+                .map(|(_, v)| *v)
+                .unwrap_or(0);
+            parts.push(ShardPart {
+                shard,
+                volume,
+                out: out?,
+            });
         }
-        parts.sort_by_key(|(i, _)| *i);
+        parts.sort_by_key(|p| p.shard);
         Ok(parts)
     }
 
@@ -828,6 +1146,14 @@ fn build_shard(
             Some(plan) => router.push(Box::new(FaultyEngine::new(engine, *plan))),
             None => router.push(engine),
         }
+    }
+    // The degradation tier is built from the same slab snapshot as the
+    // exact engines; router updates derive it in lockstep, so estimates
+    // always bracket the snapshot the query pinned. Block size 8 keeps
+    // the anchor grid ~2^-3d of the slab while bounding every partial
+    // block's interpolation to 8^d cells.
+    if config.degrade_enabled() {
+        router.set_degrade_tier(Arc::new(ApproxEngine::build(sub.clone(), DEGRADE_BLOCK)?));
     }
     // The naive scan is never fault-wrapped: it is the shard's last-resort
     // failover target, so chaos drills stay answerable.

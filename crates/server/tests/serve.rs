@@ -355,3 +355,204 @@ fn pinned_answers_survive_many_generations_of_installs() {
         assert_eq!(s.epochs.live_snapshots, 1, "shard {}", s.shard);
     }
 }
+
+// ---- graceful degradation -----------------------------------------------
+
+/// A config whose budget trips on nearly every query but whose policy
+/// degrades to the per-shard approximate tier instead of failing.
+fn degrading_config(shards: usize) -> ServeConfig {
+    ServeConfig {
+        shards,
+        budget: QueryBudget::with_max_accesses(2).degrade(),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn zero_deadline_with_degrade_answers_every_query_approximately() {
+    // The hardest budget there is: a deadline that has already passed.
+    // Under DegradePolicy::Degrade every answer must still arrive, as an
+    // estimate whose guaranteed interval contains the sequential oracle.
+    let a = cube(&[24, 16], 71);
+    let srv = CubeServer::build(
+        &a,
+        ServeConfig {
+            shards: 3,
+            budget: QueryBudget::with_deadline(std::time::Duration::ZERO).degrade(),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    for r in uniform_regions(a.shape(), 40, 73) {
+        let q = RangeQuery::from_region(&r);
+        let sum = srv.range_sum(&q).unwrap();
+        let est = sum.estimate.as_ref().expect("zero deadline must degrade");
+        assert!(sum.contains(naive_sum(&a, &r)), "{r}: {sum:?}");
+        assert!(est.lower <= sum.value && sum.value <= est.upper);
+        assert!(est.degraded_shards >= 1 && est.degraded_shards <= sum.shards);
+        assert!(est.exact_cells <= est.total_cells);
+        assert_eq!(est.total_cells, r.volume() as u64);
+        let max = srv.range_max(&q).unwrap();
+        assert!(max.contains(naive_max(&a, &r)), "{r}: {max:?}");
+        assert!(max.at.is_none(), "degraded extremum has no attained cell");
+        let min = srv.range_min(&q).unwrap();
+        assert!(min.contains(naive_min(&a, &r)), "{r}: {min:?}");
+    }
+}
+
+#[test]
+fn degraded_answers_are_deterministic_and_eq_comparable() {
+    let a = cube(&[20, 12], 79);
+    // Cache disabled so both runs take the identical path — a cache hit
+    // would change the cost field between otherwise-equal answers.
+    let srv = CubeServer::build(
+        &a,
+        ServeConfig {
+            cache_size: 0,
+            ..degrading_config(2)
+        },
+    )
+    .unwrap();
+    let r = Region::from_bounds(&[(3, 17), (2, 10)]).unwrap();
+    let q = RangeQuery::from_region(&r);
+    let first = srv.range_sum(&q).unwrap();
+    let second = srv.range_sum(&q).unwrap();
+    assert!(first.is_degraded(), "{first:?}");
+    // ServerAnswer (estimate included) derives Eq: the degraded path is
+    // deterministic for a fixed snapshot.
+    assert_eq!(first, second);
+    assert!(first.contains(naive_sum(&a, &r)));
+}
+
+#[test]
+fn degraded_load_under_budget_pressure_completes_with_zero_errors() {
+    // The acceptance drill: a mixed Zipf workload under a budget that
+    // kills nearly every exact query. With DegradePolicy::Degrade the run
+    // completes with zero errors, every estimate interval contains an
+    // oracle state, and exact answers stay bit-identical (the driver's
+    // `ServerAnswer::contains` check covers both).
+    let a = cube(&[32, 12], 83);
+    let srv = CubeServer::build(&a, degrading_config(4)).unwrap();
+    let report = drive_load(
+        &srv,
+        &a,
+        &LoadSpec {
+            phases: 8,
+            queries_per_phase: 40,
+            readers: 4,
+            batch: 3,
+            seed: 311,
+            zipf_pool: 24,
+        },
+    )
+    .unwrap();
+    assert!(report.passed(), "{report:?}");
+    assert!(report.degraded > 0, "pressure must trigger the tier");
+    assert!(report.degraded <= report.answers);
+}
+
+#[test]
+fn chaos_with_degrade_under_installs_never_errs_and_never_lies() {
+    // Fault storms on every precomputed engine *plus* an exhausted access
+    // budget, with update batches installing mid-flight: the degrade path
+    // must keep the run error-free, and every answer — exact or estimate —
+    // must agree with a pre- or post-install oracle state.
+    let a = cube(&[24, 10], 89);
+    let srv = CubeServer::build(
+        &a,
+        ServeConfig {
+            shards: 4,
+            budget: QueryBudget::with_max_accesses(3).degrade(),
+            faults: Some(FaultPlan::seeded(13).errors(150).panics(20)),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let report = drive_load(
+        &srv,
+        &a,
+        &LoadSpec {
+            phases: 6,
+            queries_per_phase: 30,
+            readers: 3,
+            batch: 2,
+            seed: 977,
+            ..LoadSpec::default()
+        },
+    )
+    .unwrap();
+    assert!(report.passed(), "{report:?}");
+    assert!(report.degraded > 0, "{report:?}");
+    assert_eq!(report.updates, 6, "installs kept landing during chaos");
+}
+
+#[test]
+fn queue_depth_shedding_degrades_without_a_degrade_budget_policy() {
+    // queue_depth_limit arms the tier on its own: with a threshold every
+    // current depth exceeds, every fanned-out part is shed to the tier
+    // pre-dispatch and tagged QueueDepth — even though the budget policy
+    // is the default hard-fail.
+    let a = cube(&[24, 16], 97);
+    let srv = CubeServer::build(
+        &a,
+        ServeConfig {
+            shards: 3,
+            queue_depth_limit: Some(-1),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    for r in uniform_regions(a.shape(), 25, 101) {
+        let q = RangeQuery::from_region(&r);
+        let sum = srv.range_sum(&q).unwrap();
+        let est = sum.estimate.as_ref().expect("all shards shed");
+        assert_eq!(est.degraded_shards, sum.shards);
+        assert!(sum.contains(naive_sum(&a, &r)), "{r}: {sum:?}");
+        assert!(est.fraction_exact() >= 0.0 && est.fraction_exact() <= 1.0);
+    }
+    // An idle queue with a generous limit never sheds.
+    let relaxed = CubeServer::build(
+        &a,
+        ServeConfig {
+            shards: 3,
+            queue_depth_limit: Some(1_000),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let r = Region::from_bounds(&[(1, 20), (2, 13)]).unwrap();
+    let ans = relaxed.range_sum(&RangeQuery::from_region(&r)).unwrap();
+    assert!(!ans.is_degraded());
+    assert_eq!(ans.value, naive_sum(&a, &r));
+}
+
+#[test]
+fn degraded_estimates_are_never_cached_as_exact() {
+    // A degraded answer must not poison the semantic cache: lifting the
+    // budget after degraded queries must yield exact answers again.
+    let a = cube(&[20, 10], 103);
+    let srv = CubeServer::build(&a, degrading_config(2)).unwrap();
+    let r = Region::from_bounds(&[(2, 17), (1, 8)]).unwrap();
+    let q = RangeQuery::from_region(&r);
+    let degraded = srv.range_sum(&q).unwrap();
+    assert!(degraded.is_degraded(), "{degraded:?}");
+    // Re-querying must still report degradation: had the estimate been
+    // inserted into a shard cache as an exact sum, the repeat would come
+    // back as a non-degraded answer carrying an approximate value. (The
+    // cache only inserts on its own exact path — a shard that answered
+    // within budget may cache, a degraded shard never does.)
+    let again = srv.range_sum(&q).unwrap();
+    assert!(again.is_degraded(), "{again:?}");
+    assert!(again.contains(naive_sum(&a, &r)));
+    let exact_srv = CubeServer::build(
+        &a,
+        ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let exact = exact_srv.range_sum(&q).unwrap();
+    assert!(!exact.is_degraded());
+    assert_eq!(exact.value, naive_sum(&a, &r));
+}

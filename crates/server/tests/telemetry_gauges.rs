@@ -126,3 +126,72 @@ fn serving_publishes_semantic_cache_counters_and_entry_gauge() {
     assert_eq!(gauge("shard-0"), 0.0);
     assert_eq!(gauge("shard-1"), 1.0);
 }
+
+#[test]
+fn degraded_serving_publishes_approx_counters_and_slo_check() {
+    use olap_array::QueryBudget;
+    use olap_server::{degraded_fraction_report, SloSpec};
+
+    let a = uniform_cube(Shape::new(&[24, 10]).unwrap(), 300, 63);
+    let ctx = Arc::new(Telemetry::new());
+    let queries = 12usize;
+    let snap = olap_telemetry::with_scope(&ctx, || {
+        let srv = CubeServer::build(
+            &a,
+            ServeConfig {
+                shards: 2,
+                budget: QueryBudget::with_deadline(std::time::Duration::ZERO).degrade(),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        for r in uniform_regions(a.shape(), queries, 69) {
+            assert!(srv
+                .range_sum(&RangeQuery::from_region(&r))
+                .unwrap()
+                .is_degraded());
+        }
+        ctx.registry().snapshot()
+    });
+    let counter_sum = |name: &str| -> u64 {
+        snap.iter()
+            .filter(|m| m.name == name)
+            .filter_map(|m| match &m.value {
+                MetricValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    };
+    // Every query degraded, on at least one shard each.
+    assert_eq!(counter_sum("olap_serve_answers_total"), queries as u64);
+    assert_eq!(counter_sum("olap_serve_degraded_total"), queries as u64);
+    let approx = counter_sum("olap_approx_answers_total");
+    assert!(approx >= queries as u64, "per-shard tier answers: {approx}");
+    // The per-shard counters carry the reason label.
+    assert!(
+        snap.iter().any(|m| m.name == "olap_approx_answers_total"
+            && m.labels
+                .iter()
+                .any(|(k, v)| k == "reason" && v == "deadline_exceeded")),
+        "reason label missing"
+    );
+    // The relative-bound histogram recorded one sample per tier answer.
+    let bound_samples = snap
+        .iter()
+        .find_map(|m| match (&*m.name, &m.value) {
+            ("olap_approx_relative_bound", MetricValue::Histogram(h)) => Some(h.count),
+            _ => None,
+        })
+        .expect("olap_approx_relative_bound histogram present");
+    assert_eq!(bound_samples, approx);
+    // A 100% degraded run violates any finite degraded-fraction SLO…
+    let v = degraded_fraction_report(ctx.registry(), &SloSpec::max_degraded_fraction(0.5))
+        .expect("all answers degraded");
+    assert_eq!(v.observed_per_mille, 1000);
+    assert_eq!(v.total, queries as u64);
+    // …and the counters render on the Prometheus exposition.
+    let text = ctx.registry().render_prometheus();
+    assert!(text.contains("olap_serve_degraded_total"), "{text}");
+    assert!(text.contains("olap_approx_answers_total"), "{text}");
+    assert!(text.contains("olap_approx_relative_bound"), "{text}");
+}
