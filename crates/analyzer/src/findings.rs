@@ -36,6 +36,10 @@ pub const RULES: &[&str] = &[
     "lock-order",
     "feature-gate",
     "error-surface",
+    "budget-coverage",
+    "pin-across-blocking",
+    "span-discipline",
+    "estimate-isolation",
     "malformed-allow",
 ];
 
@@ -316,6 +320,99 @@ impl Report {
         let mut root = BTreeMap::new();
         root.insert("findings".into(), Value::Arr(findings));
         root.insert("summary".into(), Value::Obj(summary));
+        Value::Obj(root).render()
+    }
+
+    /// Renders a SARIF 2.1.0 log of the report.
+    ///
+    /// Every finding becomes a `result`. Findings silenced inline carry
+    /// an `inSource` suppression with the allow reason; findings covered
+    /// by the baseline carry an `external` suppression; only the
+    /// findings in `new_findings` are unsuppressed — so SARIF viewers
+    /// and code-scanning uploads surface exactly what `check` fails on.
+    pub fn render_sarif(&self, new_findings: &[Finding]) -> String {
+        let mut new_keys: BTreeMap<(String, String, String), u64> = BTreeMap::new();
+        for f in new_findings {
+            *new_keys.entry(f.key()).or_insert(0) += 1;
+        }
+        let rules: Vec<Value> = RULES
+            .iter()
+            .map(|r| {
+                let mut m = BTreeMap::new();
+                m.insert("id".into(), Value::Str((*r).into()));
+                Value::Obj(m)
+            })
+            .collect();
+        let mut driver = BTreeMap::new();
+        driver.insert("name".into(), Value::Str("olap-analyzer".into()));
+        driver.insert(
+            "informationUri".into(),
+            Value::Str("https://github.com/olap-cubes/olap-cubes".into()),
+        );
+        driver.insert("rules".into(), Value::Arr(rules));
+        let mut tool = BTreeMap::new();
+        tool.insert("driver".into(), Value::Obj(driver));
+
+        let results: Vec<Value> = self
+            .findings
+            .iter()
+            .map(|f| {
+                let mut artifact = BTreeMap::new();
+                artifact.insert("uri".into(), Value::Str(f.file.clone()));
+                let mut region = BTreeMap::new();
+                region.insert("startLine".into(), Value::Num(f.line as f64));
+                region.insert("startColumn".into(), Value::Num(f.col as f64));
+                let mut physical = BTreeMap::new();
+                physical.insert("artifactLocation".into(), Value::Obj(artifact));
+                physical.insert("region".into(), Value::Obj(region));
+                let mut location = BTreeMap::new();
+                location.insert("physicalLocation".into(), Value::Obj(physical));
+                let mut message = BTreeMap::new();
+                message.insert("text".into(), Value::Str(f.message.clone()));
+                let mut result = BTreeMap::new();
+                result.insert("ruleId".into(), Value::Str(f.rule.into()));
+                result.insert("level".into(), Value::Str("warning".into()));
+                result.insert("message".into(), Value::Obj(message));
+                result.insert("locations".into(), Value::Arr(vec![Value::Obj(location)]));
+                let suppression = if let Some(reason) = &f.allowed {
+                    let mut s = BTreeMap::new();
+                    s.insert("kind".into(), Value::Str("inSource".into()));
+                    s.insert("justification".into(), Value::Str(reason.clone()));
+                    Some(Value::Obj(s))
+                } else {
+                    // Unsuppressed iff this occurrence is beyond the
+                    // baseline's count for its key.
+                    let remaining = new_keys.entry(f.key()).or_insert(0);
+                    if *remaining > 0 {
+                        *remaining -= 1;
+                        None
+                    } else {
+                        let mut s = BTreeMap::new();
+                        s.insert("kind".into(), Value::Str("external".into()));
+                        s.insert(
+                            "justification".into(),
+                            Value::Str("covered by crates/analyzer/baseline.json".into()),
+                        );
+                        Some(Value::Obj(s))
+                    }
+                };
+                if let Some(s) = suppression {
+                    result.insert("suppressions".into(), Value::Arr(vec![s]));
+                }
+                Value::Obj(result)
+            })
+            .collect();
+
+        let mut run = BTreeMap::new();
+        run.insert("tool".into(), Value::Obj(tool));
+        run.insert("results".into(), Value::Arr(results));
+        let mut root = BTreeMap::new();
+        root.insert(
+            "$schema".into(),
+            Value::Str("https://json.schemastore.org/sarif-2.1.0.json".into()),
+        );
+        root.insert("version".into(), Value::Str("2.1.0".into()));
+        root.insert("runs".into(), Value::Arr(vec![Value::Obj(run)]));
         Value::Obj(root).render()
     }
 }

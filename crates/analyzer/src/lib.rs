@@ -13,16 +13,23 @@
 //! | `lock-order`      | the guard-held-while-acquiring graph across all `Mutex`/`RwLock` fields is acyclic |
 //! | `feature-gate`    | telemetry-/parallel-gated symbols are referenced only under a matching cfg |
 //! | `error-surface`   | pub fns in `olap-engine`/`olap-array` don't silently swallow fallible internals |
+//! | `budget-coverage` | every loop reachable from `range_sum*`/kernel entry points charges the `BudgetMeter` (PR 4's deadlines stay cooperative) |
+//! | `pin-across-blocking` | no `VersionCell` read-pin or lock guard live across `send`/`recv`/`join`/`sleep` (PR 6's installs can't stall) |
+//! | `span-discipline` | `PendingSpan`s are consumed on every path; `TraceSpan` never lives in a field (PR 8's thread-local frame stacks) |
+//! | `estimate-isolation` | no call path from `Estimate`-producing fns into `SemanticCache::insert`/`prime` or `Routed::Exact`/`ShardOutcome::Exact` (PR 9's tier separation) |
 //!
 //! The implementation is a hand-written lexer ([`lexer`]), a structural
 //! outline pass ([`outline`]), name-based reachability
-//! ([`reachability`]), and token-level rule passes ([`rules`]) — no
-//! `syn`, no `rustc` internals, nothing to install. Findings are
+//! ([`reachability`]), a resolved cross-file call graph ([`callgraph`]),
+//! a lightweight intra-fn CFG ([`cfg`]), and token-level rule passes
+//! ([`rules`]) — no `syn`, no `rustc` internals, nothing to install. Findings are
 //! suppressed either inline (`// analyzer: allow(rule, reason = "…")`,
 //! reason mandatory) or by the checked-in baseline
 //! (`crates/analyzer/baseline.json`), so CI fails only on **new**
 //! violations. See `README.md` § "Static analysis" for the workflow.
 
+pub mod callgraph;
+pub mod cfg;
 pub mod findings;
 pub mod json;
 pub mod lexer;
@@ -38,7 +45,27 @@ use std::path::Path;
 /// Runs every rule over a model and assembles the report (allows
 /// applied, findings sorted by file/line/col/rule).
 pub fn analyze(model: &Model) -> Report {
+    analyze_with(model, 1)
+}
+
+/// [`analyze`] with a thread budget: the rule passes are independent, so
+/// with `jobs > 1` they run on scoped std threads. Findings are sorted at
+/// the end either way — the output is byte-identical for every `jobs`.
+pub fn analyze_with(model: &Model, jobs: usize) -> Report {
     let reach = reachability::compute(model);
+    let graph = callgraph::CallGraph::build(model);
+    type Pass<'a> = Box<dyn Fn() -> Vec<Finding> + Send + Sync + 'a>;
+    let passes: Vec<Pass> = vec![
+        Box::new(|| rules::panics::check(model, &reach)),
+        Box::new(|| rules::atomics::check(model)),
+        Box::new(|| rules::locks::check(model)),
+        Box::new(|| rules::features::check(model)),
+        Box::new(|| rules::error_surface::check(model)),
+        Box::new(|| rules::budget::check(model, &graph)),
+        Box::new(|| rules::pins::check(model)),
+        Box::new(|| rules::spans::check(model)),
+        Box::new(|| rules::estimates::check(model, &graph)),
+    ];
     let mut findings: Vec<Finding> = Vec::new();
     findings.extend(
         model
@@ -46,11 +73,29 @@ pub fn analyze(model: &Model) -> Report {
             .iter()
             .flat_map(|f| f.malformed_allows.iter().cloned()),
     );
-    findings.extend(rules::panics::check(model, &reach));
-    findings.extend(rules::atomics::check(model));
-    findings.extend(rules::locks::check(model));
-    findings.extend(rules::features::check(model));
-    findings.extend(rules::error_surface::check(model));
+    if jobs <= 1 {
+        for p in &passes {
+            findings.extend(p());
+        }
+    } else {
+        // Work-stealing over the pass list; results land in their slot so
+        // the collection order never depends on scheduling.
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<Vec<Finding>>> =
+            passes.iter().map(|_| std::sync::Mutex::new(Vec::new())).collect();
+        std::thread::scope(|s| {
+            for _ in 0..jobs.min(passes.len()) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(p) = passes.get(i) else { break };
+                    *slots[i].lock().unwrap() = p();
+                });
+            }
+        });
+        for slot in slots {
+            findings.extend(slot.into_inner().unwrap());
+        }
+    }
     let by_rel: std::collections::BTreeMap<&str, &model::FileModel> =
         model.files.iter().map(|f| (f.rel.as_str(), f)).collect();
     for f in findings.iter_mut() {
@@ -82,14 +127,29 @@ pub struct CheckOutcome {
 /// # Errors
 /// I/O failure while scanning, or a malformed baseline file.
 pub fn run_check(root: &Path, baseline_path: &Path) -> Result<CheckOutcome, String> {
-    let model = Model::scan_workspace(root).map_err(|e| format!("scan failed: {e}"))?;
+    run_check_with(root, baseline_path, 1)
+}
+
+/// [`run_check`] with a thread budget: `jobs > 1` parallelizes both the
+/// per-file scan and the rule passes. The outcome is identical for
+/// every `jobs`.
+///
+/// # Errors
+/// I/O failure while scanning, or a malformed baseline file.
+pub fn run_check_with(
+    root: &Path,
+    baseline_path: &Path,
+    jobs: usize,
+) -> Result<CheckOutcome, String> {
+    let model =
+        Model::scan_workspace_with(root, jobs).map_err(|e| format!("scan failed: {e}"))?;
     if model.files.is_empty() {
         return Err(format!(
             "no sources found under {} — wrong --root?",
             root.display()
         ));
     }
-    let report = analyze(&model);
+    let report = analyze_with(&model, jobs);
     let baseline = match std::fs::read_to_string(baseline_path) {
         Ok(src) => {
             Baseline::parse(&src).map_err(|e| format!("{}: {e}", baseline_path.display()))?

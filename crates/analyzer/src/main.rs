@@ -1,33 +1,56 @@
 //! CLI for the workspace static analyzer.
 //!
 //! ```text
-//! cargo run -p olap-analyzer -- check             # human output, exit 1 on new findings
-//! cargo run -p olap-analyzer -- check --json      # machine-readable report on stdout
+//! cargo run -p olap-analyzer -- check                  # human output, exit 1 on new findings
+//! cargo run -p olap-analyzer -- check --json           # machine-readable report on stdout
+//! cargo run -p olap-analyzer -- check --format sarif   # SARIF 2.1.0 log on stdout
+//! cargo run -p olap-analyzer -- check --jobs 8         # parallel scan + rule passes
 //! cargo run -p olap-analyzer -- check --write-baseline
 //! cargo run -p olap-analyzer -- check --root <dir> --baseline <file>
+//! cargo run -p olap-analyzer -- check --time-baseline results/analyzer_time_baseline.json
 //! ```
 //!
-//! Exit codes: `0` clean (or fully base-lined), `1` new findings or
-//! stale baseline entries, `2` usage/scan errors.
+//! Exit codes: `0` clean (or fully base-lined), `1` new findings, stale
+//! baseline entries, or a busted time gate, `2` usage/scan errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Output rendering for `check`.
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    /// Per-finding lines plus a one-line summary.
+    Text,
+    /// The full JSON report.
+    Json,
+    /// A SARIF 2.1.0 log (new findings unsuppressed).
+    Sarif,
+}
+
 struct Args {
     root: PathBuf,
     baseline: PathBuf,
-    json: bool,
+    format: Format,
     write_baseline: bool,
+    jobs: usize,
+    time_baseline: Option<PathBuf>,
 }
 
 fn usage() -> String {
-    "usage: olap-analyzer check [--json] [--write-baseline] [--root <dir>] [--baseline <file>]\n\
+    "usage: olap-analyzer check [--json | --format text|json|sarif] [--write-baseline]\n\
+     \x20                          [--jobs N] [--root <dir>] [--baseline <file>]\n\
+     \x20                          [--time-baseline <file>]\n\
      \n\
      Scans crates/*/src and src/ for violations of the workspace rules\n\
      (panic-site, atomic-ordering, lock-order, feature-gate,\n\
-     error-surface) and compares them against the checked-in baseline.\n\
-     Exit 0: no findings beyond the baseline. Exit 1: new findings or a\n\
-     stale baseline. Exit 2: bad usage or unreadable sources."
+     error-surface, budget-coverage, pin-across-blocking,\n\
+     span-discipline, estimate-isolation) and compares them against the\n\
+     checked-in baseline. --jobs N parallelizes the per-file scan and\n\
+     the rule passes (output is identical for every N). --time-baseline\n\
+     gates the run's wall time at 2x the checked-in figure.\n\
+     Exit 0: no findings beyond the baseline. Exit 1: new findings, a\n\
+     stale baseline, or a busted time gate. Exit 2: bad usage or\n\
+     unreadable sources."
         .to_string()
 }
 
@@ -50,14 +73,33 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         baseline: default_root.join("crates/analyzer/baseline.json"),
         root: default_root,
-        json: false,
+        format: Format::Text,
         write_baseline: false,
+        jobs: 1,
+        time_baseline: None,
     };
     let mut explicit_baseline = false;
     while let Some(a) = argv.next() {
         match a.as_str() {
-            "--json" => args.json = true,
+            "--json" => args.format = Format::Json,
+            "--format" => {
+                let v = argv.next().ok_or("--format needs text, json, or sarif")?;
+                args.format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format `{other}`\n\n{}", usage())),
+                };
+            }
             "--write-baseline" => args.write_baseline = true,
+            "--jobs" => {
+                let v = argv.next().ok_or("--jobs needs a thread count")?;
+                args.jobs = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs: `{v}` is not a positive integer"))?;
+            }
             "--root" => {
                 let v = argv.next().ok_or("--root needs a directory")?;
                 args.root = PathBuf::from(v);
@@ -70,10 +112,29 @@ fn parse_args() -> Result<Args, String> {
                 args.baseline = PathBuf::from(v);
                 explicit_baseline = true;
             }
+            "--time-baseline" => {
+                let v = argv.next().ok_or("--time-baseline needs a file path")?;
+                args.time_baseline = Some(PathBuf::from(v));
+            }
             other => return Err(format!("unknown flag `{other}`\n\n{}", usage())),
         }
     }
     Ok(args)
+}
+
+/// Reads `analyzer_self_time_ms` out of the checked-in time baseline.
+fn read_time_baseline(path: &std::path::Path) -> Result<u64, String> {
+    let src =
+        std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let v = olap_analyzer::json::parse(&src).map_err(|e| format!("{}: {e}", path.display()))?;
+    v.get("analyzer_self_time_ms")
+        .and_then(olap_analyzer::json::Value::as_u64)
+        .ok_or_else(|| {
+            format!(
+                "{}: missing numeric `analyzer_self_time_ms`",
+                path.display()
+            )
+        })
 }
 
 fn main() -> ExitCode {
@@ -84,13 +145,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let outcome = match olap_analyzer::run_check(&args.root, &args.baseline) {
+    let started = std::time::Instant::now();
+    let outcome = match olap_analyzer::run_check_with(&args.root, &args.baseline, args.jobs) {
         Ok(o) => o,
         Err(msg) => {
             eprintln!("olap-analyzer: {msg}");
             return ExitCode::from(2);
         }
     };
+    let elapsed_ms = started.elapsed().as_millis() as u64;
     if args.write_baseline {
         let rendered = outcome.report.render_baseline();
         if let Err(e) = std::fs::write(&args.baseline, &rendered) {
@@ -104,30 +167,61 @@ fn main() -> ExitCode {
         );
         return ExitCode::SUCCESS;
     }
-    if args.json {
-        print!("{}", outcome.report.render_json(outcome.new_findings.len()));
-    } else {
-        for f in &outcome.new_findings {
-            println!("{}", f.display());
+    match args.format {
+        Format::Json => {
+            print!("{}", outcome.report.render_json(outcome.new_findings.len()));
         }
-        for k in &outcome.stale {
-            println!(
-                "stale baseline entry: [{}] {} :: {} (run `cargo run -p olap-analyzer -- check --write-baseline`)",
-                k.0, k.1, k.2
+        Format::Sarif => {
+            print!("{}", outcome.report.render_sarif(&outcome.new_findings));
+        }
+        Format::Text => {
+            for f in &outcome.new_findings {
+                println!("{}", f.display());
+            }
+            for k in &outcome.stale {
+                println!(
+                    "stale baseline entry: [{}] {} :: {} (run `cargo run -p olap-analyzer -- check --write-baseline`)",
+                    k.0, k.1, k.2
+                );
+            }
+            let total = outcome.report.findings.len();
+            let allowed = total - outcome.report.active().count();
+            eprintln!(
+                "olap-analyzer: {} findings ({} allowed inline, {} baselined, {} new, {} stale baseline entries)",
+                total,
+                allowed,
+                outcome.baseline_len,
+                outcome.new_findings.len(),
+                outcome.stale.len()
             );
         }
-        let total = outcome.report.findings.len();
-        let allowed = total - outcome.report.active().count();
-        eprintln!(
-            "olap-analyzer: {} findings ({} allowed inline, {} baselined, {} new, {} stale baseline entries)",
-            total,
-            allowed,
-            outcome.baseline_len,
-            outcome.new_findings.len(),
-            outcome.stale.len()
-        );
     }
-    if outcome.new_findings.is_empty() && outcome.stale.is_empty() {
+    eprintln!("olap-analyzer: analyzer_self_time_ms: {elapsed_ms} (jobs: {})", args.jobs);
+    let mut time_busted = false;
+    if let Some(tb) = &args.time_baseline {
+        match read_time_baseline(tb) {
+            Ok(budget_ms) => {
+                let cap = budget_ms.saturating_mul(2);
+                if elapsed_ms > cap {
+                    eprintln!(
+                        "olap-analyzer: self-time gate busted: {elapsed_ms}ms > 2x the {budget_ms}ms baseline in {} — \
+                         speed the analyzer up or re-baseline deliberately",
+                        tb.display()
+                    );
+                    time_busted = true;
+                } else {
+                    eprintln!(
+                        "olap-analyzer: self-time gate ok: {elapsed_ms}ms <= 2x {budget_ms}ms"
+                    );
+                }
+            }
+            Err(msg) => {
+                eprintln!("olap-analyzer: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if outcome.new_findings.is_empty() && outcome.stale.is_empty() && !time_busted {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

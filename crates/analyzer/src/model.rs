@@ -91,7 +91,19 @@ impl Model {
     /// # Errors
     /// I/O errors reading the tree.
     pub fn scan_workspace(root: &Path) -> std::io::Result<Model> {
-        let mut files = Vec::new();
+        Self::scan_workspace_with(root, 1)
+    }
+
+    /// [`scan_workspace`] with a thread budget: lexing and outlining are
+    /// per-file, so with `jobs > 1` the files parse on scoped std
+    /// threads. The file list is discovered and sorted up front and every
+    /// parse lands in its positional slot, so the resulting model is
+    /// byte-identical for every `jobs`.
+    ///
+    /// # Errors
+    /// I/O errors reading the tree.
+    pub fn scan_workspace_with(root: &Path, jobs: usize) -> std::io::Result<Model> {
+        let mut specs = Vec::new();
         let crates_dir = root.join("crates");
         if crates_dir.is_dir() {
             let mut crates: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
@@ -111,11 +123,43 @@ impl Model {
                 if name == "analyzer" {
                     continue;
                 }
-                collect_rs(&c.join("src"), root, &name, &mut files)?;
+                collect_rs_paths(&c.join("src"), root, &name, &mut specs)?;
             }
         }
-        collect_rs(&root.join("src"), root, "root", &mut files)?;
-        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        collect_rs_paths(&root.join("src"), root, "root", &mut specs)?;
+        specs.sort_by(|a, b| a.rel.cmp(&b.rel));
+        let jobs = jobs.max(1).min(specs.len().max(1));
+        let files = if jobs <= 1 {
+            let mut files = Vec::with_capacity(specs.len());
+            for s in &specs {
+                files.push(s.parse()?);
+            }
+            files
+        } else {
+            // Work-stealing over the sorted file list; each parse lands
+            // in its positional slot so ordering never depends on
+            // scheduling.
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let slots: Vec<std::sync::Mutex<Option<std::io::Result<FileModel>>>> =
+                specs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+            std::thread::scope(|sc| {
+                for _ in 0..jobs {
+                    sc.spawn(|| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(spec) = specs.get(i) else { break };
+                        *slots[i].lock().unwrap() = Some(spec.parse());
+                    });
+                }
+            });
+            let mut files = Vec::with_capacity(specs.len());
+            for slot in slots {
+                match slot.into_inner().unwrap() {
+                    Some(r) => files.push(r?),
+                    None => unreachable!("every slot is filled before scope exit"),
+                }
+            }
+            files
+        };
         Ok(Model { files })
     }
 
@@ -138,11 +182,31 @@ impl Model {
     }
 }
 
-fn collect_rs(
+/// One discovered source file, not yet read or parsed.
+struct FileSpec {
+    path: PathBuf,
+    rel: String,
+    crate_name: String,
+}
+
+impl FileSpec {
+    /// Reads and parses the file into its model.
+    fn parse(&self) -> std::io::Result<FileModel> {
+        let src = std::fs::read_to_string(&self.path)?;
+        Ok(FileModel::from_source(
+            self.path.clone(),
+            self.rel.clone(),
+            self.crate_name.clone(),
+            &src,
+        ))
+    }
+}
+
+fn collect_rs_paths(
     dir: &Path,
     root: &Path,
     crate_name: &str,
-    out: &mut Vec<FileModel>,
+    out: &mut Vec<FileSpec>,
 ) -> std::io::Result<()> {
     if !dir.is_dir() {
         return Ok(());
@@ -154,20 +218,18 @@ fn collect_rs(
     entries.sort();
     for p in entries {
         if p.is_dir() {
-            collect_rs(&p, root, crate_name, out)?;
+            collect_rs_paths(&p, root, crate_name, out)?;
         } else if p.extension().is_some_and(|e| e == "rs") {
-            let src = std::fs::read_to_string(&p)?;
             let rel = p
                 .strip_prefix(root)
                 .unwrap_or(&p)
                 .to_string_lossy()
                 .replace('\\', "/");
-            out.push(FileModel::from_source(
-                p.clone(),
+            out.push(FileSpec {
+                path: p,
                 rel,
-                crate_name.to_string(),
-                &src,
-            ));
+                crate_name: crate_name.to_string(),
+            });
         }
     }
     Ok(())

@@ -163,3 +163,159 @@ fn error_surface_guard_stays_quiet() {
     );
     assert!(active(&r, "error-surface").is_empty());
 }
+
+#[test]
+fn budget_coverage_positive_flags_direct_and_transitive_loops() {
+    let r = run(
+        "crates/engine/src/fx.rs",
+        include_str!("fixtures/budget_coverage_positive.rs"),
+    );
+    let f = active(&r, "budget-coverage");
+    // The `for` in range_sum and the `while` in the helper it reaches.
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert!(f.iter().all(|f| f.message.contains("un-budgeted")));
+}
+
+#[test]
+fn budget_coverage_allowed_findings_are_recorded_but_inactive() {
+    let r = run(
+        "crates/engine/src/fx.rs",
+        include_str!("fixtures/budget_coverage_allowed.rs"),
+    );
+    assert_eq!(all(&r, "budget-coverage").len(), 1, "scan still sees the loop");
+    assert!(active(&r, "budget-coverage").is_empty(), "allow silences it");
+    assert!(active(&r, "malformed-allow").is_empty());
+}
+
+#[test]
+fn budget_coverage_guard_stays_quiet() {
+    let r = run(
+        "crates/engine/src/fx.rs",
+        include_str!("fixtures/budget_coverage_guard.rs"),
+    );
+    assert!(
+        active(&r, "budget-coverage").is_empty(),
+        "{:#?}",
+        all(&r, "budget-coverage")
+    );
+}
+
+#[test]
+fn pin_across_blocking_positive_flags_pin_and_lock_guard() {
+    let r = run(
+        "crates/server/src/fx.rs",
+        include_str!("fixtures/pin_across_blocking_positive.rs"),
+    );
+    let f = active(&r, "pin-across-blocking");
+    // The read-pin across `send` and the mutex guard across `join`.
+    assert_eq!(f.len(), 2, "{f:#?}");
+    let msgs: Vec<&str> = f.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("send")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("join")), "{msgs:?}");
+}
+
+#[test]
+fn pin_across_blocking_allowed_findings_are_recorded_but_inactive() {
+    let r = run(
+        "crates/server/src/fx.rs",
+        include_str!("fixtures/pin_across_blocking_allowed.rs"),
+    );
+    assert_eq!(all(&r, "pin-across-blocking").len(), 1);
+    assert!(active(&r, "pin-across-blocking").is_empty());
+    assert!(active(&r, "malformed-allow").is_empty());
+}
+
+#[test]
+fn pin_across_blocking_guard_stays_quiet() {
+    let r = run(
+        "crates/server/src/fx.rs",
+        include_str!("fixtures/pin_across_blocking_guard.rs"),
+    );
+    assert!(
+        active(&r, "pin-across-blocking").is_empty(),
+        "{:#?}",
+        all(&r, "pin-across-blocking")
+    );
+}
+
+#[test]
+fn span_discipline_positive_flags_leak_and_field() {
+    let r = run(
+        "crates/server/src/fx.rs",
+        include_str!("fixtures/span_discipline_positive.rs"),
+    );
+    let f = active(&r, "span-discipline");
+    // The abandoned PendingSpan and the TraceSpan field.
+    assert_eq!(f.len(), 2, "{f:#?}");
+    let msgs: Vec<&str> = f.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("not consumed on every path")),
+        "{msgs:?}"
+    );
+    assert!(msgs.iter().any(|m| m.contains("stored in")), "{msgs:?}");
+}
+
+#[test]
+fn span_discipline_allowed_findings_are_recorded_but_inactive() {
+    let r = run(
+        "crates/server/src/fx.rs",
+        include_str!("fixtures/span_discipline_allowed.rs"),
+    );
+    assert_eq!(all(&r, "span-discipline").len(), 2);
+    assert!(active(&r, "span-discipline").is_empty());
+    assert!(active(&r, "malformed-allow").is_empty());
+}
+
+#[test]
+fn span_discipline_guard_stays_quiet() {
+    let r = run(
+        "crates/server/src/fx.rs",
+        include_str!("fixtures/span_discipline_guard.rs"),
+    );
+    assert!(
+        active(&r, "span-discipline").is_empty(),
+        "{:#?}",
+        all(&r, "span-discipline")
+    );
+}
+
+#[test]
+fn estimate_isolation_positive_flags_cache_and_exact_sinks() {
+    let r = run(
+        "crates/engine/src/fx.rs",
+        include_str!("fixtures/estimate_isolation_positive.rs"),
+    );
+    let f = active(&r, "estimate-isolation");
+    // The transitive cache insert and the direct Routed::Exact.
+    assert_eq!(f.len(), 2, "{f:#?}");
+    let msgs: Vec<&str> = f.iter().map(|f| f.message.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("SemanticCache::insert") && m.contains("degrade → stash")),
+        "{msgs:?}"
+    );
+    assert!(msgs.iter().any(|m| m.contains("Routed::Exact")), "{msgs:?}");
+}
+
+#[test]
+fn estimate_isolation_allowed_findings_are_recorded_but_inactive() {
+    let r = run(
+        "crates/engine/src/fx.rs",
+        include_str!("fixtures/estimate_isolation_allowed.rs"),
+    );
+    assert_eq!(all(&r, "estimate-isolation").len(), 1);
+    assert!(active(&r, "estimate-isolation").is_empty());
+    assert!(active(&r, "malformed-allow").is_empty());
+}
+
+#[test]
+fn estimate_isolation_guard_stays_quiet() {
+    let r = run(
+        "crates/engine/src/fx.rs",
+        include_str!("fixtures/estimate_isolation_guard.rs"),
+    );
+    assert!(
+        active(&r, "estimate-isolation").is_empty(),
+        "{:#?}",
+        all(&r, "estimate-isolation")
+    );
+}

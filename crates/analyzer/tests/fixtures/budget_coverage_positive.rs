@@ -1,0 +1,22 @@
+//! Fixture: budget-coverage positive — loops on the query path that
+//! never touch the meter, directly or through a callee.
+
+pub struct Cube;
+
+impl Cube {
+    pub fn range_sum(&self, cells: &[i64]) -> i64 {
+        let mut acc = 0;
+        for &v in cells {
+            acc += v;
+        }
+        acc + self.merge(cells)
+    }
+
+    fn merge(&self, cells: &[i64]) -> i64 {
+        let mut acc = 0;
+        while acc < cells.len() as i64 {
+            acc += 1;
+        }
+        acc
+    }
+}

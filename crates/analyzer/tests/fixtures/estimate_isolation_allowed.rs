@@ -1,0 +1,12 @@
+//! Fixture: estimate-isolation allowed — the cache insert on the
+//! estimate path carries a reasoned inline allow.
+
+impl SemanticCache {
+    pub fn insert(&self) {}
+}
+
+pub fn degrade(cache: &SemanticCache, v: i64) -> Estimate<i64> {
+    // analyzer: allow(estimate-isolation, reason = "inserts the exact prefix computed before degradation, never the estimate itself")
+    cache.insert();
+    approximate(v)
+}

@@ -1,0 +1,17 @@
+//! Fixture: estimate-isolation positive — an `Estimate`-producing fn
+//! reaches `SemanticCache::insert` through a helper and constructs an
+//! exact response variant directly.
+
+impl SemanticCache {
+    pub fn insert(&self) {}
+}
+
+pub fn degrade(cache: &SemanticCache, v: i64) -> Estimate<i64> {
+    stash(cache);
+    let routed = Routed::Exact(v);
+    approximate(v)
+}
+
+fn stash(cache: &SemanticCache) {
+    cache.insert();
+}

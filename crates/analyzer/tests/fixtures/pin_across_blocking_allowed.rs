@@ -1,0 +1,14 @@
+//! Fixture: pin-across-blocking allowed — the pinned send carries a
+//! reasoned inline allow, so the finding is recorded but inactive.
+
+pub struct Shard {
+    current: VersionCell<u64>,
+}
+
+impl Shard {
+    pub fn answer(&self, tx: &Sender<u64>) {
+        let snap = self.current.load();
+        // analyzer: allow(pin-across-blocking, reason = "bounded channel is never full here: receiver drains before this send")
+        tx.send(*snap);
+    }
+}

@@ -1,0 +1,37 @@
+//! Fixture: pin-across-blocking false-positive guard — guards dropped
+//! before the blocking call, blocking before the pin, and non-guard
+//! bindings must all stay quiet.
+
+use std::sync::Mutex;
+
+pub struct Shard {
+    current: VersionCell<u64>,
+    jobs: Mutex<Vec<u64>>,
+}
+
+impl Shard {
+    /// Pin released before the send.
+    pub fn answer(&self, tx: &Sender<u64>) {
+        let snap = self.current.load();
+        let v = *snap;
+        drop(snap);
+        tx.send(v);
+    }
+
+    /// Blocking call happens before the guard exists.
+    pub fn drain(&self, worker: Handle) {
+        worker.join();
+        let guard = self.jobs.lock().unwrap();
+        drop(guard);
+    }
+
+    /// Not a guard: plain value computed from the snapshot.
+    pub fn peek(&self, tx: &Sender<u64>) {
+        let len = self.width();
+        tx.send(len);
+    }
+
+    fn width(&self) -> u64 {
+        0
+    }
+}

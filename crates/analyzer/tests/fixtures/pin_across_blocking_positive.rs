@@ -1,0 +1,22 @@
+//! Fixture: pin-across-blocking positive — a snapshot read-pin and a
+//! mutex guard each live across a blocking call.
+
+use std::sync::Mutex;
+
+pub struct Shard {
+    current: VersionCell<u64>,
+    jobs: Mutex<Vec<u64>>,
+}
+
+impl Shard {
+    pub fn answer(&self, tx: &Sender<u64>) {
+        let snap = self.current.load();
+        tx.send(*snap);
+    }
+
+    pub fn drain(&self, worker: Handle) {
+        let guard = self.jobs.lock().unwrap();
+        worker.join();
+        drop(guard);
+    }
+}

@@ -70,6 +70,7 @@ pub fn range_max<O: TotalOrder>(
     a.shape().check_region(region)?;
     let mut stats = AccessStats::new();
     let mut best: Option<usize> = None;
+    // analyzer: allow(budget-coverage, reason = "naive reference kernel used as a correctness oracle, not a served path")
     for off in a.region_offsets(region) {
         stats.read_a(1);
         stats.step(1);

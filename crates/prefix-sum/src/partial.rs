@@ -118,9 +118,11 @@ impl<G: AbelianGroup> PartialPrefixSum<G> {
             // Inclusion–exclusion over the chosen dims with the passive
             // coordinates pinned.
             'corners: for mask in 0u64..(1u64 << k) {
+                // analyzer: allow(budget-coverage, reason = "pins passive coordinates: trip count = ndim; stats-only API, budget enforced by the budgeted wrappers")
                 for (pi, &j) in passive.iter().enumerate() {
                     corner[j] = passive_coord[pi];
                 }
+                // analyzer: allow(budget-coverage, reason = "corner selection over chosen dims: trip count = ndim; stats-only API, budget enforced by the budgeted wrappers")
                 for (ci, &j) in self.dims.iter().enumerate() {
                     let r = region.range(j);
                     if (mask >> ci) & 1 == 1 {
@@ -143,6 +145,7 @@ impl<G: AbelianGroup> PartialPrefixSum<G> {
             }
             // Advance the passive odometer.
             let mut axis = passive.len();
+            // analyzer: allow(budget-coverage, reason = "odometer advance: at most ndim steps per passive cell; stats-only API, budget enforced by the budgeted wrappers")
             loop {
                 if axis == 0 {
                     break 'outer;

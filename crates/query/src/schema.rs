@@ -202,6 +202,7 @@ impl CubeSchema {
     /// Rank of an integer attribute value.
     pub fn rank_int(&self, name: &str, value: i64) -> Result<usize, SchemaError> {
         let dim = self.dim_of(name)?;
+        // analyzer: allow(panic-site, reason = "dim_of returns a position within attrs by construction")
         match self.attrs[dim].domain {
             AttrDomain::Integer { min, max } => {
                 if value < min || value > max {
@@ -261,6 +262,7 @@ impl QueryBuilder<'_> {
         let dim = self.schema.dim_of(attr)?;
         let rl = self.schema.rank_int(attr, lo)?;
         let rh = self.schema.rank_int(attr, hi)?;
+        // analyzer: allow(panic-site, reason = "dim_of returns a position within attrs, and sels is sized to attrs.len() at construction")
         self.sels[dim] = DimSelection::span(rl, rh)?;
         Ok(self)
     }
@@ -293,6 +295,7 @@ impl QueryBuilder<'_> {
     /// Unknown attribute.
     pub fn all(mut self, attr: &str) -> Result<Self, SchemaError> {
         let dim = self.schema.dim_of(attr)?;
+        // analyzer: allow(panic-site, reason = "dim_of returns a position within attrs, and sels is sized to attrs.len() at construction")
         self.sels[dim] = DimSelection::All;
         Ok(self)
     }

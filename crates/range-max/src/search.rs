@@ -177,9 +177,11 @@ impl<O: TotalOrder> MaxTree<O> {
             .map(|(&c, &n)| ((c + 1) * self.b - 1).min(n - 1))
             .collect();
         let mut cur = lo.clone();
+        // analyzer: allow(budget-coverage, reason = "child enumeration bounded by the tree arity b^d; callers charge per node visited")
         loop {
             f(cur.clone());
             let mut axis = cur.len();
+            // analyzer: allow(budget-coverage, reason = "odometer advance: at most ndim steps per child")
             loop {
                 if axis == 0 {
                     return;

@@ -104,10 +104,11 @@ pub(crate) fn read_header(r: &mut impl Read, expected: Kind) -> Result<(), Stora
     }
     let mut k = [0u8; 1];
     r.read_exact(&mut k)?;
-    match Kind::from_u8(k[0]) {
+    let kind_byte = u8::from_le_bytes(k);
+    match Kind::from_u8(kind_byte) {
         Some(kind) if kind == expected => Ok(()),
         _ => Err(StorageError::WrongKind {
-            found: k[0],
+            found: kind_byte,
             expected: expected as u8,
         }),
     }

@@ -299,6 +299,7 @@ impl<G: AbelianGroup> SumTree<G> {
                 stats.step(1);
             }
             let mut axis = cur.len();
+            // analyzer: allow(budget-coverage, reason = "odometer advance: at most ndim steps per child; sum_in charges the meter per node")
             loop {
                 if axis == 0 {
                     return Ok(acc);
